@@ -1,0 +1,212 @@
+// Ablation benches for the design choices called out in DESIGN.md:
+//
+//   A1  Sequential early-exit Z-test vs drawing all N_H samples — the
+//       optimization that makes answer sanitation affordable.
+//   A2  Dummy-generation policy vs a Bayesian prior-equipped LSP
+//       adversary — how much Privacy I really depends on dummy quality.
+//   A3  Parallel LSP candidate processing — wall-clock speedup at equal
+//       total work (the reported LSP *cost* is invariant by design).
+//   A4  Euclidean vs road-network black box — LSP cost and answer
+//       divergence when the metric changes under the same protocol.
+//   A5  Dataset density vs sanitized answer length — explains the Fig 7
+//       level difference vs the paper.
+
+#include <chrono>
+#include <thread>
+
+#include "bench_util.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AblationSanitationEarlyExit(const LspDatabase& lsp,
+                                 const BenchConfig& config) {
+  std::printf("\n-- A1: sequential early exit in the sanitation Z-test --\n");
+  Rng rng(config.seed);
+  for (double theta0 : {0.01, 0.05, 0.1}) {
+    auto sanitizer = AnswerSanitizer::Create(theta0, TestConfig{}).value();
+    SanitizeStats stats;
+    int queries = 20;
+    for (int q = 0; q < queries; ++q) {
+      auto group = RandomGroup(8, rng);
+      auto answer = lsp.solver().Query(group, 8, AggregateKind::kSum);
+      Rng mc(1000 + q);
+      sanitizer.Sanitize(answer, group, AggregateKind::kSum, mc, &stats);
+    }
+    uint64_t full_cost = stats.tests_run * sanitizer.sample_size();
+    std::printf(
+        "theta0=%-5.2f N_H=%-7llu tests=%-5llu samples drawn=%-10llu "
+        "(full sampling would draw %llu: early exit saves %.1f%%)\n",
+        theta0, static_cast<unsigned long long>(sanitizer.sample_size()),
+        static_cast<unsigned long long>(stats.tests_run),
+        static_cast<unsigned long long>(stats.samples_drawn),
+        static_cast<unsigned long long>(full_cost),
+        100.0 * (1.0 - static_cast<double>(stats.samples_drawn) /
+                           static_cast<double>(full_cost)));
+  }
+}
+
+void AblationDummyPolicies(const LspDatabase& lsp, const BenchConfig& config) {
+  std::printf(
+      "\n-- A2: dummy policy vs a Bayesian adversary with the POI prior --\n");
+  PoiDensityDummyGenerator density(lsp.pois(), 32);
+  UniformDummyGenerator uniform;
+  NearbyDummyGenerator nearby(0.05);
+  const DummyGenerator* policies[] = {&uniform, &density, &nearby};
+  const int d = 25, trials = 2000;
+  for (const DummyGenerator* policy : policies) {
+    Rng rng(config.seed + 99);
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      // Users live where POIs are dense.
+      Point real = lsp.pois()[rng.NextBelow(lsp.pois().size())].location;
+      std::vector<Point> set(d);
+      for (Point& p : set) p = policy->Generate(real, rng);
+      size_t real_pos = rng.NextBelow(d);
+      set[real_pos] = real;
+      size_t guess = 0;
+      double best = -1;
+      for (size_t i = 0; i < set.size(); ++i) {
+        double mass = density.CellMass(set[i]);
+        if (mass > best) {
+          best = mass;
+          guess = i;
+        }
+      }
+      if (guess == real_pos) ++hits;
+    }
+    std::printf(
+        "%-12s adversary identifies the real location %5.1f%% of the time "
+        "(ideal Privacy I: %.1f%%)\n",
+        policy->name(), 100.0 * hits / trials, 100.0 / d);
+  }
+}
+
+void AblationParallelLsp(const LspDatabase& lsp, const BenchConfig& config) {
+  std::printf("\n-- A3: parallel LSP candidate processing (wall clock) --\n");
+  std::printf(
+      "(host has %u hardware threads; speedup is bounded by that and by the "
+      "serial user-side share of the wall time)\n",
+      std::thread::hardware_concurrency());
+  ProtocolParams params;
+  params.key_bits = config.key_bits;  // defaults otherwise: n=8, delta=100
+  double base_wall = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    params.lsp_threads = threads;
+    Rng rng(config.seed + 7);
+    auto group = RandomGroup(params.n, rng);
+    double t0 = WallSeconds();
+    auto outcome = RunQuery(Variant::kPpgnn, params, group, lsp, rng);
+    double wall = WallSeconds() - t0;
+    if (!outcome.ok()) {
+      std::printf("threads=%d ERROR %s\n", threads,
+                  outcome.status().ToString().c_str());
+      return;
+    }
+    if (threads == 1) base_wall = wall;
+    std::printf(
+        "threads=%-3d wall=%-8.2fms lsp_cost=%-8.2fms (total work) "
+        "speedup x%.2f\n",
+        threads, wall * 1e3, outcome->costs.lsp_seconds * 1e3,
+        base_wall / wall);
+  }
+}
+
+void AblationRoadMetric(const BenchConfig& config) {
+  std::printf("\n-- A4: Euclidean vs road-network kGNN black box --\n");
+  Rng net_rng(config.seed + 5);
+  RoadNetwork roads = RoadNetwork::BuildGrid(32, 32, net_rng, 0.3, 0.3);
+  LspDatabase euclid(GenerateSequoiaLike(10000, config.seed));
+  LspDatabase road(GenerateSequoiaLike(10000, config.seed));
+  RoadDistanceOracle oracle(&roads);
+  road.SetSolver(std::make_unique<RoadGnnSolver>(&roads, &road.pois()));
+  road.SetDistanceOracle(&oracle);
+
+  ProtocolParams params;
+  params.n = 4;
+  params.delta = 50;
+  params.key_bits = config.key_bits;
+  int divergent = 0;
+  CostReport euclid_costs, road_costs;
+  const int queries = std::max(config.queries, 3);
+  Rng rng(config.seed + 6);
+  for (int q = 0; q < queries; ++q) {
+    auto group = RandomGroup(params.n, rng);
+    Rng r1(q), r2(q);
+    auto a = RunQuery(Variant::kPpgnn, params, group, euclid, r1);
+    auto b = RunQuery(Variant::kPpgnn, params, group, road, r2);
+    if (!a.ok() || !b.ok()) {
+      std::printf("ERROR: %s / %s\n", a.status().ToString().c_str(),
+                  b.status().ToString().c_str());
+      return;
+    }
+    euclid_costs += a->costs;
+    road_costs += b->costs;
+    if (a->pois.empty() || b->pois.empty() || !(a->pois[0] == b->pois[0]))
+      ++divergent;
+  }
+  std::printf(
+      "euclidean: lsp=%.2fms    road: lsp=%.2fms   top-1 answers differ in "
+      "%d/%d queries\n",
+      euclid_costs.DividedBy(queries).lsp_seconds * 1e3,
+      road_costs.DividedBy(queries).lsp_seconds * 1e3, divergent, queries);
+}
+
+void AblationDatasetSkew(const BenchConfig& config) {
+  // Investigates the Fig 7 deviation (we saturate at ~3 POIs where the
+  // paper reports ~4). Finding: spatial SKEW does not matter (uniform
+  // and clustered give identical lengths), but absolute answer DENSITY
+  // does — with fewer POIs the top-k are farther apart, each inequality
+  // cuts a larger region, and longer prefixes survive the theta0 test.
+  std::printf(
+      "\n-- A5: dataset skew vs sanitized answer length (k=8, n=8, "
+      "theta0=0.01) --\n");
+  struct Shape {
+    const char* name;
+    std::vector<Poi> pois;
+  };
+  Shape shapes[] = {
+      {"uniform-62k", GenerateUniform(config.db_size, config.seed)},
+      {"clustered-62k", GenerateSequoiaLike(config.db_size, config.seed)},
+      {"clustered-5k", GenerateSequoiaLike(5000, config.seed)},
+      {"clustered-500", GenerateSequoiaLike(500, config.seed)},
+  };
+  for (Shape& shape : shapes) {
+    LspDatabase lsp(std::move(shape.pois));
+    ProtocolParams params;
+    params.theta0 = 0.01;
+    double total = 0;
+    const int queries = 20;
+    Rng rng(config.seed + 11);
+    for (int q = 0; q < queries; ++q) {
+      auto group = RandomGroup(8, rng);
+      Rng ref(0);
+      total += static_cast<double>(
+          ReferenceAnswer(params, group, lsp, ref).size());
+    }
+    std::printf("%-10s avg POIs returned: %.2f of k=8\n", shape.name,
+                total / queries);
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+  PrintHeader("Design-choice ablations", config);
+  AblationSanitationEarlyExit(lsp, config);
+  AblationDummyPolicies(lsp, config);
+  AblationParallelLsp(lsp, config);
+  AblationRoadMetric(config);
+  AblationDatasetSkew(config);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 5 (single-user query, n = 1).
+//
+//   5a-5c: communication / user / LSP cost vs d, for PPGNN and PPGNN-OPT.
+//   5d-5f: the same three costs vs k, adding the APNN baseline.
+//
+// Expected shapes (paper): all costs grow with d; PPGNN-OPT's comm
+// overtakes PPGNN around d ~ 15 and its user cost around d ~ 25, while
+// its LSP cost is always above PPGNN (two-phase selection). Costs vs k
+// grow in stages (15 POIs pack into one big integer). APNN's LSP cost is
+// the lowest thanks to pre-computation.
+
+#include "bench_util.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+int main() {
+  BenchConfig config;
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+
+  ProtocolParams base;
+  base.n = 1;
+  base.d = 25;
+  base.k = 8;
+  base.key_bits = config.key_bits;
+
+  // ---- Fig 5a-5c: vary d ----
+  PrintHeader("Fig 5a-5c: n=1, k=8, varying d in [5, 50]", config);
+  const int d_values[] = {5, 10, 15, 20, 25, 30, 40, 50};
+  for (Variant variant : {Variant::kPpgnn, Variant::kPpgnnOpt}) {
+    for (int d : d_values) {
+      ProtocolParams params = base;
+      params.d = d;
+      auto out = AverageProtocol(variant, params, lsp, config,
+                                 static_cast<uint64_t>(d));
+      PrintRow(VariantToString(variant), "d", d, out);
+    }
+  }
+
+  // ---- Fig 5d-5f: vary k ----
+  PrintHeader("Fig 5d-5f: n=1, d=25, varying k in [2, 32]", config);
+  const int k_values[] = {2, 4, 8, 16, 32};
+  for (Variant variant : {Variant::kPpgnn, Variant::kPpgnnOpt}) {
+    for (int k : k_values) {
+      ProtocolParams params = base;
+      params.k = k;
+      auto out = AverageProtocol(variant, params, lsp, config,
+                                 100 + static_cast<uint64_t>(k));
+      PrintRow(VariantToString(variant), "k", k, out);
+    }
+  }
+
+  // APNN baseline: b^2 = 25 cells matches d = 25.
+  auto server_or = ApnnServer::Build(&lsp, /*grid=*/64, /*max_k=*/32);
+  if (!server_or.ok()) {
+    std::printf("APNN build failed: %s\n",
+                server_or.status().ToString().c_str());
+    return 1;
+  }
+  const ApnnServer& server = server_or.value();
+  std::printf("(APNN pre-computation: %.2f s, excluded from per-query LSP "
+              "cost as in the paper)\n",
+              server.setup_seconds());
+  for (int k : k_values) {
+    ApnnParams params;
+    params.grid = 64;
+    params.b = 5;
+    params.k = k;
+    params.key_bits = config.key_bits;
+    CostReport total;
+    Rng rng(config.seed + 31 * static_cast<uint64_t>(k));
+    bool ok = true;
+    for (int q = 0; q < config.queries; ++q) {
+      Point user{rng.NextDouble(), rng.NextDouble()};
+      auto outcome = server.Query(user, params, rng);
+      if (!outcome.ok()) {
+        std::printf("APNN k=%d ERROR %s\n", k,
+                    outcome.status().ToString().c_str());
+        ok = false;
+        break;
+      }
+      total += outcome->costs;
+    }
+    if (!ok) continue;
+    AveragedOutcome avg;
+    avg.ok = true;
+    avg.costs = total.DividedBy(config.queries);
+    avg.pois_returned = k;
+    PrintRow("APNN", "k", k, avg);
+  }
+  return 0;
+}

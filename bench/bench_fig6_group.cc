@@ -1,0 +1,83 @@
+// Reproduces Figure 6 (group query, n > 1): PPGNN vs PPGNN-OPT vs Naive
+// across delta (6a-6c), k (6d-6f), n (6g-6i), and theta0 (6j-6l),
+// reporting communication, user, and LSP cost for each.
+//
+// Expected shapes (paper): PPGNN-OPT clearly cheapest on comm and user
+// cost, the gap growing with delta; Naive the most expensive (ships
+// delta-sized location sets per user); LSP costs nearly identical across
+// the three variants and dominated by answer sanitation; LSP cost
+// decreasing then flattening as theta0 grows; LSP cost linear in n.
+
+#include "bench_util.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+constexpr Variant kVariants[] = {Variant::kPpgnn, Variant::kPpgnnOpt,
+                                 Variant::kNaive};
+
+ProtocolParams Defaults(const BenchConfig& config) {
+  ProtocolParams params;  // Table 3 defaults: n=8, d=25, delta=100, k=8,
+                          // theta0=0.05
+  params.key_bits = config.key_bits;
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+
+  // ---- Fig 6a-6c: vary delta ----
+  PrintHeader("Fig 6a-6c: varying delta in [25, 200]", config);
+  for (Variant variant : kVariants) {
+    for (int delta : {25, 50, 100, 150, 200}) {
+      ProtocolParams params = Defaults(config);
+      params.delta = delta;
+      auto out = AverageProtocol(variant, params, lsp, config,
+                                 static_cast<uint64_t>(delta));
+      PrintRow(VariantToString(variant), "delta", delta, out);
+    }
+  }
+
+  // ---- Fig 6d-6f: vary k ----
+  PrintHeader("Fig 6d-6f: varying k in [2, 32]", config);
+  for (Variant variant : kVariants) {
+    for (int k : {2, 4, 8, 16, 32}) {
+      ProtocolParams params = Defaults(config);
+      params.k = k;
+      auto out = AverageProtocol(variant, params, lsp, config,
+                                 1000 + static_cast<uint64_t>(k));
+      PrintRow(VariantToString(variant), "k", k, out);
+    }
+  }
+
+  // ---- Fig 6g-6i: vary n ----
+  PrintHeader("Fig 6g-6i: varying n in [2, 32]", config);
+  for (Variant variant : kVariants) {
+    for (int n : {2, 4, 8, 16, 32}) {
+      ProtocolParams params = Defaults(config);
+      params.n = n;
+      auto out = AverageProtocol(variant, params, lsp, config,
+                                 2000 + static_cast<uint64_t>(n));
+      PrintRow(VariantToString(variant), "n", n, out);
+    }
+  }
+
+  // ---- Fig 6j-6l: vary theta0 ----
+  PrintHeader("Fig 6j-6l: varying theta0 in [0.01, 0.1]", config);
+  for (Variant variant : kVariants) {
+    int point = 0;
+    for (double theta0 : {0.01, 0.025, 0.05, 0.075, 0.1}) {
+      ProtocolParams params = Defaults(config);
+      params.theta0 = theta0;
+      auto out = AverageProtocol(variant, params, lsp, config,
+                                 3000 + static_cast<uint64_t>(point++));
+      PrintRow(VariantToString(variant), "theta0", theta0, out);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 7: the number of POIs actually returned per answer
+// after answer sanitation, varying k (7a), n (7b), and theta0 (7c).
+// Defaults here follow the figure's setting: k = 8, n = 8, theta0 = 0.01.
+//
+// Expected shapes (paper): grows then saturates around 4 as k grows;
+// rises slightly with n (the target's location weighs less in the
+// aggregate, enlarging the feasible region); decreases as theta0 grows
+// (stronger Privacy IV trims more). Sanitation depends only on the
+// plaintext answer, so this bench skips the cryptographic layers (PPGNN,
+// PPGNN-OPT, and Naive all return identical sanitized answers).
+
+#include "bench_util.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+double AveragePoisReturned(const LspDatabase& lsp, int n, int k,
+                           double theta0, int queries, uint64_t seed) {
+  ProtocolParams params;
+  params.n = n;
+  params.k = k;
+  params.theta0 = theta0;
+  Rng rng(seed);
+  double total = 0;
+  for (int q = 0; q < queries; ++q) {
+    auto group = RandomGroup(n, rng);
+    Rng ref_rng(0);
+    total += static_cast<double>(
+        ReferenceAnswer(params, group, lsp, ref_rng).size());
+  }
+  return total / queries;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  // Sanitation-only bench: cheap enough for more repetitions.
+  int queries = std::max(config.queries, 10);
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+
+  PrintHeader("Fig 7a: POIs returned vs k (n=8, theta0=0.01)", config);
+  for (int k : {2, 4, 8, 16, 32}) {
+    double pois = AveragePoisReturned(lsp, 8, k, 0.01, queries,
+                                      config.seed + static_cast<uint64_t>(k));
+    std::printf("PPGNN        k=%-8d pois=%.2f\n", k, pois);
+  }
+
+  PrintHeader("Fig 7b: POIs returned vs n (k=8, theta0=0.01)", config);
+  for (int n : {2, 4, 8, 16, 32}) {
+    double pois = AveragePoisReturned(
+        lsp, n, 8, 0.01, queries, config.seed + 100 + static_cast<uint64_t>(n));
+    std::printf("PPGNN        n=%-8d pois=%.2f\n", n, pois);
+  }
+
+  PrintHeader("Fig 7c: POIs returned vs theta0 (k=8, n=8)", config);
+  int point = 0;
+  for (double theta0 : {0.01, 0.025, 0.05, 0.075, 0.1}) {
+    double pois = AveragePoisReturned(
+        lsp, 8, 8, theta0, queries,
+        config.seed + 200 + static_cast<uint64_t>(point++));
+    std::printf("PPGNN        theta0=%-6.3f pois=%.2f\n", theta0, pois);
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Figure 8: PPGNN (and PPGNN-NAS, the no-sanitation relaxation)
+// against the group-query baselines IPPF and GLP, varying k (8a-8c) and
+// n (8d-8f).
+//
+// Expected shapes (paper): IPPF's communication dwarfs everyone's (it
+// returns a candidate superset of thousands of POIs); GLP's user cost and
+// comm grow fastest with n (O(n^2) ciphertext broadcasts); PPGNN pays the
+// answer-sanitation premium on LSP cost while PPGNN-NAS's LSP cost drops
+// to the IPPF/GLP ballpark.
+
+#include "bench_util.h"
+
+using namespace ppgnn;
+using namespace ppgnn::bench;
+
+namespace {
+
+AveragedOutcome AverageIppf(const LspDatabase& lsp, int n, int k,
+                            const BenchConfig& config, uint64_t seed) {
+  AveragedOutcome out;
+  IppfParams params;
+  params.k = k;
+  CostReport total;
+  Rng rng(seed);
+  for (int q = 0; q < config.queries; ++q) {
+    auto group = RandomGroup(n, rng);
+    auto outcome = RunIppf(lsp, params, group, rng);
+    if (!outcome.ok()) {
+      out.error = outcome.status().ToString();
+      return out;
+    }
+    total += outcome->query.costs;
+    out.pois_returned +=
+        static_cast<double>(outcome->query.info.pois_returned);
+  }
+  out.costs = total.DividedBy(config.queries);
+  out.pois_returned /= config.queries;
+  out.ok = true;
+  return out;
+}
+
+AveragedOutcome AverageGlp(const LspDatabase& lsp, int n, int k,
+                           const BenchConfig& config, uint64_t seed) {
+  AveragedOutcome out;
+  GlpParams params;
+  params.k = k;
+  params.key_bits = config.key_bits;
+  CostReport total;
+  Rng rng(seed);
+  for (int q = 0; q < config.queries; ++q) {
+    auto group = RandomGroup(n, rng);
+    auto outcome = RunGlp(lsp, params, group, rng);
+    if (!outcome.ok()) {
+      out.error = outcome.status().ToString();
+      return out;
+    }
+    total += outcome->query.costs;
+    out.pois_returned +=
+        static_cast<double>(outcome->query.info.pois_returned);
+  }
+  out.costs = total.DividedBy(config.queries);
+  out.pois_returned /= config.queries;
+  out.ok = true;
+  return out;
+}
+
+void RunPoint(const LspDatabase& lsp, const BenchConfig& config, int n, int k,
+              const char* param_name, double param_value, uint64_t seed) {
+  ProtocolParams params;  // defaults: d=25, delta=100, theta0=0.05
+  params.n = n;
+  params.k = k;
+  params.key_bits = config.key_bits;
+  PrintRow("PPGNN", param_name, param_value,
+           AverageProtocol(Variant::kPpgnn, params, lsp, config, seed));
+  ProtocolParams nas = params;
+  nas.sanitize = false;
+  PrintRow("PPGNN-NAS", param_name, param_value,
+           AverageProtocol(Variant::kPpgnn, nas, lsp, config, seed + 1));
+  PrintRow("IPPF", param_name, param_value,
+           AverageIppf(lsp, n, k, config, seed + 2));
+  PrintRow("GLP", param_name, param_value,
+           AverageGlp(lsp, n, k, config, seed + 3));
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+
+  PrintHeader("Fig 8a-8c: baselines, varying k (n=8)", config);
+  for (int k : {2, 4, 8, 16, 32}) {
+    RunPoint(lsp, config, 8, k, "k", k, 5000 + static_cast<uint64_t>(k) * 7);
+  }
+
+  PrintHeader("Fig 8d-8f: baselines, varying n (k=8)", config);
+  for (int n : {2, 4, 8, 16, 32}) {
+    RunPoint(lsp, config, n, 8, "n", n, 6000 + static_cast<uint64_t>(n) * 7);
+  }
+  return 0;
+}

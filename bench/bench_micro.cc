@@ -1,0 +1,232 @@
+// Micro-benchmarks (google-benchmark) for the substrates: bignum
+// arithmetic, Paillier operations at both ciphertext levels, R-tree
+// construction, MBM kGNN queries, and the sanitation hypothesis test.
+// These quantify the constants behind Table 2's cost model (C_e, C_q,
+// C_s).
+
+#include <benchmark/benchmark.h>
+
+#include "ppgnn.h"
+
+namespace ppgnn {
+namespace {
+
+// ---- bigint ----
+
+void BM_BigIntMul(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::Random(bits, rng);
+  BigInt b = BigInt::Random(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_BigIntDivMod(benchmark::State& state) {
+  Rng rng(2);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt a = BigInt::Random(2 * bits, rng);
+  BigInt b = BigInt::Random(bits, rng) + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::DivMod(a, b).value());
+  }
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ModExp(benchmark::State& state) {
+  // Odd modulus: exercises the Montgomery fast path.
+  Rng rng(3);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt base = BigInt::Random(bits, rng);
+  BigInt exp = BigInt::Random(bits, rng);
+  BigInt mod = BigInt::Random(bits, rng) + BigInt(3);
+  if (!mod.IsOdd()) mod = mod + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModExp(base, exp, mod).value());
+  }
+}
+BENCHMARK(BM_ModExp)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ModExpLadderNoMontgomery(benchmark::State& state) {
+  // The pre-Montgomery path, forced via an even modulus of the same size.
+  Rng rng(3);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt base = BigInt::Random(bits, rng);
+  BigInt exp = BigInt::Random(bits, rng);
+  BigInt mod = BigInt::Random(bits, rng) + BigInt(3);
+  if (mod.IsOdd()) mod = mod + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ModExp(base, exp, mod).value());
+  }
+}
+BENCHMARK(BM_ModExpLadderNoMontgomery)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_GeneratePrime(benchmark::State& state) {
+  Rng rng(4);
+  const int bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeneratePrime(bits, rng).value());
+  }
+}
+BENCHMARK(BM_GeneratePrime)->Arg(128)->Arg(256)->Arg(512);
+
+// ---- Paillier (C_e of Table 2) ----
+
+struct PaillierFixtureState {
+  Rng rng{5};
+  KeyPair keys;
+  PaillierFixtureState(int key_bits)
+      : keys(GenerateKeyPair(key_bits, rng).value()) {}
+};
+
+void BM_PaillierEncryptL1(benchmark::State& state) {
+  PaillierFixtureState fx(static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  BigInt m(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Encrypt(m, fx.rng, 1).value());
+  }
+}
+BENCHMARK(BM_PaillierEncryptL1)->Arg(512)->Arg(1024);
+
+void BM_PaillierEncryptL2(benchmark::State& state) {
+  PaillierFixtureState fx(static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  BigInt m(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Encrypt(m, fx.rng, 2).value());
+  }
+}
+BENCHMARK(BM_PaillierEncryptL2)->Arg(512)->Arg(1024);
+
+void BM_PaillierEncryptL1Pooled(benchmark::State& state) {
+  // Online cost with pre-computed blinding factors (offline/online
+  // split). The pool is refilled in bulk outside the timed region;
+  // bounded iterations keep the unmeasured offline phase cheap.
+  PaillierFixtureState fx(static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  BigInt m(123456789);
+  constexpr size_t kBatch = 512;
+  for (auto _ : state) {
+    if (enc.PooledBlindingCount(1) == 0) {
+      state.PauseTiming();
+      (void)enc.PrecomputeBlinding(kBatch, fx.rng, 1);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(enc.Encrypt(m, fx.rng, 1).value());
+  }
+}
+BENCHMARK(BM_PaillierEncryptL1Pooled)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Iterations(1000);
+
+void BM_PaillierDecryptL1NoCrt(benchmark::State& state) {
+  PaillierFixtureState fx(static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  Decryptor dec(fx.keys.pub, fx.keys.sec, /*use_crt=*/false);
+  Ciphertext ct = enc.Encrypt(BigInt(42), fx.rng, 1).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decrypt(ct).value());
+  }
+}
+BENCHMARK(BM_PaillierDecryptL1NoCrt)->Arg(512)->Arg(1024);
+
+void BM_PaillierDecryptL1(benchmark::State& state) {
+  PaillierFixtureState fx(static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  Decryptor dec(fx.keys.pub, fx.keys.sec);
+  Ciphertext ct = enc.Encrypt(BigInt(42), fx.rng, 1).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.Decrypt(ct).value());
+  }
+}
+BENCHMARK(BM_PaillierDecryptL1)->Arg(512)->Arg(1024);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  PaillierFixtureState fx(static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  Ciphertext ct = enc.Encrypt(BigInt(42), fx.rng, 1).value();
+  BigInt scalar = BigInt::Random(60, fx.rng);  // packed-POI-sized scalar
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.ScalarMul(scalar, ct).value());
+  }
+}
+BENCHMARK(BM_PaillierScalarMul)->Arg(512)->Arg(1024);
+
+void BM_PrivateSelection(benchmark::State& state) {
+  PaillierFixtureState fx(512);
+  Encryptor enc(fx.keys.pub);
+  const uint64_t delta_prime = static_cast<uint64_t>(state.range(0));
+  auto indicator = EncryptIndicator(enc, 1, delta_prime, fx.rng).value();
+  AnswerMatrix matrix;
+  for (uint64_t c = 0; c < delta_prime; ++c) {
+    matrix.columns.push_back({BigInt::Random(500, fx.rng)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrivateSelect(enc, matrix, indicator).value());
+  }
+}
+BENCHMARK(BM_PrivateSelection)->Arg(25)->Arg(100)->Arg(200);
+
+// ---- spatial (C_q of Table 2) ----
+
+void BM_RTreeBuild(benchmark::State& state) {
+  auto pois = GenerateSequoiaLike(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RTree::Build(pois));
+  }
+}
+BENCHMARK(BM_RTreeBuild)->Arg(10000)->Arg(62556);
+
+void BM_MbmGnnQuery(benchmark::State& state) {
+  static RTree tree = RTree::Build(GenerateSequoiaLike(kSequoiaSize, 7));
+  MbmGnnSolver solver(&tree);
+  Rng rng(8);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Point> group(n);
+  for (Point& p : group) p = {rng.NextDouble(), rng.NextDouble()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Query(group, 8, AggregateKind::kSum));
+  }
+}
+BENCHMARK(BM_MbmGnnQuery)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_SpmGnnQuery(benchmark::State& state) {
+  static RTree tree = RTree::Build(GenerateSequoiaLike(kSequoiaSize, 7));
+  SpmGnnSolver solver(&tree);
+  Rng rng(8);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Point> group(n);
+  for (Point& p : group) p = {rng.NextDouble(), rng.NextDouble()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Query(group, 8, AggregateKind::kSum));
+  }
+}
+BENCHMARK(BM_SpmGnnQuery)->Arg(1)->Arg(8)->Arg(32);
+
+// ---- sanitation (C_s of Table 2) ----
+
+void BM_SanitizeCandidate(benchmark::State& state) {
+  static RTree tree = RTree::Build(GenerateSequoiaLike(kSequoiaSize, 9));
+  MbmGnnSolver solver(&tree);
+  const double theta0 = static_cast<double>(state.range(0)) / 1000.0;
+  auto sanitizer = AnswerSanitizer::Create(theta0, TestConfig{}).value();
+  Rng rng(10);
+  std::vector<Point> group(8);
+  for (Point& p : group) p = {rng.NextDouble(), rng.NextDouble()};
+  auto answer = solver.Query(group, 8, AggregateKind::kSum);
+  for (auto _ : state) {
+    Rng mc(11);
+    benchmark::DoNotOptimize(
+        sanitizer.Sanitize(answer, group, AggregateKind::kSum, mc));
+  }
+}
+BENCHMARK(BM_SanitizeCandidate)->Arg(10)->Arg(50)->Arg(100);  // theta0 * 1000
+
+}  // namespace
+}  // namespace ppgnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Environment knobs (all optional):
+//   PPGNN_BENCH_QUERIES  queries averaged per data point (default 2; the
+//                        paper used 500 — higher is just slower)
+//   PPGNN_BENCH_KEYBITS  Paillier modulus bits (default 512 for bench
+//                        turnaround; the paper used 1024)
+//   PPGNN_BENCH_DB       database size (default 62556, the Sequoia size)
+//   PPGNN_BENCH_SEED     workload seed (default 2018)
+
+#ifndef PPGNN_BENCH_BENCH_UTIL_H_
+#define PPGNN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ppgnn.h"
+
+namespace ppgnn::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+struct BenchConfig {
+  int queries = EnvInt("PPGNN_BENCH_QUERIES", 2);
+  int key_bits = EnvInt("PPGNN_BENCH_KEYBITS", 512);
+  size_t db_size = static_cast<size_t>(
+      EnvInt("PPGNN_BENCH_DB", static_cast<int>(kSequoiaSize)));
+  uint64_t seed = static_cast<uint64_t>(EnvInt("PPGNN_BENCH_SEED", 2018));
+};
+
+inline std::vector<Point> RandomGroup(int n, Rng& rng) {
+  std::vector<Point> out(n);
+  for (Point& p : out) p = {rng.NextDouble(), rng.NextDouble()};
+  return out;
+}
+
+/// Averaged costs plus instrumentation for one parameter point.
+struct AveragedOutcome {
+  CostReport costs;                  // per-query average
+  double pois_returned = 0;          // average answer length
+  double delta_prime = 0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Runs `config.queries` protocol queries with fresh random groups (and
+/// fresh keys per query, as in the paper) and averages the costs.
+inline AveragedOutcome AverageProtocol(Variant variant,
+                                       const ProtocolParams& params,
+                                       const LspDatabase& lsp,
+                                       const BenchConfig& config,
+                                       uint64_t point_seed) {
+  AveragedOutcome out;
+  CostReport total;
+  Rng rng(config.seed * 1000003 + point_seed);
+  for (int q = 0; q < config.queries; ++q) {
+    auto group = RandomGroup(params.n, rng);
+    auto outcome = RunQuery(variant, params, group, lsp, rng);
+    if (!outcome.ok()) {
+      out.error = outcome.status().ToString();
+      return out;
+    }
+    total += outcome->costs;
+    out.pois_returned += static_cast<double>(outcome->info.pois_returned);
+    out.delta_prime += static_cast<double>(outcome->info.delta_prime);
+  }
+  out.costs = total.DividedBy(config.queries);
+  out.pois_returned /= config.queries;
+  out.delta_prime /= config.queries;
+  out.ok = true;
+  return out;
+}
+
+/// Prints one data-point row in the common bench format. When the env
+/// var PPGNN_BENCH_CSV names a file, the row is also appended there as
+/// "series,param,value,comm_bytes,user_ms,lsp_ms,pois" for plotting.
+inline void PrintRow(const char* series, const char* param_name,
+                     double param_value, const AveragedOutcome& out) {
+  if (!out.ok) {
+    std::printf("%-12s %s=%-8g ERROR: %s\n", series, param_name, param_value,
+                out.error.c_str());
+    return;
+  }
+  std::printf(
+      "%-12s %s=%-8g comm_kb=%-10.2f user_ms=%-10.2f lsp_ms=%-10.2f "
+      "pois=%-5.2f\n",
+      series, param_name, param_value,
+      static_cast<double>(out.costs.TotalCommBytes()) / 1024.0,
+      out.costs.user_seconds * 1e3, out.costs.lsp_seconds * 1e3,
+      out.pois_returned);
+  if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+    if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+      std::fprintf(f, "%s,%s,%g,%llu,%.4f,%.4f,%.3f\n", series, param_name,
+                   param_value,
+                   static_cast<unsigned long long>(out.costs.TotalCommBytes()),
+                   out.costs.user_seconds * 1e3, out.costs.lsp_seconds * 1e3,
+                   out.pois_returned);
+      std::fclose(f);
+    }
+  }
+}
+
+inline void PrintHeader(const std::string& title, const BenchConfig& config) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf(
+      "(queries/point=%d, key_bits=%d, |D|=%zu; paper: 500 queries, 1024 "
+      "bits, 62556 POIs)\n",
+      config.queries, config.key_bits, config.db_size);
+}
+
+}  // namespace ppgnn::bench
+
+#endif  // PPGNN_BENCH_BENCH_UTIL_H_

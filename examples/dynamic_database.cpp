@@ -1,0 +1,83 @@
+// Dynamic databases: the operational edge the paper claims for PPGNN
+// over pre-computation schemes (Sections 1 and 8.2).
+//
+//   ./dynamic_database
+//
+// A new cafe opens right next to the group. PPGNN's next query simply
+// finds it — the LSP computes kGNN on the live R-tree. APNN, by
+// contrast, must re-run its whole grid pre-computation before any query
+// can see the change (and until then silently returns stale answers).
+
+#include <cstdio>
+
+#include "ppgnn.h"
+
+int main() {
+  using namespace ppgnn;
+
+  LspDatabase lsp(GenerateSequoiaLike(30000, 99));
+  std::vector<Point> group = {{0.401, 0.402}, {0.403, 0.398}};
+  const Point new_cafe{0.4015, 0.4005};  // right between the two users
+
+  ProtocolParams params;
+  params.n = 2;
+  params.d = 5;
+  params.delta = 10;
+  params.k = 1;
+  params.key_bits = 512;
+  params.sanitize = false;  // k = 1 needs no sanitation anyway
+
+  auto top1 = [&](const char* label) {
+    Rng rng(7);
+    auto outcome = RunQuery(Variant::kPpgnn, params, group, lsp, rng);
+    if (!outcome.ok() || outcome->pois.empty()) {
+      std::fprintf(stderr, "query failed\n");
+      std::exit(1);
+    }
+    std::printf("%-28s best POI (%.4f, %.4f), total distance %.5f\n", label,
+                outcome->pois[0].x, outcome->pois[0].y,
+                AggregateCost(AggregateKind::kSum, outcome->pois[0], group));
+    return outcome->pois[0];
+  };
+
+  // Also set up APNN over the same database for the contrast.
+  auto apnn_before = ApnnServer::Build(&lsp, 64, 4).value();
+
+  std::printf("== Before the new cafe ==\n");
+  Point before = top1("PPGNN:");
+
+  std::printf("\n== The cafe opens (one InsertPoi call) ==\n");
+  lsp.InsertPoi({999999, new_cafe});
+  Point after = top1("PPGNN (same LSP object):");
+  if (!(after == before)) {
+    std::printf("PPGNN found the new cafe immediately — zero maintenance.\n");
+  }
+
+  auto contains_cafe = [&](const std::vector<Point>& answer) {
+    for (const Point& p : answer) {
+      if (Distance(p, new_cafe) < 1e-9) return true;
+    }
+    return false;
+  };
+  auto stale = apnn_before.CellAnswer({0.402, 0.4}, 4).value();
+  std::printf(
+      "\nAPNN's pre-computed grid still answers from the OLD database:\n"
+      "%-28s new cafe in the cell's top-4? %s  <-- stale!\n",
+      "APNN (stale grid):", contains_cafe(stale) ? "yes" : "no");
+
+  double t0 = ThreadCpuSeconds();
+  auto apnn_after = ApnnServer::Build(&lsp, 64, 4).value();
+  double rebuild = ThreadCpuSeconds() - t0;
+  auto fresh = apnn_after.CellAnswer({0.402, 0.4}, 4).value();
+  std::printf("%-28s new cafe in the cell's top-4? %s (after %.0f ms full "
+              "re-compute)\n",
+              "APNN (rebuilt grid):", contains_cafe(fresh) ? "yes" : "no",
+              rebuild * 1e3);
+
+  std::printf(
+      "\nA POI update costs APNN a full grid pre-computation; PPGNN pays\n"
+      "nothing. The same holds for deletions:\n");
+  lsp.DeletePoi(999999);
+  top1("PPGNN after DeletePoi:");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Meeting-place scenario: business rivals pick a venue without revealing
+// their offices to each other OR to the map service.
+//
+//   ./meeting_place [n] [k]
+//
+// Walks through all three protocol variants (Naive, PPGNN, PPGNN-OPT) on
+// the same group and compares their costs side by side — a miniature of
+// the paper's Figure 6 — and shows the effect of the aggregate function
+// choice (sum vs max vs min) on the chosen venue.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ppgnn.h"
+
+int main(int argc, char** argv) {
+  using namespace ppgnn;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  std::printf("LSP database: 30000 POIs\n");
+  LspDatabase lsp(GenerateSequoiaLike(30000, 7));
+
+  // Rival companies scattered around the city center.
+  Rng place_rng(99);
+  std::vector<Point> group;
+  for (int i = 0; i < n; ++i) {
+    group.push_back({0.4 + 0.25 * place_rng.NextDouble(),
+                     0.4 + 0.25 * place_rng.NextDouble()});
+  }
+
+  ProtocolParams params;
+  params.n = n;
+  params.d = 8;
+  params.delta = 32;
+  params.k = k;
+  params.key_bits = 512;
+  params.theta0 = 0.05;
+
+  std::printf("\n=== Variant comparison (n=%d, d=%d, delta=%d, k=%d) ===\n",
+              n, params.d, params.delta, k);
+  std::printf("%-10s %12s %12s %12s %8s\n", "variant", "comm(B)", "user(ms)",
+              "LSP(ms)", "POIs");
+  for (Variant variant :
+       {Variant::kNaive, Variant::kPpgnn, Variant::kPpgnnOpt}) {
+    Rng rng(1234);  // same randomness for a fair comparison
+    auto outcome = RunQuery(variant, params, group, lsp, rng);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", VariantToString(variant),
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s %12llu %12.2f %12.2f %8zu\n", VariantToString(variant),
+                static_cast<unsigned long long>(
+                    outcome->costs.TotalCommBytes()),
+                outcome->costs.user_seconds * 1e3,
+                outcome->costs.lsp_seconds * 1e3, outcome->pois.size());
+  }
+
+  std::printf("\n=== Aggregate function semantics ===\n");
+  struct {
+    AggregateKind kind;
+    const char* story;
+  } kinds[] = {
+      {AggregateKind::kSum, "minimize total travel"},
+      {AggregateKind::kMax, "minimize the latest arrival"},
+      {AggregateKind::kMin, "minimize the earliest arrival"},
+  };
+  for (const auto& item : kinds) {
+    params.aggregate = item.kind;
+    Rng rng(777);
+    auto outcome = RunQuery(Variant::kPpgnn, params, group, lsp, rng);
+    if (!outcome.ok() || outcome->pois.empty()) {
+      std::fprintf(stderr, "aggregate %s failed\n",
+                   AggregateKindToString(item.kind));
+      return 1;
+    }
+    std::printf("  F=%-4s (%s): best venue (%.4f, %.4f)\n",
+                AggregateKindToString(item.kind), item.story,
+                outcome->pois[0].x, outcome->pois[0].y);
+  }
+
+  std::printf(
+      "\nNo rival learned another's office: each only ever sent its\n"
+      "d-location dummy set to the LSP, and the ranked answer was\n"
+      "sanitized against the full-collusion inequality attack.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Group nearest neighbor under ROAD-NETWORK distance (Definition 2.1
+// allows any metric; the paper cites Yiu et al. TKDE'05 for the road
+// case).
+//
+//   ./road_trip
+//
+// Three friends on opposite sides of a river (a sparse road network with
+// few crossings) pick a restaurant. Straight-line distance would choose a
+// place just across the river from two of them; network distance knows
+// about the detour to the bridge. The PPGNN protocol runs unchanged with
+// the road-network black box and a road-aware answer sanitation.
+
+#include <cstdio>
+
+#include "ppgnn.h"
+
+int main() {
+  using namespace ppgnn;
+
+  // A city street grid with 35% of streets missing (rivers, parks, ...).
+  Rng net_rng(13);
+  RoadNetwork roads = RoadNetwork::BuildGrid(24, 24, net_rng, 0.3, 0.35);
+  std::printf("Road network: %zu intersections, %zu road segments, %s\n",
+              roads.NodeCount(), roads.EdgeCount(),
+              roads.IsConnected() ? "connected" : "DISCONNECTED?!");
+
+  LspDatabase lsp(GenerateSequoiaLike(4000, 17));
+  RoadDistanceOracle oracle(&roads);
+  lsp.SetSolver(std::make_unique<RoadGnnSolver>(&roads, &lsp.pois()));
+  lsp.SetDistanceOracle(&oracle);
+
+  std::vector<Point> friends = {{0.15, 0.40}, {0.22, 0.55}, {0.70, 0.45}};
+
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 6;
+  params.delta = 20;
+  params.k = 3;
+  params.key_bits = 512;
+
+  Rng rng(21);
+  auto road_answer = RunQuery(Variant::kPpgnn, params, friends, lsp, rng);
+  if (!road_answer.ok()) {
+    std::fprintf(stderr, "road query failed: %s\n",
+                 road_answer.status().ToString().c_str());
+    return 1;
+  }
+
+  // The same query under straight-line distance, for contrast.
+  LspDatabase euclid_lsp(GenerateSequoiaLike(4000, 17));
+  Rng rng2(21);
+  auto euclid_answer =
+      RunQuery(Variant::kPpgnn, params, friends, euclid_lsp, rng2);
+  if (!euclid_answer.ok()) return 1;
+
+  auto total_road = [&](const Point& p) {
+    double total = 0;
+    for (const Point& f : friends) total += oracle.Distance(p, f);
+    return total;
+  };
+  auto total_euclid = [&](const Point& p) {
+    double total = 0;
+    for (const Point& f : friends) total += Distance(p, f);
+    return total;
+  };
+
+  std::printf("\nTop restaurant by ROAD distance:\n");
+  const Point& road_best = road_answer->pois[0];
+  std::printf("  (%.3f, %.3f)  drive %.3f  (straight-line %.3f)\n",
+              road_best.x, road_best.y, total_road(road_best),
+              total_euclid(road_best));
+
+  std::printf("Top restaurant by STRAIGHT-LINE distance:\n");
+  const Point& euclid_best = euclid_answer->pois[0];
+  std::printf("  (%.3f, %.3f)  drive %.3f  (straight-line %.3f)\n",
+              euclid_best.x, euclid_best.y, total_road(euclid_best),
+              total_euclid(euclid_best));
+
+  double saved = total_road(euclid_best) - total_road(road_best);
+  if (saved > 1e-9) {
+    std::printf("\nThe road-aware answer saves %.3f of total driving that\n"
+                "the Euclidean answer would have cost.\n",
+                saved);
+  } else {
+    std::printf("\n(For this seed both metrics agree on the winner; the\n"
+                "road-aware engine is still never worse by construction.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Single-user scenario (the paper's Section 3): a lone driver privately
+// asks for the k nearest charging stations, comparing PPGNN with the
+// pre-computation-based APNN baseline.
+//
+//   ./single_user_navigation [d] [k]
+//
+// Shows the qualitative trade the paper highlights in Figure 5d-5f: APNN
+// answers faster on the LSP side (everything pre-computed) but returns
+// the kNN of a grid-cell center — an approximation — and its pre-compute
+// must be redone whenever the database changes.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ppgnn.h"
+
+int main(int argc, char** argv) {
+  using namespace ppgnn;
+
+  const int d = argc > 1 ? std::atoi(argv[1]) : 25;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf("LSP database: 25000 charging stations\n");
+  LspDatabase lsp(GenerateSequoiaLike(25000, 3));
+
+  Point driver{0.37, 0.52};
+
+  // --- PPGNN (exact, no pre-computation) ---
+  ProtocolParams params;
+  params.n = 1;
+  params.d = d;
+  params.k = k;
+  params.key_bits = 512;
+  Rng rng(5);
+  auto ppgnn = RunQuery(Variant::kPpgnn, params, {driver}, lsp, rng);
+  if (!ppgnn.ok()) {
+    std::fprintf(stderr, "PPGNN failed: %s\n",
+                 ppgnn.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- APNN (pre-computed grid, approximate) ---
+  auto server_or = ApnnServer::Build(&lsp, /*grid=*/64, /*max_k=*/k);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "APNN build failed\n");
+    return 1;
+  }
+  const ApnnServer& server = server_or.value();
+  ApnnParams aparams;
+  aparams.grid = 64;
+  aparams.b = 5;  // b^2 = 25 cells ~ d = 25 locations
+  aparams.k = k;
+  aparams.key_bits = 512;
+  auto apnn = server.Query(driver, aparams, rng);
+  if (!apnn.ok()) {
+    std::fprintf(stderr, "APNN query failed\n");
+    return 1;
+  }
+
+  std::printf("\nAPNN grid pre-computation took %.2f s (paid again on every "
+              "database update!)\n",
+              server.setup_seconds());
+
+  std::printf("\n%-10s %12s %12s %12s\n", "method", "comm(B)", "user(ms)",
+              "LSP(ms)");
+  std::printf("%-10s %12llu %12.2f %12.2f\n", "PPGNN",
+              static_cast<unsigned long long>(ppgnn->costs.TotalCommBytes()),
+              ppgnn->costs.user_seconds * 1e3, ppgnn->costs.lsp_seconds * 1e3);
+  std::printf("%-10s %12llu %12.2f %12.2f\n", "APNN",
+              static_cast<unsigned long long>(apnn->costs.TotalCommBytes()),
+              apnn->costs.user_seconds * 1e3, apnn->costs.lsp_seconds * 1e3);
+
+  // --- answer quality: APNN is approximate ---
+  auto exact = KnnQuery(lsp.tree(), driver, k);
+  double ppgnn_err = 0, apnn_err = 0;
+  for (int i = 0; i < k; ++i) {
+    ppgnn_err += Distance(driver, ppgnn->pois[i]) - exact[i].cost;
+    apnn_err += Distance(driver, apnn->pois[i]) - exact[i].cost;
+  }
+  std::printf("\nAnswer quality (summed distance overhead vs exact kNN):\n");
+  std::printf("  PPGNN: %.6f   (exact: retrieves the true kNN)\n", ppgnn_err);
+  std::printf("  APNN:  %.6f   (kNN of the cell center, not of you)\n",
+              apnn_err);
+
+  std::printf("\nNearest stations via PPGNN:\n");
+  for (int i = 0; i < k && i < static_cast<int>(ppgnn->pois.size()); ++i) {
+    std::printf("  #%d (%.4f, %.4f)  %.4f away\n", i + 1, ppgnn->pois[i].x,
+                ppgnn->pois[i].y, Distance(driver, ppgnn->pois[i]));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// APNN baseline (Yi, Paulet, Bertino, Varadharajan, TKDE 2016) for the
+// single-user comparison of Section 8.2.
+//
+// LSP partitions the data space into a grid and PRE-COMPUTES the kNN
+// answer with respect to the center of every cell. At query time the user
+// picks a square cloak region of b x b cells containing her own cell and
+// privately retrieves the pre-computed answer of her cell via the same
+// Paillier indicator/selection machinery (privacy level b^2, matching
+// d = b^2 in PPGNN). The answer is approximate — it is the kNN of the
+// cell center, not of the user — and any database update forces the grid
+// pre-computation to be redone; the paper contrasts both weaknesses with
+// PPGNN.
+
+#ifndef PPGNN_BASELINES_APNN_H_
+#define PPGNN_BASELINES_APNN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/protocol.h"
+
+namespace ppgnn {
+
+struct ApnnParams {
+  int grid = 64;       ///< grid resolution per axis (grid^2 cells)
+  int b = 5;           ///< cloak region side, privacy level b^2
+  int k = 8;           ///< POIs to retrieve
+  int key_bits = 1024;
+};
+
+class ApnnServer {
+ public:
+  /// Pre-computes kNN (up to `max_k` POIs) for every cell center. The
+  /// setup cost is reported separately — the paper excludes it from the
+  /// per-query LSP cost but charges APNN for it qualitatively.
+  static Result<ApnnServer> Build(const LspDatabase* db, int grid, int max_k);
+
+  double setup_seconds() const { return setup_seconds_; }
+  int grid() const { return grid_; }
+  int max_k() const { return max_k_; }
+
+  /// Runs one private approximate-kNN query for `user`.
+  Result<QueryOutcome> Query(const Point& user, const ApnnParams& params,
+                             Rng& rng, const KeyPair* fixed_keys = nullptr) const;
+
+  /// The (plaintext) pre-computed answer for the cell containing `user` —
+  /// what Query should decode to. Used by tests and accuracy benches.
+  Result<std::vector<Point>> CellAnswer(const Point& user, int k) const;
+
+ private:
+  ApnnServer() = default;
+
+  int CellIndexOf(const Point& p) const;
+
+  const LspDatabase* db_ = nullptr;
+  int grid_ = 0;
+  int max_k_ = 0;
+  double setup_seconds_ = 0.0;
+  /// cell -> ranked kNN POI locations for the cell center (size <= max_k).
+  std::vector<std::vector<Point>> cell_answers_;
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_BASELINES_APNN_H_

@@ -1,0 +1,73 @@
+#include "baselines/geoind.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "crypto/poi_codec.h"
+#include "spatial/knn.h"
+
+namespace ppgnn {
+
+Point PlanarLaplacePerturb(const Point& real, double epsilon, Rng& rng) {
+  // Radius ~ Gamma(2, epsilon) = Exp(1)/eps + Exp(1)/eps; angle uniform.
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  while (u1 <= 0.0) u1 = rng.NextDouble();
+  while (u2 <= 0.0) u2 = rng.NextDouble();
+  double r = -(std::log(u1) + std::log(u2)) / epsilon;
+  double theta = 2.0 * M_PI * rng.NextDouble();
+  auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  return {clamp01(real.x + r * std::cos(theta)),
+          clamp01(real.y + r * std::sin(theta))};
+}
+
+Result<GeoIndOutcome> RunGeoInd(const LspDatabase& lsp,
+                                const GeoIndParams& params, const Point& user,
+                                Rng& rng) {
+  if (params.epsilon <= 0.0)
+    return Status::InvalidArgument("epsilon must be positive");
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  CostTracker tracker;
+
+  // --- user: perturb and send in the clear ---
+  Point reported;
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    reported = PlanarLaplacePerturb(user, params.epsilon, rng);
+  }
+  {
+    ByteWriter w;
+    w.PutVarint(static_cast<uint64_t>(params.k));
+    w.PutU32(QuantizeCoord(reported.x));
+    w.PutU32(QuantizeCoord(reported.y));
+    tracker.RecordSend(Link::kUserToLsp, w.size());
+  }
+
+  // --- LSP: plain kNN at the reported point (it learns the answer) ---
+  std::vector<Point> answer;
+  {
+    ScopedTimer timer(&tracker, Party::kLsp);
+    for (const RankedPoi& rp : KnnQuery(lsp.tree(), reported, params.k)) {
+      answer.push_back(rp.poi.location);
+    }
+  }
+  {
+    ByteWriter w;
+    w.PutVarint(answer.size());
+    for (const Point& p : answer) {
+      w.PutU32(QuantizeCoord(p.x));
+      w.PutU32(QuantizeCoord(p.y));
+    }
+    tracker.RecordSend(Link::kLspToUser, w.size());
+  }
+
+  GeoIndOutcome outcome;
+  outcome.query.pois = std::move(answer);
+  outcome.query.costs = tracker.report();
+  outcome.query.info.pois_returned = outcome.query.pois.size();
+  outcome.reported = reported;
+  return outcome;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,47 @@
+// Geo-indistinguishability baseline (Andrés et al., CCS 2013) — the
+// "Perturbation" row of the paper's Table 4 (refs [1, 34, 37]).
+//
+// The single user adds planar Laplace noise (privacy budget epsilon) to
+// her location and queries in the clear. This buys Privacy I (the real
+// location is epsilon-geo-indistinguishable within any radius) and
+// Privacy III (only k POIs come back), but forfeits Privacy II — the LSP
+// sees both the reported location and the exact answer it serves — and
+// the answer is approximate: it is the kNN of the noisy point.
+//
+// The planar Laplace radius has density proportional to r * exp(-eps*r),
+// i.e. Gamma(shape 2, rate eps): sampled exactly as the sum of two
+// exponentials, no Lambert-W needed.
+
+#ifndef PPGNN_BASELINES_GEOIND_H_
+#define PPGNN_BASELINES_GEOIND_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/protocol.h"
+
+namespace ppgnn {
+
+struct GeoIndParams {
+  /// Privacy budget; larger = less noise. In unit-square coordinates an
+  /// epsilon of ~50 corresponds to city-block-scale noise.
+  double epsilon = 50.0;
+  int k = 8;
+};
+
+struct GeoIndOutcome {
+  QueryOutcome query;
+  Point reported;  ///< the noisy location the LSP saw
+};
+
+/// Draws a planar-Laplace perturbation of `real` (clamped to the unit
+/// square).
+Point PlanarLaplacePerturb(const Point& real, double epsilon, Rng& rng);
+
+/// Runs one geo-indistinguishable (approximate) kNN query.
+Result<GeoIndOutcome> RunGeoInd(const LspDatabase& lsp,
+                                const GeoIndParams& params, const Point& user,
+                                Rng& rng);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_BASELINES_GEOIND_H_

@@ -1,0 +1,46 @@
+// GLP baseline (Ashouri-Talouki, Baraani-Dastjerdi, Selçuk, Computer
+// Communications 2012) for the group comparison of Section 8.3.2.
+//
+// The group privately computes its centroid via secure multiparty
+// computation — every user broadcasts homomorphic encryptions of her
+// coordinates to all other users (O(n^2) ciphertext transmissions, the
+// paper's stated reason GLP's communication and user costs grow fastest
+// with n), each user aggregates the shares homomorphically, and the
+// opened sum yields the centroid. LSP then answers a plain kNN query at
+// the centroid, in the clear.
+//
+// GLP provides Privacy I (locations never leave the group in the clear)
+// and Privacy III (only k POIs are returned), but not Privacy II (LSP
+// sees the centroid and the answer) nor Privacy IV (n-1 colluders can
+// solve the centroid equation for the last user's location). The answer
+// is approximate: the kNN of the centroid is not the kGNN of the group.
+
+#ifndef PPGNN_BASELINES_GLP_H_
+#define PPGNN_BASELINES_GLP_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/protocol.h"
+
+namespace ppgnn {
+
+struct GlpParams {
+  int k = 8;
+  int key_bits = 1024;
+};
+
+struct GlpOutcome {
+  QueryOutcome query;
+  Point centroid;  ///< the (approximate) group centroid sent to LSP
+};
+
+/// Runs one GLP group query. real_locations.size() = n >= 2.
+Result<GlpOutcome> RunGlp(const LspDatabase& lsp, const GlpParams& params,
+                          const std::vector<Point>& real_locations, Rng& rng,
+                          const KeyPair* fixed_keys = nullptr);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_BASELINES_GLP_H_

@@ -1,0 +1,204 @@
+#include "baselines/ippf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+#include "crypto/poi_codec.h"
+
+namespace ppgnn {
+namespace {
+
+Rect CloakRect(const Point& center, double area_fraction, Rng& rng) {
+  // A square of the requested area containing the user's location at a
+  // uniformly random offset (so the location is not always the center).
+  double side = std::sqrt(area_fraction);
+  double off_x = rng.NextDouble() * side;
+  double off_y = rng.NextDouble() * side;
+  double min_x = std::min(std::max(center.x - off_x, 0.0), 1.0 - side);
+  double min_y = std::min(std::max(center.y - off_y, 0.0), 1.0 - side);
+  return {min_x, min_y, min_x + side, min_y + side};
+}
+
+}  // namespace
+
+std::vector<Poi> IppfCandidates(const LspDatabase& lsp,
+                                const std::vector<Rect>& rects, int k,
+                                AggregateKind aggregate) {
+  const std::vector<Poi>& pois = lsp.pois();
+  std::vector<double> lower(pois.size());
+  std::vector<double> upper(pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    const Point& p = pois[i].location;
+    // Reuse the aggregate fold: per-rect min/max distance of a point to a
+    // rectangle equals the point-in-box bounds with roles swapped.
+    double lb = 0.0, ub = 0.0;
+    switch (aggregate) {
+      case AggregateKind::kSum: {
+        lb = ub = 0.0;
+        for (const Rect& r : rects) {
+          lb += MinDistance(p, r);
+          ub += MaxDistance(p, r);
+        }
+        break;
+      }
+      case AggregateKind::kMax: {
+        lb = ub = 0.0;
+        for (const Rect& r : rects) {
+          lb = std::max(lb, MinDistance(p, r));
+          ub = std::max(ub, MaxDistance(p, r));
+        }
+        break;
+      }
+      case AggregateKind::kMin: {
+        lb = ub = std::numeric_limits<double>::infinity();
+        for (const Rect& r : rects) {
+          lb = std::min(lb, MinDistance(p, r));
+          ub = std::min(ub, MaxDistance(p, r));
+        }
+        break;
+      }
+    }
+    lower[i] = lb;
+    upper[i] = ub;
+  }
+  // Threshold: k-th smallest upper bound.
+  std::vector<double> sorted_upper = upper;
+  size_t kth = std::min<size_t>(static_cast<size_t>(std::max(k, 1)),
+                                sorted_upper.size());
+  if (kth == 0) return {};
+  std::nth_element(sorted_upper.begin(), sorted_upper.begin() + (kth - 1),
+                   sorted_upper.end());
+  double threshold = sorted_upper[kth - 1];
+
+  std::vector<Poi> out;
+  for (size_t i = 0; i < pois.size(); ++i) {
+    if (lower[i] <= threshold) out.push_back(pois[i]);
+  }
+  return out;
+}
+
+Result<IppfOutcome> RunIppf(const LspDatabase& lsp, const IppfParams& params,
+                            const std::vector<Point>& real_locations,
+                            Rng& rng) {
+  const int n = static_cast<int>(real_locations.size());
+  if (n < 2)
+    return Status::InvalidArgument("IPPF is a group protocol (n >= 2)");
+  if (params.k < 1) return Status::InvalidArgument("k must be >= 1");
+  CostTracker tracker;
+
+  // --- each user: cloak rectangle -> LSP ---
+  std::vector<Rect> rects(n);
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    for (int u = 0; u < n; ++u) {
+      rects[u] = CloakRect(real_locations[u], params.rect_area_fraction, rng);
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    ByteWriter w;
+    w.PutU32(static_cast<uint32_t>(u));
+    w.PutDouble(rects[u].min_x);
+    w.PutDouble(rects[u].min_y);
+    w.PutDouble(rects[u].max_x);
+    w.PutDouble(rects[u].max_y);
+    tracker.RecordSend(Link::kUserToLsp, w.size());
+  }
+
+  // --- LSP: candidate superset ---
+  std::vector<Poi> candidates;
+  {
+    ScopedTimer timer(&tracker, Party::kLsp);
+    candidates = IppfCandidates(lsp, rects, params.k, params.aggregate);
+  }
+  {
+    // Candidate list to the first user in the chain: id + coords each.
+    ByteWriter w;
+    w.PutVarint(candidates.size());
+    for (const Poi& p : candidates) {
+      w.PutU32(p.id);
+      w.PutU32(QuantizeCoord(p.location.x));
+      w.PutU32(QuantizeCoord(p.location.y));
+    }
+    tracker.RecordSend(Link::kLspToUser, w.size());
+  }
+
+  // --- cooperative filtering chain ---
+  std::vector<double> partial(candidates.size());
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    switch (params.aggregate) {
+      case AggregateKind::kSum:
+        std::fill(partial.begin(), partial.end(), 0.0);
+        break;
+      case AggregateKind::kMax:
+        std::fill(partial.begin(), partial.end(), 0.0);
+        break;
+      case AggregateKind::kMin:
+        std::fill(partial.begin(), partial.end(),
+                  std::numeric_limits<double>::infinity());
+        break;
+    }
+    for (int u = 0; u < n; ++u) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        double dist = Distance(real_locations[u], candidates[i].location);
+        switch (params.aggregate) {
+          case AggregateKind::kSum:
+            partial[i] += dist;
+            break;
+          case AggregateKind::kMax:
+            partial[i] = std::max(partial[i], dist);
+            break;
+          case AggregateKind::kMin:
+            partial[i] = std::min(partial[i], dist);
+            break;
+        }
+      }
+    }
+  }
+  // Each chain hop ships (id, partial aggregate) per candidate.
+  for (int hop = 0; hop + 1 < n; ++hop) {
+    ByteWriter w;
+    w.PutVarint(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      w.PutU32(candidates[i].id);
+      w.PutDouble(partial[i]);
+    }
+    tracker.RecordSend(Link::kUserToUser, w.size());
+  }
+
+  // --- last user: exact top-k, broadcast ---
+  std::vector<Point> answer;
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    std::vector<size_t> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (partial[a] != partial[b]) return partial[a] < partial[b];
+      return candidates[a].id < candidates[b].id;
+    });
+    size_t take = std::min<size_t>(static_cast<size_t>(params.k),
+                                   order.size());
+    answer.reserve(take);
+    for (size_t i = 0; i < take; ++i)
+      answer.push_back(candidates[order[i]].location);
+  }
+  for (int u = 0; u + 1 < n; ++u) {
+    ByteWriter w;
+    w.PutVarint(answer.size());
+    for (const Point& p : answer) {
+      w.PutU32(QuantizeCoord(p.x));
+      w.PutU32(QuantizeCoord(p.y));
+    }
+    tracker.RecordSend(Link::kUserToUser, w.size());
+  }
+
+  IppfOutcome outcome;
+  outcome.query.pois = std::move(answer);
+  outcome.query.costs = tracker.report();
+  outcome.query.info.pois_returned = outcome.query.pois.size();
+  outcome.candidates_returned = candidates.size();
+  return outcome;
+}
+
+}  // namespace ppgnn

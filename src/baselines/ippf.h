@@ -1,0 +1,57 @@
+// IPPF baseline (Hashem, Kulik, Zhang, EDBT 2010) for the group
+// comparison of Section 8.3.2.
+//
+// Each user obfuscates her location into a cloak rectangle. LSP evaluates
+// the kGNN query with respect to the n rectangles: using the aggregate
+// min/max distance bounds, it returns every POI that could be among the
+// top-k for SOME placement of the users inside their rectangles — a
+// candidate superset that is often thousands of POIs (the source of
+// IPPF's large communication cost in Fig 8a/8d). The users then filter
+// cooperatively: the candidate list flows down a user chain, each user
+// adding its private distance contribution, and the last user extracts
+// the exact top-k and broadcasts it.
+//
+// IPPF provides Privacy I-II (rectangles) but not Privacy III (the
+// superset leaks database content beyond the answer) nor Privacy IV (two
+// chain neighbors can collude against the user between them).
+
+#ifndef PPGNN_BASELINES_IPPF_H_
+#define PPGNN_BASELINES_IPPF_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/protocol.h"
+
+namespace ppgnn {
+
+struct IppfParams {
+  /// Cloak rectangle area as a fraction of the data space. The paper uses
+  /// 0.0005% (= 5e-6), calibrated to d = 25 locations out of ~5M
+  /// addresses.
+  double rect_area_fraction = 5e-6;
+  int k = 8;
+  AggregateKind aggregate = AggregateKind::kSum;
+};
+
+struct IppfOutcome {
+  QueryOutcome query;          ///< answer + costs (delta_prime unused)
+  size_t candidates_returned;  ///< size of LSP's candidate superset
+};
+
+/// Runs one IPPF group query. real_locations.size() = n >= 2.
+Result<IppfOutcome> RunIppf(const LspDatabase& lsp, const IppfParams& params,
+                            const std::vector<Point>& real_locations,
+                            Rng& rng);
+
+/// LSP-side candidate computation, exposed for tests: all POIs whose
+/// aggregate lower bound does not exceed the k-th smallest aggregate
+/// upper bound over the rectangles.
+std::vector<Poi> IppfCandidates(const LspDatabase& lsp,
+                                const std::vector<Rect>& rects, int k,
+                                AggregateKind aggregate);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_BASELINES_IPPF_H_

@@ -1,0 +1,144 @@
+#include "bigint/montgomery.h"
+
+#include <array>
+
+namespace ppgnn {
+namespace {
+
+using u128 = unsigned __int128;
+
+// x >= y over fixed-length little-endian limb vectors.
+bool GreaterEqual(const std::vector<uint64_t>& x,
+                  const std::vector<uint64_t>& y) {
+  for (size_t i = x.size(); i-- > 0;) {
+    if (x[i] != y[i]) return x[i] > y[i];
+  }
+  return true;  // equal
+}
+
+// x -= y (no underflow by contract).
+void SubInPlace(std::vector<uint64_t>& x, const std::vector<uint64_t>& y) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    u128 diff = static_cast<u128>(x[i]) - y[i] - borrow;
+    x[i] = static_cast<uint64_t>(diff);
+    borrow = static_cast<uint64_t>((diff >> 64) & 1);
+  }
+}
+
+}  // namespace
+
+Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
+  if (modulus < BigInt(3) || !modulus.IsOdd()) {
+    return Status::InvalidArgument(
+        "Montgomery arithmetic needs an odd modulus >= 3");
+  }
+  MontgomeryContext ctx;
+  ctx.modulus_ = modulus;
+  ctx.limbs_ = modulus.LimbCount();
+  ctx.n_ = modulus.Limbs();
+  ctx.n_.resize(ctx.limbs_, 0);
+
+  // n' = -n[0]^{-1} mod 2^64 via Newton iteration (x <- x(2 - n0 x)).
+  uint64_t n0 = ctx.n_[0];
+  uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - n0 * inv;
+  }
+  ctx.n_prime_ = ~inv + 1;
+
+  // R^2 mod n with R = 2^(64 L).
+  BigInt r2 = BigInt::Pow2(static_cast<int>(128 * ctx.limbs_)).Mod(modulus);
+  ctx.r2_ = r2.Limbs();
+  ctx.r2_.resize(ctx.limbs_, 0);
+  return ctx;
+}
+
+std::vector<uint64_t> MontgomeryContext::MontMul(
+    const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) const {
+  const size_t L = limbs_;
+  // CIOS: interleaved multiply and reduce. t has L+2 words.
+  std::vector<uint64_t> t(L + 2, 0);
+  for (size_t i = 0; i < L; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < L; ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[L]) + carry;
+    t[L] = static_cast<uint64_t>(cur);
+    t[L + 1] += static_cast<uint64_t>(cur >> 64);
+
+    // m = t[0] * n' mod 2^64; t = (t + m*n) / 2^64
+    const uint64_t m = t[0] * n_prime_;
+    cur = static_cast<u128>(m) * n_[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);  // low word is zero
+    for (size_t j = 1; j < L; ++j) {
+      cur = static_cast<u128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[L]) + carry;
+    t[L - 1] = static_cast<uint64_t>(cur);
+    cur = static_cast<u128>(t[L + 1]) + static_cast<uint64_t>(cur >> 64);
+    t[L] = static_cast<uint64_t>(cur);
+    t[L + 1] = static_cast<uint64_t>(cur >> 64);
+  }
+  std::vector<uint64_t> out(t.begin(), t.begin() + static_cast<long>(L));
+  if (t[L] != 0 || GreaterEqual(out, n_)) {
+    SubInPlace(out, n_);
+  }
+  return out;
+}
+
+std::vector<uint64_t> MontgomeryContext::ToMont(const BigInt& a) const {
+  std::vector<uint64_t> padded = a.Limbs();
+  padded.resize(limbs_, 0);
+  return MontMul(padded, r2_);
+}
+
+BigInt MontgomeryContext::FromMont(const std::vector<uint64_t>& a) const {
+  std::vector<uint64_t> one(limbs_, 0);
+  one[0] = 1;
+  return BigInt::FromLimbs(MontMul(a, one));
+}
+
+std::vector<uint64_t> MontgomeryContext::One() const {
+  // 1 in the domain is R mod n = ToMont(1).
+  return ToMont(BigInt(1));
+}
+
+Result<BigInt> MontgomeryContext::ModExp(const BigInt& base,
+                                         const BigInt& exponent) const {
+  if (exponent.IsNegative())
+    return Status::InvalidArgument("negative exponent in ModExp");
+  const int bits = exponent.BitLength();
+  if (bits == 0) return BigInt(1).Mod(modulus_);
+
+  constexpr int kWindow = 4;
+  std::array<std::vector<uint64_t>, 1 << kWindow> table;
+  table[0] = One();
+  table[1] = ToMont(base.Mod(modulus_));
+  for (size_t i = 2; i < table.size(); ++i) {
+    table[i] = MontMul(table[i - 1], table[1]);
+  }
+
+  std::vector<uint64_t> acc = One();
+  const int top_window = (bits - 1) / kWindow;
+  for (int w = top_window; w >= 0; --w) {
+    if (w != top_window) {
+      for (int s = 0; s < kWindow; ++s) acc = MontMul(acc, acc);
+    }
+    int chunk = 0;
+    for (int bit = kWindow - 1; bit >= 0; --bit) {
+      chunk = (chunk << 1) | (exponent.GetBit(w * kWindow + bit) ? 1 : 0);
+    }
+    if (chunk != 0) acc = MontMul(acc, table[chunk]);
+  }
+  return FromMont(acc);
+}
+
+}  // namespace ppgnn

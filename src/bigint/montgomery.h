@@ -1,0 +1,63 @@
+// Montgomery modular arithmetic (CIOS word-by-word reduction).
+//
+// A MontgomeryContext fixes an ODD modulus n and provides multiplication
+// in the Montgomery domain: numbers are represented as a*R mod n with
+// R = 2^(64*L), and MontMul(x, y) computes x*y*R^{-1} mod n in a single
+// interleaved multiply-reduce pass — no division. This speeds up the
+// modular exponentiation underneath every Paillier operation by roughly
+// 2-4x over the multiply-then-Knuth-divide ladder (see bench_micro's
+// BM_ModExp vs BM_ModExpMontgomery).
+//
+// ModExp (modular.h) routes odd moduli through this automatically; the
+// plain ladder remains for even moduli and as a differential-testing
+// reference.
+
+#ifndef PPGNN_BIGINT_MONTGOMERY_H_
+#define PPGNN_BIGINT_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/status.h"
+
+namespace ppgnn {
+
+class MontgomeryContext {
+ public:
+  /// Requires an odd modulus >= 3.
+  static Result<MontgomeryContext> Create(const BigInt& modulus);
+
+  /// a*R mod n. Requires 0 <= a < n.
+  std::vector<uint64_t> ToMont(const BigInt& a) const;
+
+  /// Inverse of ToMont.
+  BigInt FromMont(const std::vector<uint64_t>& a) const;
+
+  /// Montgomery product: a*b*R^{-1} mod n (both operands in the domain).
+  std::vector<uint64_t> MontMul(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) const;
+
+  /// The Montgomery representation of 1 (the ladder's identity).
+  std::vector<uint64_t> One() const;
+
+  /// base^exponent mod n via a 4-bit-window Montgomery ladder.
+  /// exponent >= 0.
+  Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent) const;
+
+  const BigInt& modulus() const { return modulus_; }
+  size_t limbs() const { return limbs_; }
+
+ private:
+  MontgomeryContext() = default;
+
+  BigInt modulus_;
+  std::vector<uint64_t> n_;  // modulus limbs, padded to limbs_
+  uint64_t n_prime_ = 0;     // -n^{-1} mod 2^64
+  size_t limbs_ = 0;
+  std::vector<uint64_t> r2_;  // R^2 mod n (for ToMont)
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_BIGINT_MONTGOMERY_H_

@@ -1,0 +1,28 @@
+// Probabilistic primality testing (Miller-Rabin with trial-division
+// prefilter) and random prime generation for Paillier key material.
+
+#ifndef PPGNN_BIGINT_PRIME_H_
+#define PPGNN_BIGINT_PRIME_H_
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ppgnn {
+
+/// Miller-Rabin compositeness test with `rounds` random bases (error
+/// probability <= 4^-rounds), after trial division by small primes.
+/// Values < 2 are not prime.
+bool IsProbablePrime(const BigInt& candidate, Rng& rng, int rounds = 32);
+
+/// Uniformly random probable prime with exactly `bits` bits (top bit set).
+/// Requires bits >= 2.
+Result<BigInt> GeneratePrime(int bits, Rng& rng, int rounds = 32);
+
+/// Random probable prime p with exactly `bits` bits and p ≡ 3 (mod 4)
+/// (useful for Blum-integer style moduli; also guarantees p odd).
+Result<BigInt> GeneratePrime3Mod4(int bits, Rng& rng, int rounds = 32);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_BIGINT_PRIME_H_

@@ -1,0 +1,93 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+namespace ppgnn {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutBytes(const std::vector<uint8_t>& bytes) {
+  PutVarint(bytes.size());
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (pos_ + 1 > size_) return Status::OutOfRange("ByteReader: u8 past end");
+  return data_[pos_++];
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  if (pos_ + 4 > size_) return Status::OutOfRange("ByteReader: u32 past end");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  if (pos_ + 8 > size_) return Status::OutOfRange("ByteReader: u64 past end");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::OutOfRange("ByteReader: varint past end");
+    if (shift >= 64) return Status::InvalidArgument("ByteReader: varint too long");
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes() {
+  PPGNN_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+  if (pos_ + len > size_) return Status::OutOfRange("ByteReader: bytes past end");
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+Result<double> ByteReader::GetDouble() {
+  PPGNN_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BytesToHex(const std::vector<uint8_t>& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,67 @@
+// Byte-buffer serialization helpers.
+//
+// Messages exchanged between the simulated parties (users, coordinator,
+// LSP) are serialized into ByteBuffers so that the communication cost
+// reported by the benchmarks is the true wire size, not an estimate.
+
+#ifndef PPGNN_COMMON_BYTES_H_
+#define PPGNN_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppgnn {
+
+/// Growable little-endian byte sink.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// LEB128 variable-length unsigned integer.
+  void PutVarint(uint64_t v);
+  /// Length-prefixed raw bytes.
+  void PutBytes(const std::vector<uint8_t>& bytes);
+  /// IEEE-754 double, as 8 little-endian bytes.
+  void PutDouble(double v);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span; mirrors ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : data_(data.data()), size_(data.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<std::vector<uint8_t>> GetBytes();
+  Result<double> GetDouble();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Hex string of a byte vector (debugging aid).
+std::string BytesToHex(const std::vector<uint8_t>& bytes);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_COMMON_BYTES_H_

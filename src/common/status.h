@@ -1,0 +1,163 @@
+// Status and Result<T>: exception-free error handling for the ppgnn library.
+//
+// All fallible public APIs in this project return either a Status (for
+// operations without a value) or a Result<T> (an owned value or an error).
+// This mirrors the Status/Result idiom used by Arrow and RocksDB.
+
+#ifndef PPGNN_COMMON_STATUS_H_
+#define PPGNN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ppgnn {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kCryptoError = 8,
+  kProtocolError = 9,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Success-or-error outcome of an operation. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T or an error Status. Exactly one is present.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return value;` / `return Status::...;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Requires ok(). Accessing the value of an error Result aborts.
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(payload_));
+}
+
+}  // namespace ppgnn
+
+/// Propagates a non-OK Status from the enclosing function.
+#define PPGNN_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::ppgnn::Status ppgnn_status_ = (expr);         \
+    if (!ppgnn_status_.ok()) return ppgnn_status_;  \
+  } while (false)
+
+#define PPGNN_CONCAT_IMPL(a, b) a##b
+#define PPGNN_CONCAT(a, b) PPGNN_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error, propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define PPGNN_ASSIGN_OR_RETURN(lhs, expr)                           \
+  auto PPGNN_CONCAT(ppgnn_result_, __LINE__) = (expr);              \
+  if (!PPGNN_CONCAT(ppgnn_result_, __LINE__).ok())                  \
+    return PPGNN_CONCAT(ppgnn_result_, __LINE__).status();          \
+  lhs = std::move(PPGNN_CONCAT(ppgnn_result_, __LINE__)).value()
+
+#endif  // PPGNN_COMMON_STATUS_H_

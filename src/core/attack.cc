@@ -1,0 +1,86 @@
+#include "core/attack.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppgnn {
+
+InequalityAttack::InequalityAttack(std::vector<Point> colluders,
+                                   std::vector<Point> ranked_answer,
+                                   AggregateKind kind, Rect space,
+                                   const DistanceOracle* oracle)
+    : ranked_answer_(std::move(ranked_answer)),
+      kind_(kind),
+      space_(space),
+      has_colluders_(!colluders.empty()),
+      oracle_(oracle) {
+  partial_.reserve(ranked_answer_.size());
+  for (const Point& poi : ranked_answer_) {
+    double acc = 0.0;
+    if (has_colluders_) {
+      switch (kind_) {
+        case AggregateKind::kSum: {
+          acc = 0.0;
+          for (const Point& c : colluders) acc += Dis(poi, c);
+          break;
+        }
+        case AggregateKind::kMax: {
+          acc = 0.0;
+          for (const Point& c : colluders) acc = std::max(acc, Dis(poi, c));
+          break;
+        }
+        case AggregateKind::kMin: {
+          acc = std::numeric_limits<double>::infinity();
+          for (const Point& c : colluders) acc = std::min(acc, Dis(poi, c));
+          break;
+        }
+      }
+    }
+    partial_.push_back(acc);
+  }
+}
+
+double InequalityAttack::Dis(const Point& a, const Point& b) const {
+  return oracle_ != nullptr ? oracle_->Distance(a, b) : Distance(a, b);
+}
+
+bool InequalityAttack::Satisfies(const Point& candidate) const {
+  if (ranked_answer_.size() < 2) return true;
+  auto full_cost = [&](size_t i) {
+    double target_dist = Dis(ranked_answer_[i], candidate);
+    if (!has_colluders_) return target_dist;
+    switch (kind_) {
+      case AggregateKind::kSum:
+        return partial_[i] + target_dist;
+      case AggregateKind::kMax:
+        return std::max(partial_[i], target_dist);
+      case AggregateKind::kMin:
+        return std::min(partial_[i], target_dist);
+    }
+    return target_dist;
+  };
+  double prev = full_cost(0);
+  for (size_t i = 1; i < ranked_answer_.size(); ++i) {
+    double cur = full_cost(i);
+    if (prev > cur) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+Point InequalityAttack::SamplePoint(Rng& rng) const {
+  return {space_.min_x + rng.NextDouble() * space_.Width(),
+          space_.min_y + rng.NextDouble() * space_.Height()};
+}
+
+double InequalityAttack::EstimateRegionFraction(Rng& rng,
+                                                uint64_t samples) const {
+  if (samples == 0) return 0.0;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < samples; ++i) {
+    if (Satisfies(SamplePoint(rng))) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,64 @@
+#include "core/dummy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppgnn {
+
+Point UniformDummyGenerator::Generate(const Point&, Rng& rng) const {
+  return {rng.NextDouble(), rng.NextDouble()};
+}
+
+PoiDensityDummyGenerator::PoiDensityDummyGenerator(
+    const std::vector<Poi>& pois, int grid)
+    : grid_(std::max(grid, 1)) {
+  std::vector<double> counts(static_cast<size_t>(grid_) * grid_, 1.0);
+  for (const Poi& poi : pois) {
+    int cx = std::min(grid_ - 1, static_cast<int>(poi.location.x * grid_));
+    int cy = std::min(grid_ - 1, static_cast<int>(poi.location.y * grid_));
+    counts[static_cast<size_t>(cy) * grid_ + cx] += 1.0;
+  }
+  double total = 0;
+  for (double c : counts) total += c;
+  mass_.resize(counts.size());
+  cumulative_.resize(counts.size());
+  double acc = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    mass_[i] = counts[i] / total;
+    acc += mass_[i];
+    cumulative_[i] = acc;
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+Point PoiDensityDummyGenerator::Generate(const Point&, Rng& rng) const {
+  double pick = rng.NextDouble();
+  size_t cell = static_cast<size_t>(
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), pick) -
+      cumulative_.begin());
+  if (cell >= mass_.size()) cell = mass_.size() - 1;
+  int cx = static_cast<int>(cell % static_cast<size_t>(grid_));
+  int cy = static_cast<int>(cell / static_cast<size_t>(grid_));
+  double w = 1.0 / grid_;
+  return {cx * w + rng.NextDouble() * w, cy * w + rng.NextDouble() * w};
+}
+
+double PoiDensityDummyGenerator::CellMass(const Point& p) const {
+  int cx = std::min(grid_ - 1, std::max(0, static_cast<int>(p.x * grid_)));
+  int cy = std::min(grid_ - 1, std::max(0, static_cast<int>(p.y * grid_)));
+  return mass_[static_cast<size_t>(cy) * grid_ + cx];
+}
+
+Point NearbyDummyGenerator::Generate(const Point& real, Rng& rng) const {
+  auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  return {clamp01(real.x + sigma_ * rng.NextGaussian()),
+          clamp01(real.y + sigma_ * rng.NextGaussian())};
+}
+
+const DummyGenerator& UniformDummies() {
+  static const UniformDummyGenerator* kGenerator =
+      new UniformDummyGenerator();
+  return *kGenerator;
+}
+
+}  // namespace ppgnn

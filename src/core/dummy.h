@@ -1,0 +1,89 @@
+// Dummy-location generation policies.
+//
+// Privacy I hides each user's real location among d-1 dummies. The paper
+// delegates dummy quality to dedicated algorithms (Lu et al.'s PAD, Niu
+// et al.'s k-anonymity dummies) — a dummy is only as good as it is
+// plausible: if an LSP holds a population-density prior, dummies dropped
+// uniformly into empty desert are easy to rule out. This module provides
+// three policies:
+//
+//   * UniformDummyGenerator    — uniform over the unit square (the
+//                                default; what the experiments use).
+//   * PoiDensityDummyGenerator — samples from the POI density histogram,
+//                                mimicking where real users plausibly are
+//                                (Niu et al. style). Strongest against a
+//                                prior-equipped adversary.
+//   * NearbyDummyGenerator     — Gaussian around the real location.
+//                                Deliberately weak (it leaks a region);
+//                                included for the ablation bench.
+//
+// The ablation bench (bench_ablation_dummies) quantifies the difference
+// with a Bayesian adversary.
+
+#ifndef PPGNN_CORE_DUMMY_H_
+#define PPGNN_CORE_DUMMY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geo/point.h"
+
+namespace ppgnn {
+
+/// Abstract dummy factory. Thread-compatible; all state is immutable
+/// after construction.
+class DummyGenerator {
+ public:
+  virtual ~DummyGenerator() = default;
+
+  /// One dummy location. `real` is the user's true location (most
+  /// policies ignore it; NearbyDummyGenerator does not).
+  virtual Point Generate(const Point& real, Rng& rng) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Uniform over the unit square.
+class UniformDummyGenerator : public DummyGenerator {
+ public:
+  Point Generate(const Point& real, Rng& rng) const override;
+  const char* name() const override { return "uniform"; }
+};
+
+/// Samples a grid cell proportionally to its POI count (add-one smoothed
+/// so empty cells remain possible), then uniformly within the cell.
+class PoiDensityDummyGenerator : public DummyGenerator {
+ public:
+  PoiDensityDummyGenerator(const std::vector<Poi>& pois, int grid = 32);
+
+  Point Generate(const Point& real, Rng& rng) const override;
+  const char* name() const override { return "poi-density"; }
+
+  /// Prior probability mass of the cell containing `p` (used by the
+  /// adversary model in the ablation).
+  double CellMass(const Point& p) const;
+
+ private:
+  int grid_;
+  std::vector<double> cumulative_;  // CDF over cells
+  std::vector<double> mass_;        // per-cell probability
+};
+
+/// Gaussian around the real location, clamped to the unit square.
+class NearbyDummyGenerator : public DummyGenerator {
+ public:
+  explicit NearbyDummyGenerator(double sigma = 0.05) : sigma_(sigma) {}
+
+  Point Generate(const Point& real, Rng& rng) const override;
+  const char* name() const override { return "nearby"; }
+
+ private:
+  double sigma_;
+};
+
+/// The process-wide uniform generator (stateless default).
+const DummyGenerator& UniformDummies();
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_CORE_DUMMY_H_

@@ -1,0 +1,79 @@
+#include "core/indicator.h"
+
+#include <cmath>
+
+namespace ppgnn {
+
+uint64_t ChooseOmega(uint64_t delta_prime, size_t m) {
+  if (delta_prime <= 1) return 1;
+  auto cost = [&](uint64_t omega) {
+    uint64_t blocks = (delta_prime + omega - 1) / omega;
+    return 2 * omega + blocks + 2 * static_cast<uint64_t>(m);
+  };
+  uint64_t center = static_cast<uint64_t>(
+      std::llround(std::sqrt(static_cast<double>(delta_prime) / 2.0)));
+  uint64_t best = 1;
+  uint64_t best_cost = cost(1);
+  for (int64_t delta = -2; delta <= 2; ++delta) {
+    int64_t candidate = static_cast<int64_t>(center) + delta;
+    if (candidate < 1 || candidate > static_cast<int64_t>(delta_prime))
+      continue;
+    uint64_t w = static_cast<uint64_t>(candidate);
+    if (cost(w) < best_cost) {
+      best_cost = cost(w);
+      best = w;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<BigInt>> MakeIndicator(uint64_t qi, uint64_t length) {
+  if (qi < 1 || qi > length)
+    return Status::OutOfRange("indicator position out of range");
+  std::vector<BigInt> v(length, BigInt(0));
+  v[qi - 1] = BigInt(1);
+  return v;
+}
+
+Result<std::vector<Ciphertext>> EncryptIndicator(const Encryptor& enc,
+                                                 uint64_t qi, uint64_t length,
+                                                 Rng& rng) {
+  PPGNN_ASSIGN_OR_RETURN(std::vector<BigInt> plain, MakeIndicator(qi, length));
+  std::vector<Ciphertext> out;
+  out.reserve(plain.size());
+  for (const BigInt& bit : plain) {
+    PPGNN_ASSIGN_OR_RETURN(Ciphertext ct, enc.Encrypt(bit, rng, 1));
+    out.push_back(std::move(ct));
+  }
+  return out;
+}
+
+Result<OptIndicator> EncryptOptIndicator(const Encryptor& enc, uint64_t qi,
+                                         uint64_t delta_prime, uint64_t omega,
+                                         Rng& rng) {
+  if (omega < 1 || omega > delta_prime)
+    return Status::InvalidArgument("omega must lie in [1, delta']");
+  if (qi < 1 || qi > delta_prime)
+    return Status::OutOfRange("indicator position out of range");
+  OptIndicator out;
+  out.omega = omega;
+  out.block_size = (delta_prime + omega - 1) / omega;
+  const uint64_t block = (qi - 1) / out.block_size;
+  const uint64_t offset = (qi - 1) % out.block_size;
+
+  out.v1.reserve(out.block_size);
+  for (uint64_t i = 0; i < out.block_size; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(
+        Ciphertext ct, enc.Encrypt(BigInt(i == offset ? 1 : 0), rng, 1));
+    out.v1.push_back(std::move(ct));
+  }
+  out.v2.reserve(omega);
+  for (uint64_t b = 0; b < omega; ++b) {
+    PPGNN_ASSIGN_OR_RETURN(Ciphertext ct,
+                           enc.Encrypt(BigInt(b == block ? 1 : 0), rng, 2));
+    out.v2.push_back(std::move(ct));
+  }
+  return out;
+}
+
+}  // namespace ppgnn

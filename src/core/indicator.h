@@ -1,0 +1,53 @@
+// Encrypted indicator vectors.
+//
+// PPGNN encodes the real query's position qi among the delta' candidates
+// as a one-hot vector v of length delta', encrypted element-wise under
+// eps_1 (Section 4.2). PPGNN-OPT (Section 6) factorizes v into
+//
+//   v1  (length ceil(delta'/omega), eps_1) — position within a block,
+//   v2  (length omega,              eps_2) — which block,
+//
+// so the user encrypts and ships O(sqrt(delta')) ciphertexts instead of
+// O(delta'). omega* minimizes the wire cost 2*omega + delta'/omega + 2m
+// (Eqn 18), whose real-valued optimum is sqrt(delta'/2).
+
+#ifndef PPGNN_CORE_INDICATOR_H_
+#define PPGNN_CORE_INDICATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/paillier.h"
+
+namespace ppgnn {
+
+/// PPGNN-OPT factorized indicator.
+struct OptIndicator {
+  std::vector<Ciphertext> v1;  ///< eps_1, selects the offset within a block
+  std::vector<Ciphertext> v2;  ///< eps_2, selects the block
+  uint64_t omega = 0;          ///< = v2.size()
+  uint64_t block_size = 0;     ///< = v1.size() = ceil(delta' / omega)
+};
+
+/// Integer omega in [1, delta'] minimizing 2*omega + ceil(delta'/omega) +
+/// 2*m (Eqn 18's cost in units of L_e). m is the packed answer width.
+uint64_t ChooseOmega(uint64_t delta_prime, size_t m);
+
+/// One-hot plaintext vector of length `length` with 1 at 1-based `qi`.
+Result<std::vector<BigInt>> MakeIndicator(uint64_t qi, uint64_t length);
+
+/// Element-wise eps_1 encryption of the one-hot vector (PPGNN).
+Result<std::vector<Ciphertext>> EncryptIndicator(const Encryptor& enc,
+                                                 uint64_t qi, uint64_t length,
+                                                 Rng& rng);
+
+/// Factorized encryption (PPGNN-OPT). The real query at 0-based position
+/// qi-1 lives in block (qi-1)/block_size at offset (qi-1)%block_size.
+Result<OptIndicator> EncryptOptIndicator(const Encryptor& enc, uint64_t qi,
+                                         uint64_t delta_prime, uint64_t omega,
+                                         Rng& rng);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_CORE_INDICATOR_H_

@@ -1,0 +1,155 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace ppgnn {
+namespace {
+
+constexpr uint64_t kSaturated = ~0ULL;
+
+// base^exp with saturation (exp >= 1).
+uint64_t SatPow(uint64_t base, int exp) {
+  uint64_t out = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && out > kSaturated / base) return kSaturated;
+    out *= base;
+  }
+  return out;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > kSaturated - b ? kSaturated : a + b;
+}
+
+// Depth-first search over partitions of `remaining` with parts
+// <= max_part, accumulating sum of part^alpha. Minimizes the total
+// subject to total >= delta. `best` carries the incumbent.
+struct Search {
+  int alpha;
+  uint64_t delta;
+  uint64_t best_value = kSaturated;
+  std::vector<int> best_parts;
+  std::vector<int> current;
+
+  void Run(int remaining, int max_part, uint64_t sum) {
+    if (remaining == 0) {
+      if (sum >= delta && sum < best_value) {
+        best_value = sum;
+        best_parts = current;
+      }
+      return;
+    }
+    // Bound 1: every remaining unit contributes at least 1^alpha each, so
+    // the final total is at least sum + remaining. Prune if that already
+    // meets or exceeds the incumbent AND cannot beat it.
+    if (SatAdd(sum, static_cast<uint64_t>(remaining)) >= best_value) return;
+    // Bound 2: the largest reachable total uses parts of size max_part.
+    uint64_t max_reachable = sum;
+    int r = remaining;
+    while (r > 0) {
+      int part = std::min(r, max_part);
+      max_reachable = SatAdd(max_reachable, SatPow(part, alpha));
+      r -= part;
+    }
+    if (max_reachable < delta) return;  // infeasible down this branch
+
+    for (int part = std::min(max_part, remaining); part >= 1; --part) {
+      uint64_t term = SatPow(part, alpha);
+      current.push_back(part);
+      Run(remaining - part, part, SatAdd(sum, term));
+      current.pop_back();
+    }
+  }
+};
+
+std::vector<int> BalancedComposition(int total, int parts) {
+  std::vector<int> out(parts, total / parts);
+  for (int i = 0; i < total % parts; ++i) ++out[i];
+  return out;
+}
+
+struct CacheKey {
+  int n, d, delta;
+  bool operator<(const CacheKey& o) const {
+    return std::tie(n, d, delta) < std::tie(o.n, o.d, o.delta);
+  }
+};
+
+}  // namespace
+
+int PartitionPlan::SegmentOffset(int seg) const {
+  int offset = 1;
+  for (int i = 1; i < seg; ++i) offset += d_bar[i - 1];
+  return offset;
+}
+
+Result<PartitionPlan> SolvePartition(int n, int d, int delta) {
+  if (n < 1 || d < 1 || delta < 1)
+    return Status::InvalidArgument("n, d, delta must all be >= 1");
+  if (SatPow(static_cast<uint64_t>(d), n) < static_cast<uint64_t>(delta)) {
+    return Status::InvalidArgument(
+        "delta > d^n: no candidate-query plan exists; users must pick a "
+        "larger d");
+  }
+
+  // The solver is deterministic; memoize results across queries (the paper
+  // likewise precomputes plans for frequently used (n, d, delta)).
+  static std::mutex cache_mutex;
+  static std::map<CacheKey, PartitionPlan>* cache =
+      new std::map<CacheKey, PartitionPlan>();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    auto it = cache->find({n, d, delta});
+    if (it != cache->end()) return it->second;
+  }
+
+  PartitionPlan best;
+  uint64_t best_value = kSaturated;
+  for (int alpha = 1; alpha <= n; ++alpha) {
+    Search search;
+    search.alpha = alpha;
+    search.delta = static_cast<uint64_t>(delta);
+    // Seed the incumbent with the current global best so pruning carries
+    // across alpha values.
+    search.best_value = best_value;
+    search.Run(d, d, 0);
+    if (search.best_value < best_value && !search.best_parts.empty()) {
+      best_value = search.best_value;
+      best.alpha = alpha;
+      best.d_bar = search.best_parts;  // non-increasing by construction
+      best.delta_prime = search.best_value;
+    }
+  }
+  if (best_value == kSaturated)
+    return Status::Internal("partition search found no feasible plan");
+  best.n_bar = BalancedComposition(n, best.alpha);
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    (*cache)[{n, d, delta}] = best;
+  }
+  return best;
+}
+
+uint64_t CandidatesBeforeSegment(const PartitionPlan& plan, int seg) {
+  uint64_t total = 0;
+  for (int i = 1; i < seg; ++i) {
+    total += SatPow(static_cast<uint64_t>(plan.d_bar[i - 1]), plan.alpha);
+  }
+  return total;
+}
+
+uint64_t QueryIndex(const PartitionPlan& plan, int seg,
+                    const std::vector<int>& x) {
+  uint64_t index = CandidatesBeforeSegment(plan, seg);
+  uint64_t d_seg = static_cast<uint64_t>(plan.d_bar[seg - 1]);
+  for (int j = 1; j <= plan.alpha; ++j) {
+    index += static_cast<uint64_t>(x[j - 1] - 1) *
+             SatPow(d_seg, plan.alpha - j);
+  }
+  return index + 1;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,55 @@
+// Partition-parameter solver (Section 4.1, Eqns 7-10).
+//
+// Chooses the number of subgroups alpha, the segment sizes
+// d_bar = (d_1, ..., d_beta), and implied candidate-query count
+//
+//   delta' = sum_i (d_i)^alpha
+//
+// minimizing delta' subject to delta' >= delta, sum_i d_i = d, and
+// 1 <= alpha <= n. The paper solves this NP-hard integer program offline
+// with Bonmin; instances here are tiny (d <= 50, n <= 32), so we find the
+// exact optimum by depth-first enumeration of integer partitions of d with
+// branch-and-bound pruning, memoized per (n, d, delta).
+
+#ifndef PPGNN_CORE_PARTITION_H_
+#define PPGNN_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppgnn {
+
+/// The solved partition parameters {n_bar, d_bar} plus derived values.
+struct PartitionPlan {
+  int alpha = 1;                ///< number of subgroups
+  std::vector<int> n_bar;      ///< subgroup sizes (sum = n)
+  std::vector<int> d_bar;      ///< segment sizes (sum = d), non-increasing
+  uint64_t delta_prime = 0;    ///< sum_i d_bar[i]^alpha
+
+  int beta() const { return static_cast<int>(d_bar.size()); }
+
+  /// Absolute position (1-based) of the first slot of segment `seg`
+  /// (1-based) within a location set.
+  int SegmentOffset(int seg) const;
+};
+
+/// Solves Eqns 7-10 exactly. Requires n >= 1, d >= 1, delta >= 1 and
+/// delta <= d^n (otherwise no plan exists and the paper directs users to
+/// pick a larger d).
+Result<PartitionPlan> SolvePartition(int n, int d, int delta);
+
+/// The query index QI of Eqn 12 (1-based position of the real query in
+/// the candidate list), given the chosen segment `seg` (1-based) and the
+/// per-subgroup relative positions x[j] (1-based, inside the segment).
+uint64_t QueryIndex(const PartitionPlan& plan, int seg,
+                    const std::vector<int>& x);
+
+/// Total number of candidate queries before segment `seg` (helper shared
+/// with candidate enumeration).
+uint64_t CandidatesBeforeSegment(const PartitionPlan& plan, int seg);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_CORE_PARTITION_H_

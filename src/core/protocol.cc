@@ -1,0 +1,427 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/bytes.h"
+#include "core/candidate.h"
+#include "core/indicator.h"
+#include "core/partition.h"
+#include "core/sanitize.h"
+#include "core/selection.h"
+#include "core/wire.h"
+#include "crypto/poi_codec.h"
+
+namespace ppgnn {
+
+const char* VariantToString(Variant variant) {
+  switch (variant) {
+    case Variant::kPpgnn:
+      return "PPGNN";
+    case Variant::kPpgnnOpt:
+      return "PPGNN-OPT";
+    case Variant::kNaive:
+      return "Naive";
+  }
+  return "unknown";
+}
+
+LspDatabase::LspDatabase(std::vector<Poi> pois)
+    : tree_(RTree::Build(std::move(pois))),
+      solver_(std::make_unique<MbmGnnSolver>(&tree_)) {}
+
+namespace {
+
+/// Round-trips a point through the 8-byte wire format (the paper
+/// transmits 8 bytes per location/POI). The plaintext reference applies
+/// the same quantization so results compare bit-exactly with the
+/// protocol, whose locations genuinely travel through the wire codecs.
+Point QuantizePoint(const Point& p) {
+  return {DequantizeCoord(QuantizeCoord(p.x)),
+          DequantizeCoord(QuantizeCoord(p.y))};
+}
+
+/// Deterministic per-candidate seed for the sanitation Monte-Carlo, so a
+/// candidate's sanitized answer does not depend on the order in which LSP
+/// processes candidates (and the plaintext reference can reproduce it).
+uint64_t SanitizeSeed(const std::vector<Point>& locations, int k) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(k);
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const Point& p : locations) {
+    mix(QuantizeCoord(p.x));
+    mix(QuantizeCoord(p.y));
+  }
+  return h;
+}
+
+struct Plan {
+  PartitionPlan partition;
+  int set_size = 0;  // d for PPGNN/OPT, delta for Naive
+};
+
+Result<Plan> MakePlan(Variant variant, const ProtocolParams& params) {
+  Plan plan;
+  if (variant == Variant::kNaive) {
+    if (params.n == 1) {
+      return Status::InvalidArgument(
+          "the Naive variant is defined for group queries (n > 1)");
+    }
+    plan.partition.alpha = 1;
+    plan.partition.n_bar = {params.n};
+    plan.partition.d_bar = {params.delta};
+    plan.partition.delta_prime = static_cast<uint64_t>(params.delta);
+    plan.set_size = params.delta;
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(
+        plan.partition,
+        SolvePartition(params.n, params.d, params.EffectiveDelta()));
+    plan.set_size = params.d;
+  }
+  return plan;
+}
+
+/// The LSP side of Algorithm 2, operating purely on decoded wire
+/// messages. Returns the encrypted selected answer. Candidate processing
+/// (kGNN + sanitation + encoding) fans out over `lsp_threads` workers;
+/// the per-candidate sanitation seed keeps results identical regardless
+/// of the thread count.
+Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
+                                      const QueryMessage& query,
+                                      const std::vector<LocationSetMessage>&
+                                          uploads,
+                                      bool sanitize,
+                                      const TestConfig& test_config,
+                                      int lsp_threads,
+                                      QueryInstrumentation* info) {
+  // Reassemble the location sets in user order.
+  std::vector<LocationSet> sets(uploads.size());
+  for (const LocationSetMessage& msg : uploads) {
+    if (msg.user_id >= sets.size())
+      return Status::ProtocolError("upload from unknown user id");
+    sets[msg.user_id] = msg.locations;
+  }
+
+  PPGNN_ASSIGN_OR_RETURN(std::vector<std::vector<Point>> candidates,
+                         GenerateCandidateQueries(query.plan, sets));
+
+  AnswerSanitizer* sanitizer_ptr = nullptr;
+  Result<AnswerSanitizer> sanitizer =
+      Status::FailedPrecondition("sanitizer unused");
+  if (sanitize) {
+    sanitizer = AnswerSanitizer::Create(query.theta0, test_config);
+    PPGNN_RETURN_IF_ERROR(sanitizer.status());
+    sanitizer_ptr = &sanitizer.value();
+  }
+
+  PoiCodec codec(query.pk.key_bits);
+  const size_t m = codec.IntsNeeded(static_cast<size_t>(query.k));
+  AnswerMatrix matrix;
+  matrix.columns.resize(candidates.size());
+
+  const int workers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(lsp_threads, 1)),
+      std::max<size_t>(candidates.size(), 1)));
+  std::vector<Status> worker_status(workers, Status::OK());
+  std::vector<SanitizeStats> worker_stats(workers);
+  std::vector<double> worker_sanitize_seconds(workers, 0.0);
+  std::vector<double> worker_cpu_seconds(workers, 0.0);
+
+  auto process_range = [&](int worker) {
+    double start = ThreadCpuSeconds();
+    for (size_t i = static_cast<size_t>(worker); i < candidates.size();
+         i += static_cast<size_t>(workers)) {
+      const std::vector<Point>& candidate = candidates[i];
+      std::vector<RankedPoi> answer =
+          lsp.solver().Query(candidate, query.k, query.aggregate);
+      if (sanitizer_ptr != nullptr) {
+        double t0 = ThreadCpuSeconds();
+        Rng candidate_rng(SanitizeSeed(candidate, query.k));
+        answer = sanitizer_ptr->Sanitize(answer, candidate, query.aggregate,
+                                         candidate_rng, &worker_stats[worker],
+                                         lsp.distance_oracle());
+        worker_sanitize_seconds[worker] += ThreadCpuSeconds() - t0;
+      }
+      std::vector<Point> points;
+      points.reserve(answer.size());
+      for (const RankedPoi& rp : answer) points.push_back(rp.poi.location);
+      Result<std::vector<BigInt>> column = codec.Encode(points, m);
+      if (!column.ok()) {
+        worker_status[worker] = column.status();
+        break;
+      }
+      matrix.columns[i] = std::move(column).value();
+    }
+    worker_cpu_seconds[worker] = ThreadCpuSeconds() - start;
+  };
+
+  if (workers == 1) {
+    process_range(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w) {
+      pool.emplace_back(process_range, w);
+    }
+    process_range(0);
+    for (std::thread& t : pool) t.join();
+  }
+  for (int w = 0; w < workers; ++w) {
+    PPGNN_RETURN_IF_ERROR(worker_status[w]);
+    info->sanitize_seconds += worker_sanitize_seconds[w];
+    info->sanitize_samples += worker_stats[w].samples_drawn;
+    info->sanitize_tests += worker_stats[w].tests_run;
+    if (w > 0) info->lsp_parallel_seconds += worker_cpu_seconds[w];
+  }
+
+  Encryptor enc(query.pk);
+  AnswerMessage out;
+  if (query.is_opt) {
+    PPGNN_ASSIGN_OR_RETURN(
+        out.ciphertexts,
+        PrivateSelectTwoPhase(enc, matrix, query.opt_indicator, lsp_threads,
+                              &info->lsp_parallel_seconds));
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(
+        out.ciphertexts,
+        PrivateSelect(enc, matrix, query.indicator, lsp_threads,
+                      &info->lsp_parallel_seconds));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ProtocolParams::Validate() const {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (d < 2) return Status::InvalidArgument("d must be > 1 (Privacy I)");
+  if (n > 1 && delta < d)
+    return Status::InvalidArgument("delta must be >= d (Privacy II)");
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (theta0 <= 0.0 || theta0 > 1.0)
+    return Status::InvalidArgument("theta0 must lie in (0, 1]");
+  if (key_bits < 128 || key_bits % 2 != 0)
+    return Status::InvalidArgument("key_bits must be even and >= 128");
+  if (lsp_threads < 1 || lsp_threads > 256)
+    return Status::InvalidArgument("lsp_threads must lie in [1, 256]");
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> LspHandleQuery(
+    const LspDatabase& lsp, const std::vector<uint8_t>& query_bytes,
+    const std::vector<std::vector<uint8_t>>& upload_bytes,
+    const TestConfig& test_config, bool sanitize, int lsp_threads,
+    QueryInstrumentation* info) {
+  QueryInstrumentation local_info;
+  if (info == nullptr) info = &local_info;
+  PPGNN_ASSIGN_OR_RETURN(QueryMessage query, QueryMessage::Decode(query_bytes));
+  info->delta_prime = query.plan.delta_prime;
+  std::vector<LocationSetMessage> uploads;
+  uploads.reserve(upload_bytes.size());
+  for (const auto& bytes : upload_bytes) {
+    PPGNN_ASSIGN_OR_RETURN(LocationSetMessage msg,
+                           LocationSetMessage::Decode(bytes));
+    uploads.push_back(std::move(msg));
+  }
+  const bool effective_sanitize = sanitize && uploads.size() > 1;
+  PPGNN_ASSIGN_OR_RETURN(
+      AnswerMessage answer,
+      LspProcessQuery(lsp, query, uploads, effective_sanitize, test_config,
+                      lsp_threads, info));
+  return answer.Encode(query.pk);
+}
+
+std::vector<RankedPoi> ReferenceAnswer(const ProtocolParams& params,
+                                       const std::vector<Point>& real_locations,
+                                       const LspDatabase& lsp, Rng&) {
+  std::vector<Point> quantized;
+  quantized.reserve(real_locations.size());
+  for (const Point& p : real_locations) quantized.push_back(QuantizePoint(p));
+  std::vector<RankedPoi> answer =
+      lsp.solver().Query(quantized, params.k, params.aggregate);
+  if (params.sanitize && params.n > 1) {
+    auto sanitizer = AnswerSanitizer::Create(params.theta0, params.test);
+    if (sanitizer.ok()) {
+      Rng rng(SanitizeSeed(quantized, params.k));
+      answer = sanitizer->Sanitize(answer, quantized, params.aggregate, rng,
+                                   nullptr, lsp.distance_oracle());
+    }
+  }
+  return answer;
+}
+
+Result<QueryOutcome> RunQuery(Variant variant, const ProtocolParams& params,
+                              const std::vector<Point>& real_locations,
+                              const LspDatabase& lsp, Rng& rng,
+                              const KeyPair* fixed_keys) {
+  PPGNN_RETURN_IF_ERROR(params.Validate());
+  if (real_locations.size() != static_cast<size_t>(params.n))
+    return Status::InvalidArgument("real_locations.size() != n");
+  if (variant == Variant::kPpgnnOpt && params.key_bits < 192)
+    return Status::InvalidArgument(
+        "PPGNN-OPT needs key_bits >= 192 for level-2 ciphertexts");
+
+  CostTracker tracker;
+  QueryInstrumentation info;
+  const int n = params.n;
+
+  // ===== Coordinator (Algorithm 1): plan, positions, query index =====
+  Plan plan;
+  int seg = 1;
+  std::vector<int> x;    // per-subgroup 1-based position within segment
+  std::vector<int> pos;  // per-subgroup 1-based absolute position
+  uint64_t qi = 0;
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    PPGNN_ASSIGN_OR_RETURN(plan, MakePlan(variant, params));
+    const PartitionPlan& pp = plan.partition;
+    // Segment chosen with probability d_bar[i] / d (Eqn 11).
+    int64_t pick = rng.NextInRange(1, plan.set_size);
+    int64_t acc = 0;
+    for (int i = 1; i <= pp.beta(); ++i) {
+      acc += pp.d_bar[i - 1];
+      if (pick <= acc) {
+        seg = i;
+        break;
+      }
+    }
+    x.resize(pp.alpha);
+    pos.resize(pp.alpha);
+    for (int j = 0; j < pp.alpha; ++j) {
+      x[j] = static_cast<int>(rng.NextInRange(1, pp.d_bar[seg - 1]));
+      pos[j] = pp.SegmentOffset(seg) - 1 + x[j];
+    }
+    qi = QueryIndex(pp, seg, x);
+  }
+  info.delta_prime = plan.partition.delta_prime;
+
+  // Broadcast pos_j to every non-coordinator user (user 0 coordinates).
+  {
+    std::vector<int> subgroup = SubgroupOfUser(plan.partition);
+    for (int u = 1; u < n; ++u) {
+      ByteWriter w;
+      w.PutVarint(static_cast<uint64_t>(pos[subgroup[u]]));
+      tracker.RecordSend(Link::kUserToUser, w.size());
+    }
+  }
+
+  // ===== Coordinator: keys and encrypted indicator =====
+  KeyPair keys;
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    if (fixed_keys != nullptr) {
+      keys = *fixed_keys;
+    } else {
+      PPGNN_ASSIGN_OR_RETURN(keys, GenerateKeyPair(params.key_bits, rng));
+    }
+  }
+  Decryptor dec(keys.pub, keys.sec);
+  PoiCodec codec(params.key_bits);
+  const size_t m = codec.IntsNeeded(static_cast<size_t>(params.k));
+  info.answer_width_m = m;
+
+  QueryMessage query;
+  query.k = params.k;
+  query.theta0 = params.theta0;
+  query.aggregate = params.aggregate;
+  query.plan = plan.partition;
+  query.pk = keys.pub;
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    Encryptor enc(keys.pub);
+    if (variant == Variant::kPpgnnOpt) {
+      query.is_opt = true;
+      info.omega = ChooseOmega(plan.partition.delta_prime, m);
+      PPGNN_ASSIGN_OR_RETURN(
+          query.opt_indicator,
+          EncryptOptIndicator(enc, qi, plan.partition.delta_prime, info.omega,
+                              rng));
+    } else {
+      PPGNN_ASSIGN_OR_RETURN(
+          query.indicator,
+          EncryptIndicator(enc, qi, plan.partition.delta_prime, rng));
+    }
+  }
+
+  // ===== Coordinator -> LSP: the query message, over the wire =====
+  std::vector<uint8_t> query_bytes = query.Encode();
+  tracker.RecordSend(Link::kUserToLsp, query_bytes.size());
+
+  // ===== Every user: build and send the location set =====
+  std::vector<std::vector<uint8_t>> upload_bytes(n);
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    std::vector<int> subgroup = SubgroupOfUser(plan.partition);
+    const DummyGenerator& dummies = params.dummy_generator != nullptr
+                                        ? *params.dummy_generator
+                                        : UniformDummies();
+    for (int u = 0; u < n; ++u) {
+      LocationSetMessage msg;
+      msg.user_id = static_cast<uint32_t>(u);
+      msg.locations.resize(static_cast<size_t>(plan.set_size));
+      for (Point& p : msg.locations) {
+        p = dummies.Generate(real_locations[u], rng);
+      }
+      msg.locations[pos[subgroup[u]] - 1] = real_locations[u];
+      upload_bytes[u] = msg.Encode();
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    tracker.RecordSend(Link::kUserToLsp, upload_bytes[u].size());
+  }
+
+  // ===== LSP (Algorithm 2), through the wire-level entry point =====
+  std::vector<uint8_t> answer_bytes;
+  {
+    ScopedTimer timer(&tracker, Party::kLsp);
+    PPGNN_ASSIGN_OR_RETURN(
+        answer_bytes,
+        LspHandleQuery(lsp, query_bytes, upload_bytes, params.test,
+                       params.sanitize, params.lsp_threads, &info));
+  }
+  // Work done by spawned LSP workers isn't visible to the main thread's
+  // CPU timer; charge it explicitly so LSP cost = total compute.
+  tracker.RecordCompute(Party::kLsp, info.lsp_parallel_seconds);
+
+  // ===== LSP -> coordinator: the encrypted answer =====
+  tracker.RecordSend(Link::kLspToUser, answer_bytes.size());
+
+  // ===== Coordinator: decrypt, decode =====
+  AnswerBroadcast broadcast;
+  {
+    ScopedTimer timer(&tracker, Party::kUser);
+    PPGNN_ASSIGN_OR_RETURN(AnswerMessage received,
+                           AnswerMessage::Decode(answer_bytes, keys.pub));
+    std::vector<BigInt> plain;
+    plain.reserve(received.ciphertexts.size());
+    for (const Ciphertext& ct : received.ciphertexts) {
+      if (variant == Variant::kPpgnnOpt) {
+        PPGNN_ASSIGN_OR_RETURN(BigInt value, dec.DecryptLayered(ct));
+        plain.push_back(std::move(value));
+      } else {
+        PPGNN_ASSIGN_OR_RETURN(BigInt value, dec.Decrypt(ct));
+        plain.push_back(std::move(value));
+      }
+    }
+    PPGNN_ASSIGN_OR_RETURN(broadcast.pois, codec.Decode(plain));
+  }
+  info.pois_returned = broadcast.pois.size();
+
+  // ===== Coordinator -> other users: the plaintext answer =====
+  if (n > 1) {
+    std::vector<uint8_t> broadcast_bytes = broadcast.Encode();
+    for (int u = 1; u < n; ++u) {
+      tracker.RecordSend(Link::kUserToUser, broadcast_bytes.size());
+    }
+  }
+
+  QueryOutcome outcome;
+  outcome.pois = std::move(broadcast.pois);
+  outcome.costs = tracker.report();
+  outcome.info = info;
+  return outcome;
+}
+
+}  // namespace ppgnn

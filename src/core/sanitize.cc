@@ -1,0 +1,65 @@
+#include "core/sanitize.h"
+
+#include "core/attack.h"
+
+namespace ppgnn {
+
+Result<AnswerSanitizer> AnswerSanitizer::Create(double theta0,
+                                                const TestConfig& config) {
+  PPGNN_ASSIGN_OR_RETURN(uint64_t n_h, RequiredSampleSize(theta0, config));
+  return AnswerSanitizer(theta0, config, n_h);
+}
+
+bool AnswerSanitizer::PrefixSafeForTarget(
+    const std::vector<Point>& colluders,
+    const std::vector<Point>& prefix_points, AggregateKind kind, Rng& rng,
+    SanitizeStats* stats, const DistanceOracle* oracle) const {
+  InequalityAttack attack(colluders, prefix_points, kind,
+                          {0.0, 0.0, 1.0, 1.0}, oracle);
+  SequentialProportionTest test(sample_size_, theta0_, config_.gamma);
+  if (stats != nullptr) ++stats->tests_run;
+  while (test.CurrentVerdict() ==
+         SequentialProportionTest::Verdict::kUndecided) {
+    bool hit = attack.Satisfies(attack.SamplePoint(rng));
+    test.AddSample(hit);
+    if (stats != nullptr) ++stats->samples_drawn;
+  }
+  // Rejecting H0 proves the solution region exceeds theta0: safe.
+  return test.CurrentVerdict() == SequentialProportionTest::Verdict::kReject;
+}
+
+std::vector<RankedPoi> AnswerSanitizer::Sanitize(
+    const std::vector<RankedPoi>& answer, const std::vector<Point>& locations,
+    AggregateKind kind, Rng& rng, SanitizeStats* stats,
+    const DistanceOracle* oracle) const {
+  const size_t n = locations.size();
+  if (n <= 1 || answer.size() <= 1) return answer;
+
+  std::vector<Point> prefix_points;
+  prefix_points.reserve(answer.size());
+  prefix_points.push_back(answer[0].poi.location);
+
+  size_t safe_len = 1;  // the length-1 prefix carries no inequalities
+  std::vector<Point> colluders(n - 1);
+  for (size_t t = 2; t <= answer.size(); ++t) {
+    prefix_points.push_back(answer[t - 1].poi.location);
+    bool safe_for_all = true;
+    for (size_t target = 0; target < n; ++target) {
+      size_t w = 0;
+      for (size_t u = 0; u < n; ++u) {
+        if (u != target) colluders[w++] = locations[u];
+      }
+      if (!PrefixSafeForTarget(colluders, prefix_points, kind, rng, stats,
+                               oracle)) {
+        safe_for_all = false;
+        break;
+      }
+    }
+    if (!safe_for_all) break;
+    safe_len = t;
+  }
+  return std::vector<RankedPoi>(answer.begin(),
+                                answer.begin() + static_cast<long>(safe_len));
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,230 @@
+#include "core/wire.h"
+
+#include "crypto/poi_codec.h"
+
+namespace ppgnn {
+namespace {
+
+constexpr uint8_t kIndicatorPlain = 0;
+constexpr uint8_t kIndicatorOpt = 1;
+
+Status AppendCiphertext(ByteWriter& w, const Ciphertext& ct,
+                        const PublicKey& pk) {
+  PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         ct.value.ToBytesPadded(ct.ByteSize(pk)));
+  w.PutBytes(bytes);
+  return Status::OK();
+}
+
+Result<Ciphertext> ReadCiphertext(ByteReader& r, const PublicKey& pk,
+                                  int level) {
+  PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, r.GetBytes());
+  if (bytes.size() != pk.CiphertextBytes(level))
+    return Status::InvalidArgument("ciphertext width mismatch on wire");
+  Ciphertext ct;
+  ct.value = BigInt::FromBytes(bytes);
+  ct.level = level;
+  return ct;
+}
+
+void WritePoint(ByteWriter& w, const Point& p) {
+  w.PutU32(QuantizeCoord(p.x));
+  w.PutU32(QuantizeCoord(p.y));
+}
+
+Result<Point> ReadPoint(ByteReader& r) {
+  PPGNN_ASSIGN_OR_RETURN(uint32_t x, r.GetU32());
+  PPGNN_ASSIGN_OR_RETURN(uint32_t y, r.GetU32());
+  return Point{DequantizeCoord(x), DequantizeCoord(y)};
+}
+
+uint64_t PlanDeltaPrime(const PartitionPlan& plan) {
+  uint64_t total = 0;
+  for (int db : plan.d_bar) {
+    uint64_t term = 1;
+    for (int i = 0; i < plan.alpha; ++i) term *= static_cast<uint64_t>(db);
+    total += term;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<uint8_t> QueryMessage::Encode() const {
+  ByteWriter w;
+  w.PutVarint(static_cast<uint64_t>(k));
+  w.PutDouble(theta0);
+  w.PutU8(static_cast<uint8_t>(aggregate));
+  w.PutVarint(static_cast<uint64_t>(plan.alpha));
+  for (int nb : plan.n_bar) w.PutVarint(static_cast<uint64_t>(nb));
+  w.PutVarint(static_cast<uint64_t>(plan.beta()));
+  for (int db : plan.d_bar) w.PutVarint(static_cast<uint64_t>(db));
+  w.PutBytes(pk.n.ToBytesPadded(pk.ByteSize()).value());
+  if (is_opt) {
+    w.PutU8(kIndicatorOpt);
+    w.PutVarint(opt_indicator.omega);
+    w.PutVarint(opt_indicator.block_size);
+    for (const Ciphertext& ct : opt_indicator.v1) {
+      (void)AppendCiphertext(w, ct, pk);
+    }
+    for (const Ciphertext& ct : opt_indicator.v2) {
+      (void)AppendCiphertext(w, ct, pk);
+    }
+  } else {
+    w.PutU8(kIndicatorPlain);
+    w.PutVarint(indicator.size());
+    for (const Ciphertext& ct : indicator) {
+      (void)AppendCiphertext(w, ct, pk);
+    }
+  }
+  return w.Release();
+}
+
+Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  QueryMessage msg;
+  PPGNN_ASSIGN_OR_RETURN(uint64_t k64, r.GetVarint());
+  msg.k = static_cast<int>(k64);
+  if (msg.k < 1) return Status::InvalidArgument("wire: k < 1");
+  PPGNN_ASSIGN_OR_RETURN(msg.theta0, r.GetDouble());
+  PPGNN_ASSIGN_OR_RETURN(uint8_t agg, r.GetU8());
+  if (agg > static_cast<uint8_t>(AggregateKind::kMin))
+    return Status::InvalidArgument("wire: bad aggregate kind");
+  msg.aggregate = static_cast<AggregateKind>(agg);
+
+  PPGNN_ASSIGN_OR_RETURN(uint64_t alpha, r.GetVarint());
+  if (alpha < 1 || alpha > 4096)
+    return Status::InvalidArgument("wire: bad alpha");
+  msg.plan.alpha = static_cast<int>(alpha);
+  for (uint64_t j = 0; j < alpha; ++j) {
+    PPGNN_ASSIGN_OR_RETURN(uint64_t nb, r.GetVarint());
+    if (nb < 1) return Status::InvalidArgument("wire: empty subgroup");
+    msg.plan.n_bar.push_back(static_cast<int>(nb));
+  }
+  PPGNN_ASSIGN_OR_RETURN(uint64_t beta, r.GetVarint());
+  if (beta < 1 || beta > 1 << 20)
+    return Status::InvalidArgument("wire: bad beta");
+  for (uint64_t i = 0; i < beta; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(uint64_t db, r.GetVarint());
+    if (db < 1) return Status::InvalidArgument("wire: empty segment");
+    msg.plan.d_bar.push_back(static_cast<int>(db));
+  }
+  msg.plan.delta_prime = PlanDeltaPrime(msg.plan);
+
+  PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> pk_bytes, r.GetBytes());
+  if (pk_bytes.empty() || pk_bytes.size() % 8 != 0)
+    return Status::InvalidArgument("wire: bad public key width");
+  msg.pk.n = BigInt::FromBytes(pk_bytes);
+  msg.pk.key_bits = static_cast<int>(pk_bytes.size() * 8);
+  if (msg.pk.n.BitLength() != msg.pk.key_bits)
+    return Status::InvalidArgument("wire: public key not full-width");
+
+  PPGNN_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind == kIndicatorOpt) {
+    msg.is_opt = true;
+    PPGNN_ASSIGN_OR_RETURN(msg.opt_indicator.omega, r.GetVarint());
+    PPGNN_ASSIGN_OR_RETURN(msg.opt_indicator.block_size, r.GetVarint());
+    if (msg.opt_indicator.omega < 1 || msg.opt_indicator.block_size < 1 ||
+        msg.opt_indicator.omega * msg.opt_indicator.block_size <
+            msg.plan.delta_prime) {
+      return Status::InvalidArgument("wire: OPT indicator shape invalid");
+    }
+    for (uint64_t i = 0; i < msg.opt_indicator.block_size; ++i) {
+      PPGNN_ASSIGN_OR_RETURN(Ciphertext ct, ReadCiphertext(r, msg.pk, 1));
+      msg.opt_indicator.v1.push_back(std::move(ct));
+    }
+    for (uint64_t i = 0; i < msg.opt_indicator.omega; ++i) {
+      PPGNN_ASSIGN_OR_RETURN(Ciphertext ct, ReadCiphertext(r, msg.pk, 2));
+      msg.opt_indicator.v2.push_back(std::move(ct));
+    }
+  } else if (kind == kIndicatorPlain) {
+    PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+    if (count != msg.plan.delta_prime)
+      return Status::InvalidArgument("wire: indicator length != delta'");
+    for (uint64_t i = 0; i < count; ++i) {
+      PPGNN_ASSIGN_OR_RETURN(Ciphertext ct, ReadCiphertext(r, msg.pk, 1));
+      msg.indicator.push_back(std::move(ct));
+    }
+  } else {
+    return Status::InvalidArgument("wire: unknown indicator kind");
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return msg;
+}
+
+std::vector<uint8_t> LocationSetMessage::Encode() const {
+  ByteWriter w;
+  w.PutU32(user_id);
+  w.PutVarint(locations.size());
+  for (const Point& p : locations) WritePoint(w, p);
+  return w.Release();
+}
+
+Result<LocationSetMessage> LocationSetMessage::Decode(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  LocationSetMessage msg;
+  PPGNN_ASSIGN_OR_RETURN(msg.user_id, r.GetU32());
+  PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count < 1 || count > 1 << 20)
+    return Status::InvalidArgument("wire: bad location-set size");
+  msg.locations.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(Point p, ReadPoint(r));
+    msg.locations.push_back(p);
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return msg;
+}
+
+std::vector<uint8_t> AnswerMessage::Encode(const PublicKey& pk) const {
+  ByteWriter w;
+  w.PutVarint(ciphertexts.size());
+  if (!ciphertexts.empty())
+    w.PutU8(static_cast<uint8_t>(ciphertexts[0].level));
+  for (const Ciphertext& ct : ciphertexts) {
+    (void)AppendCiphertext(w, ct, pk);
+  }
+  return w.Release();
+}
+
+Result<AnswerMessage> AnswerMessage::Decode(const std::vector<uint8_t>& bytes,
+                                            const PublicKey& pk) {
+  ByteReader r(bytes);
+  AnswerMessage msg;
+  PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count == 0) return Status::InvalidArgument("wire: empty answer");
+  PPGNN_ASSIGN_OR_RETURN(uint8_t level, r.GetU8());
+  if (level < 1 || level > 4)
+    return Status::InvalidArgument("wire: bad ciphertext level");
+  for (uint64_t i = 0; i < count; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(Ciphertext ct, ReadCiphertext(r, pk, level));
+    msg.ciphertexts.push_back(std::move(ct));
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return msg;
+}
+
+std::vector<uint8_t> AnswerBroadcast::Encode() const {
+  ByteWriter w;
+  w.PutVarint(pois.size());
+  for (const Point& p : pois) WritePoint(w, p);
+  return w.Release();
+}
+
+Result<AnswerBroadcast> AnswerBroadcast::Decode(
+    const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  AnswerBroadcast msg;
+  PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count > 1 << 16)
+    return Status::InvalidArgument("wire: implausible answer size");
+  for (uint64_t i = 0; i < count; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(Point p, ReadPoint(r));
+    msg.pois.push_back(p);
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return msg;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,77 @@
+// Wire formats for the protocol's messages.
+//
+// Every message that crosses a party boundary in the simulation is
+// actually serialized with these codecs and re-parsed on the receiving
+// side, so (a) the byte counts reported as communication cost are the
+// true wire sizes, and (b) the LSP computes on exactly what the users
+// sent (e.g. the 8-byte fixed-point quantization of locations is real,
+// not simulated).
+//
+// Layout summary (all integers little-endian or LEB128 varint):
+//   QueryMessage     k, theta0, aggregate, alpha, n_bar[], beta, d_bar[],
+//                    pk (key_bits/8 bytes), indicator kind,
+//                    [v] or ([v1], [[v2]]) as fixed-width ciphertexts
+//   LocationSetMessage  user id + d x 8-byte fixed-point locations
+//   AnswerMessage    m fixed-width ciphertexts (level 1 or 2)
+
+#ifndef PPGNN_CORE_WIRE_H_
+#define PPGNN_CORE_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/candidate.h"
+#include "core/indicator.h"
+#include "core/partition.h"
+#include "crypto/paillier.h"
+#include "geo/aggregate.h"
+
+namespace ppgnn {
+
+/// The coordinator -> LSP query message (Algorithm 1, line 11).
+struct QueryMessage {
+  int k = 0;
+  double theta0 = 0.0;
+  AggregateKind aggregate = AggregateKind::kSum;
+  PartitionPlan plan;  // delta_prime is recomputed on decode
+  PublicKey pk;
+  /// Exactly one of the two indicator encodings is present.
+  bool is_opt = false;
+  std::vector<Ciphertext> indicator;  // PPGNN / Naive
+  OptIndicator opt_indicator;         // PPGNN-OPT
+
+  std::vector<uint8_t> Encode() const;
+  static Result<QueryMessage> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// One user's (i, L_i) upload (Algorithm 1, line 15).
+struct LocationSetMessage {
+  uint32_t user_id = 0;
+  LocationSet locations;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<LocationSetMessage> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// The LSP -> coordinator encrypted answer (Algorithm 2, line 8).
+struct AnswerMessage {
+  std::vector<Ciphertext> ciphertexts;
+
+  /// Needs the public key for the fixed ciphertext widths.
+  std::vector<uint8_t> Encode(const PublicKey& pk) const;
+  static Result<AnswerMessage> Decode(const std::vector<uint8_t>& bytes,
+                                      const PublicKey& pk);
+};
+
+/// The coordinator -> group plaintext answer broadcast.
+struct AnswerBroadcast {
+  std::vector<Point> pois;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<AnswerBroadcast> Decode(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_CORE_WIRE_H_

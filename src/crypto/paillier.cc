@@ -1,0 +1,254 @@
+#include "crypto/paillier.h"
+
+#include "bigint/modular.h"
+#include "bigint/prime.h"
+
+namespace ppgnn {
+
+BigInt PublicKey::NPow(int s) const {
+  BigInt out(1);
+  for (int i = 0; i < s; ++i) out = out * n;
+  return out;
+}
+
+Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng) {
+  if (key_bits < 64 || key_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "key_bits must be even and >= 64 (got " + std::to_string(key_bits) +
+        ")");
+  }
+  const int half = key_bits / 2;
+  while (true) {
+    PPGNN_ASSIGN_OR_RETURN(BigInt p, GeneratePrime(half, rng));
+    PPGNN_ASSIGN_OR_RETURN(BigInt q, GeneratePrime(half, rng));
+    if (p == q) continue;
+    BigInt n = p * q;
+    // Force exact modulus size (top bits of p*q can fall one short).
+    if (n.BitLength() != key_bits) continue;
+    // gcd(n, (p-1)(q-1)) == 1 holds automatically for distinct primes of
+    // equal size, but verify defensively.
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    if (Gcd(n, p1 * q1) != BigInt(1)) continue;
+    KeyPair keys;
+    keys.pub.n = n;
+    keys.pub.key_bits = key_bits;
+    keys.sec.lambda = Lcm(p1, q1);
+    keys.sec.p = std::move(p);
+    keys.sec.q = std::move(q);
+    return keys;
+  }
+}
+
+Encryptor::Encryptor(PublicKey pk) : pk_(std::move(pk)) {}
+
+BigInt Encryptor::Modulus(int level) const { return pk_.NPow(level + 1); }
+
+namespace {
+
+// (1+N)^m mod N^{s+1} via the binomial expansion: sum_{i=0}^{s} C(m,i) N^i.
+// Exact because N^{s+1} kills all higher terms. C(m,i) is computed as the
+// falling factorial times (i!)^{-1} mod N^{s+1} (i! is a unit mod N).
+Result<BigInt> OnePlusNToM(const BigInt& m, const BigInt& n, int s,
+                           const BigInt& mod) {
+  BigInt acc(1);           // i = 0 term
+  BigInt n_pow(1);         // N^i
+  BigInt falling(1);       // m (m-1) ... (m-i+1)
+  BigInt factorial(1);     // i!
+  for (int i = 1; i <= s; ++i) {
+    n_pow = (n_pow * n).Mod(mod);
+    falling = (falling * (m - BigInt(static_cast<int64_t>(i - 1)))).Mod(mod);
+    factorial = factorial * BigInt(static_cast<int64_t>(i));
+    PPGNN_ASSIGN_OR_RETURN(BigInt fact_inv, ModInverse(factorial, mod));
+    BigInt term = ModMul(ModMul(falling, fact_inv, mod), n_pow, mod);
+    acc = (acc + term).Mod(mod);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<BigInt> Encryptor::MakeBlinding(int level, Rng& rng) const {
+  const BigInt n_s = pk_.NPow(level);
+  const BigInt mod = n_s * pk_.n;
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(pk_.n, rng);
+  } while (r.IsZero() || Gcd(r, pk_.n) != BigInt(1));
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  return ModExp(r, n_s, mod);
+}
+
+Status Encryptor::PrecomputeBlinding(size_t count, Rng& rng,
+                                     int level) const {
+  if (level < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
+  if (pools_.size() <= static_cast<size_t>(level)) {
+    pools_.resize(static_cast<size_t>(level) + 1);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(BigInt blind, MakeBlinding(level, rng));
+    pools_[level].push_back(std::move(blind));
+  }
+  return Status::OK();
+}
+
+size_t Encryptor::PooledBlindingCount(int level) const {
+  if (level < 1 || pools_.size() <= static_cast<size_t>(level)) return 0;
+  return pools_[level].size();
+}
+
+Result<Ciphertext> Encryptor::Encrypt(const BigInt& m, Rng& rng,
+                                      int level) const {
+  if (level < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
+  const BigInt n_s = pk_.NPow(level);
+  const BigInt mod = n_s * pk_.n;  // N^{s+1}
+  const BigInt m_red = m.Mod(n_s);
+
+  PPGNN_ASSIGN_OR_RETURN(BigInt g_pow, OnePlusNToM(m_red, pk_.n, level, mod));
+
+  // Blinding factor r^{N^s}: pooled (offline/online split) or fresh.
+  BigInt blind;
+  if (PooledBlindingCount(level) > 0) {
+    blind = std::move(pools_[level].back());
+    pools_[level].pop_back();
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(blind, MakeBlinding(level, rng));
+  }
+
+  Ciphertext out;
+  out.value = ModMul(g_pow, blind, mod);
+  out.level = level;
+  return out;
+}
+
+Result<Ciphertext> Encryptor::Add(const Ciphertext& a,
+                                  const Ciphertext& b) const {
+  if (a.level != b.level)
+    return Status::InvalidArgument("homomorphic Add on mismatched levels");
+  Ciphertext out;
+  out.level = a.level;
+  out.value = ModMul(a.value, b.value, Modulus(a.level));
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<Ciphertext> Encryptor::ScalarMul(const BigInt& x,
+                                        const Ciphertext& c) const {
+  if (x.IsNegative())
+    return Status::InvalidArgument("ScalarMul requires non-negative scalar");
+  Ciphertext out;
+  out.level = c.level;
+  PPGNN_ASSIGN_OR_RETURN(out.value, ModExp(c.value, x, Modulus(c.level)));
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<Ciphertext> Encryptor::DotProduct(
+    const std::vector<BigInt>& x, const std::vector<Ciphertext>& v) const {
+  if (x.size() != v.size())
+    return Status::InvalidArgument("DotProduct dimension mismatch");
+  if (v.empty()) return Status::InvalidArgument("DotProduct on empty vectors");
+  const int level = v[0].level;
+  Ciphertext acc = Zero(level);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (v[i].level != level)
+      return Status::InvalidArgument("DotProduct on mismatched levels");
+    if (x[i].IsZero()) continue;
+    PPGNN_ASSIGN_OR_RETURN(Ciphertext term, ScalarMul(x[i], v[i]));
+    PPGNN_ASSIGN_OR_RETURN(acc, Add(acc, term));
+  }
+  return acc;
+}
+
+Result<Ciphertext> Encryptor::Rerandomize(const Ciphertext& c,
+                                          Rng& rng) const {
+  PPGNN_ASSIGN_OR_RETURN(Ciphertext zero, Encrypt(BigInt(0), rng, c.level));
+  return Add(c, zero);
+}
+
+Ciphertext Encryptor::Zero(int level) const {
+  Ciphertext out;
+  out.level = level;
+  out.value = BigInt(1);  // (1+N)^0 * 1^{N^s}
+  return out;
+}
+
+Decryptor::Decryptor(PublicKey pk, SecretKey sk, bool use_crt)
+    : pk_(std::move(pk)), sk_(std::move(sk)), use_crt_(use_crt) {
+  lambda_inv_n_ = ModInverse(sk_.lambda, pk_.n).value();
+}
+
+Result<BigInt> Decryptor::PowLambda(const BigInt& c, int s) const {
+  const BigInt mod = pk_.NPow(s + 1);
+  if (!use_crt_) return ModExp(c, sk_.lambda, mod);
+  // CRT split: exponentiate modulo p^{s+1} and q^{s+1} (half-width
+  // arithmetic), then recombine. p^{s+1} and q^{s+1} are coprime and
+  // their product is N^{s+1}.
+  BigInt p_pow(1), q_pow(1);
+  for (int i = 0; i <= s; ++i) {
+    p_pow = p_pow * sk_.p;
+    q_pow = q_pow * sk_.q;
+  }
+  PPGNN_ASSIGN_OR_RETURN(BigInt a_p, ModExp(c.Mod(p_pow), sk_.lambda, p_pow));
+  PPGNN_ASSIGN_OR_RETURN(BigInt a_q, ModExp(c.Mod(q_pow), sk_.lambda, q_pow));
+  return CrtCombine(a_p, p_pow, a_q, q_pow);
+}
+
+namespace internal {
+
+Result<BigInt> ExtractDjLog(const BigInt& a, const BigInt& n, int s) {
+  // Damgård-Jurik recursive extraction of x from (1+N)^x mod N^{s+1}.
+  BigInt i(0);
+  BigInt n_pow_j(1);  // n^j inside the loop
+  for (int j = 1; j <= s; ++j) {
+    n_pow_j = n_pow_j * n;
+    const BigInt n_pow_j1 = n_pow_j * n;  // n^{j+1}
+    // t1 = L(a mod n^{j+1}) = ((a mod n^{j+1}) - 1) / n; exact by construction.
+    BigInt reduced = a.Mod(n_pow_j1);
+    PPGNN_ASSIGN_OR_RETURN(auto qr, BigInt::DivMod(reduced - BigInt(1), n));
+    if (!qr.second.IsZero())
+      return Status::CryptoError("DJ extraction: value not of form (1+N)^x");
+    BigInt t1 = std::move(qr.first);
+    BigInt t2 = i;
+    BigInt factorial(1);
+    BigInt n_pow_k(1);  // n^{k-1}
+    for (int k = 2; k <= j; ++k) {
+      i = i - BigInt(1);
+      t2 = ModMul(t2, i, n_pow_j);
+      factorial = factorial * BigInt(static_cast<int64_t>(k));
+      n_pow_k = n_pow_k * n;
+      PPGNN_ASSIGN_OR_RETURN(BigInt fact_inv, ModInverse(factorial, n_pow_j));
+      BigInt term = ModMul(ModMul(t2, n_pow_k, n_pow_j), fact_inv, n_pow_j);
+      t1 = (t1 - term).Mod(n_pow_j);
+    }
+    i = std::move(t1);
+  }
+  return i;
+}
+
+}  // namespace internal
+
+Result<BigInt> Decryptor::Decrypt(const Ciphertext& c) const {
+  const int s = c.level;
+  if (s < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
+  const BigInt n_s = pk_.NPow(s);
+  const BigInt mod = n_s * pk_.n;
+  // c^lambda = (1+N)^{lambda * m} mod N^{s+1}; the blinding term vanishes.
+  PPGNN_ASSIGN_OR_RETURN(BigInt a, PowLambda(c.value, s));
+  PPGNN_ASSIGN_OR_RETURN(BigInt lambda_m, internal::ExtractDjLog(a, pk_.n, s));
+  BigInt lambda_inv =
+      s == 1 ? lambda_inv_n_ : ModInverse(sk_.lambda, n_s).value();
+  return ModMul(lambda_m, lambda_inv, n_s);
+}
+
+Result<BigInt> Decryptor::DecryptLayered(const Ciphertext& outer) const {
+  if (outer.level != 2)
+    return Status::InvalidArgument("DecryptLayered expects a level-2 ciphertext");
+  PPGNN_ASSIGN_OR_RETURN(BigInt inner_value, Decrypt(outer));
+  Ciphertext inner;
+  inner.value = std::move(inner_value);
+  inner.level = 1;
+  return Decrypt(inner);
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,175 @@
+// Generalized Paillier cryptosystem (Damgård-Jurik, PKC 2001).
+//
+// The scheme family ε_s encrypts plaintexts in Z_{N^s} into ciphertexts in
+// Z*_{N^{s+1}}:
+//
+//   Enc_s(m; r) = (1+N)^m * r^{N^s}  mod N^{s+1}
+//
+// with N = p*q a product of two large primes. All levels share one key
+// pair. The paper (Section 3.1, Section 6) uses s = 1 for the PPGNN
+// indicator vector and s = 2 for the outer layer of the PPGNN-OPT
+// two-phase selection, where a level-1 *ciphertext* (an element of
+// Z_{N^2}) is treated as a level-2 *plaintext*.
+//
+// Supported homomorphisms (used by Theorem 3.1's private selection):
+//   Add:       Enc(m1) * Enc(m2)        = Enc(m1 + m2)
+//   ScalarMul: Enc(m)^x                 = Enc(x * m)
+//   Dot:       prod_i Enc(v_i)^{x_i}    = Enc(<x, v>)
+//
+// Encryption uses the (1+N)^m binomial fast path; decryption uses
+// Damgård-Jurik's recursive discrete-log extraction. Both are exact for
+// any s >= 1.
+
+#ifndef PPGNN_CRYPTO_PAILLIER_H_
+#define PPGNN_CRYPTO_PAILLIER_H_
+
+#include <atomic>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ppgnn {
+
+/// Public key: the modulus N and its bit size.
+struct PublicKey {
+  BigInt n;
+  int key_bits = 0;
+
+  /// N^s (s >= 1), cached by callers where hot.
+  BigInt NPow(int s) const;
+
+  /// Wire size in bytes of a level-s ciphertext: (s+1) * key_bits / 8.
+  size_t CiphertextBytes(int level) const {
+    return static_cast<size_t>(level + 1) * static_cast<size_t>(key_bits) / 8;
+  }
+  /// Byte size of the serialized public key.
+  size_t ByteSize() const { return static_cast<size_t>(key_bits) / 8; }
+};
+
+/// Secret key: Carmichael value lambda = lcm(p-1, q-1) plus the factors.
+struct SecretKey {
+  BigInt lambda;
+  BigInt p;
+  BigInt q;
+};
+
+struct KeyPair {
+  PublicKey pub;
+  SecretKey sec;
+};
+
+/// A Damgård-Jurik ciphertext, tagged with its level s (plaintext space
+/// Z_{N^s}, ciphertext space Z*_{N^{s+1}}).
+struct Ciphertext {
+  BigInt value;
+  int level = 1;
+
+  /// Wire size given the key that produced it.
+  size_t ByteSize(const PublicKey& pk) const { return pk.CiphertextBytes(level); }
+};
+
+/// Generates a fresh key pair with an N of exactly `key_bits` bits.
+/// key_bits must be even and >= 64 (use >= 1024 for real privacy; tests
+/// use small keys for speed).
+Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng);
+
+/// Encryption/evaluation context bound to a public key. Thread-compatible;
+/// the RNG for blinding randomness is passed per call.
+class Encryptor {
+ public:
+  explicit Encryptor(PublicKey pk);
+
+  const PublicKey& public_key() const { return pk_; }
+
+  /// Encrypts m (reduced into Z_{N^level}) at the given level.
+  Result<Ciphertext> Encrypt(const BigInt& m, Rng& rng, int level = 1) const;
+
+  /// Homomorphic addition: Enc(m1 + m2). Levels must match.
+  Result<Ciphertext> Add(const Ciphertext& a, const Ciphertext& b) const;
+
+  /// Homomorphic scalar multiplication: Enc(x * m) from plaintext x >= 0.
+  Result<Ciphertext> ScalarMul(const BigInt& x, const Ciphertext& c) const;
+
+  /// Homomorphic dot product of a plaintext row with a ciphertext vector
+  /// (Eqn 4 of the paper): Enc(sum_i x_i * v_i). Skips x_i == 0 terms.
+  Result<Ciphertext> DotProduct(const std::vector<BigInt>& x,
+                                const std::vector<Ciphertext>& v) const;
+
+  /// The trivial encryption of zero with no randomness (identity element of
+  /// Add). Useful as an accumulator seed; NOT semantically secure alone.
+  Ciphertext Zero(int level = 1) const;
+
+  /// Re-randomizes a ciphertext: multiplies in a fresh encryption of zero,
+  /// producing an unlinkable ciphertext of the same plaintext. One
+  /// modular exponentiation — the unit "cryptographic operation" of
+  /// mix/AV-net style protocols such as the GLP baseline.
+  Result<Ciphertext> Rerandomize(const Ciphertext& c, Rng& rng) const;
+
+  /// Number of modular multiplications performed so far (cost model hook).
+  uint64_t op_count() const {
+    return op_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Offline phase: precomputes `count` blinding factors r^{N^level} so
+  /// that subsequent Encrypt calls at that level are a cheap plaintext
+  /// embedding plus one modular multiplication. This is the classic
+  /// Paillier offline/online split; the mobile-user cost of PPGNN's
+  /// indicator encryption drops by ~an order of magnitude when the pool
+  /// is warm (see bench_micro).
+  Status PrecomputeBlinding(size_t count, Rng& rng, int level = 1) const;
+
+  /// Blinding factors currently pooled for `level`.
+  size_t PooledBlindingCount(int level) const;
+
+ private:
+  BigInt Modulus(int level) const;  // N^{level+1}
+  Result<BigInt> MakeBlinding(int level, Rng& rng) const;
+
+  PublicKey pk_;
+  mutable std::atomic<uint64_t> op_count_{0};
+  // pools_[level] holds ready-made r^{N^level} mod N^{level+1} values.
+  // NOT thread-safe; only the homomorphic operations (Add, ScalarMul,
+  // DotProduct) may be called concurrently.
+  mutable std::vector<std::vector<BigInt>> pools_;
+};
+
+/// Decryption context bound to a key pair.
+///
+/// By default decryption runs the exponentiation c^lambda separately
+/// modulo p^{s+1} and q^{s+1} and recombines by CRT — about twice as fast
+/// as working modulo N^{s+1} directly (half-width modular multiplies).
+/// Pass use_crt = false to force the direct path (kept for differential
+/// testing).
+class Decryptor {
+ public:
+  Decryptor(PublicKey pk, SecretKey sk, bool use_crt = true);
+
+  /// Recovers the plaintext in Z_{N^level}.
+  Result<BigInt> Decrypt(const Ciphertext& c) const;
+
+  /// Decrypts a level-2 ciphertext whose plaintext is itself a level-1
+  /// ciphertext (the PPGNN-OPT layered construction), then decrypts that
+  /// inner ciphertext, returning the innermost plaintext in Z_N.
+  Result<BigInt> DecryptLayered(const Ciphertext& outer) const;
+
+ private:
+  /// c^lambda mod N^{s+1}, via CRT when enabled.
+  Result<BigInt> PowLambda(const BigInt& c, int s) const;
+
+  PublicKey pk_;
+  SecretKey sk_;
+  BigInt lambda_inv_n_;  // lambda^{-1} mod N (level-1 fast path)
+  bool use_crt_;
+};
+
+namespace internal {
+/// Recovers x from (1+N)^x mod N^{s+1} (Damgård-Jurik's recursive
+/// extraction). Exposed for testing.
+Result<BigInt> ExtractDjLog(const BigInt& a, const BigInt& n, int s);
+}  // namespace internal
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_CRYPTO_PAILLIER_H_

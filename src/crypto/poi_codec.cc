@@ -1,0 +1,99 @@
+#include "crypto/poi_codec.h"
+
+#include <cmath>
+
+namespace ppgnn {
+
+uint32_t QuantizeCoord(double value) {
+  if (value <= 0.0) return 0;
+  if (value >= 1.0) return 0xffffffffu;
+  return static_cast<uint32_t>(std::lround(value * 4294967295.0));
+}
+
+double DequantizeCoord(uint32_t fixed) {
+  return static_cast<double>(fixed) / 4294967295.0;
+}
+
+PoiCodec::PoiCodec(int key_bits) : key_bits_(key_bits) {
+  // Usable payload bits: key_bits - 1 keeps every packed value < 2^(kb-1)
+  // and therefore strictly below N (N has its top bit set).
+  slots_first_ = (key_bits - 1 - 8) / 64;
+  slots_rest_ = (key_bits - 1) / 64;
+}
+
+size_t PoiCodec::IntsNeeded(size_t max_pois) const {
+  if (max_pois <= static_cast<size_t>(slots_first_)) return 1;
+  size_t rest = max_pois - static_cast<size_t>(slots_first_);
+  return 1 + (rest + slots_rest_ - 1) / slots_rest_;
+}
+
+Result<std::vector<BigInt>> PoiCodec::Encode(const std::vector<Point>& points,
+                                             size_t width) const {
+  if (points.size() > 255)
+    return Status::InvalidArgument("answer too long for 8-bit length header");
+  if (width < IntsNeeded(points.size()))
+    return Status::InvalidArgument("Encode width too small for answer");
+
+  std::vector<BigInt> out;
+  out.reserve(width);
+
+  auto slot_value = [](const Point& p) {
+    uint64_t slot = (static_cast<uint64_t>(QuantizeCoord(p.y)) << 32) |
+                    QuantizeCoord(p.x);
+    return slot;
+  };
+
+  size_t next = 0;  // next POI to pack
+  // First integer: 8-bit count header in the low bits, then slots.
+  {
+    BigInt packed(static_cast<uint64_t>(points.size()));
+    for (int s = 0; s < slots_first_ && next < points.size(); ++s, ++next) {
+      packed = packed + (BigInt(slot_value(points[next])) << (8 + 64 * s));
+    }
+    out.push_back(std::move(packed));
+  }
+  while (out.size() < width) {
+    BigInt packed(0);
+    for (int s = 0; s < slots_rest_ && next < points.size(); ++s, ++next) {
+      packed = packed + (BigInt(slot_value(points[next])) << (64 * s));
+    }
+    out.push_back(std::move(packed));
+  }
+  if (next != points.size())
+    return Status::Internal("PoiCodec::Encode failed to pack all POIs");
+  return out;
+}
+
+Result<std::vector<Point>> PoiCodec::Decode(
+    const std::vector<BigInt>& ints) const {
+  if (ints.empty()) return Status::InvalidArgument("Decode on empty answer");
+  uint64_t count = (ints[0] % BigInt(static_cast<uint64_t>(256))).Low64();
+  size_t needed = IntsNeeded(count);
+  if (ints.size() < needed)
+    return Status::InvalidArgument("Decode: answer shorter than its header");
+
+  auto slot_point = [](uint64_t slot) {
+    Point p;
+    p.x = DequantizeCoord(static_cast<uint32_t>(slot & 0xffffffffu));
+    p.y = DequantizeCoord(static_cast<uint32_t>(slot >> 32));
+    return p;
+  };
+
+  std::vector<Point> out;
+  out.reserve(count);
+  size_t taken = 0;
+  BigInt first = ints[0] >> 8;
+  for (int s = 0; s < slots_first_ && taken < count; ++s, ++taken) {
+    out.push_back(slot_point((first >> (64 * s)).Low64()));
+  }
+  for (size_t i = 1; i < ints.size() && taken < count; ++i) {
+    for (int s = 0; s < slots_rest_ && taken < count; ++s, ++taken) {
+      out.push_back(slot_point((ints[i] >> (64 * s)).Low64()));
+    }
+  }
+  if (taken != count)
+    return Status::Internal("PoiCodec::Decode did not recover all POIs");
+  return out;
+}
+
+}  // namespace ppgnn

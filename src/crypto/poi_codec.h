@@ -1,0 +1,72 @@
+// Packing of query answers (ranked POI coordinate lists) into Paillier
+// plaintext integers.
+//
+// The paper returns 8 bytes per POI (two 4-byte fixed-point coordinates in
+// the normalized unit square) and notes that "15 POIs information can be
+// encoded by a big integer in our settings" (keysize 1024). This codec
+// reproduces that layout:
+//
+//   * every packed integer is < 2^(key_bits - 1) < N, so it is a valid
+//     plaintext in Z_N;
+//   * each POI occupies one 64-bit slot: x in the low 32 bits, y in the
+//     high 32 bits, both quantized to 32-bit fixed point;
+//   * the first integer carries an 8-bit answer-length header (answers can
+//     be shorter than k after answer sanitation), followed by POI slots;
+//     subsequent integers are all POI slots;
+//   * with key_bits = 1024 both the first and later integers hold
+//     floor(1015/64) = floor(1023/64) = 15 POIs, matching the paper.
+//
+// All answers inside one private selection are padded with zero integers
+// to the same width m so the answer matrix A^{m x delta'} is rectangular.
+
+#ifndef PPGNN_CRYPTO_POI_CODEC_H_
+#define PPGNN_CRYPTO_POI_CODEC_H_
+
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace ppgnn {
+
+class PoiCodec {
+ public:
+  /// key_bits: Paillier modulus size; must be >= 128.
+  explicit PoiCodec(int key_bits);
+
+  /// POI capacity of the first packed integer (header included).
+  int SlotsInFirstInt() const { return slots_first_; }
+  /// POI capacity of every subsequent packed integer.
+  int SlotsInLaterInt() const { return slots_rest_; }
+
+  /// Number of packed integers (the paper's m) needed for an answer of up
+  /// to `max_pois` POIs.
+  size_t IntsNeeded(size_t max_pois) const;
+
+  /// Packs an answer (<= 255 POIs) into exactly `width` integers, padding
+  /// with zeros. Requires width >= IntsNeeded(points.size()).
+  Result<std::vector<BigInt>> Encode(const std::vector<Point>& points,
+                                     size_t width) const;
+
+  /// Inverse of Encode. Trailing padding is ignored.
+  Result<std::vector<Point>> Decode(const std::vector<BigInt>& ints) const;
+
+  /// Wire size in bytes of one plaintext integer (= key_bits / 8).
+  size_t PlaintextBytes() const { return static_cast<size_t>(key_bits_) / 8; }
+
+ private:
+  int key_bits_;
+  int slots_first_;
+  int slots_rest_;
+};
+
+/// Quantizes a coordinate in [0, 1] to 32-bit fixed point (saturating).
+uint32_t QuantizeCoord(double value);
+/// Inverse of QuantizeCoord (midpoint reconstruction not needed; exact
+/// grid values round-trip).
+double DequantizeCoord(uint32_t fixed);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_CRYPTO_POI_CODEC_H_

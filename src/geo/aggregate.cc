@@ -1,0 +1,71 @@
+#include "geo/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppgnn {
+
+Result<AggregateKind> AggregateKindFromString(const std::string& name) {
+  if (name == "sum") return AggregateKind::kSum;
+  if (name == "max") return AggregateKind::kMax;
+  if (name == "min") return AggregateKind::kMin;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kMin:
+      return "min";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename DistFn>
+double Fold(AggregateKind kind, const std::vector<Point>& queries,
+            DistFn&& dist) {
+  switch (kind) {
+    case AggregateKind::kSum: {
+      double total = 0.0;
+      for (const Point& q : queries) total += dist(q);
+      return total;
+    }
+    case AggregateKind::kMax: {
+      double best = 0.0;
+      for (const Point& q : queries) best = std::max(best, dist(q));
+      return best;
+    }
+    case AggregateKind::kMin: {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Point& q : queries) best = std::min(best, dist(q));
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double AggregateCost(AggregateKind kind, const Point& p,
+                     const std::vector<Point>& queries) {
+  return Fold(kind, queries, [&](const Point& q) { return Distance(p, q); });
+}
+
+double AggregateMinDistance(AggregateKind kind, const Rect& box,
+                            const std::vector<Point>& queries) {
+  return Fold(kind, queries,
+              [&](const Point& q) { return MinDistance(q, box); });
+}
+
+double AggregateMaxDistance(AggregateKind kind, const Rect& box,
+                            const std::vector<Point>& queries) {
+  return Fold(kind, queries,
+              [&](const Point& q) { return MaxDistance(q, box); });
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,11 @@
+#include "geo/distance_oracle.h"
+
+namespace ppgnn {
+
+const DistanceOracle& EuclideanOracle() {
+  static const EuclideanDistanceOracle* kOracle =
+      new EuclideanDistanceOracle();
+  return *kOracle;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,86 @@
+// Axis-aligned rectangles (minimum bounding rectangles) with the
+// point-to-rectangle distance bounds used by R-tree search and by the MBM
+// group nearest neighbor algorithm.
+
+#ifndef PPGNN_GEO_RECT_H_
+#define PPGNN_GEO_RECT_H_
+
+#include <algorithm>
+#include <ostream>
+
+#include "geo/point.h"
+
+namespace ppgnn {
+
+/// Closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// Degenerate rectangle covering a single point.
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  /// An "empty" rectangle that acts as the identity for Union.
+  static Rect Empty() {
+    return {1e300, 1e300, -1e300, -1e300};
+  }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const Rect& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y ||
+             o.max_y < min_y);
+  }
+
+  /// Smallest rectangle covering both.
+  Rect Union(const Rect& o) const {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return {std::min(min_x, o.min_x), std::min(min_y, o.min_y),
+            std::max(max_x, o.max_x), std::max(max_y, o.max_y)};
+  }
+
+  void ExpandToInclude(const Point& p) {
+    *this = Union(FromPoint(p));
+  }
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  double Perimeter() const { return IsEmpty() ? 0.0 : 2 * (Width() + Height()); }
+  Point Center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.min_x << "," << r.min_y << " .. " << r.max_x << ","
+            << r.max_y << "]";
+}
+
+/// Minimum distance from p to any point of r (0 if inside).
+inline double MinDistance(const Point& p, const Rect& r) {
+  double dx = std::max({r.min_x - p.x, 0.0, p.x - r.max_x});
+  double dy = std::max({r.min_y - p.y, 0.0, p.y - r.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Maximum distance from p to any point of r (the far corner).
+inline double MaxDistance(const Point& p, const Rect& r) {
+  double dx = std::max(std::abs(p.x - r.min_x), std::abs(p.x - r.max_x));
+  double dy = std::max(std::abs(p.y - r.min_y), std::abs(p.y - r.max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_GEO_RECT_H_

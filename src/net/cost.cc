@@ -1,0 +1,73 @@
+#include "net/cost.h"
+
+#include <ctime>
+#include <sstream>
+
+namespace ppgnn {
+
+CostReport& CostReport::operator+=(const CostReport& o) {
+  bytes_user_to_lsp += o.bytes_user_to_lsp;
+  bytes_lsp_to_user += o.bytes_lsp_to_user;
+  bytes_user_to_user += o.bytes_user_to_user;
+  user_seconds += o.user_seconds;
+  lsp_seconds += o.lsp_seconds;
+  return *this;
+}
+
+CostReport CostReport::DividedBy(double runs) const {
+  CostReport out;
+  out.bytes_user_to_lsp = static_cast<uint64_t>(bytes_user_to_lsp / runs);
+  out.bytes_lsp_to_user = static_cast<uint64_t>(bytes_lsp_to_user / runs);
+  out.bytes_user_to_user = static_cast<uint64_t>(bytes_user_to_user / runs);
+  out.user_seconds = user_seconds / runs;
+  out.lsp_seconds = lsp_seconds / runs;
+  return out;
+}
+
+std::string CostReport::ToString() const {
+  std::ostringstream os;
+  os << "comm=" << TotalCommBytes() << "B (u->lsp " << bytes_user_to_lsp
+     << ", lsp->u " << bytes_lsp_to_user << ", u<->u " << bytes_user_to_user
+     << ") user=" << user_seconds * 1e3 << "ms lsp=" << lsp_seconds * 1e3
+     << "ms";
+  return os.str();
+}
+
+void CostTracker::RecordSend(Link link, uint64_t bytes) {
+  switch (link) {
+    case Link::kUserToLsp:
+      report_.bytes_user_to_lsp += bytes;
+      break;
+    case Link::kLspToUser:
+      report_.bytes_lsp_to_user += bytes;
+      break;
+    case Link::kUserToUser:
+      report_.bytes_user_to_user += bytes;
+      break;
+  }
+}
+
+void CostTracker::RecordCompute(Party party, double seconds) {
+  if (party == Party::kUser) {
+    report_.user_seconds += seconds;
+  } else {
+    report_.lsp_seconds += seconds;
+  }
+}
+
+double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+ScopedTimer::ScopedTimer(CostTracker* tracker, Party party)
+    : tracker_(tracker), party_(party), start_(ThreadCpuSeconds()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (tracker_ != nullptr) {
+    tracker_->RecordCompute(party_, ThreadCpuSeconds() - start_);
+  }
+}
+
+}  // namespace ppgnn

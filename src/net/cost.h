@@ -1,0 +1,85 @@
+// Cost accounting for the simulated protocol runs.
+//
+// The paper reports three metrics per query (Section 8.1):
+//   * total communication cost — bytes moved between the user group and
+//     LSP plus bytes moved within the user group;
+//   * user cost — the summed computation time of all users (the
+//     coordinator included);
+//   * LSP cost — computation time spent by LSP.
+//
+// CostTracker accumulates these. Parties record communication via
+// RecordSend and wrap computation in ScopedTimer blocks. Timing uses the
+// thread CPU clock so co-scheduled benchmarks don't pollute each other.
+
+#ifndef PPGNN_NET_COST_H_
+#define PPGNN_NET_COST_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppgnn {
+
+/// Logical direction of a message, for the communication breakdown.
+enum class Link {
+  kUserToLsp,
+  kLspToUser,
+  kUserToUser,
+};
+
+/// Which party is burning CPU.
+enum class Party {
+  kUser,
+  kLsp,
+};
+
+struct CostReport {
+  uint64_t bytes_user_to_lsp = 0;
+  uint64_t bytes_lsp_to_user = 0;
+  uint64_t bytes_user_to_user = 0;
+  double user_seconds = 0.0;
+  double lsp_seconds = 0.0;
+
+  uint64_t TotalCommBytes() const {
+    return bytes_user_to_lsp + bytes_lsp_to_user + bytes_user_to_user;
+  }
+
+  CostReport& operator+=(const CostReport& o);
+  /// Pointwise division by a query count, for averaging.
+  CostReport DividedBy(double runs) const;
+
+  std::string ToString() const;
+};
+
+class CostTracker {
+ public:
+  void RecordSend(Link link, uint64_t bytes);
+  void RecordCompute(Party party, double seconds);
+
+  const CostReport& report() const { return report_; }
+  void Reset() { report_ = CostReport(); }
+
+ private:
+  CostReport report_;
+};
+
+/// RAII timer charging elapsed thread-CPU time to a party on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(CostTracker* tracker, Party party);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  CostTracker* tracker_;
+  Party party_;
+  double start_;
+};
+
+/// Current thread CPU time in seconds (monotonic within a thread).
+double ThreadCpuSeconds();
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_NET_COST_H_

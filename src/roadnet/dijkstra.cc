@@ -1,0 +1,65 @@
+#include "roadnet/dijkstra.h"
+
+#include <limits>
+#include <queue>
+
+namespace ppgnn {
+namespace {
+
+using HeapEntry = std::pair<double, uint32_t>;  // (distance, node)
+
+}  // namespace
+
+std::vector<double> ShortestPathsFrom(const RoadNetwork& net,
+                                      uint32_t source) {
+  std::vector<double> dist(net.NodeCount(),
+                           std::numeric_limits<double>::infinity());
+  if (source >= net.NodeCount()) return dist;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, node] = heap.top();
+    heap.pop();
+    if (d > dist[node]) continue;  // stale entry
+    for (const RoadEdge& e : net.adjacency()[node]) {
+      double candidate = d + e.weight;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        heap.push({candidate, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+Result<double> ShortestPathDistance(const RoadNetwork& net, uint32_t from,
+                                    uint32_t to) {
+  if (from >= net.NodeCount() || to >= net.NodeCount())
+    return Status::InvalidArgument("node id out of range");
+  std::vector<double> dist(net.NodeCount(),
+                           std::numeric_limits<double>::infinity());
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  dist[from] = 0.0;
+  heap.push({0.0, from});
+  while (!heap.empty()) {
+    auto [d, node] = heap.top();
+    heap.pop();
+    if (node == to) return d;
+    if (d > dist[node]) continue;
+    for (const RoadEdge& e : net.adjacency()[node]) {
+      double candidate = d + e.weight;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        heap.push({candidate, e.to});
+      }
+    }
+  }
+  return dist[to];
+}
+
+}  // namespace ppgnn

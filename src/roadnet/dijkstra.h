@@ -1,0 +1,24 @@
+// Shortest paths over a RoadNetwork (binary-heap Dijkstra).
+
+#ifndef PPGNN_ROADNET_DIJKSTRA_H_
+#define PPGNN_ROADNET_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/graph.h"
+
+namespace ppgnn {
+
+/// Distances from `source` to every node; unreachable nodes get +inf.
+std::vector<double> ShortestPathsFrom(const RoadNetwork& net, uint32_t source);
+
+/// Point-to-point network distance (single Dijkstra with early exit).
+/// +inf if unreachable; error on out-of-range node ids.
+Result<double> ShortestPathDistance(const RoadNetwork& net, uint32_t from,
+                                    uint32_t to);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_ROADNET_DIJKSTRA_H_

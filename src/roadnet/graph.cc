@@ -1,0 +1,142 @@
+#include "roadnet/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ppgnn {
+
+void RoadNetwork::AddEdge(uint32_t a, uint32_t b, double weight) {
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++edge_count_;
+}
+
+RoadNetwork RoadNetwork::BuildGrid(int cols, int rows, Rng& rng,
+                                   double jitter, double drop_fraction) {
+  RoadNetwork net;
+  const double dx = 1.0 / std::max(cols - 1, 1);
+  const double dy = 1.0 / std::max(rows - 1, 1);
+  net.nodes_.reserve(static_cast<size_t>(cols) * rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double jx = (rng.NextDouble() - 0.5) * jitter * dx;
+      double jy = (rng.NextDouble() - 0.5) * jitter * dy;
+      net.nodes_.push_back({std::min(1.0, std::max(0.0, c * dx + jx)),
+                            std::min(1.0, std::max(0.0, r * dy + jy))});
+    }
+  }
+  net.adjacency_.resize(net.nodes_.size());
+  auto id = [cols](int r, int c) {
+    return static_cast<uint32_t>(r * cols + c);
+  };
+  // A comb skeleton keeps the network connected regardless of the drop
+  // rate: the first row's horizontal edges form the spine and every
+  // vertical edge is a tooth; only the remaining horizontal edges are
+  // subject to random removal.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        bool spine = r == 0;
+        if (spine || rng.NextDouble() >= drop_fraction) {
+          net.AddEdge(id(r, c), id(r, c + 1),
+                      Distance(net.nodes_[id(r, c)], net.nodes_[id(r, c + 1)]));
+        }
+      }
+      if (r + 1 < rows) {
+        net.AddEdge(id(r, c), id(r + 1, c),
+                    Distance(net.nodes_[id(r, c)], net.nodes_[id(r + 1, c)]));
+      }
+    }
+  }
+  net.BuildSnapIndex();
+  return net;
+}
+
+Result<RoadNetwork> RoadNetwork::FromEdges(
+    std::vector<Point> node_locations,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  RoadNetwork net;
+  net.nodes_ = std::move(node_locations);
+  net.adjacency_.resize(net.nodes_.size());
+  for (const auto& [a, b] : edges) {
+    if (a >= net.nodes_.size() || b >= net.nodes_.size())
+      return Status::InvalidArgument("edge endpoint out of range");
+    if (a == b) return Status::InvalidArgument("self-loop edge");
+    net.AddEdge(a, b, Distance(net.nodes_[a], net.nodes_[b]));
+  }
+  net.BuildSnapIndex();
+  return net;
+}
+
+void RoadNetwork::BuildSnapIndex() {
+  if (nodes_.empty()) return;
+  snap_grid_ = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(nodes_.size()) / 2)));
+  snap_cells_.assign(static_cast<size_t>(snap_grid_) * snap_grid_, {});
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    int cx = std::min(snap_grid_ - 1,
+                      static_cast<int>(nodes_[i].x * snap_grid_));
+    int cy = std::min(snap_grid_ - 1,
+                      static_cast<int>(nodes_[i].y * snap_grid_));
+    snap_cells_[static_cast<size_t>(cy) * snap_grid_ + cx].push_back(i);
+  }
+}
+
+uint32_t RoadNetwork::NearestNode(const Point& p) const {
+  // Expanding ring search over the snap grid.
+  int cx = std::min(snap_grid_ - 1,
+                    std::max(0, static_cast<int>(p.x * snap_grid_)));
+  int cy = std::min(snap_grid_ - 1,
+                    std::max(0, static_cast<int>(p.y * snap_grid_)));
+  uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int ring = 0; ring < snap_grid_; ++ring) {
+    bool any_cell = false;
+    for (int y = cy - ring; y <= cy + ring; ++y) {
+      for (int x = cx - ring; x <= cx + ring; ++x) {
+        if (x < 0 || y < 0 || x >= snap_grid_ || y >= snap_grid_) continue;
+        if (std::max(std::abs(x - cx), std::abs(y - cy)) != ring) continue;
+        any_cell = true;
+        for (uint32_t i :
+             snap_cells_[static_cast<size_t>(y) * snap_grid_ + x]) {
+          double dist = Distance(p, nodes_[i]);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = i;
+          }
+        }
+      }
+    }
+    // One extra ring after the first hit guarantees correctness (a node in
+    // the next ring can still be closer than one in the current ring).
+    if (best_dist < std::numeric_limits<double>::infinity() && ring > 0 &&
+        best_dist < (static_cast<double>(ring) - 1) / snap_grid_) {
+      break;
+    }
+    if (!any_cell && ring > 2 * snap_grid_) break;
+  }
+  return best;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<uint32_t> stack = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    for (const RoadEdge& e : adjacency_[node]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+}  // namespace ppgnn

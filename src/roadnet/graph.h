@@ -1,0 +1,75 @@
+// Road-network substrate: an undirected weighted graph embedded in the
+// unit square.
+//
+// Definition 2.1 of the paper allows road-network distance as the metric
+// `dis` (citing Yiu et al., TKDE 2005). This module provides the network
+// itself; shortest paths live in dijkstra.h and the kGNN engine over the
+// network in road_gnn.h.
+//
+// Synthetic networks: BuildGrid produces a perturbed lattice with a
+// fraction of edges knocked out (but guaranteed connected), a standard
+// stand-in for a city street network when no real one is available.
+
+#ifndef PPGNN_ROADNET_GRAPH_H_
+#define PPGNN_ROADNET_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "geo/point.h"
+
+namespace ppgnn {
+
+struct RoadEdge {
+  uint32_t to = 0;
+  double weight = 0.0;
+};
+
+class RoadNetwork {
+ public:
+  /// A jittered cols x rows lattice over the unit square. `drop_fraction`
+  /// of the non-bridging edges are removed at random to break the grid's
+  /// regularity; the result is always connected.
+  static RoadNetwork BuildGrid(int cols, int rows, Rng& rng,
+                               double jitter = 0.3, double drop_fraction = 0.2);
+
+  /// A network from explicit nodes and undirected edges; edge weights are
+  /// the Euclidean length of the segment. Rejects out-of-range endpoints
+  /// and self-loops.
+  static Result<RoadNetwork> FromEdges(
+      std::vector<Point> node_locations,
+      const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  size_t NodeCount() const { return nodes_.size(); }
+  size_t EdgeCount() const { return edge_count_; }
+  const std::vector<Point>& nodes() const { return nodes_; }
+  const std::vector<std::vector<RoadEdge>>& adjacency() const {
+    return adjacency_;
+  }
+
+  /// The node nearest to `p` (Euclidean snap). Requires a non-empty
+  /// network.
+  uint32_t NearestNode(const Point& p) const;
+
+  /// True iff every node is reachable from node 0 (or the network is
+  /// empty).
+  bool IsConnected() const;
+
+ private:
+  void AddEdge(uint32_t a, uint32_t b, double weight);
+
+  std::vector<Point> nodes_;
+  std::vector<std::vector<RoadEdge>> adjacency_;
+  size_t edge_count_ = 0;
+
+  // Uniform grid hash over node indices for fast NearestNode.
+  void BuildSnapIndex();
+  int snap_grid_ = 0;
+  std::vector<std::vector<uint32_t>> snap_cells_;
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_ROADNET_GRAPH_H_

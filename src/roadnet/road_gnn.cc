@@ -1,0 +1,79 @@
+#include "roadnet/road_gnn.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppgnn {
+
+const std::vector<double>& RoadDistanceOracle::SsspFor(uint32_t source) const {
+  // References into an unordered_map stay valid across inserts, so the
+  // returned reference is safe to use outside the lock.
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    it = cache_.emplace(source, ShortestPathsFrom(*net_, source)).first;
+  }
+  return it->second;
+}
+
+double RoadDistanceOracle::Distance(const Point& a, const Point& b) const {
+  uint32_t from = net_->NearestNode(a);
+  uint32_t to = net_->NearestNode(b);
+  return SsspFor(from)[to];
+}
+
+RoadGnnSolver::RoadGnnSolver(const RoadNetwork* net,
+                             const std::vector<Poi>* pois)
+    : net_(net), pois_(pois) {
+  poi_nodes_.reserve(pois_->size());
+  for (const Poi& poi : *pois_) {
+    poi_nodes_.push_back(net_->NearestNode(poi.location));
+  }
+}
+
+std::vector<RankedPoi> RoadGnnSolver::Query(const std::vector<Point>& queries,
+                                            int k, AggregateKind kind) const {
+  std::vector<RankedPoi> out;
+  if (queries.empty() || k <= 0 || pois_->empty()) return out;
+
+  // One SSSP tree per user.
+  std::vector<std::vector<double>> sssp;
+  sssp.reserve(queries.size());
+  for (const Point& q : queries) {
+    sssp.push_back(ShortestPathsFrom(*net_, net_->NearestNode(q)));
+  }
+
+  std::vector<RankedPoi> all;
+  all.reserve(pois_->size());
+  for (size_t i = 0; i < pois_->size(); ++i) {
+    uint32_t node = poi_nodes_[i];
+    double cost = 0.0;
+    switch (kind) {
+      case AggregateKind::kSum: {
+        cost = 0.0;
+        for (const auto& d : sssp) cost += d[node];
+        break;
+      }
+      case AggregateKind::kMax: {
+        cost = 0.0;
+        for (const auto& d : sssp) cost = std::max(cost, d[node]);
+        break;
+      }
+      case AggregateKind::kMin: {
+        cost = std::numeric_limits<double>::infinity();
+        for (const auto& d : sssp) cost = std::min(cost, d[node]);
+        break;
+      }
+    }
+    all.push_back({(*pois_)[i], cost});
+  }
+  std::sort(all.begin(), all.end(), [](const RankedPoi& a, const RankedPoi& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.poi.id < b.poi.id;
+  });
+  size_t take = std::min<size_t>(static_cast<size_t>(k), all.size());
+  out.assign(all.begin(), all.begin() + take);
+  return out;
+}
+
+}  // namespace ppgnn

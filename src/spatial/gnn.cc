@@ -1,0 +1,169 @@
+#include "spatial/gnn.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ppgnn {
+namespace {
+
+struct QueueEntry {
+  double cost;
+  bool is_poi;
+  uint32_t index;
+  uint32_t tie;
+
+  bool operator>(const QueueEntry& o) const {
+    if (cost != o.cost) return cost > o.cost;
+    if (is_poi != o.is_poi) return !is_poi;  // pop POIs before nodes on ties
+    return tie > o.tie;
+  }
+};
+
+}  // namespace
+
+std::vector<RankedPoi> MbmGnnSolver::Query(const std::vector<Point>& queries,
+                                           int k, AggregateKind kind) const {
+  uint64_t nodes_visited = 0;
+  std::vector<RankedPoi> out;
+  if (tree_->Empty() || k <= 0 || queries.empty()) {
+    last_nodes_visited_.store(0, std::memory_order_relaxed);
+    return out;
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  frontier.push({AggregateMinDistance(kind, tree_->nodes()[tree_->root()].box,
+                                      queries),
+                 false, tree_->root(), 0});
+  while (!frontier.empty() && out.size() < static_cast<size_t>(k)) {
+    QueueEntry top = frontier.top();
+    frontier.pop();
+    if (top.is_poi) {
+      out.push_back({tree_->pois()[top.index], top.cost});
+      continue;
+    }
+    ++nodes_visited;
+    const RTree::Node& node = tree_->nodes()[top.index];
+    if (node.is_leaf) {
+      for (uint32_t idx : node.entries) {
+        const Poi& poi = tree_->pois()[idx];
+        frontier.push(
+            {AggregateCost(kind, poi.location, queries), true, idx, poi.id});
+      }
+    } else {
+      for (uint32_t child : node.entries) {
+        frontier.push({AggregateMinDistance(
+                           kind, tree_->nodes()[child].box, queries),
+                       false, child, 0});
+      }
+    }
+  }
+  last_nodes_visited_.store(nodes_visited, std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<RankedPoi> SpmGnnSolver::Query(const std::vector<Point>& queries,
+                                           int k, AggregateKind kind) const {
+  uint64_t nodes_visited = 0;
+  std::vector<RankedPoi> out;
+  if (tree_->Empty() || k <= 0 || queries.empty()) {
+    last_nodes_visited_.store(0, std::memory_order_relaxed);
+    return out;
+  }
+
+  // Centroid q* and the distance terms of the termination bounds.
+  Point centroid{0, 0};
+  for (const Point& q : queries) {
+    centroid.x += q.x;
+    centroid.y += q.y;
+  }
+  centroid.x /= static_cast<double>(queries.size());
+  centroid.y /= static_cast<double>(queries.size());
+  double sum_dist = 0, max_dist = 0;
+  for (const Point& q : queries) {
+    double dist = Distance(centroid, q);
+    sum_dist += dist;
+    max_dist = std::max(max_dist, dist);
+  }
+  const double n = static_cast<double>(queries.size());
+  // Lower bound on F(p, C) as a function of dis(p, q*), valid by the
+  // triangle inequality for each aggregate.
+  auto bound = [&](double dist_to_centroid) {
+    if (kind == AggregateKind::kSum) return n * dist_to_centroid - sum_dist;
+    return dist_to_centroid - max_dist;
+  };
+
+  // Best-first by distance to the centroid; collect exact costs into a
+  // bounded max-heap of size k; stop when the bound exceeds the k-th
+  // best (the frontier is ordered, so everything later is worse too).
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  frontier.push({MinDistance(centroid, tree_->nodes()[tree_->root()].box),
+                 false, tree_->root(), 0});
+  std::vector<RankedPoi> best;  // kept sorted ascending by cost
+  auto kth_cost = [&] {
+    return best.size() < static_cast<size_t>(k)
+               ? std::numeric_limits<double>::infinity()
+               : best.back().cost;
+  };
+  while (!frontier.empty()) {
+    QueueEntry top = frontier.top();
+    frontier.pop();
+    if (bound(top.cost) > kth_cost()) break;  // termination condition
+    if (top.is_poi) {
+      const Poi& poi = tree_->pois()[top.index];
+      double cost = AggregateCost(kind, poi.location, queries);
+      if (cost < kth_cost() ||
+          best.size() < static_cast<size_t>(k)) {
+        RankedPoi entry{poi, cost};
+        auto it = std::lower_bound(
+            best.begin(), best.end(), entry,
+            [](const RankedPoi& a, const RankedPoi& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.poi.id < b.poi.id;
+            });
+        best.insert(it, entry);
+        if (best.size() > static_cast<size_t>(k)) best.pop_back();
+      }
+      continue;
+    }
+    ++nodes_visited;
+    const RTree::Node& node = tree_->nodes()[top.index];
+    if (node.is_leaf) {
+      for (uint32_t idx : node.entries) {
+        const Poi& poi = tree_->pois()[idx];
+        frontier.push(
+            {Distance(centroid, poi.location), true, idx, poi.id});
+      }
+    } else {
+      for (uint32_t child : node.entries) {
+        frontier.push(
+            {MinDistance(centroid, tree_->nodes()[child].box), false, child,
+             0});
+      }
+    }
+  }
+  last_nodes_visited_.store(nodes_visited, std::memory_order_relaxed);
+  return best;
+}
+
+std::vector<RankedPoi> BruteForceGnnSolver::Query(
+    const std::vector<Point>& queries, int k, AggregateKind kind) const {
+  std::vector<RankedPoi> all;
+  all.reserve(pois_->size());
+  for (const Poi& poi : *pois_) {
+    all.push_back({poi, AggregateCost(kind, poi.location, queries)});
+  }
+  std::sort(all.begin(), all.end(), [](const RankedPoi& a, const RankedPoi& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.poi.id < b.poi.id;
+  });
+  if (all.size() > static_cast<size_t>(std::max(k, 0)))
+    all.resize(static_cast<size_t>(std::max(k, 0)));
+  return all;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,24 @@
+#include "spatial/mld.h"
+
+#include <algorithm>
+
+namespace ppgnn {
+
+std::vector<RankedPoi> MeetingLocationSolver::Query(
+    const std::vector<Point>& queries, int k, AggregateKind kind) const {
+  std::vector<RankedPoi> out;
+  if (queries.empty() || k <= 0) return out;
+  out.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out.push_back({{static_cast<uint32_t>(i), queries[i]},
+                   AggregateCost(kind, queries[i], queries)});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedPoi& a, const RankedPoi& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.poi.id < b.poi.id;
+  });
+  if (out.size() > static_cast<size_t>(k)) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,37 @@
+// Meeting location determination (MLD) as a kGNN black box.
+//
+// The paper (Sections 1 and 9) claims its privacy machinery adapts to the
+// privacy-preserving meeting location determination problem (PPMLD,
+// Bilogrevic et al., TIFS 2014) by replacing the kGNN engine with a
+// (non-private) MLD algorithm: each user submits a *preferred meeting
+// location* instead of her current location, and the answer is the
+// submitted location minimizing the aggregate distance to all submitted
+// locations — no LSP database involved.
+//
+// MeetingLocationSolver realizes that: it ignores the POI database and
+// ranks the query locations themselves. Plugged into LspDatabase, the
+// whole PPGNN pipeline (dummy proposals, candidate queries, answer
+// sanitation, private selection) carries over verbatim — which is
+// exactly the paper's portability argument.
+
+#ifndef PPGNN_SPATIAL_MLD_H_
+#define PPGNN_SPATIAL_MLD_H_
+
+#include "spatial/gnn.h"
+
+namespace ppgnn {
+
+class MeetingLocationSolver : public GnnSolver {
+ public:
+  MeetingLocationSolver() = default;
+
+  /// Ranks the proposals in `queries` by F(proposal, queries); the
+  /// returned Poi ids are the proposers' indices.
+  std::vector<RankedPoi> Query(const std::vector<Point>& queries, int k,
+                               AggregateKind kind) const override;
+  const char* name() const override { return "MLD"; }
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SPATIAL_MLD_H_

@@ -1,0 +1,24 @@
+// Standard normal distribution utilities: CDF, inverse CDF (quantile), and
+// the one-tailed critical values z_gamma used by the paper's answer
+// sanitation (Section 5.3).
+
+#ifndef PPGNN_STATS_NORMAL_H_
+#define PPGNN_STATS_NORMAL_H_
+
+namespace ppgnn {
+
+/// P(Z <= z) for Z ~ N(0, 1).
+double NormalCdf(double z);
+
+/// Quantile function: the z with NormalCdf(z) = p, for p in (0, 1).
+/// Acklam's rational approximation refined by one Halley step; absolute
+/// error < 1e-9 over (1e-300, 1 - 1e-16).
+double NormalQuantile(double p);
+
+/// Upper-tail critical value z_gamma: P(Z > z_gamma) = gamma.
+/// (z_0.05 ≈ 1.645, z_0.2 ≈ 0.842.)
+double UpperCritical(double gamma);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_STATS_NORMAL_H_

@@ -1,0 +1,158 @@
+#include "core/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geo/aggregate.h"
+
+namespace ppgnn {
+namespace {
+
+TEST(AttackTest, FewerThanTwoPoisAlwaysSatisfied) {
+  InequalityAttack none({}, {}, AggregateKind::kSum);
+  EXPECT_TRUE(none.Satisfies({0.5, 0.5}));
+  InequalityAttack one({{0.1, 0.1}}, {{0.5, 0.5}}, AggregateKind::kSum);
+  EXPECT_TRUE(one.Satisfies({0.9, 0.9}));
+  EXPECT_EQ(one.NumInequalities(), 0u);
+}
+
+TEST(AttackTest, SingleUserBisectorGeometry) {
+  // No colluders, answer (p1, p2): the solution region is the half-plane
+  // nearer to p1 — the classic kNN inversion.
+  InequalityAttack attack({}, {{0.25, 0.5}, {0.75, 0.5}},
+                          AggregateKind::kSum);
+  EXPECT_TRUE(attack.Satisfies({0.1, 0.5}));    // closer to p1
+  EXPECT_FALSE(attack.Satisfies({0.9, 0.5}));   // closer to p2
+  EXPECT_TRUE(attack.Satisfies({0.5, 0.9}));    // on the bisector (<=)
+  // Monte-Carlo fraction should be ~0.5.
+  Rng rng(1);
+  EXPECT_NEAR(attack.EstimateRegionFraction(rng, 20000), 0.5, 0.02);
+}
+
+TEST(AttackTest, SatisfiesMatchesDirectDefinition) {
+  // Cross-check the partial-aggregate fast path against a direct
+  // evaluation of Eqn 14 for all three aggregate kinds.
+  Rng rng(2);
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kMax, AggregateKind::kMin}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<Point> colluders;
+      for (int i = 0; i < 4; ++i)
+        colluders.push_back({rng.NextDouble(), rng.NextDouble()});
+      std::vector<Point> answer;
+      for (int i = 0; i < 5; ++i)
+        answer.push_back({rng.NextDouble(), rng.NextDouble()});
+      InequalityAttack attack(colluders, answer, kind);
+      for (int s = 0; s < 20; ++s) {
+        Point candidate{rng.NextDouble(), rng.NextDouble()};
+        // Direct: F(p_i, C) with C = colluders + candidate.
+        std::vector<Point> full = colluders;
+        full.push_back(candidate);
+        bool direct = true;
+        for (size_t i = 0; i + 1 < answer.size(); ++i) {
+          if (AggregateCost(kind, answer[i], full) >
+              AggregateCost(kind, answer[i + 1], full)) {
+            direct = false;
+            break;
+          }
+        }
+        EXPECT_EQ(attack.Satisfies(candidate), direct)
+            << AggregateKindToString(kind) << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(AttackTest, RealLocationAlwaysInRegion) {
+  // Soundness: the target's true location always satisfies the
+  // inequalities derived from a correctly ranked answer.
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> group;
+    for (int i = 0; i < 5; ++i)
+      group.push_back({rng.NextDouble(), rng.NextDouble()});
+    // Build a ranked "answer" by sorting random POIs by true cost.
+    std::vector<Point> pois;
+    for (int i = 0; i < 6; ++i)
+      pois.push_back({rng.NextDouble(), rng.NextDouble()});
+    std::sort(pois.begin(), pois.end(), [&](const Point& a, const Point& b) {
+      return AggregateCost(AggregateKind::kSum, a, group) <
+             AggregateCost(AggregateKind::kSum, b, group);
+    });
+    // Collude against user 0.
+    std::vector<Point> colluders(group.begin() + 1, group.end());
+    InequalityAttack attack(colluders, pois, AggregateKind::kSum);
+    EXPECT_TRUE(attack.Satisfies(group[0])) << "trial " << trial;
+  }
+}
+
+TEST(AttackTest, LongerPrefixShrinksRegion) {
+  // More inequalities can only cut the region down (monotonicity).
+  Rng rng(4);
+  std::vector<Point> colluders = {{0.2, 0.3}, {0.7, 0.8}};
+  std::vector<Point> answer;
+  for (int i = 0; i < 8; ++i)
+    answer.push_back({rng.NextDouble(), rng.NextDouble()});
+  // Sort answer by cost w.r.t. some plausible group to get a realistic
+  // ranking.
+  std::vector<Point> group = colluders;
+  group.push_back({0.5, 0.5});
+  std::sort(answer.begin(), answer.end(), [&](const Point& a, const Point& b) {
+    return AggregateCost(AggregateKind::kSum, a, group) <
+           AggregateCost(AggregateKind::kSum, b, group);
+  });
+  double prev = 1.0;
+  for (size_t t = 2; t <= answer.size(); ++t) {
+    std::vector<Point> prefix(answer.begin(), answer.begin() + t);
+    InequalityAttack attack(colluders, prefix, AggregateKind::kSum);
+    Rng est_rng(100 + t);
+    double frac = attack.EstimateRegionFraction(est_rng, 4000);
+    EXPECT_LE(frac, prev + 0.03) << "t=" << t;  // MC noise tolerance
+    prev = frac;
+  }
+}
+
+TEST(AttackTest, Figure1StyleAttackShrinksRegionBelowHalf) {
+  // Recreate the paper's Figure 1 narrative: colluders close together,
+  // answer POIs ranked; the victim's region should be well under the
+  // whole space.
+  std::vector<Point> colluders = {{0.8, 0.2}, {0.85, 0.3}};
+  std::vector<Point> answer = {{0.5, 0.5}, {0.2, 0.2}, {0.9, 0.9},
+                               {0.1, 0.8}};
+  // Rank the POIs correctly for a victim at (0.3, 0.6).
+  Point victim{0.3, 0.6};
+  std::vector<Point> group = colluders;
+  group.push_back(victim);
+  std::sort(answer.begin(), answer.end(), [&](const Point& a, const Point& b) {
+    return AggregateCost(AggregateKind::kSum, a, group) <
+           AggregateCost(AggregateKind::kSum, b, group);
+  });
+  InequalityAttack attack(colluders, answer, AggregateKind::kSum);
+  EXPECT_TRUE(attack.Satisfies(victim));
+  Rng rng(5);
+  double frac = attack.EstimateRegionFraction(rng, 20000);
+  EXPECT_LT(frac, 0.6);
+  EXPECT_GT(frac, 0.0);
+}
+
+TEST(AttackTest, CustomSpaceSampling) {
+  Rect space{0.0, 0.0, 2.0, 2.0};
+  InequalityAttack attack({}, {{0.5, 1.0}, {1.5, 1.0}}, AggregateKind::kSum,
+                          space);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    Point p = attack.SamplePoint(rng);
+    EXPECT_TRUE(space.Contains(p));
+  }
+  // Bisector splits the 2x2 space evenly too.
+  EXPECT_NEAR(attack.EstimateRegionFraction(rng, 20000), 0.5, 0.02);
+}
+
+TEST(AttackTest, ZeroSamplesGiveZeroFraction) {
+  InequalityAttack attack({}, {{0.1, 0.1}, {0.9, 0.9}}, AggregateKind::kSum);
+  Rng rng(7);
+  EXPECT_EQ(attack.EstimateRegionFraction(rng, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,366 @@
+#include "baselines/apnn.h"
+#include "baselines/geoind.h"
+#include "baselines/glp.h"
+#include "baselines/ippf.h"
+
+#include <gtest/gtest.h>
+
+#include "spatial/dataset.h"
+#include "spatial/knn.h"
+
+namespace ppgnn {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new LspDatabase(GenerateSequoiaLike(5000, 555));
+    Rng rng(556);
+    keys_ = new KeyPair(GenerateKeyPair(256, rng).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete keys_;
+  }
+
+  static std::vector<Point> Group(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Point> out(n);
+    for (Point& p : out) p = {rng.NextDouble(), rng.NextDouble()};
+    return out;
+  }
+
+  static LspDatabase* db_;
+  static KeyPair* keys_;
+};
+LspDatabase* BaselinesTest::db_ = nullptr;
+KeyPair* BaselinesTest::keys_ = nullptr;
+
+// ---------- APNN ----------
+
+TEST_F(BaselinesTest, ApnnBuildValidation) {
+  EXPECT_FALSE(ApnnServer::Build(nullptr, 8, 4).ok());
+  EXPECT_FALSE(ApnnServer::Build(db_, 0, 4).ok());
+  EXPECT_FALSE(ApnnServer::Build(db_, 8, 0).ok());
+}
+
+TEST_F(BaselinesTest, ApnnQueryReturnsCellAnswer) {
+  auto server = ApnnServer::Build(db_, 16, 8).value();
+  EXPECT_GT(server.setup_seconds(), 0.0);
+  ApnnParams params;
+  params.grid = 16;
+  params.b = 3;
+  params.k = 3;  // fits one 256-bit integer
+  params.key_bits = 256;
+  Rng rng(1);
+  Point user{0.4, 0.6};
+  auto outcome = server.Query(user, params, rng, keys_).value();
+  auto expected = server.CellAnswer(user, params.k).value();
+  ASSERT_EQ(outcome.pois.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(outcome.pois[i].x, expected[i].x, 1e-8);
+    EXPECT_NEAR(outcome.pois[i].y, expected[i].y, 1e-8);
+  }
+}
+
+TEST_F(BaselinesTest, ApnnAnswerIsApproximateKnnOfCellCenter) {
+  auto server = ApnnServer::Build(db_, 16, 8).value();
+  Point user{0.43, 0.57};
+  auto answer = server.CellAnswer(user, 4).value();
+  // The cell center for a 16-grid cell containing the user.
+  Point center{(6 + 0.5) / 16.0, (9 + 0.5) / 16.0};
+  auto expected = KnnQuery(db_->tree(), center, 4);
+  ASSERT_EQ(answer.size(), expected.size());
+  for (size_t i = 0; i < answer.size(); ++i) {
+    EXPECT_EQ(answer[i], expected[i].poi.location);
+  }
+}
+
+TEST_F(BaselinesTest, ApnnPrivacyLevelMatchesCloakArea) {
+  auto server = ApnnServer::Build(db_, 16, 4).value();
+  ApnnParams params;
+  params.grid = 16;
+  params.b = 5;
+  params.k = 2;
+  params.key_bits = 256;
+  Rng rng(2);
+  auto outcome = server.Query({0.5, 0.5}, params, rng, keys_).value();
+  EXPECT_EQ(outcome.info.delta_prime, 25u);  // b^2 = privacy level
+}
+
+TEST_F(BaselinesTest, ApnnLspCostNotAbovePpgnnLspCost) {
+  // Fig 5f: APNN's per-query LSP cost is lowest because kNN answers are
+  // pre-computed. With an in-memory R-tree the kNN portion of PPGNN's
+  // LSP cost is tiny, so both are dominated by the identical private
+  // selection — assert APNN does not exceed PPGNN materially, averaged
+  // over several runs to damp timing noise.
+  auto server = ApnnServer::Build(db_, 16, 4).value();
+  ApnnParams aparams;
+  aparams.grid = 16;
+  aparams.b = 5;
+  aparams.k = 3;
+  aparams.key_bits = 256;
+  ProtocolParams pparams;
+  pparams.n = 1;
+  pparams.d = 25;
+  pparams.k = 3;
+  pparams.key_bits = 256;
+
+  Rng rng(3);
+  double apnn_total = 0, ppgnn_total = 0;
+  for (int run = 0; run < 5; ++run) {
+    Point user{0.2 + 0.1 * run, 0.3};
+    apnn_total +=
+        server.Query(user, aparams, rng, keys_).value().costs.lsp_seconds;
+    ppgnn_total += RunQuery(Variant::kPpgnn, pparams, {user}, *db_, rng, keys_)
+                       .value()
+                       .costs.lsp_seconds;
+  }
+  EXPECT_LT(apnn_total, ppgnn_total * 1.2);
+}
+
+TEST_F(BaselinesTest, ApnnRejectsBadParams) {
+  auto server = ApnnServer::Build(db_, 8, 4).value();
+  ApnnParams params;
+  params.grid = 8;
+  params.k = 100;  // > max_k
+  params.key_bits = 256;
+  Rng rng(4);
+  EXPECT_FALSE(server.Query({0.5, 0.5}, params, rng, keys_).ok());
+  params.k = 2;
+  params.b = 9;  // > grid
+  EXPECT_FALSE(server.Query({0.5, 0.5}, params, rng, keys_).ok());
+}
+
+TEST_F(BaselinesTest, ApnnCornerUsersGetValidCloaks) {
+  auto server = ApnnServer::Build(db_, 16, 4).value();
+  ApnnParams params;
+  params.grid = 16;
+  params.b = 4;
+  params.k = 2;
+  params.key_bits = 256;
+  Rng rng(5);
+  for (Point user : {Point{0.0, 0.0}, Point{1.0, 1.0}, Point{0.0, 1.0},
+                     Point{0.999, 0.001}}) {
+    auto outcome = server.Query(user, params, rng, keys_);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_GE(outcome->pois.size(), 1u);
+  }
+}
+
+// ---------- IPPF ----------
+
+TEST_F(BaselinesTest, IppfCandidatesContainTrueTopK) {
+  // Completeness: the superset must contain the exact kGNN answer for
+  // any placement of users inside their rectangles — in particular the
+  // real locations.
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto group = Group(4, 700 + trial);
+    std::vector<Rect> rects;
+    for (const Point& p : group) {
+      double side = 0.02;
+      rects.push_back({p.x - side / 2, p.y - side / 2, p.x + side / 2,
+                       p.y + side / 2});
+    }
+    auto candidates = IppfCandidates(*db_, rects, 8, AggregateKind::kSum);
+    auto exact = db_->solver().Query(group, 8, AggregateKind::kSum);
+    for (const RankedPoi& rp : exact) {
+      bool found = false;
+      for (const Poi& c : candidates) {
+        if (c.id == rp.poi.id) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "missing POI " << rp.poi.id;
+    }
+  }
+}
+
+TEST_F(BaselinesTest, IppfReturnsExactAnswerAfterFiltering) {
+  IppfParams params;
+  params.k = 6;
+  auto group = Group(5, 711);
+  Rng rng(7);
+  auto outcome = RunIppf(*db_, params, group, rng).value();
+  auto exact = db_->solver().Query(group, params.k, AggregateKind::kSum);
+  ASSERT_EQ(outcome.query.pois.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(outcome.query.pois[i].x, exact[i].poi.location.x, 1e-9);
+    EXPECT_NEAR(outcome.query.pois[i].y, exact[i].poi.location.y, 1e-9);
+  }
+}
+
+TEST_F(BaselinesTest, IppfCommunicationScalesWithCandidates) {
+  IppfParams params;
+  params.k = 8;
+  auto group = Group(8, 721);
+  Rng rng(8);
+  auto outcome = RunIppf(*db_, params, group, rng).value();
+  EXPECT_GT(outcome.candidates_returned, static_cast<size_t>(params.k));
+  // LSP->user bytes must cover the whole candidate list (12B each).
+  EXPECT_GE(outcome.query.costs.bytes_lsp_to_user,
+            outcome.candidates_returned * 12);
+}
+
+TEST_F(BaselinesTest, IppfRejectsSingleUser) {
+  IppfParams params;
+  Rng rng(9);
+  EXPECT_FALSE(RunIppf(*db_, params, {{0.5, 0.5}}, rng).ok());
+}
+
+// ---------- Geo-indistinguishability ----------
+
+TEST_F(BaselinesTest, GeoIndAnswerIsKnnOfReportedPoint) {
+  GeoIndParams params;
+  params.k = 5;
+  Rng rng(800);
+  auto outcome = RunGeoInd(*db_, params, {0.4, 0.6}, rng).value();
+  auto expected = KnnQuery(db_->tree(), outcome.reported, params.k);
+  ASSERT_EQ(outcome.query.pois.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(outcome.query.pois[i], expected[i].poi.location);
+  }
+}
+
+TEST_F(BaselinesTest, GeoIndNoiseScalesInverselyWithEpsilon) {
+  // Mean planar-Laplace radius is 2/epsilon.
+  Rng rng(801);
+  for (double epsilon : {20.0, 100.0}) {
+    double total = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+      Point p = PlanarLaplacePerturb({0.5, 0.5}, epsilon, rng);
+      total += Distance(p, {0.5, 0.5});
+    }
+    EXPECT_NEAR(total / trials, 2.0 / epsilon, 0.35 / epsilon) << epsilon;
+  }
+}
+
+TEST_F(BaselinesTest, GeoIndPerturbStaysInUnitSquare) {
+  Rng rng(802);
+  for (int t = 0; t < 500; ++t) {
+    Point p = PlanarLaplacePerturb({0.01, 0.99}, 5.0, rng);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST_F(BaselinesTest, GeoIndAccuracyDegradesWithNoise) {
+  // The approximation price: with a small epsilon (big noise) the answer
+  // regret vs exact kNN grows.
+  Rng rng(803);
+  Point user{0.45, 0.55};
+  auto exact = KnnQuery(db_->tree(), user, 4);
+  auto regret = [&](double epsilon) {
+    double total = 0;
+    for (int t = 0; t < 30; ++t) {
+      GeoIndParams params;
+      params.epsilon = epsilon;
+      params.k = 4;
+      auto out = RunGeoInd(*db_, params, user, rng).value();
+      for (size_t i = 0; i < out.query.pois.size(); ++i) {
+        total += Distance(user, out.query.pois[i]) - exact[i].cost;
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(regret(10.0), regret(500.0));
+}
+
+TEST_F(BaselinesTest, GeoIndRejectsBadParams) {
+  Rng rng(804);
+  GeoIndParams params;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(RunGeoInd(*db_, params, {0.5, 0.5}, rng).ok());
+  params.epsilon = 10.0;
+  params.k = 0;
+  EXPECT_FALSE(RunGeoInd(*db_, params, {0.5, 0.5}, rng).ok());
+}
+
+// ---------- GLP ----------
+
+TEST_F(BaselinesTest, GlpCentroidIsCorrect) {
+  GlpParams params;
+  params.k = 4;
+  params.key_bits = 256;
+  auto group = Group(6, 731);
+  Rng rng(10);
+  auto outcome = RunGlp(*db_, params, group, rng, keys_).value();
+  double cx = 0, cy = 0;
+  for (const Point& p : group) {
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= group.size();
+  cy /= group.size();
+  EXPECT_NEAR(outcome.centroid.x, cx, 1e-6);
+  EXPECT_NEAR(outcome.centroid.y, cy, 1e-6);
+}
+
+TEST_F(BaselinesTest, GlpAnswerIsKnnOfCentroid) {
+  GlpParams params;
+  params.k = 5;
+  params.key_bits = 256;
+  auto group = Group(4, 741);
+  Rng rng(11);
+  auto outcome = RunGlp(*db_, params, group, rng, keys_).value();
+  auto expected = KnnQuery(db_->tree(), outcome.centroid, params.k);
+  ASSERT_EQ(outcome.query.pois.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(outcome.query.pois[i].x, expected[i].poi.location.x, 1e-8);
+    EXPECT_NEAR(outcome.query.pois[i].y, expected[i].poi.location.y, 1e-8);
+  }
+}
+
+TEST_F(BaselinesTest, GlpCommGrowsQuadraticallyWithN) {
+  GlpParams params;
+  params.k = 4;
+  params.key_bits = 256;
+  Rng rng(12);
+  auto small = RunGlp(*db_, params, Group(4, 751), rng, keys_).value();
+  auto large = RunGlp(*db_, params, Group(16, 752), rng, keys_).value();
+  // n goes 4 -> 16 (4x); O(n^2) user-to-user bytes grow ~16x (within
+  // slack for the constant-size parts).
+  double ratio = static_cast<double>(large.query.costs.bytes_user_to_user) /
+                 static_cast<double>(small.query.costs.bytes_user_to_user);
+  EXPECT_GT(ratio, 10.0);
+  EXPECT_LT(ratio, 22.0);
+}
+
+TEST_F(BaselinesTest, GlpRejectsSingleUser) {
+  GlpParams params;
+  params.key_bits = 256;
+  Rng rng(13);
+  EXPECT_FALSE(RunGlp(*db_, params, {{0.5, 0.5}}, rng, keys_).ok());
+}
+
+TEST_F(BaselinesTest, GlpIsApproximateForSpreadGroups) {
+  // The centroid kNN is generally NOT the kGNN answer — that is the
+  // utility price the paper attributes to GLP. Find a seed where they
+  // differ to prove the approximation is real.
+  GlpParams params;
+  params.k = 8;
+  params.key_bits = 256;
+  bool found_difference = false;
+  for (uint64_t seed = 761; seed < 775 && !found_difference; ++seed) {
+    auto group = Group(8, seed);
+    Rng rng(seed);
+    auto glp = RunGlp(*db_, params, group, rng, keys_).value();
+    auto exact = db_->solver().Query(group, params.k, AggregateKind::kSum);
+    for (size_t i = 0; i < exact.size(); ++i) {
+      if (std::abs(glp.query.pois[i].x - exact[i].poi.location.x) > 1e-6 ||
+          std::abs(glp.query.pois[i].y - exact[i].poi.location.y) > 1e-6) {
+        found_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_difference);
+}
+
+}  // namespace
+}  // namespace ppgnn

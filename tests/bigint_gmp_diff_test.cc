@@ -1,0 +1,188 @@
+// Differential tests: our from-scratch BigInt against GMP. GMP is a
+// test-only dependency — the ppgnn library itself never links it. This is
+// the strongest evidence that the arithmetic substrate underneath the
+// Paillier cryptosystem is correct.
+
+#include <gmp.h>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bigint/bigint.h"
+#include "bigint/modular.h"
+#include "bigint/prime.h"
+#include "common/random.h"
+
+namespace ppgnn {
+namespace {
+
+// Converts our BigInt to a GMP integer via hex.
+class GmpInt {
+ public:
+  GmpInt() { mpz_init(v_); }
+  explicit GmpInt(const BigInt& b) {
+    mpz_init(v_);
+    std::string hex = b.ToHex();
+    mpz_set_str(v_, hex.c_str(), 16);
+  }
+  GmpInt(const GmpInt&) = delete;
+  GmpInt& operator=(const GmpInt&) = delete;
+  ~GmpInt() { mpz_clear(v_); }
+
+  std::string ToHex() const {
+    char* s = mpz_get_str(nullptr, 16, v_);
+    std::string out(s);
+    free(s);
+    return out;
+  }
+
+  mpz_t v_;
+};
+
+
+BigInt RandomSigned(int bits, Rng& rng) {
+  BigInt v = BigInt::Random(bits, rng);
+  return rng.NextBernoulli(0.5) ? v.Negated() : v;
+}
+
+TEST(GmpDiffTest, Addition) {
+  Rng rng(1);
+  for (int iter = 0; iter < 200; ++iter) {
+    int bits = 1 + static_cast<int>(rng.NextBelow(3000));
+    BigInt a = RandomSigned(bits, rng);
+    BigInt b = RandomSigned(1 + static_cast<int>(rng.NextBelow(3000)), rng);
+    GmpInt ga(a), gb(b), out;
+    mpz_add(out.v_, ga.v_, gb.v_);
+    EXPECT_EQ((a + b).ToHex(), out.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, Subtraction) {
+  Rng rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a = RandomSigned(1 + static_cast<int>(rng.NextBelow(2500)), rng);
+    BigInt b = RandomSigned(1 + static_cast<int>(rng.NextBelow(2500)), rng);
+    GmpInt ga(a), gb(b), out;
+    mpz_sub(out.v_, ga.v_, gb.v_);
+    EXPECT_EQ((a - b).ToHex(), out.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, MultiplicationIncludingKaratsubaSizes) {
+  Rng rng(3);
+  for (int iter = 0; iter < 100; ++iter) {
+    // Mix sizes around the 1536-bit Karatsuba threshold.
+    int bits_a = 1 + static_cast<int>(rng.NextBelow(4000));
+    int bits_b = 1 + static_cast<int>(rng.NextBelow(4000));
+    BigInt a = RandomSigned(bits_a, rng);
+    BigInt b = RandomSigned(bits_b, rng);
+    GmpInt ga(a), gb(b), out;
+    mpz_mul(out.v_, ga.v_, gb.v_);
+    EXPECT_EQ((a * b).ToHex(), out.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, DivisionTruncated) {
+  Rng rng(4);
+  for (int iter = 0; iter < 200; ++iter) {
+    BigInt a = RandomSigned(1 + static_cast<int>(rng.NextBelow(3000)), rng);
+    BigInt b = RandomSigned(1 + static_cast<int>(rng.NextBelow(1500)), rng);
+    if (b.IsZero()) continue;
+    GmpInt ga(a), gb(b), q, r;
+    mpz_tdiv_qr(q.v_, r.v_, ga.v_, gb.v_);  // truncated like C++
+    auto qr = BigInt::DivMod(a, b).value();
+    EXPECT_EQ(qr.first.ToHex(), q.ToHex());
+    EXPECT_EQ(qr.second.ToHex(), r.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, ModExp) {
+  Rng rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    BigInt base = BigInt::Random(1024, rng);
+    BigInt exp = BigInt::Random(512, rng);
+    BigInt mod = BigInt::Random(1024, rng) + BigInt(2);
+    GmpInt gb(base), ge(exp), gm(mod), out;
+    mpz_powm(out.v_, gb.v_, ge.v_, gm.v_);
+    EXPECT_EQ(ModExp(base, exp, mod).value().ToHex(), out.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, ModInverse) {
+  Rng rng(6);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt m = BigInt::Random(512, rng) + BigInt(3);
+    BigInt a = BigInt::Random(500, rng) + BigInt(1);
+    GmpInt ga(a), gm(m), out;
+    int invertible = mpz_invert(out.v_, ga.v_, gm.v_);
+    auto ours = ModInverse(a, m);
+    EXPECT_EQ(ours.ok(), invertible != 0);
+    if (ours.ok()) {
+      EXPECT_EQ(ours.value().ToHex(), out.ToHex());
+    }
+  }
+}
+
+TEST(GmpDiffTest, Gcd) {
+  Rng rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a = BigInt::Random(1000, rng);
+    BigInt b = BigInt::Random(800, rng);
+    GmpInt ga(a), gb(b), out;
+    mpz_gcd(out.v_, ga.v_, gb.v_);
+    EXPECT_EQ(Gcd(a, b).ToHex(), out.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, PrimalityAgreement) {
+  Rng rng(8);
+  int primes_seen = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt candidate = BigInt::Random(128, rng);
+    GmpInt gc(candidate);
+    bool gmp_says = mpz_probab_prime_p(gc.v_, 32) != 0;
+    bool we_say = IsProbablePrime(candidate, rng);
+    EXPECT_EQ(we_say, gmp_says) << candidate.ToDecimal();
+    primes_seen += gmp_says ? 1 : 0;
+  }
+  // Sanity: some primes should appear in 300 draws of 128-bit numbers
+  // (density ~ 1/89 for odd numbers; we draw both parities).
+  EXPECT_GT(primes_seen, 0);
+}
+
+TEST(GmpDiffTest, GeneratedPrimesSatisfyGmp) {
+  Rng rng(9);
+  for (int bits : {64, 128, 256, 512}) {
+    BigInt p = GeneratePrime(bits, rng).value();
+    GmpInt gp(p);
+    EXPECT_NE(mpz_probab_prime_p(gp.v_, 40), 0) << p.ToDecimal();
+  }
+}
+
+TEST(GmpDiffTest, DecimalStringsAgree) {
+  Rng rng(10);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = RandomSigned(1 + static_cast<int>(rng.NextBelow(2000)), rng);
+    GmpInt ga(a);
+    char* s = mpz_get_str(nullptr, 10, ga.v_);
+    EXPECT_EQ(a.ToDecimal(), std::string(s));
+    free(s);
+  }
+}
+
+TEST(GmpDiffTest, ShiftsAgree) {
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    BigInt a = BigInt::Random(1 + static_cast<int>(rng.NextBelow(2000)), rng);
+    unsigned shift = static_cast<unsigned>(rng.NextBelow(200));
+    GmpInt ga(a), left, right;
+    mpz_mul_2exp(left.v_, ga.v_, shift);
+    mpz_fdiv_q_2exp(right.v_, ga.v_, shift);
+    EXPECT_EQ((a << static_cast<int>(shift)).ToHex(), left.ToHex());
+    EXPECT_EQ((a >> static_cast<int>(shift)).ToHex(), right.ToHex());
+  }
+}
+
+}  // namespace
+}  // namespace ppgnn

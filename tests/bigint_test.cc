@@ -1,0 +1,312 @@
+#include "bigint/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace ppgnn {
+namespace {
+
+BigInt Dec(const std::string& s) { return BigInt::FromDecimal(s).value(); }
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.BitLength(), 0);
+  EXPECT_EQ(z.ToDecimal(), "0");
+}
+
+TEST(BigIntTest, ConstructFromNativeInts) {
+  EXPECT_EQ(BigInt(int64_t{42}).ToDecimal(), "42");
+  EXPECT_EQ(BigInt(int64_t{-42}).ToDecimal(), "-42");
+  EXPECT_EQ(BigInt(uint64_t{18446744073709551615ULL}).ToDecimal(),
+            "18446744073709551615");
+  EXPECT_EQ(BigInt(std::numeric_limits<int64_t>::min()).ToDecimal(),
+            "-9223372036854775808");
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const char* cases[] = {
+      "0",
+      "1",
+      "-1",
+      "9999999999999999999",               // just below 10^19 chunk
+      "10000000000000000000",              // exactly the chunk base
+      "123456789012345678901234567890",
+      "-340282366920938463463374607431768211456",  // -2^128
+  };
+  for (const char* c : cases) {
+    EXPECT_EQ(Dec(c).ToDecimal(), c) << c;
+  }
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  const char* cases[] = {"0", "1", "f", "deadbeef",
+                         "ffffffffffffffff",  // 2^64-1
+                         "10000000000000000", // 2^64
+                         "-abcdef0123456789abcdef"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigInt::FromHex(c).value().ToHex(), c) << c;
+  }
+}
+
+TEST(BigIntTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromDecimal("").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("12a3").ok());
+  EXPECT_FALSE(BigInt::FromHex("").ok());
+  EXPECT_FALSE(BigInt::FromHex("xyz").ok());
+}
+
+TEST(BigIntTest, ParseAcceptsPlusSign) {
+  EXPECT_EQ(Dec("+17").ToDecimal(), "17");
+}
+
+TEST(BigIntTest, NegativeZeroNormalizes) {
+  EXPECT_EQ(Dec("-0"), BigInt(0));
+  EXPECT_EQ((BigInt(5) - BigInt(5)).sign(), 0);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  BigInt values[] = {Dec("-100000000000000000000"), BigInt(-2), BigInt(0),
+                     BigInt(1), Dec("18446744073709551616")};
+  for (size_t i = 0; i < std::size(values); ++i) {
+    for (size_t j = 0; j < std::size(values); ++j) {
+      EXPECT_EQ(values[i] < values[j], i < j);
+      EXPECT_EQ(values[i] == values[j], i == j);
+      EXPECT_EQ(values[i] > values[j], i > j);
+    }
+  }
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::Pow2(64) - BigInt(1);
+  EXPECT_EQ((a + BigInt(1)).ToHex(), "10000000000000000");
+  BigInt b = BigInt::Pow2(128) - BigInt(1);
+  EXPECT_EQ((b + b).ToHex(), "1fffffffffffffffffffffffffffffffe");
+}
+
+TEST(BigIntTest, SignedAdditionMatrix) {
+  EXPECT_EQ(BigInt(7) + BigInt(5), BigInt(12));
+  EXPECT_EQ(BigInt(7) + BigInt(-5), BigInt(2));
+  EXPECT_EQ(BigInt(-7) + BigInt(5), BigInt(-2));
+  EXPECT_EQ(BigInt(-7) + BigInt(-5), BigInt(-12));
+  EXPECT_EQ(BigInt(5) - BigInt(7), BigInt(-2));
+}
+
+TEST(BigIntTest, MultiplicationSmall) {
+  EXPECT_EQ(BigInt(12) * BigInt(-3), BigInt(-36));
+  EXPECT_EQ(BigInt(0) * Dec("123456789123456789"), BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationKnownLarge) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+  BigInt v = BigInt::Pow2(128) - BigInt(1);
+  BigInt expected = BigInt::Pow2(256) - BigInt::Pow2(129) + BigInt(1);
+  EXPECT_EQ(v * v, expected);
+}
+
+TEST(BigIntTest, DivModTruncatedSemantics) {
+  // C++ semantics: quotient truncates toward zero, remainder keeps the
+  // dividend's sign.
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) % BigInt(-2), BigInt(-1));
+}
+
+TEST(BigIntTest, DivisionByZeroErrors) {
+  EXPECT_FALSE(BigInt::DivMod(BigInt(1), BigInt(0)).ok());
+}
+
+TEST(BigIntTest, ModAlwaysNonNegative) {
+  EXPECT_EQ(BigInt(-7).Mod(BigInt(3)), BigInt(2));
+  EXPECT_EQ(BigInt(7).Mod(BigInt(3)), BigInt(1));
+  EXPECT_EQ(BigInt(-9).Mod(BigInt(3)), BigInt(0));
+}
+
+TEST(BigIntTest, KnuthDivisionAddBackCase) {
+  // Crafted inputs that exercise the rare "add back" correction in
+  // Algorithm D: dividend with a high limb pattern just below the divisor.
+  BigInt a = BigInt::FromHex("7fffffffffffffff8000000000000000"
+                             "00000000000000000000000000000000")
+                 .value();
+  BigInt b = BigInt::FromHex("800000000000000000000000000000000001").value();
+  auto qr = BigInt::DivMod(a, b).value();
+  EXPECT_EQ(qr.first * b + qr.second, a);
+  EXPECT_TRUE(qr.second < b);
+  EXPECT_FALSE(qr.second.IsNegative());
+}
+
+TEST(BigIntTest, ShiftsMatchPow2Arithmetic) {
+  BigInt v = Dec("123456789123456789123456789");
+  for (int s : {0, 1, 7, 63, 64, 65, 130}) {
+    EXPECT_EQ(v << s, v * BigInt::Pow2(s)) << s;
+    EXPECT_EQ((v << s) >> s, v) << s;
+  }
+  EXPECT_EQ(BigInt(5) >> 10, BigInt(0));
+  EXPECT_EQ(BigInt(-20) >> 2, BigInt(-5));
+}
+
+TEST(BigIntTest, NegativeShiftFlipsDirection) {
+  BigInt v(40);
+  EXPECT_EQ(v << -2, BigInt(10));
+  EXPECT_EQ(v >> -2, BigInt(160));
+}
+
+TEST(BigIntTest, BitAccessors) {
+  BigInt v = BigInt::FromHex("10000000000000001").value();  // 2^64 + 1
+  EXPECT_TRUE(v.GetBit(0));
+  EXPECT_FALSE(v.GetBit(1));
+  EXPECT_TRUE(v.GetBit(64));
+  EXPECT_FALSE(v.GetBit(65));
+  EXPECT_FALSE(v.GetBit(1000));
+  EXPECT_EQ(v.BitLength(), 65);
+  EXPECT_TRUE(v.IsOdd());
+  EXPECT_FALSE((v + BigInt(1)).IsOdd());
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  BigInt v = Dec("123456789012345678901234567890");
+  EXPECT_EQ(BigInt::FromBytes(v.ToBytes()), v);
+  EXPECT_TRUE(BigInt(0).ToBytes().empty());
+  EXPECT_EQ(BigInt::FromBytes({}), BigInt(0));
+  EXPECT_EQ(BigInt::FromBytes({0x01, 0x00}), BigInt(256));
+}
+
+TEST(BigIntTest, PaddedBytes) {
+  BigInt v(0x1234);
+  auto padded = v.ToBytesPadded(4).value();
+  EXPECT_EQ(padded, (std::vector<uint8_t>{0x00, 0x00, 0x12, 0x34}));
+  EXPECT_EQ(BigInt::FromBytes(padded), v);
+  EXPECT_FALSE(v.ToBytesPadded(1).ok());
+  EXPECT_EQ(BigInt(0).ToBytesPadded(3).value(),
+            (std::vector<uint8_t>{0, 0, 0}));
+}
+
+TEST(BigIntTest, ToUint64Boundaries) {
+  EXPECT_EQ(BigInt(uint64_t{~0ULL}).ToUint64().value(), ~0ULL);
+  EXPECT_FALSE(BigInt::Pow2(64).ToUint64().ok());
+  EXPECT_FALSE(BigInt(-1).ToUint64().ok());
+  EXPECT_EQ(BigInt(0).ToUint64().value(), 0u);
+}
+
+TEST(BigIntTest, RandomRespectsBitBound) {
+  Rng rng(99);
+  for (int bits : {1, 8, 63, 64, 65, 257}) {
+    for (int i = 0; i < 20; ++i) {
+      BigInt v = BigInt::Random(bits, rng);
+      EXPECT_LE(v.BitLength(), bits);
+      EXPECT_FALSE(v.IsNegative());
+    }
+  }
+}
+
+TEST(BigIntTest, RandomBelowIsUniformAcrossSmallRange) {
+  Rng rng(101);
+  BigInt bound(10);
+  int counts[10] = {0};
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = BigInt::RandomBelow(bound, rng).ToUint64().value();
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 350);  // expected 500 each
+}
+
+TEST(BigIntTest, Pow2Values) {
+  EXPECT_EQ(BigInt::Pow2(0), BigInt(1));
+  EXPECT_EQ(BigInt::Pow2(10), BigInt(1024));
+  EXPECT_EQ(BigInt::Pow2(64).ToHex(), "10000000000000000");
+}
+
+// ---- randomized algebraic properties (schoolbook vs Karatsuba sizes) ----
+
+class BigIntPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntPropertyTest, RingAxiomsHold) {
+  const int bits = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 7919);
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt a = BigInt::Random(bits, rng);
+    BigInt b = BigInt::Random(bits, rng);
+    BigInt c = BigInt::Random(bits / 2 + 1, rng);
+    if (iter % 2) a = a.Negated();
+    if (iter % 3 == 0) b = b.Negated();
+
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+    EXPECT_EQ(a + BigInt(0), a);
+    EXPECT_EQ(a * BigInt(1), a);
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModReconstructsDividend) {
+  const int bits = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 104729);
+  for (int iter = 0; iter < 25; ++iter) {
+    BigInt a = BigInt::Random(bits, rng);
+    BigInt b = BigInt::Random(bits / 2 + 1, rng);
+    if (b.IsZero()) b = BigInt(1);
+    if (iter % 2) a = a.Negated();
+    if (iter % 3 == 0) b = b.Negated();
+    auto qr = BigInt::DivMod(a, b).value();
+    EXPECT_EQ(qr.first * b + qr.second, a);
+    EXPECT_TRUE(qr.second.Abs() < b.Abs());
+    // Remainder sign matches dividend (or is zero).
+    if (!qr.second.IsZero()) {
+      EXPECT_EQ(qr.second.sign(), a.sign());
+    }
+  }
+}
+
+TEST_P(BigIntPropertyTest, DecimalAndHexRoundTrip) {
+  const int bits = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 1299709);
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = BigInt::Random(bits, rng);
+    EXPECT_EQ(BigInt::FromDecimal(a.ToDecimal()).value(), a);
+    EXPECT_EQ(BigInt::FromHex(a.ToHex()).value(), a);
+    EXPECT_EQ(BigInt::FromBytes(a.ToBytes()), a);
+  }
+}
+
+// 3000+ bits exercises the Karatsuba path (threshold is 24 limbs = 1536
+// bits) and multi-limb division.
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntPropertyTest,
+                         ::testing::Values(8, 64, 128, 512, 1600, 3100));
+
+TEST(BigIntTest, KaratsubaMatchesSchoolbookAcrossThreshold) {
+  Rng rng(4242);
+  // Multiply numbers straddling the Karatsuba threshold and verify via
+  // the identity (a+b)^2 - (a-b)^2 = 4ab, which mixes both code paths.
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt a = BigInt::Random(2000, rng);
+    BigInt b = BigInt::Random(1900, rng);
+    BigInt lhs = (a + b) * (a + b) - (a - b) * (a - b);
+    BigInt rhs = BigInt(4) * a * b;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(BigIntTest, StreamOutput) {
+  std::ostringstream os;
+  os << BigInt(-123);
+  EXPECT_EQ(os.str(), "-123");
+}
+
+}  // namespace
+}  // namespace ppgnn

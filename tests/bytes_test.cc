@@ -1,0 +1,119 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ppgnn {
+namespace {
+
+TEST(BytesTest, RoundTripFixedWidth) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutDouble(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ULL << 32) - 1,
+                             1ULL << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  ByteWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) EXPECT_EQ(r.GetVarint().value(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintSizes) {
+  auto size_of = [](uint64_t v) {
+    ByteWriter w;
+    w.PutVarint(v);
+    return w.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(BytesTest, LengthPrefixedBytes) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.PutBytes(payload);
+  w.PutBytes({});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetBytes().value(), payload);
+  EXPECT_TRUE(r.GetBytes().value().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, ReaderRejectsTruncatedInput) {
+  ByteWriter w;
+  w.PutU32(7);
+  std::vector<uint8_t> data = w.data();
+  data.pop_back();
+  ByteReader r(data);
+  EXPECT_FALSE(r.GetU32().ok());
+}
+
+TEST(BytesTest, ReaderRejectsTruncatedVarint) {
+  std::vector<uint8_t> data = {0x80, 0x80};  // unterminated continuation
+  ByteReader r(data);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(BytesTest, ReaderRejectsOverlongVarint) {
+  std::vector<uint8_t> data(11, 0x80);
+  ByteReader r(data);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(BytesTest, ReaderRejectsBytesPastEnd) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.GetBytes().ok());
+}
+
+TEST(BytesTest, ReleaseMovesBuffer) {
+  ByteWriter w;
+  w.PutU8(9);
+  std::vector<uint8_t> data = w.Release();
+  EXPECT_EQ(data, std::vector<uint8_t>{9});
+}
+
+TEST(BytesTest, BytesToHex) {
+  EXPECT_EQ(BytesToHex({}), "");
+  EXPECT_EQ(BytesToHex({0x00, 0xff, 0x1a}), "00ff1a");
+}
+
+TEST(BytesTest, NegativeDoubleRoundTrip) {
+  ByteWriter w;
+  w.PutDouble(-0.0);
+  w.PutDouble(-1e300);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetDouble().value(), 0.0);
+  EXPECT_TRUE(std::signbit(r.GetDouble().value()));
+}
+
+}  // namespace
+}  // namespace ppgnn

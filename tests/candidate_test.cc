@@ -1,0 +1,162 @@
+#include "core/candidate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ppgnn {
+namespace {
+
+std::vector<LocationSet> RandomSets(int n, int d, Rng& rng) {
+  std::vector<LocationSet> sets(n);
+  for (LocationSet& set : sets) {
+    set.resize(d);
+    for (Point& p : set) p = {rng.NextDouble(), rng.NextDouble()};
+  }
+  return sets;
+}
+
+PartitionPlan PaperPlan() {
+  // Figure 3's setup: n = 4, d = 4, alpha = 2, n_bar = (2,2),
+  // d_bar = (2,2), delta' = 8.
+  PartitionPlan plan;
+  plan.alpha = 2;
+  plan.n_bar = {2, 2};
+  plan.d_bar = {2, 2};
+  plan.delta_prime = 8;
+  return plan;
+}
+
+TEST(SubgroupOfUserTest, MapsUsersInOrder) {
+  PartitionPlan plan;
+  plan.alpha = 3;
+  plan.n_bar = {2, 1, 3};
+  EXPECT_EQ(SubgroupOfUser(plan), (std::vector<int>{0, 0, 1, 2, 2, 2}));
+}
+
+TEST(CandidateTest, CountMatchesDeltaPrime) {
+  Rng rng(1);
+  PartitionPlan plan = PaperPlan();
+  auto sets = RandomSets(4, 4, rng);
+  auto candidates = GenerateCandidateQueries(plan, sets).value();
+  EXPECT_EQ(candidates.size(), 8u);
+  for (const auto& c : candidates) EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(CandidateTest, PaperFigure3Layout) {
+  // Build location sets whose entries encode (user, position) so we can
+  // check the exact cartesian-product layout of Figure 3c.
+  PartitionPlan plan = PaperPlan();
+  std::vector<LocationSet> sets(4);
+  for (int u = 0; u < 4; ++u) {
+    sets[u].resize(4);
+    for (int pos = 0; pos < 4; ++pos) {
+      sets[u][pos] = {static_cast<double>(u), static_cast<double>(pos)};
+    }
+  }
+  auto candidates = GenerateCandidateQueries(plan, sets).value();
+  ASSERT_EQ(candidates.size(), 8u);
+  // Candidate C1 (index 0): segment 1, both subgroups at position 1
+  // -> every user contributes its 0-based position 0.
+  for (int u = 0; u < 4; ++u) EXPECT_EQ(candidates[0][u].y, 0.0);
+  // Candidate C2: subgroup1 (users 0,1) at position 1, subgroup2 (users
+  // 2,3) at position 2 of segment 1.
+  EXPECT_EQ(candidates[1][0].y, 0.0);
+  EXPECT_EQ(candidates[1][1].y, 0.0);
+  EXPECT_EQ(candidates[1][2].y, 1.0);
+  EXPECT_EQ(candidates[1][3].y, 1.0);
+  // Candidate C5 (index 4): first candidate of segment 2 -> position 3
+  // (0-based 2) for everyone.
+  for (int u = 0; u < 4; ++u) EXPECT_EQ(candidates[4][u].y, 2.0);
+  // Candidate C7 (index 6, QI = 7): the paper's real query — subgroup1 on
+  // the 2nd position of segment 2, subgroup2 on the 1st.
+  EXPECT_EQ(candidates[6][0].y, 3.0);
+  EXPECT_EQ(candidates[6][1].y, 3.0);
+  EXPECT_EQ(candidates[6][2].y, 2.0);
+  EXPECT_EQ(candidates[6][3].y, 2.0);
+}
+
+TEST(CandidateTest, RealQueryAppearsAtQueryIndex) {
+  // End-to-end consistency of Eqn 12 with the enumeration order, across
+  // every (seg, x) choice.
+  Rng rng(2);
+  PartitionPlan plan;
+  plan.alpha = 2;
+  plan.n_bar = {3, 2};
+  plan.d_bar = {3, 2};
+  plan.delta_prime = 9 + 4;
+  const int n = 5, d = 5;
+  for (int seg = 1; seg <= plan.beta(); ++seg) {
+    for (int x1 = 1; x1 <= plan.d_bar[seg - 1]; ++x1) {
+      for (int x2 = 1; x2 <= plan.d_bar[seg - 1]; ++x2) {
+        auto sets = RandomSets(n, d, rng);
+        // Arrange "real" locations per the protocol: subgroup j's users
+        // put theirs at absolute position offset + x_j.
+        std::vector<int> subgroup = SubgroupOfUser(plan);
+        std::vector<int> x = {x1, x2};
+        std::vector<Point> real(n);
+        for (int u = 0; u < n; ++u) {
+          int abs_pos = plan.SegmentOffset(seg) - 1 + x[subgroup[u]] - 1;
+          real[u] = sets[u][abs_pos];
+        }
+        uint64_t qi = QueryIndex(plan, seg, x);
+        auto candidates = GenerateCandidateQueries(plan, sets).value();
+        ASSERT_LE(qi, candidates.size());
+        EXPECT_EQ(candidates[qi - 1], real);
+      }
+    }
+  }
+}
+
+TEST(CandidateTest, CandidateQueryAtMatchesFullEnumeration) {
+  Rng rng(3);
+  PartitionPlan plan;
+  plan.alpha = 3;
+  plan.n_bar = {1, 1, 2};
+  plan.d_bar = {2, 2, 1};
+  plan.delta_prime = 8 + 8 + 1;
+  auto sets = RandomSets(4, 5, rng);
+  auto all = GenerateCandidateQueries(plan, sets).value();
+  ASSERT_EQ(all.size(), plan.delta_prime);
+  for (uint64_t qi = 1; qi <= plan.delta_prime; ++qi) {
+    EXPECT_EQ(CandidateQueryAt(plan, sets, qi).value(), all[qi - 1]);
+  }
+  EXPECT_FALSE(CandidateQueryAt(plan, sets, 0).ok());
+  EXPECT_FALSE(CandidateQueryAt(plan, sets, plan.delta_prime + 1).ok());
+}
+
+TEST(CandidateTest, ValidatesSetSizes) {
+  Rng rng(4);
+  PartitionPlan plan = PaperPlan();
+  auto sets = RandomSets(4, 3, rng);  // wrong d
+  EXPECT_FALSE(GenerateCandidateQueries(plan, sets).ok());
+  auto sets2 = RandomSets(3, 4, rng);  // wrong n
+  EXPECT_FALSE(GenerateCandidateQueries(plan, sets2).ok());
+}
+
+TEST(CandidateTest, SolvedPlansProduceDeltaPrimeCandidates) {
+  Rng rng(5);
+  for (int n : {2, 4, 8}) {
+    for (int delta : {25, 60, 100}) {
+      PartitionPlan plan = SolvePartition(n, 25, delta).value();
+      auto sets = RandomSets(n, 25, rng);
+      auto candidates = GenerateCandidateQueries(plan, sets).value();
+      EXPECT_EQ(candidates.size(), plan.delta_prime);
+    }
+  }
+}
+
+TEST(CandidateTest, AllCandidatesDistinctForDistinctLocations) {
+  Rng rng(6);
+  PartitionPlan plan = SolvePartition(4, 10, 50).value();
+  auto sets = RandomSets(4, 10, rng);
+  auto candidates = GenerateCandidateQueries(plan, sets).value();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      EXPECT_NE(candidates[i], candidates[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppgnn

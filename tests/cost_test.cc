@@ -1,0 +1,94 @@
+#include "net/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace ppgnn {
+namespace {
+
+volatile double benchmark_guard_ = 0;  // defeats optimization of busy loops
+
+TEST(CostTrackerTest, RecordsPerLinkBytes) {
+  CostTracker tracker;
+  tracker.RecordSend(Link::kUserToLsp, 100);
+  tracker.RecordSend(Link::kUserToLsp, 50);
+  tracker.RecordSend(Link::kLspToUser, 30);
+  tracker.RecordSend(Link::kUserToUser, 7);
+  const CostReport& r = tracker.report();
+  EXPECT_EQ(r.bytes_user_to_lsp, 150u);
+  EXPECT_EQ(r.bytes_lsp_to_user, 30u);
+  EXPECT_EQ(r.bytes_user_to_user, 7u);
+  EXPECT_EQ(r.TotalCommBytes(), 187u);
+}
+
+TEST(CostTrackerTest, RecordsPerPartyTime) {
+  CostTracker tracker;
+  tracker.RecordCompute(Party::kUser, 0.25);
+  tracker.RecordCompute(Party::kUser, 0.25);
+  tracker.RecordCompute(Party::kLsp, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.report().user_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(tracker.report().lsp_seconds, 1.0);
+}
+
+TEST(CostTrackerTest, ResetClears) {
+  CostTracker tracker;
+  tracker.RecordSend(Link::kUserToLsp, 10);
+  tracker.RecordCompute(Party::kLsp, 1.0);
+  tracker.Reset();
+  EXPECT_EQ(tracker.report().TotalCommBytes(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.report().lsp_seconds, 0.0);
+}
+
+TEST(CostReportTest, AccumulateAndAverage) {
+  CostReport a;
+  a.bytes_user_to_lsp = 100;
+  a.user_seconds = 2.0;
+  CostReport b;
+  b.bytes_user_to_lsp = 300;
+  b.user_seconds = 4.0;
+  a += b;
+  EXPECT_EQ(a.bytes_user_to_lsp, 400u);
+  EXPECT_DOUBLE_EQ(a.user_seconds, 6.0);
+  CostReport avg = a.DividedBy(2.0);
+  EXPECT_EQ(avg.bytes_user_to_lsp, 200u);
+  EXPECT_DOUBLE_EQ(avg.user_seconds, 3.0);
+}
+
+TEST(CostReportTest, ToStringMentionsAllFields) {
+  CostReport r;
+  r.bytes_user_to_lsp = 11;
+  r.bytes_lsp_to_user = 22;
+  r.bytes_user_to_user = 33;
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("66"), std::string::npos);   // total
+  EXPECT_NE(s.find("user="), std::string::npos);
+  EXPECT_NE(s.find("lsp="), std::string::npos);
+}
+
+TEST(ScopedTimerTest, ChargesElapsedCpuTime) {
+  CostTracker tracker;
+  {
+    ScopedTimer timer(&tracker, Party::kLsp);
+    // Burn a little CPU so thread time advances.
+    double sink = 0;
+    for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+    benchmark_guard_ = sink;
+  }
+  EXPECT_GT(tracker.report().lsp_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.report().user_seconds, 0.0);
+}
+
+TEST(ScopedTimerTest, NullTrackerIsSafe) {
+  ScopedTimer timer(nullptr, Party::kUser);  // must not crash on scope exit
+}
+
+TEST(ThreadCpuSecondsTest, MonotoneNonDecreasing) {
+  double a = ThreadCpuSeconds();
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_guard_ = sink;
+  double b = ThreadCpuSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace ppgnn

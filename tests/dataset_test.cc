@@ -1,0 +1,139 @@
+#include "spatial/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ppgnn {
+namespace {
+
+TEST(DatasetTest, SequoiaLikeCardinalityAndBounds) {
+  std::vector<Poi> pois = GenerateSequoiaLike(10000, 1);
+  EXPECT_EQ(pois.size(), 10000u);
+  for (const Poi& p : pois) {
+    EXPECT_GE(p.location.x, 0.0);
+    EXPECT_LE(p.location.x, 1.0);
+    EXPECT_GE(p.location.y, 0.0);
+    EXPECT_LE(p.location.y, 1.0);
+  }
+}
+
+TEST(DatasetTest, IdsAreSequential) {
+  std::vector<Poi> pois = GenerateSequoiaLike(100, 2);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(pois[i].id, i);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  auto a = GenerateSequoiaLike(1000, 42);
+  auto b = GenerateSequoiaLike(1000, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].location, b[i].location);
+  }
+  auto c = GenerateSequoiaLike(1000, 43);
+  int diffs = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].location == c[i].location)) ++diffs;
+  }
+  EXPECT_GT(diffs, 900);
+}
+
+TEST(DatasetTest, SequoiaLikeIsSpatiallySkewed) {
+  // The synthetic dataset must be clustered, not uniform: the densest of
+  // a 10x10 grid of cells should hold far more than 1% of the points.
+  std::vector<Poi> pois = GenerateSequoiaLike(20000, 7);
+  int counts[10][10] = {};
+  for (const Poi& p : pois) {
+    int cx = std::min(9, static_cast<int>(p.location.x * 10));
+    int cy = std::min(9, static_cast<int>(p.location.y * 10));
+    ++counts[cx][cy];
+  }
+  int max_cell = 0;
+  for (auto& row : counts)
+    for (int c : row) max_cell = std::max(max_cell, c);
+  EXPECT_GT(max_cell, 20000 / 100 * 3);  // >= 3x uniform expectation
+}
+
+TEST(DatasetTest, UniformIsNotSkewed) {
+  std::vector<Poi> pois = GenerateUniform(20000, 8);
+  int counts[10][10] = {};
+  for (const Poi& p : pois) {
+    int cx = std::min(9, static_cast<int>(p.location.x * 10));
+    int cy = std::min(9, static_cast<int>(p.location.y * 10));
+    ++counts[cx][cy];
+  }
+  for (auto& row : counts) {
+    for (int c : row) {
+      EXPECT_GT(c, 100);  // expectation 200; wild deviation means bug
+      EXPECT_LT(c, 400);
+    }
+  }
+}
+
+TEST(DatasetTest, CsvSaveLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/pois_roundtrip.csv";
+  std::vector<Poi> pois = GenerateSequoiaLike(200, 3);
+  ASSERT_TRUE(SaveCsv(path, pois).ok());
+  auto loaded = LoadCsv(path).value();
+  ASSERT_EQ(loaded.size(), pois.size());
+  // LoadCsv re-normalizes; span-preserving check of relative order.
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, pois[i].id);
+    EXPECT_GE(loaded[i].location.x, 0.0);
+    EXPECT_LE(loaded[i].location.x, 1.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvLoadTwoColumnFormatAssignsIds) {
+  std::string path = ::testing::TempDir() + "/pois_2col.csv";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "10.5, 20.5\n";
+    out << "30.5, 40.5\n";
+    out << "20.5, 30.5\n";
+  }
+  auto loaded = LoadCsv(path).value();
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].id, 0u);
+  EXPECT_EQ(loaded[2].id, 2u);
+  // Normalization maps the extremes onto [0, 1].
+  EXPECT_DOUBLE_EQ(loaded[0].location.x, 0.0);
+  EXPECT_DOUBLE_EQ(loaded[1].location.x, 1.0);
+  EXPECT_DOUBLE_EQ(loaded[2].location.x, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvLoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadCsv("/nonexistent/path/pois.csv").ok());
+}
+
+TEST(DatasetTest, CsvLoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/pois_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "hello,world\n";
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, CsvLoadRejectsEmptyFile) {
+  std::string path = ::testing::TempDir() + "/pois_empty.csv";
+  {
+    std::ofstream out(path);
+    out << "# only a comment\n";
+  }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, FullPaperScaleGenerationIsFast) {
+  std::vector<Poi> pois = GenerateSequoiaLike(kSequoiaSize, 11);
+  EXPECT_EQ(pois.size(), 62556u);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,176 @@
+#include "core/dummy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "spatial/dataset.h"
+
+namespace ppgnn {
+namespace {
+
+bool InUnitSquare(const Point& p) {
+  return p.x >= 0.0 && p.x <= 1.0 && p.y >= 0.0 && p.y <= 1.0;
+}
+
+TEST(UniformDummyTest, InBoundsAndSpread) {
+  UniformDummyGenerator gen;
+  Rng rng(1);
+  double sum_x = 0;
+  for (int i = 0; i < 5000; ++i) {
+    Point p = gen.Generate({0.5, 0.5}, rng);
+    ASSERT_TRUE(InUnitSquare(p));
+    sum_x += p.x;
+  }
+  EXPECT_NEAR(sum_x / 5000, 0.5, 0.03);
+}
+
+TEST(UniformDummyTest, IgnoresRealLocation) {
+  UniformDummyGenerator gen;
+  Rng a(7), b(7);
+  Point p1 = gen.Generate({0.0, 0.0}, a);
+  Point p2 = gen.Generate({1.0, 1.0}, b);
+  EXPECT_EQ(p1, p2);  // same stream, same output regardless of `real`
+}
+
+TEST(PoiDensityDummyTest, ConcentratesWherePoisAre) {
+  // All POIs in the lower-left quadrant: most dummies should land there.
+  std::vector<Poi> pois;
+  Rng seed(2);
+  for (uint32_t i = 0; i < 2000; ++i) {
+    pois.push_back({i, {seed.NextDouble() * 0.4, seed.NextDouble() * 0.4}});
+  }
+  PoiDensityDummyGenerator gen(pois, 16);
+  Rng rng(3);
+  int inside = 0;
+  const int total = 5000;
+  for (int i = 0; i < total; ++i) {
+    Point p = gen.Generate({0.9, 0.9}, rng);
+    ASSERT_TRUE(InUnitSquare(p));
+    if (p.x <= 0.45 && p.y <= 0.45) ++inside;
+  }
+  EXPECT_GT(inside, total * 6 / 10);
+}
+
+TEST(PoiDensityDummyTest, SmoothingKeepsEmptyCellsPossible) {
+  // With add-one smoothing, even a database concentrated in one cell
+  // still occasionally yields dummies elsewhere.
+  std::vector<Poi> pois(100, Poi{0, {0.01, 0.01}});
+  PoiDensityDummyGenerator gen(pois, 8);
+  Rng rng(4);
+  int outside = 0;
+  for (int i = 0; i < 4000; ++i) {
+    Point p = gen.Generate({0.5, 0.5}, rng);
+    if (p.x > 0.125 || p.y > 0.125) ++outside;
+  }
+  EXPECT_GT(outside, 0);
+}
+
+TEST(PoiDensityDummyTest, CellMassSumsToOne) {
+  std::vector<Poi> pois = GenerateSequoiaLike(3000, 5);
+  PoiDensityDummyGenerator gen(pois, 10);
+  double total = 0;
+  for (int cy = 0; cy < 10; ++cy) {
+    for (int cx = 0; cx < 10; ++cx) {
+      total += gen.CellMass({(cx + 0.5) / 10, (cy + 0.5) / 10});
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NearbyDummyTest, StaysNearRealLocation) {
+  NearbyDummyGenerator gen(0.02);
+  Rng rng(6);
+  Point real{0.3, 0.7};
+  for (int i = 0; i < 1000; ++i) {
+    Point p = gen.Generate(real, rng);
+    ASSERT_TRUE(InUnitSquare(p));
+    EXPECT_LT(Distance(p, real), 0.02 * 6);  // 6 sigma
+  }
+}
+
+TEST(NearbyDummyTest, ClampsAtBorders) {
+  NearbyDummyGenerator gen(0.5);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(InUnitSquare(gen.Generate({0.0, 0.0}, rng)));
+    ASSERT_TRUE(InUnitSquare(gen.Generate({1.0, 1.0}, rng)));
+  }
+}
+
+TEST(DummyProtocolTest, ProtocolRunsWithEveryPolicy) {
+  LspDatabase lsp(GenerateSequoiaLike(2000, 8));
+  PoiDensityDummyGenerator density(lsp.pois(), 16);
+  NearbyDummyGenerator nearby(0.05);
+  UniformDummyGenerator uniform;
+  const DummyGenerator* policies[] = {&uniform, &density, &nearby, nullptr};
+
+  Rng key_rng(9);
+  KeyPair keys = GenerateKeyPair(256, key_rng).value();
+  for (const DummyGenerator* policy : policies) {
+    ProtocolParams params;
+    params.n = 3;
+    params.d = 4;
+    params.delta = 8;
+    params.k = 2;
+    params.key_bits = 256;
+    params.sanitize = false;
+    params.dummy_generator = policy;
+    Rng rng(10);
+    std::vector<Point> group = {{0.2, 0.3}, {0.4, 0.5}, {0.6, 0.7}};
+    auto outcome = RunQuery(Variant::kPpgnn, params, group, lsp, rng, &keys);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    Rng ref_rng(0);
+    auto reference = ReferenceAnswer(params, group, lsp, ref_rng);
+    ASSERT_EQ(outcome->pois.size(), reference.size());
+  }
+}
+
+TEST(DummyAdversaryTest, DensityDummiesResistPriorAdversary) {
+  // A Bayesian LSP adversary with the POI-density prior guesses the real
+  // location as the highest-prior entry of the location set. Real users
+  // live in dense areas, so uniform dummies (often in empty space) are
+  // easy to beat; density-mimicking dummies push the adversary back
+  // toward the 1/d guess rate.
+  std::vector<Poi> pois = GenerateSequoiaLike(20000, 11);
+  PoiDensityDummyGenerator density(pois, 32);
+  UniformDummyGenerator uniform;
+  const int d = 10, trials = 400;
+  Rng rng(12);
+
+  auto adversary_hits = [&](const DummyGenerator& gen) {
+    Rng local(13);
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      // A real user located like a POI (dense areas more likely).
+      Point real = pois[local.NextBelow(pois.size())].location;
+      std::vector<Point> set(d);
+      for (Point& p : set) p = gen.Generate(real, local);
+      size_t real_pos = local.NextBelow(d);
+      set[real_pos] = real;
+      // Adversary: argmax prior mass.
+      size_t guess = 0;
+      double best = -1;
+      for (size_t i = 0; i < set.size(); ++i) {
+        double mass = density.CellMass(set[i]);
+        if (mass > best) {
+          best = mass;
+          guess = i;
+        }
+      }
+      if (guess == real_pos) ++hits;
+    }
+    return static_cast<double>(hits) / trials;
+  };
+
+  double uniform_rate = adversary_hits(uniform);
+  double density_rate = adversary_hits(density);
+  (void)rng;
+  // Uniform dummies leak: adversary clearly beats 1/d.
+  EXPECT_GT(uniform_rate, 1.5 / d);
+  // Density dummies bound the adversary near the ideal 1/d.
+  EXPECT_LT(density_rate, uniform_rate);
+  EXPECT_LT(density_rate, 2.5 / d);
+}
+
+}  // namespace
+}  // namespace ppgnn

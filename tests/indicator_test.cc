@@ -1,0 +1,164 @@
+#include "core/indicator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppgnn {
+namespace {
+
+class IndicatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(777);
+    keys_ = new KeyPair(GenerateKeyPair(256, *rng_).value());
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+  }
+  static Rng* rng_;
+  static KeyPair* keys_;
+};
+Rng* IndicatorTest::rng_ = nullptr;
+KeyPair* IndicatorTest::keys_ = nullptr;
+
+TEST(MakeIndicatorTest, OneHotShape) {
+  auto v = MakeIndicator(3, 5).value();
+  ASSERT_EQ(v.size(), 5u);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], BigInt(i == 2 ? 1 : 0));
+  }
+}
+
+TEST(MakeIndicatorTest, BoundaryPositions) {
+  EXPECT_EQ(MakeIndicator(1, 4).value()[0], BigInt(1));
+  EXPECT_EQ(MakeIndicator(4, 4).value()[3], BigInt(1));
+  EXPECT_FALSE(MakeIndicator(0, 4).ok());
+  EXPECT_FALSE(MakeIndicator(5, 4).ok());
+}
+
+TEST(ChooseOmegaTest, NearSqrtHalfDeltaPrime) {
+  // Eqn 18: omega* ~ sqrt(delta'/2).
+  for (uint64_t dp : {8ULL, 50ULL, 100ULL, 200ULL, 1000ULL}) {
+    uint64_t omega = ChooseOmega(dp, 1);
+    double ideal = std::sqrt(static_cast<double>(dp) / 2.0);
+    EXPECT_GE(omega, 1u);
+    EXPECT_LE(omega, dp);
+    EXPECT_NEAR(static_cast<double>(omega), ideal, ideal * 0.8 + 2.0)
+        << "dp=" << dp;
+  }
+}
+
+TEST(ChooseOmegaTest, MinimizesDiscreteCost) {
+  // Exhaustively verify optimality of the chosen omega for small delta'.
+  for (uint64_t dp = 1; dp <= 300; ++dp) {
+    for (size_t m : {1u, 3u}) {
+      auto cost = [&](uint64_t w) {
+        return 2 * w + (dp + w - 1) / w + 2 * m;
+      };
+      uint64_t chosen = ChooseOmega(dp, m);
+      uint64_t best = cost(chosen);
+      for (uint64_t w = 1; w <= dp; ++w) {
+        EXPECT_LE(best, cost(w)) << "dp=" << dp << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(ChooseOmegaTest, DegenerateCases) {
+  EXPECT_EQ(ChooseOmega(1, 1), 1u);
+  EXPECT_EQ(ChooseOmega(0, 1), 1u);
+}
+
+TEST_F(IndicatorTest, EncryptIndicatorDecryptsToOneHot) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  auto cts = EncryptIndicator(enc, 4, 6, *rng_).value();
+  ASSERT_EQ(cts.size(), 6u);
+  for (size_t i = 0; i < cts.size(); ++i) {
+    EXPECT_EQ(cts[i].level, 1);
+    EXPECT_EQ(dec.Decrypt(cts[i]).value(), BigInt(i == 3 ? 1 : 0));
+  }
+}
+
+TEST_F(IndicatorTest, EncryptIndicatorHidesPosition) {
+  // Ciphertexts at the hot and cold positions must be indistinguishable
+  // by trivial inspection (all distinct, none equal to a deterministic
+  // encoding of 0 or 1).
+  Encryptor enc(keys_->pub);
+  auto cts = EncryptIndicator(enc, 2, 4, *rng_).value();
+  for (size_t i = 0; i < cts.size(); ++i) {
+    for (size_t j = i + 1; j < cts.size(); ++j) {
+      EXPECT_NE(cts[i].value, cts[j].value);
+    }
+  }
+}
+
+TEST_F(IndicatorTest, OptIndicatorShapeAndLevels) {
+  Encryptor enc(keys_->pub);
+  const uint64_t delta_prime = 10, omega = 2;
+  auto opt = EncryptOptIndicator(enc, 7, delta_prime, omega, *rng_).value();
+  EXPECT_EQ(opt.omega, 2u);
+  EXPECT_EQ(opt.block_size, 5u);
+  ASSERT_EQ(opt.v1.size(), 5u);
+  ASSERT_EQ(opt.v2.size(), 2u);
+  for (const auto& ct : opt.v1) EXPECT_EQ(ct.level, 1);
+  for (const auto& ct : opt.v2) EXPECT_EQ(ct.level, 2);
+}
+
+TEST_F(IndicatorTest, OptIndicatorFactorizationCorrect) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  const uint64_t delta_prime = 12, omega = 3;  // block_size = 4
+  for (uint64_t qi = 1; qi <= delta_prime; ++qi) {
+    auto opt = EncryptOptIndicator(enc, qi, delta_prime, omega, *rng_).value();
+    uint64_t block = (qi - 1) / opt.block_size;
+    uint64_t offset = (qi - 1) % opt.block_size;
+    for (uint64_t i = 0; i < opt.block_size; ++i) {
+      EXPECT_EQ(dec.Decrypt(opt.v1[i]).value(), BigInt(i == offset ? 1 : 0));
+    }
+    for (uint64_t b = 0; b < omega; ++b) {
+      EXPECT_EQ(dec.Decrypt(opt.v2[b]).value(), BigInt(b == block ? 1 : 0));
+    }
+  }
+}
+
+TEST_F(IndicatorTest, OptIndicatorPaperExample) {
+  // Figure 4a: delta' = 8, omega = 2, real query at position 7 ->
+  // v1 = (0,0,1,0), v2 = (0,1).
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  auto opt = EncryptOptIndicator(enc, 7, 8, 2, *rng_).value();
+  std::vector<int> v1, v2;
+  for (const auto& ct : opt.v1)
+    v1.push_back(dec.Decrypt(ct).value() == BigInt(1) ? 1 : 0);
+  for (const auto& ct : opt.v2)
+    v2.push_back(dec.Decrypt(ct).value() == BigInt(1) ? 1 : 0);
+  EXPECT_EQ(v1, (std::vector<int>{0, 0, 1, 0}));
+  EXPECT_EQ(v2, (std::vector<int>{0, 1}));
+}
+
+TEST_F(IndicatorTest, OptIndicatorValidatesArguments) {
+  Encryptor enc(keys_->pub);
+  EXPECT_FALSE(EncryptOptIndicator(enc, 1, 8, 0, *rng_).ok());
+  EXPECT_FALSE(EncryptOptIndicator(enc, 1, 8, 9, *rng_).ok());
+  EXPECT_FALSE(EncryptOptIndicator(enc, 0, 8, 2, *rng_).ok());
+  EXPECT_FALSE(EncryptOptIndicator(enc, 9, 8, 2, *rng_).ok());
+}
+
+TEST_F(IndicatorTest, OptWireSizeBeatsPlainForLargeDeltaPrime) {
+  // The whole point of PPGNN-OPT: sqrt-many ciphertexts. Compare wire
+  // bytes of the two encodings at delta' = 100 (m = 1).
+  Encryptor enc(keys_->pub);
+  const uint64_t dp = 100;
+  uint64_t omega = ChooseOmega(dp, 1);
+  auto opt = EncryptOptIndicator(enc, 42, dp, omega, *rng_).value();
+  size_t opt_bytes = opt.v1.size() * keys_->pub.CiphertextBytes(1) +
+                     opt.v2.size() * keys_->pub.CiphertextBytes(2);
+  size_t plain_bytes = dp * keys_->pub.CiphertextBytes(1);
+  EXPECT_LT(opt_bytes, plain_bytes / 2);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,108 @@
+#include "spatial/mld.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+
+namespace ppgnn {
+namespace {
+
+TEST(MldSolverTest, EmptyAndDegenerateInputs) {
+  MeetingLocationSolver solver;
+  EXPECT_TRUE(solver.Query({}, 3, AggregateKind::kSum).empty());
+  EXPECT_TRUE(solver.Query({{0.5, 0.5}}, 0, AggregateKind::kSum).empty());
+  auto one = solver.Query({{0.5, 0.5}}, 3, AggregateKind::kSum);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].poi.id, 0u);
+}
+
+TEST(MldSolverTest, CentralProposalWinsUnderSum) {
+  MeetingLocationSolver solver;
+  // Proposal 1 sits between the others: minimal total distance.
+  std::vector<Point> proposals = {{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}};
+  auto ranked = solver.Query(proposals, 3, AggregateKind::kSum);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].poi.id, 1u);
+  EXPECT_LE(ranked[0].cost, ranked[1].cost);
+  EXPECT_LE(ranked[1].cost, ranked[2].cost);
+}
+
+TEST(MldSolverTest, CostIsAggregateOverAllProposals) {
+  MeetingLocationSolver solver;
+  std::vector<Point> proposals = {{0.0, 0.0}, {1.0, 0.0}};
+  auto ranked = solver.Query(proposals, 2, AggregateKind::kSum);
+  // Each proposal is distance 1 from the other and 0 from itself.
+  EXPECT_DOUBLE_EQ(ranked[0].cost, 1.0);
+  EXPECT_DOUBLE_EQ(ranked[1].cost, 1.0);
+}
+
+TEST(MldSolverTest, MaxAggregatePicksGeometricCenter) {
+  MeetingLocationSolver solver;
+  // Under max, the proposal minimizing the farthest proposal wins.
+  std::vector<Point> proposals = {{0.0, 0.5}, {0.5, 0.5}, {1.0, 0.5}};
+  auto ranked = solver.Query(proposals, 1, AggregateKind::kMax);
+  EXPECT_EQ(ranked[0].poi.id, 1u);
+  EXPECT_DOUBLE_EQ(ranked[0].cost, 0.5);
+}
+
+TEST(MldSolverTest, KTruncates) {
+  MeetingLocationSolver solver;
+  std::vector<Point> proposals(10, Point{0.5, 0.5});
+  EXPECT_EQ(solver.Query(proposals, 4, AggregateKind::kSum).size(), 4u);
+}
+
+TEST(MldProtocolTest, EndToEndPpmld) {
+  // The full portability claim: PPGNN with the MLD black box returns the
+  // best proposal, privately.
+  LspDatabase server({});
+  server.SetSolver(std::make_unique<MeetingLocationSolver>());
+
+  ProtocolParams params;
+  params.n = 4;
+  params.d = 4;
+  params.delta = 10;
+  params.k = 2;
+  params.key_bits = 256;
+
+  Rng rng(5);
+  KeyPair keys = GenerateKeyPair(256, rng).value();
+  // Asymmetric on purpose: exact ties would be broken differently after
+  // the wire's fixed-point quantization.
+  std::vector<Point> proposals = {
+      {0.1, 0.1}, {0.45, 0.5}, {0.58, 0.5}, {0.9, 0.9}};
+  auto outcome =
+      RunQuery(Variant::kPpgnn, params, proposals, server, rng, &keys);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_GE(outcome->pois.size(), 1u);
+
+  MeetingLocationSolver reference;
+  auto ranked = reference.Query(proposals, params.k, AggregateKind::kSum);
+  // The protocol answer is the sanitized prefix of the plaintext ranking.
+  for (size_t i = 0; i < outcome->pois.size(); ++i) {
+    EXPECT_NEAR(outcome->pois[i].x, ranked[i].poi.location.x, 1e-8);
+    EXPECT_NEAR(outcome->pois[i].y, ranked[i].poi.location.y, 1e-8);
+  }
+}
+
+TEST(MldProtocolTest, OptVariantAlsoWorks) {
+  LspDatabase server({});
+  server.SetSolver(std::make_unique<MeetingLocationSolver>());
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 4;
+  params.delta = 12;
+  params.k = 1;
+  params.key_bits = 256;
+  Rng rng(6);
+  KeyPair keys = GenerateKeyPair(256, rng).value();
+  std::vector<Point> proposals = {{0.2, 0.2}, {0.5, 0.5}, {0.8, 0.8}};
+  auto outcome =
+      RunQuery(Variant::kPpgnnOpt, params, proposals, server, rng, &keys);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->pois.size(), 1u);
+  EXPECT_NEAR(outcome->pois[0].x, 0.5, 1e-8);
+  EXPECT_NEAR(outcome->pois[0].y, 0.5, 1e-8);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,327 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.h"
+
+namespace ppgnn {
+namespace {
+
+// Small keys keep tests fast; the scheme's algebra is size-independent.
+constexpr int kTestKeyBits = 256;
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(20240601);
+    keys_ = new KeyPair(GenerateKeyPair(kTestKeyBits, *rng_).value());
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+
+  static Rng* rng_;
+  static KeyPair* keys_;
+};
+
+Rng* PaillierTest::rng_ = nullptr;
+KeyPair* PaillierTest::keys_ = nullptr;
+
+TEST_F(PaillierTest, KeyGenerationInvariants) {
+  EXPECT_EQ(keys_->pub.key_bits, kTestKeyBits);
+  EXPECT_EQ(keys_->pub.n.BitLength(), kTestKeyBits);
+  EXPECT_EQ(keys_->sec.p * keys_->sec.q, keys_->pub.n);
+  // lambda divides (p-1)(q-1) and is divisible by neither p nor q.
+  BigInt totient = (keys_->sec.p - BigInt(1)) * (keys_->sec.q - BigInt(1));
+  EXPECT_EQ(totient % keys_->sec.lambda, BigInt(0));
+}
+
+TEST_F(PaillierTest, KeyGenRejectsBadSizes) {
+  Rng rng(1);
+  EXPECT_FALSE(GenerateKeyPair(63, rng).ok());
+  EXPECT_FALSE(GenerateKeyPair(65, rng).ok());
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTripLevel1) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  const BigInt values[] = {BigInt(0), BigInt(1), BigInt(42),
+                           keys_->pub.n - BigInt(1)};
+  for (const BigInt& m : values) {
+    Ciphertext ct = enc.Encrypt(m, *rng_, 1).value();
+    EXPECT_EQ(ct.level, 1);
+    EXPECT_EQ(dec.Decrypt(ct).value(), m) << m;
+  }
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTripLevel2) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  BigInt n2 = keys_->pub.NPow(2);
+  const BigInt values[] = {BigInt(0), BigInt(7), keys_->pub.n + BigInt(5),
+                           n2 - BigInt(1)};
+  for (const BigInt& m : values) {
+    Ciphertext ct = enc.Encrypt(m, *rng_, 2).value();
+    EXPECT_EQ(ct.level, 2);
+    EXPECT_EQ(dec.Decrypt(ct).value(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTripLevel3) {
+  // The generalized scheme works for any s; spot-check s = 3.
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  BigInt m = keys_->pub.NPow(3) - BigInt(123456789);
+  Ciphertext ct = enc.Encrypt(m, *rng_, 3).value();
+  EXPECT_EQ(dec.Decrypt(ct).value(), m);
+}
+
+TEST_F(PaillierTest, PlaintextReducedModuloNs) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  BigInt m = keys_->pub.n + BigInt(3);  // out of Z_N range
+  Ciphertext ct = enc.Encrypt(m, *rng_, 1).value();
+  EXPECT_EQ(dec.Decrypt(ct).value(), BigInt(3));
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+  Encryptor enc(keys_->pub);
+  Ciphertext a = enc.Encrypt(BigInt(5), *rng_, 1).value();
+  Ciphertext b = enc.Encrypt(BigInt(5), *rng_, 1).value();
+  EXPECT_NE(a.value, b.value);  // different blinding randomness
+}
+
+TEST_F(PaillierTest, CiphertextInRange) {
+  Encryptor enc(keys_->pub);
+  BigInt n2 = keys_->pub.NPow(2);
+  for (int i = 0; i < 5; ++i) {
+    Ciphertext ct = enc.Encrypt(BigInt(i), *rng_, 1).value();
+    EXPECT_TRUE(ct.value < n2);
+    EXPECT_FALSE(ct.value.IsNegative());
+    // Ciphertexts must be units mod N^2.
+    EXPECT_EQ(Gcd(ct.value, n2), BigInt(1));
+  }
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext a = enc.Encrypt(BigInt(1234), *rng_, 1).value();
+  Ciphertext b = enc.Encrypt(BigInt(8766), *rng_, 1).value();
+  Ciphertext sum = enc.Add(a, b).value();
+  EXPECT_EQ(dec.Decrypt(sum).value(), BigInt(10000));
+}
+
+TEST_F(PaillierTest, HomomorphicAdditionWrapsModN) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  BigInt near_n = keys_->pub.n - BigInt(1);
+  Ciphertext a = enc.Encrypt(near_n, *rng_, 1).value();
+  Ciphertext b = enc.Encrypt(BigInt(5), *rng_, 1).value();
+  EXPECT_EQ(dec.Decrypt(enc.Add(a, b).value()).value(), BigInt(4));
+}
+
+TEST_F(PaillierTest, AddRejectsMismatchedLevels) {
+  Encryptor enc(keys_->pub);
+  Ciphertext a = enc.Encrypt(BigInt(1), *rng_, 1).value();
+  Ciphertext b = enc.Encrypt(BigInt(1), *rng_, 2).value();
+  EXPECT_FALSE(enc.Add(a, b).ok());
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiplication) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext ct = enc.Encrypt(BigInt(111), *rng_, 1).value();
+  Ciphertext scaled = enc.ScalarMul(BigInt(9), ct).value();
+  EXPECT_EQ(dec.Decrypt(scaled).value(), BigInt(999));
+  // Scaling by zero yields an encryption of zero.
+  EXPECT_EQ(dec.Decrypt(enc.ScalarMul(BigInt(0), ct).value()).value(),
+            BigInt(0));
+}
+
+TEST_F(PaillierTest, ScalarMulRejectsNegative) {
+  Encryptor enc(keys_->pub);
+  Ciphertext ct = enc.Encrypt(BigInt(1), *rng_, 1).value();
+  EXPECT_FALSE(enc.ScalarMul(BigInt(-2), ct).ok());
+}
+
+TEST_F(PaillierTest, DotProductSelectsIndicatedElement) {
+  // The private-selection primitive (Eqn 4): a one-hot encrypted vector
+  // dotted with a plaintext row returns the indicated element.
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  std::vector<Ciphertext> v;
+  const size_t hot = 2;
+  for (size_t i = 0; i < 4; ++i) {
+    v.push_back(enc.Encrypt(BigInt(i == hot ? 1 : 0), *rng_, 1).value());
+  }
+  std::vector<BigInt> x = {BigInt(10), BigInt(20), BigInt(30), BigInt(40)};
+  Ciphertext out = enc.DotProduct(x, v).value();
+  EXPECT_EQ(dec.Decrypt(out).value(), BigInt(30));
+}
+
+TEST_F(PaillierTest, DotProductGeneralLinearCombination) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  std::vector<Ciphertext> v = {enc.Encrypt(BigInt(3), *rng_, 1).value(),
+                               enc.Encrypt(BigInt(5), *rng_, 1).value(),
+                               enc.Encrypt(BigInt(7), *rng_, 1).value()};
+  std::vector<BigInt> x = {BigInt(2), BigInt(0), BigInt(4)};
+  Ciphertext out = enc.DotProduct(x, v).value();
+  EXPECT_EQ(dec.Decrypt(out).value(), BigInt(2 * 3 + 0 * 5 + 4 * 7));
+}
+
+TEST_F(PaillierTest, DotProductValidatesShapes) {
+  Encryptor enc(keys_->pub);
+  std::vector<Ciphertext> v = {enc.Encrypt(BigInt(1), *rng_, 1).value()};
+  EXPECT_FALSE(enc.DotProduct({BigInt(1), BigInt(2)}, v).ok());
+  EXPECT_FALSE(enc.DotProduct({}, {}).ok());
+}
+
+TEST_F(PaillierTest, LayeredEncryptionRoundTrip) {
+  // PPGNN-OPT's core trick: an eps_1 ciphertext is a valid eps_2
+  // plaintext; two decryptions peel both layers.
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  BigInt secret(987654321);
+  Ciphertext inner = enc.Encrypt(secret, *rng_, 1).value();
+  Ciphertext outer = enc.Encrypt(inner.value, *rng_, 2).value();
+  EXPECT_EQ(dec.DecryptLayered(outer).value(), secret);
+}
+
+TEST_F(PaillierTest, LayeredSelectionViaScalarMul) {
+  // Treating eps_1 ciphertexts as eps_2 scalars: dot([[one-hot]],
+  // (c1, c2)) picks the indicated inner ciphertext.
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext inner_a = enc.Encrypt(BigInt(111), *rng_, 1).value();
+  Ciphertext inner_b = enc.Encrypt(BigInt(222), *rng_, 1).value();
+  std::vector<Ciphertext> v2 = {enc.Encrypt(BigInt(0), *rng_, 2).value(),
+                                enc.Encrypt(BigInt(1), *rng_, 2).value()};
+  std::vector<BigInt> scalars = {inner_a.value, inner_b.value};
+  Ciphertext outer = enc.DotProduct(scalars, v2).value();
+  EXPECT_EQ(dec.DecryptLayered(outer).value(), BigInt(222));
+}
+
+TEST_F(PaillierTest, DecryptLayeredRejectsWrongLevel) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext ct = enc.Encrypt(BigInt(1), *rng_, 1).value();
+  EXPECT_FALSE(dec.DecryptLayered(ct).ok());
+}
+
+TEST_F(PaillierTest, CiphertextByteSizes) {
+  // L_e = 2 * keysize/8 for eps_1; eps_2 ciphertexts are 1.5x larger
+  // (Z_{N^3}), the ratio driving Eqn 18's cost model.
+  EXPECT_EQ(keys_->pub.CiphertextBytes(1),
+            static_cast<size_t>(2 * kTestKeyBits / 8));
+  EXPECT_EQ(keys_->pub.CiphertextBytes(2),
+            static_cast<size_t>(3 * kTestKeyBits / 8));
+}
+
+TEST_F(PaillierTest, ExtractDjLogRecoversExponent) {
+  const BigInt& n = keys_->pub.n;
+  for (int s : {1, 2, 3}) {
+    BigInt n_s1 = keys_->pub.NPow(s + 1);
+    BigInt x = (BigInt(123456789) * keys_->pub.n + BigInt(42)).Mod(
+        keys_->pub.NPow(s));
+    BigInt a = ModExp(n + BigInt(1), x, n_s1).value();
+    EXPECT_EQ(internal::ExtractDjLog(a, n, s).value(), x) << "s=" << s;
+  }
+}
+
+TEST_F(PaillierTest, ExtractDjLogRejectsMalformedInput) {
+  // A value that is not (1+N)^x mod N^2 (its L-part is not divisible).
+  EXPECT_FALSE(internal::ExtractDjLog(BigInt(2), keys_->pub.n, 1).ok());
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintextButChangesCiphertext) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  for (int level : {1, 2}) {
+    Ciphertext ct = enc.Encrypt(BigInt(31337), *rng_, level).value();
+    Ciphertext re = enc.Rerandomize(ct, *rng_).value();
+    EXPECT_EQ(re.level, level);
+    EXPECT_NE(re.value, ct.value);
+    EXPECT_EQ(dec.Decrypt(re).value(), BigInt(31337));
+  }
+}
+
+TEST_F(PaillierTest, ZeroCiphertextIsAdditiveIdentity) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext ct = enc.Encrypt(BigInt(77), *rng_, 1).value();
+  Ciphertext sum = enc.Add(ct, enc.Zero(1)).value();
+  EXPECT_EQ(dec.Decrypt(sum).value(), BigInt(77));
+}
+
+TEST_F(PaillierTest, DistinctKeysProduceDistinctModuli) {
+  Rng rng(31337);
+  KeyPair other = GenerateKeyPair(kTestKeyBits, rng).value();
+  EXPECT_NE(other.pub.n, keys_->pub.n);
+}
+
+TEST_F(PaillierTest, CrtAndDirectDecryptionAgree) {
+  Encryptor enc(keys_->pub);
+  Decryptor crt(keys_->pub, keys_->sec, /*use_crt=*/true);
+  Decryptor direct(keys_->pub, keys_->sec, /*use_crt=*/false);
+  for (int level : {1, 2}) {
+    for (int i = 0; i < 10; ++i) {
+      BigInt m = BigInt::RandomBelow(keys_->pub.NPow(level), *rng_);
+      Ciphertext ct = enc.Encrypt(m, *rng_, level).value();
+      BigInt via_crt = crt.Decrypt(ct).value();
+      BigInt via_direct = direct.Decrypt(ct).value();
+      EXPECT_EQ(via_crt, via_direct);
+      EXPECT_EQ(via_crt, m);
+    }
+  }
+}
+
+TEST_F(PaillierTest, BlindingPoolPreservesCorrectnessAndDrains) {
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  ASSERT_TRUE(enc.PrecomputeBlinding(3, *rng_, 1).ok());
+  EXPECT_EQ(enc.PooledBlindingCount(1), 3u);
+  for (int i = 0; i < 5; ++i) {  // 3 pooled + 2 fresh
+    Ciphertext ct = enc.Encrypt(BigInt(1000 + i), *rng_, 1).value();
+    EXPECT_EQ(dec.Decrypt(ct).value(), BigInt(1000 + i));
+  }
+  EXPECT_EQ(enc.PooledBlindingCount(1), 0u);
+}
+
+TEST_F(PaillierTest, PooledCiphertextsStillProbabilistic) {
+  Encryptor enc(keys_->pub);
+  ASSERT_TRUE(enc.PrecomputeBlinding(2, *rng_, 1).ok());
+  Ciphertext a = enc.Encrypt(BigInt(5), *rng_, 1).value();
+  Ciphertext b = enc.Encrypt(BigInt(5), *rng_, 1).value();
+  EXPECT_NE(a.value, b.value);
+}
+
+TEST_F(PaillierTest, BlindingPoolLevelsAreIndependent) {
+  Encryptor enc(keys_->pub);
+  ASSERT_TRUE(enc.PrecomputeBlinding(2, *rng_, 2).ok());
+  EXPECT_EQ(enc.PooledBlindingCount(1), 0u);
+  EXPECT_EQ(enc.PooledBlindingCount(2), 2u);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext ct = enc.Encrypt(BigInt(77), *rng_, 2).value();
+  EXPECT_EQ(dec.Decrypt(ct).value(), BigInt(77));
+  EXPECT_EQ(enc.PooledBlindingCount(2), 1u);
+  EXPECT_FALSE(enc.PrecomputeBlinding(1, *rng_, 0).ok());
+}
+
+TEST(PaillierSoakTest, ManyRandomRoundTrips) {
+  Rng rng(606);
+  KeyPair keys = GenerateKeyPair(128, rng).value();
+  Encryptor enc(keys.pub);
+  Decryptor dec(keys.pub, keys.sec);
+  for (int i = 0; i < 30; ++i) {
+    BigInt m = BigInt::RandomBelow(keys.pub.n, rng);
+    EXPECT_EQ(dec.Decrypt(enc.Encrypt(m, rng, 1).value()).value(), m);
+  }
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,223 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace ppgnn {
+namespace {
+
+uint64_t PowerSum(const std::vector<int>& parts, int alpha) {
+  uint64_t total = 0;
+  for (int part : parts) {
+    uint64_t term = 1;
+    for (int i = 0; i < alpha; ++i) term *= static_cast<uint64_t>(part);
+    total += term;
+  }
+  return total;
+}
+
+TEST(PartitionTest, PlanInternallyConsistent) {
+  PartitionPlan plan = SolvePartition(8, 25, 100).value();
+  EXPECT_GE(plan.alpha, 1);
+  EXPECT_LE(plan.alpha, 8);
+  EXPECT_EQ(std::accumulate(plan.n_bar.begin(), plan.n_bar.end(), 0), 8);
+  EXPECT_EQ(std::accumulate(plan.d_bar.begin(), plan.d_bar.end(), 0), 25);
+  EXPECT_EQ(plan.delta_prime, PowerSum(plan.d_bar, plan.alpha));
+  EXPECT_GE(plan.delta_prime, 100u);
+  EXPECT_EQ(static_cast<size_t>(plan.beta()), plan.d_bar.size());
+}
+
+TEST(PartitionTest, SingleUserDegeneratesToDelta) {
+  // n = 1 forces alpha = 1, so delta' = d for any segmentation.
+  PartitionPlan plan = SolvePartition(1, 25, 25).value();
+  EXPECT_EQ(plan.alpha, 1);
+  EXPECT_EQ(plan.delta_prime, 25u);
+}
+
+TEST(PartitionTest, DeltaEqualsDUsesLinearPlan) {
+  PartitionPlan plan = SolvePartition(8, 25, 25).value();
+  EXPECT_EQ(plan.delta_prime, 25u);  // alpha = 1 achieves delta' = d exactly
+}
+
+TEST(PartitionTest, FiguresExampleFromPaper) {
+  // Figure 3: n = 4, d = 4, delta = 8 -> d_bar = (2, 2), alpha = 2,
+  // delta' = 2^2 + 2^2 = 8.
+  PartitionPlan plan = SolvePartition(4, 4, 8).value();
+  EXPECT_EQ(plan.delta_prime, 8u);
+  EXPECT_EQ(plan.alpha, 2);
+  EXPECT_EQ(plan.d_bar, (std::vector<int>{2, 2}));
+}
+
+TEST(PartitionTest, InfeasibleWhenDeltaExceedsDToTheN) {
+  EXPECT_FALSE(SolvePartition(2, 3, 10).ok());   // 3^2 = 9 < 10
+  EXPECT_TRUE(SolvePartition(2, 3, 9).ok());
+  EXPECT_FALSE(SolvePartition(1, 5, 6).ok());    // 5^1 < 6
+}
+
+TEST(PartitionTest, RejectsNonPositiveInputs) {
+  EXPECT_FALSE(SolvePartition(0, 25, 100).ok());
+  EXPECT_FALSE(SolvePartition(8, 0, 100).ok());
+  EXPECT_FALSE(SolvePartition(8, 25, 0).ok());
+}
+
+// Brute-force optimum over all partitions of d and all alpha (for small
+// instances) to certify the solver's minimality.
+uint64_t BruteForceOptimum(int n, int d, int delta) {
+  uint64_t best = ~0ULL;
+  // Enumerate partitions of d as non-increasing parts.
+  std::vector<int> parts;
+  std::function<void(int, int)> recurse = [&](int remaining, int max_part) {
+    if (remaining == 0) {
+      for (int alpha = 1; alpha <= n; ++alpha) {
+        // Saturating power sum.
+        uint64_t total = 0;
+        bool overflow = false;
+        for (int part : parts) {
+          uint64_t term = 1;
+          for (int i = 0; i < alpha; ++i) {
+            if (term > (~0ULL) / static_cast<uint64_t>(part)) {
+              overflow = true;
+              break;
+            }
+            term *= static_cast<uint64_t>(part);
+          }
+          if (overflow || total > (~0ULL) - term) {
+            overflow = true;
+            break;
+          }
+          total += term;
+        }
+        if (!overflow && total >= static_cast<uint64_t>(delta)) {
+          best = std::min(best, total);
+        }
+      }
+      return;
+    }
+    for (int part = std::min(max_part, remaining); part >= 1; --part) {
+      parts.push_back(part);
+      recurse(remaining - part, part);
+      parts.pop_back();
+    }
+  };
+  recurse(d, d);
+  return best;
+}
+
+struct SolverCase {
+  int n, d, delta;
+};
+
+class PartitionOptimalityTest : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(PartitionOptimalityTest, MatchesBruteForceOptimum) {
+  const SolverCase& c = GetParam();
+  auto plan = SolvePartition(c.n, c.d, c.delta);
+  uint64_t brute = BruteForceOptimum(c.n, c.d, c.delta);
+  if (brute == ~0ULL) {
+    EXPECT_FALSE(plan.ok());
+  } else {
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->delta_prime, brute)
+        << "n=" << c.n << " d=" << c.d << " delta=" << c.delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionOptimalityTest,
+    ::testing::Values(SolverCase{2, 5, 10}, SolverCase{2, 8, 30},
+                      SolverCase{3, 10, 50}, SolverCase{4, 12, 100},
+                      SolverCase{8, 15, 150}, SolverCase{2, 15, 200},
+                      SolverCase{5, 6, 7000}, SolverCase{3, 9, 728},
+                      SolverCase{3, 9, 729}, SolverCase{3, 9, 730}));
+
+TEST(PartitionTest, PaperObservationDeltaPrimeCloseToDelta) {
+  // Section 8.3: over n in [2,32], d in [5,50], delta in [50,200], the
+  // average delta' - delta is approximately 1. Verify the gap stays tiny
+  // on a sample grid.
+  double total_gap = 0;
+  int count = 0;
+  for (int n : {2, 4, 8, 16, 32}) {
+    for (int d : {10, 25, 50}) {
+      for (int delta : {50, 100, 150, 200}) {
+        // Skip infeasible corners (delta > d^n), e.g. n=2, d=10, delta=150.
+        if (std::pow(static_cast<double>(d), n) < delta) continue;
+        auto plan = SolvePartition(n, d, delta);
+        ASSERT_TRUE(plan.ok());
+        total_gap += static_cast<double>(plan->delta_prime - delta);
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(total_gap / count, 3.0);
+}
+
+TEST(PartitionTest, SegmentOffsets) {
+  PartitionPlan plan;
+  plan.alpha = 2;
+  plan.d_bar = {3, 2, 4};
+  EXPECT_EQ(plan.SegmentOffset(1), 1);
+  EXPECT_EQ(plan.SegmentOffset(2), 4);
+  EXPECT_EQ(plan.SegmentOffset(3), 6);
+}
+
+TEST(QueryIndexTest, PaperExample) {
+  // Example 4.2: seg = 2, alpha = 2, d_bar = (2,2), x = (2,1) -> QI = 7.
+  PartitionPlan plan;
+  plan.alpha = 2;
+  plan.d_bar = {2, 2};
+  plan.delta_prime = 8;
+  EXPECT_EQ(QueryIndex(plan, 2, {2, 1}), 7u);
+}
+
+TEST(QueryIndexTest, EnumeratesAllPositionsBijectively) {
+  PartitionPlan plan;
+  plan.alpha = 3;
+  plan.d_bar = {3, 2};
+  plan.delta_prime = 27 + 8;
+  std::vector<bool> seen(plan.delta_prime, false);
+  for (int seg = 1; seg <= 2; ++seg) {
+    int d_seg = plan.d_bar[seg - 1];
+    for (int x1 = 1; x1 <= d_seg; ++x1) {
+      for (int x2 = 1; x2 <= d_seg; ++x2) {
+        for (int x3 = 1; x3 <= d_seg; ++x3) {
+          uint64_t qi = QueryIndex(plan, seg, {x1, x2, x3});
+          ASSERT_GE(qi, 1u);
+          ASSERT_LE(qi, plan.delta_prime);
+          EXPECT_FALSE(seen[qi - 1]) << "duplicate index " << qi;
+          seen[qi - 1] = true;
+        }
+      }
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(CandidatesBeforeSegmentTest, PrefixSums) {
+  PartitionPlan plan;
+  plan.alpha = 2;
+  plan.d_bar = {3, 2, 1};
+  EXPECT_EQ(CandidatesBeforeSegment(plan, 1), 0u);
+  EXPECT_EQ(CandidatesBeforeSegment(plan, 2), 9u);
+  EXPECT_EQ(CandidatesBeforeSegment(plan, 3), 13u);
+}
+
+TEST(PartitionTest, MemoizedResultsAreStable) {
+  auto a = SolvePartition(8, 25, 100).value();
+  auto b = SolvePartition(8, 25, 100).value();
+  EXPECT_EQ(a.delta_prime, b.delta_prime);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.d_bar, b.d_bar);
+}
+
+TEST(PartitionTest, LargeParameterSpaceStaysFast) {
+  // Worst case in the benchmark sweeps: d = 50, n = 32, delta = 200.
+  auto plan = SolvePartition(32, 50, 200).value();
+  EXPECT_GE(plan.delta_prime, 200u);
+  EXPECT_LE(plan.delta_prime, 220u);
+}
+
+}  // namespace
+}  // namespace ppgnn

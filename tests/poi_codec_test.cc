@@ -1,0 +1,150 @@
+#include "crypto/poi_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ppgnn {
+namespace {
+
+std::vector<Point> RandomPois(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> out(count);
+  for (Point& p : out) p = {rng.NextDouble(), rng.NextDouble()};
+  return out;
+}
+
+TEST(QuantizeCoordTest, BoundariesAndMonotonicity) {
+  EXPECT_EQ(QuantizeCoord(0.0), 0u);
+  EXPECT_EQ(QuantizeCoord(1.0), 0xffffffffu);
+  EXPECT_EQ(QuantizeCoord(-0.5), 0u);     // saturates
+  EXPECT_EQ(QuantizeCoord(1.5), 0xffffffffu);
+  EXPECT_LE(QuantizeCoord(0.25), QuantizeCoord(0.75));
+}
+
+TEST(QuantizeCoordTest, RoundTripErrorBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    double back = DequantizeCoord(QuantizeCoord(v));
+    EXPECT_NEAR(back, v, 1.0 / 4294967295.0);
+  }
+}
+
+TEST(QuantizeCoordTest, QuantizedValuesAreFixedPoints) {
+  for (uint32_t q : {0u, 1u, 77777u, 0xffffffffu}) {
+    EXPECT_EQ(QuantizeCoord(DequantizeCoord(q)), q);
+  }
+}
+
+TEST(PoiCodecTest, CapacityMatchesPaperAt1024Bits) {
+  // "15 POIs information can be encoded by a big integer in our settings"
+  PoiCodec codec(1024);
+  EXPECT_EQ(codec.SlotsInFirstInt(), 15);
+  EXPECT_EQ(codec.SlotsInLaterInt(), 15);
+  EXPECT_EQ(codec.IntsNeeded(1), 1u);
+  EXPECT_EQ(codec.IntsNeeded(15), 1u);
+  EXPECT_EQ(codec.IntsNeeded(16), 2u);
+  EXPECT_EQ(codec.IntsNeeded(30), 2u);
+  EXPECT_EQ(codec.IntsNeeded(31), 3u);
+  EXPECT_EQ(codec.PlaintextBytes(), 128u);
+}
+
+TEST(PoiCodecTest, SmallKeyCapacities) {
+  PoiCodec codec(256);
+  EXPECT_EQ(codec.SlotsInFirstInt(), 3);  // (256-9)/64
+  EXPECT_EQ(codec.SlotsInLaterInt(), 3);  // (256-1)/64
+  EXPECT_EQ(codec.IntsNeeded(3), 1u);
+  EXPECT_EQ(codec.IntsNeeded(4), 2u);
+}
+
+class PoiCodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(PoiCodecRoundTrip, EncodeDecodeIdentity) {
+  auto [key_bits, count] = GetParam();
+  PoiCodec codec(key_bits);
+  std::vector<Point> pois =
+      RandomPois(count, 1000 + count + static_cast<size_t>(key_bits));
+  size_t width = codec.IntsNeeded(count);
+  std::vector<BigInt> ints = codec.Encode(pois, width).value();
+  ASSERT_EQ(ints.size(), width);
+  std::vector<Point> decoded = codec.Decode(ints).value();
+  ASSERT_EQ(decoded.size(), pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    EXPECT_NEAR(decoded[i].x, pois[i].x, 1e-9);
+    EXPECT_NEAR(decoded[i].y, pois[i].y, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PoiCodecRoundTrip,
+    ::testing::Combine(::testing::Values(256, 512, 1024),
+                       ::testing::Values<size_t>(0, 1, 2, 3, 8, 15, 16, 31,
+                                                 40)));
+
+TEST(PoiCodecTest, PaddingToWiderMatrixIsTransparent) {
+  PoiCodec codec(512);
+  std::vector<Point> pois = RandomPois(2, 7);
+  // Pad to 4 integers even though 1 suffices (uniform matrix width m).
+  std::vector<BigInt> ints = codec.Encode(pois, 4).value();
+  ASSERT_EQ(ints.size(), 4u);
+  EXPECT_TRUE(ints[1].IsZero());
+  EXPECT_TRUE(ints[3].IsZero());
+  std::vector<Point> decoded = codec.Decode(ints).value();
+  ASSERT_EQ(decoded.size(), 2u);
+}
+
+TEST(PoiCodecTest, EmptyAnswerRoundTrips) {
+  // Sanitation can shrink an answer; even length 0 must survive (though
+  // the protocol always keeps >= 1 POI).
+  PoiCodec codec(256);
+  std::vector<BigInt> ints = codec.Encode({}, 1).value();
+  EXPECT_TRUE(codec.Decode(ints).value().empty());
+}
+
+TEST(PoiCodecTest, EveryPackedIntegerBelowPlaintextBound) {
+  PoiCodec codec(256);
+  std::vector<Point> pois(3, Point{1.0, 1.0});  // all-ones slots
+  std::vector<BigInt> ints = codec.Encode(pois, 1).value();
+  for (const BigInt& v : ints) {
+    EXPECT_LT(v.BitLength(), 256);  // strictly < 2^(kb-1) < N
+  }
+}
+
+TEST(PoiCodecTest, RejectsWidthTooSmall) {
+  PoiCodec codec(256);
+  std::vector<Point> pois = RandomPois(4, 9);
+  EXPECT_FALSE(codec.Encode(pois, 1).ok());
+}
+
+TEST(PoiCodecTest, RejectsOversizedAnswer) {
+  PoiCodec codec(1024);
+  std::vector<Point> pois = RandomPois(256, 11);
+  EXPECT_FALSE(codec.Encode(pois, 64).ok());
+}
+
+TEST(PoiCodecTest, DecodeRejectsEmptyAndTruncated) {
+  PoiCodec codec(256);
+  EXPECT_FALSE(codec.Decode({}).ok());
+  std::vector<Point> pois = RandomPois(5, 13);
+  std::vector<BigInt> ints = codec.Encode(pois, codec.IntsNeeded(5)).value();
+  ints.pop_back();
+  EXPECT_FALSE(codec.Decode(ints).ok());
+}
+
+TEST(PoiCodecTest, OrderPreserved) {
+  // The answer is a RANKED list; order must survive the round trip.
+  PoiCodec codec(512);
+  std::vector<Point> pois;
+  for (int i = 0; i < 10; ++i)
+    pois.push_back({i / 10.0, 1.0 - i / 10.0});
+  std::vector<Point> decoded =
+      codec.Decode(codec.Encode(pois, codec.IntsNeeded(10)).value()).value();
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_GT(decoded[i].x, decoded[i - 1].x);
+  }
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,247 @@
+#include "roadnet/dijkstra.h"
+#include "roadnet/graph.h"
+#include "roadnet/road_gnn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/protocol.h"
+#include "spatial/dataset.h"
+
+namespace ppgnn {
+namespace {
+
+// A tiny hand-built network: nodes 0-1-2 on the line y = 0 at
+// x = 0, 0.5, 1.0, and node 3 at (0.5, 0.5) hanging off node 1.
+RoadNetwork TinyNetwork() {
+  return RoadNetwork::FromEdges(
+             {{0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}, {0.5, 0.5}},
+             {{0, 1}, {1, 2}, {1, 3}})
+      .value();
+}
+
+TEST(RoadNetworkTest, FromEdgesBasics) {
+  RoadNetwork net = TinyNetwork();
+  EXPECT_EQ(net.NodeCount(), 4u);
+  EXPECT_EQ(net.EdgeCount(), 3u);
+  EXPECT_TRUE(net.IsConnected());
+}
+
+TEST(RoadNetworkTest, FromEdgesRejectsBadInput) {
+  EXPECT_FALSE(
+      RoadNetwork::FromEdges({{0, 0}, {1, 1}}, {{0, 5}}).ok());  // OOB
+  EXPECT_FALSE(
+      RoadNetwork::FromEdges({{0, 0}, {1, 1}}, {{1, 1}}).ok());  // self-loop
+}
+
+TEST(RoadNetworkTest, NearestNodeSnapsCorrectly) {
+  RoadNetwork net = TinyNetwork();
+  EXPECT_EQ(net.NearestNode({0.05, 0.02}), 0u);
+  EXPECT_EQ(net.NearestNode({0.95, 0.0}), 2u);
+  EXPECT_EQ(net.NearestNode({0.5, 0.45}), 3u);
+  // Exhaustive agreement with a linear scan on a bigger network.
+  Rng rng(1);
+  RoadNetwork grid = RoadNetwork::BuildGrid(12, 9, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    uint32_t fast = grid.NearestNode(p);
+    uint32_t slow = 0;
+    double best = 1e300;
+    for (uint32_t i = 0; i < grid.NodeCount(); ++i) {
+      double dist = Distance(p, grid.nodes()[i]);
+      if (dist < best) {
+        best = dist;
+        slow = i;
+      }
+    }
+    EXPECT_DOUBLE_EQ(Distance(p, grid.nodes()[fast]), best) << trial;
+    (void)slow;
+  }
+}
+
+TEST(RoadNetworkTest, GridIsConnectedForAllDropRates) {
+  Rng rng(2);
+  for (double drop : {0.0, 0.2, 0.5, 0.9}) {
+    RoadNetwork net = RoadNetwork::BuildGrid(10, 10, rng, 0.3, drop);
+    EXPECT_EQ(net.NodeCount(), 100u);
+    EXPECT_TRUE(net.IsConnected()) << "drop=" << drop;
+  }
+}
+
+TEST(RoadNetworkTest, GridNodesInsideUnitSquare) {
+  Rng rng(3);
+  RoadNetwork net = RoadNetwork::BuildGrid(20, 20, rng, 0.5, 0.3);
+  for (const Point& p : net.nodes()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+  }
+}
+
+TEST(DijkstraTest, TinyNetworkDistances) {
+  RoadNetwork net = TinyNetwork();
+  auto dist = ShortestPathsFrom(net, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 0.5);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(dist[3], 1.0);  // 0 -> 1 -> 3
+  EXPECT_DOUBLE_EQ(ShortestPathDistance(net, 0, 3).value(), 1.0);
+  EXPECT_DOUBLE_EQ(ShortestPathDistance(net, 3, 3).value(), 0.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinity) {
+  RoadNetwork net =
+      RoadNetwork::FromEdges({{0, 0}, {1, 0}, {0, 1}}, {{0, 1}}).value();
+  EXPECT_FALSE(net.IsConnected());
+  auto dist = ShortestPathsFrom(net, 0);
+  EXPECT_TRUE(std::isinf(dist[2]));
+  EXPECT_TRUE(std::isinf(ShortestPathDistance(net, 0, 2).value()));
+}
+
+TEST(DijkstraTest, RejectsOutOfRangeNodes) {
+  RoadNetwork net = TinyNetwork();
+  EXPECT_FALSE(ShortestPathDistance(net, 0, 99).ok());
+  EXPECT_FALSE(ShortestPathDistance(net, 99, 0).ok());
+}
+
+TEST(DijkstraTest, SymmetricAndTriangleInequality) {
+  Rng rng(4);
+  RoadNetwork net = RoadNetwork::BuildGrid(8, 8, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBelow(net.NodeCount()));
+    uint32_t b = static_cast<uint32_t>(rng.NextBelow(net.NodeCount()));
+    uint32_t c = static_cast<uint32_t>(rng.NextBelow(net.NodeCount()));
+    double ab = ShortestPathDistance(net, a, b).value();
+    double ba = ShortestPathDistance(net, b, a).value();
+    double ac = ShortestPathDistance(net, a, c).value();
+    double cb = ShortestPathDistance(net, c, b).value();
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_LE(ab, ac + cb + 1e-12);
+  }
+}
+
+TEST(DijkstraTest, NetworkDistanceAtLeastEuclidean) {
+  Rng rng(5);
+  RoadNetwork net = RoadNetwork::BuildGrid(10, 10, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBelow(net.NodeCount()));
+    uint32_t b = static_cast<uint32_t>(rng.NextBelow(net.NodeCount()));
+    double road = ShortestPathDistance(net, a, b).value();
+    double euclid = Distance(net.nodes()[a], net.nodes()[b]);
+    EXPECT_GE(road, euclid - 1e-12);
+  }
+}
+
+TEST(RoadOracleTest, MatchesDijkstraAndCaches) {
+  Rng rng(6);
+  RoadNetwork net = RoadNetwork::BuildGrid(10, 10, rng);
+  RoadDistanceOracle oracle(&net);
+  for (int trial = 0; trial < 20; ++trial) {
+    Point a{rng.NextDouble(), rng.NextDouble()};
+    Point b{rng.NextDouble(), rng.NextDouble()};
+    double via_oracle = oracle.Distance(a, b);
+    double direct =
+        ShortestPathDistance(net, net.NearestNode(a), net.NearestNode(b))
+            .value();
+    EXPECT_DOUBLE_EQ(via_oracle, direct);
+  }
+  // Repeated queries from the same source reuse one SSSP tree.
+  size_t before = oracle.CachedSources();
+  Point fixed{0.31, 0.71};
+  for (int i = 0; i < 10; ++i) {
+    oracle.Distance(fixed, {rng.NextDouble(), rng.NextDouble()});
+  }
+  EXPECT_LE(oracle.CachedSources(), before + 1);
+}
+
+TEST(RoadGnnTest, MatchesExhaustiveNetworkScan) {
+  Rng rng(7);
+  RoadNetwork net = RoadNetwork::BuildGrid(12, 12, rng);
+  std::vector<Poi> pois = GenerateUniform(300, 8);
+  RoadGnnSolver solver(&net, &pois);
+  RoadDistanceOracle oracle(&net);
+  std::vector<Point> group = {{0.2, 0.3}, {0.8, 0.6}, {0.5, 0.9}};
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kMax, AggregateKind::kMin}) {
+    auto fast = solver.Query(group, 5, kind);
+    ASSERT_EQ(fast.size(), 5u);
+    // Exhaustive check via the oracle.
+    std::vector<double> costs;
+    for (const Poi& poi : pois) {
+      double cost = kind == AggregateKind::kMin ? 1e300 : 0.0;
+      for (const Point& q : group) {
+        double dist = oracle.Distance(poi.location, q);
+        switch (kind) {
+          case AggregateKind::kSum:
+            cost += dist;
+            break;
+          case AggregateKind::kMax:
+            cost = std::max(cost, dist);
+            break;
+          case AggregateKind::kMin:
+            cost = std::min(cost, dist);
+            break;
+        }
+      }
+      costs.push_back(cost);
+    }
+    std::sort(costs.begin(), costs.end());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i].cost, costs[i], 1e-9) << i;
+    }
+  }
+}
+
+TEST(RoadGnnTest, RanksDifferentlyFromEuclidean) {
+  // A sparse network with long detours must produce a different winner
+  // than straight-line distance for some group, else the metric is inert.
+  Rng rng(9);
+  RoadNetwork net = RoadNetwork::BuildGrid(7, 7, rng, 0.2, 0.6);
+  std::vector<Poi> pois = GenerateUniform(150, 10);
+  RTree tree = RTree::Build(pois);
+  RoadGnnSolver road(&net, &pois);
+  MbmGnnSolver euclid(&tree);
+  int differences = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> group = {{rng.NextDouble(), rng.NextDouble()},
+                                {rng.NextDouble(), rng.NextDouble()}};
+    auto a = road.Query(group, 1, AggregateKind::kSum);
+    auto b = euclid.Query(group, 1, AggregateKind::kSum);
+    if (a[0].poi.id != b[0].poi.id) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RoadGnnTest, EndToEndProtocolUnderRoadMetric) {
+  // The full PPGNN protocol with the road-network black box + oracle: the
+  // decrypted answer must equal the plaintext road-network reference.
+  Rng rng(11);
+  RoadNetwork net = RoadNetwork::BuildGrid(10, 10, rng);
+  LspDatabase lsp(GenerateUniform(500, 12));
+  RoadDistanceOracle oracle(&net);
+  lsp.SetSolver(std::make_unique<RoadGnnSolver>(&net, &lsp.pois()));
+  lsp.SetDistanceOracle(&oracle);
+
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 4;
+  params.delta = 8;
+  params.k = 3;
+  params.key_bits = 256;
+  KeyPair keys = GenerateKeyPair(256, rng).value();
+  std::vector<Point> group = {{0.1, 0.2}, {0.4, 0.3}, {0.2, 0.5}};
+  auto outcome = RunQuery(Variant::kPpgnn, params, group, lsp, rng, &keys);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  Rng ref_rng(0);
+  auto reference = ReferenceAnswer(params, group, lsp, ref_rng);
+  ASSERT_EQ(outcome->pois.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(outcome->pois[i].x, reference[i].poi.location.x, 1e-8);
+    EXPECT_NEAR(outcome->pois[i].y, reference[i].poi.location.y, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace ppgnn

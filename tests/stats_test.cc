@@ -1,0 +1,188 @@
+#include "stats/hypothesis.h"
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ppgnn {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.0), 1 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(6.0), 1.0, 1e-8);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.644853627, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.8), 0.841621234, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.0013498980316301), -3.0, 1e-6);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.017) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(NormalTest, UpperCriticalPaperValues) {
+  // z_0.05 ~ 1.645 and z_0.2 ~ 0.842 (the paper's gamma and eta).
+  EXPECT_NEAR(UpperCritical(0.05), 1.6449, 1e-3);
+  EXPECT_NEAR(UpperCritical(0.2), 0.8416, 1e-3);
+}
+
+TEST(SampleSizeTest, PaperDefaultsProduceExpectedScale) {
+  // theta0 = 0.05, phi = 0.1 -> theta1 = 0.055: N_H lands in the
+  // ten-thousands; theta0 = 0.01 needs many more samples.
+  TestConfig config;  // gamma 0.05, eta 0.2, phi 0.1
+  uint64_t n_05 = RequiredSampleSize(0.05, config).value();
+  EXPECT_GT(n_05, 8000u);
+  EXPECT_LT(n_05, 20000u);
+  uint64_t n_01 = RequiredSampleSize(0.01, config).value();
+  EXPECT_GT(n_01, n_05);
+  uint64_t n_10 = RequiredSampleSize(0.10, config).value();
+  EXPECT_LT(n_10, n_05);
+}
+
+TEST(SampleSizeTest, MatchesClosedForm) {
+  TestConfig config;
+  double theta0 = 0.05;
+  double theta1 = theta0 * 1.1;
+  double z_g = UpperCritical(config.gamma);
+  double z_e = UpperCritical(config.eta);
+  double root = (z_g * std::sqrt(theta0 * (1 - theta0)) +
+                 z_e * std::sqrt(theta1 * (1 - theta1))) /
+                (theta1 - theta0);
+  EXPECT_EQ(RequiredSampleSize(theta0, config).value(),
+            static_cast<uint64_t>(std::ceil(root * root)));
+}
+
+TEST(SampleSizeTest, RejectsInvalidInputs) {
+  TestConfig config;
+  EXPECT_FALSE(RequiredSampleSize(0.0, config).ok());
+  EXPECT_FALSE(RequiredSampleSize(1.0, config).ok());
+  EXPECT_FALSE(RequiredSampleSize(0.95, config).ok());  // theta1 >= 1
+  TestConfig bad = config;
+  bad.gamma = 0.0;
+  EXPECT_FALSE(RequiredSampleSize(0.05, bad).ok());
+}
+
+TEST(ZTestTest, ThresholdFormula) {
+  double threshold = RejectionThreshold(10000, 0.05, 0.05);
+  EXPECT_NEAR(threshold, 10000 * 0.05 + 1.6449 * std::sqrt(10000 * 0.0475),
+              0.5);
+  EXPECT_TRUE(RejectsH0(static_cast<uint64_t>(threshold) + 1, 10000, 0.05,
+                        0.05));
+  EXPECT_FALSE(RejectsH0(static_cast<uint64_t>(threshold) - 1, 10000, 0.05,
+                         0.05));
+}
+
+TEST(ZTestTest, TypeIErrorBounded) {
+  // With true theta == theta0 (H0 boundary), the rejection frequency must
+  // stay near gamma.
+  Rng rng(17);
+  TestConfig config;
+  double theta0 = 0.1;
+  uint64_t n = 2000;
+  int rejections = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < n; ++i) hits += rng.NextBernoulli(theta0) ? 1 : 0;
+    if (RejectsH0(hits, n, theta0, config.gamma)) ++rejections;
+  }
+  double rate = static_cast<double>(rejections) / trials;
+  EXPECT_LT(rate, config.gamma + 0.02);
+}
+
+TEST(ZTestTest, PowerAgainstClearlyLargeRegion) {
+  // With theta = 2 * theta0, rejection should be near-certain at N_H.
+  Rng rng(19);
+  TestConfig config;
+  double theta0 = 0.05;
+  uint64_t n = RequiredSampleSize(theta0, config).value();
+  int rejections = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < n; ++i)
+      hits += rng.NextBernoulli(2 * theta0) ? 1 : 0;
+    if (RejectsH0(hits, n, theta0, config.gamma)) ++rejections;
+  }
+  EXPECT_GT(rejections, trials * 95 / 100);
+}
+
+TEST(SequentialTest, MatchesBatchDecisionExactly) {
+  Rng rng(23);
+  TestConfig config;
+  const double theta0 = 0.07;
+  const uint64_t n = 500;
+  for (int trial = 0; trial < 300; ++trial) {
+    double p = rng.NextDouble() * 0.2;  // sweep around theta0
+    std::vector<bool> outcomes(n);
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      outcomes[i] = rng.NextBernoulli(p);
+      hits += outcomes[i] ? 1 : 0;
+    }
+    bool batch = RejectsH0(hits, n, theta0, config.gamma);
+
+    SequentialProportionTest seq(n, theta0, config.gamma);
+    for (uint64_t i = 0;
+         i < n && seq.CurrentVerdict() ==
+                      SequentialProportionTest::Verdict::kUndecided;
+         ++i) {
+      seq.AddSample(outcomes[i]);
+    }
+    bool sequential =
+        seq.CurrentVerdict() == SequentialProportionTest::Verdict::kReject;
+    EXPECT_EQ(sequential, batch) << "p=" << p << " hits=" << hits;
+    EXPECT_LE(seq.samples_used(), n);
+  }
+}
+
+TEST(SequentialTest, EarlyExitSavesSamplesOnExtremes) {
+  TestConfig config;
+  const uint64_t n = 10000;
+  // All successes: reject fires long before n samples.
+  SequentialProportionTest hot(n, 0.05, config.gamma);
+  while (hot.CurrentVerdict() ==
+         SequentialProportionTest::Verdict::kUndecided) {
+    hot.AddSample(true);
+  }
+  EXPECT_EQ(hot.CurrentVerdict(), SequentialProportionTest::Verdict::kReject);
+  EXPECT_LT(hot.samples_used(), n / 5);
+
+  // All failures: not-reject is provable once the tail can't reach the
+  // threshold.
+  SequentialProportionTest cold(n, 0.05, config.gamma);
+  while (cold.CurrentVerdict() ==
+         SequentialProportionTest::Verdict::kUndecided) {
+    cold.AddSample(false);
+  }
+  EXPECT_EQ(cold.CurrentVerdict(),
+            SequentialProportionTest::Verdict::kNotReject);
+  EXPECT_LT(cold.samples_used(), n);
+}
+
+TEST(SequentialTest, DecidedStateIgnoresFurtherSamples) {
+  SequentialProportionTest test(100, 0.05, 0.05);
+  while (test.CurrentVerdict() ==
+         SequentialProportionTest::Verdict::kUndecided) {
+    test.AddSample(true);
+  }
+  uint64_t used = test.samples_used();
+  test.AddSample(true);
+  test.AddSample(false);
+  EXPECT_EQ(test.samples_used(), used);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,123 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppgnn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange},
+      {Status::NotFound("c"), StatusCode::kNotFound},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::Internal("f"), StatusCode::kInternal},
+      {Status::Unimplemented("g"), StatusCode::kUnimplemented},
+      {Status::CryptoError("h"), StatusCode::kCryptoError},
+      {Status::ProtocolError("i"), StatusCode::kProtocolError},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "NotFound: missing key");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::NotFound("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Halve(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterViaMacro(int v) {
+  PPGNN_ASSIGN_OR_RETURN(int half, Halve(v));
+  PPGNN_ASSIGN_OR_RETURN(int quarter, Halve(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  Result<int> ok = QuarterViaMacro(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> inner_fail = QuarterViaMacro(6);  // 6 -> 3 -> odd
+  ASSERT_FALSE(inner_fail.ok());
+  EXPECT_EQ(inner_fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status CheckBoth(int a, int b) {
+  PPGNN_RETURN_IF_ERROR(FailIfNegative(a));
+  PPGNN_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+TEST(ResultDeathTest, AccessingErrorValueAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.value(); }, "boom");
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -1,0 +1,289 @@
+// Command-line driver for one privacy-preserving kGNN query.
+//
+// Usage:
+//   ppgnn_cli [options]
+//     --db PATH            load POIs from a CSV ("x,y" or "id,x,y"); when
+//                          absent, synthesizes a Sequoia-like database
+//     --db-size N          synthetic database cardinality (default 62556)
+//     --locations LIST     semicolon-separated "x,y" user locations
+//                          (default: 4 random users)
+//     --n N                group size when --locations is absent
+//     --variant NAME       ppgnn | opt | naive        (default ppgnn)
+//     --aggregate NAME     sum | max | min            (default sum)
+//     --d N  --delta N  --k N  --theta0 X  --keybits N  --threads N
+//     --no-sanitize        run the PPGNN-NAS relaxation
+//     --dummies NAME       uniform | poi-density | nearby
+//     --keys PATH          reuse a key pair from PATH (see --gen-keys)
+//     --gen-keys PATH      generate a key pair, save to PATH, and exit
+//     --seed N
+//
+// Prints the sanitized answer, the per-party costs, and the plaintext
+// reference for verification.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ppgnn.h"
+
+namespace {
+
+using namespace ppgnn;
+
+struct CliOptions {
+  std::string db_path;
+  std::string keys_path;
+  std::string gen_keys_path;
+  size_t db_size = kSequoiaSize;
+  std::string locations;
+  int n = 4;
+  std::string variant = "ppgnn";
+  std::string aggregate = "sum";
+  std::string dummies = "uniform";
+  ProtocolParams params;
+  uint64_t seed = 2018;
+  bool no_sanitize = false;
+};
+
+void PrintUsageAndExit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--db PATH] [--db-size N] [--locations x,y;x,y...]\n"
+               "          [--n N] [--variant ppgnn|opt|naive]\n"
+               "          [--aggregate sum|max|min] [--d N] [--delta N]\n"
+               "          [--k N] [--theta0 X] [--keybits N] [--threads N]\n"
+               "          [--dummies uniform|poi-density|nearby]\n"
+               "          [--keys PATH] [--gen-keys PATH]\n"
+               "          [--no-sanitize] [--seed N]\n",
+               argv0);
+  std::exit(2);
+}
+
+Result<std::vector<Point>> ParseLocations(const std::string& text) {
+  std::vector<Point> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(';', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string pair = text.substr(pos, end - pos);
+    double x, y;
+    if (std::sscanf(pair.c_str(), "%lf,%lf", &x, &y) != 2) {
+      return Status::InvalidArgument("bad location: " + pair);
+    }
+    out.push_back({x, y});
+    pos = end + 1;
+  }
+  if (out.empty()) return Status::InvalidArgument("no locations given");
+  return out;
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  opts.params.key_bits = 512;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) PrintUsageAndExit(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--db") {
+      opts.db_path = next();
+    } else if (flag == "--keys") {
+      opts.keys_path = next();
+    } else if (flag == "--gen-keys") {
+      opts.gen_keys_path = next();
+    } else if (flag == "--db-size") {
+      opts.db_size = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--locations") {
+      opts.locations = next();
+    } else if (flag == "--n") {
+      opts.n = std::atoi(next());
+    } else if (flag == "--variant") {
+      opts.variant = next();
+    } else if (flag == "--aggregate") {
+      opts.aggregate = next();
+    } else if (flag == "--dummies") {
+      opts.dummies = next();
+    } else if (flag == "--d") {
+      opts.params.d = std::atoi(next());
+    } else if (flag == "--delta") {
+      opts.params.delta = std::atoi(next());
+    } else if (flag == "--k") {
+      opts.params.k = std::atoi(next());
+    } else if (flag == "--theta0") {
+      opts.params.theta0 = std::atof(next());
+    } else if (flag == "--keybits") {
+      opts.params.key_bits = std::atoi(next());
+    } else if (flag == "--threads") {
+      opts.params.lsp_threads = std::atoi(next());
+    } else if (flag == "--seed") {
+      opts.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--no-sanitize") {
+      opts.no_sanitize = true;
+    } else if (flag == "--help" || flag == "-h") {
+      PrintUsageAndExit(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      PrintUsageAndExit(argv[0]);
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts_or = ParseArgs(argc, argv);
+  if (!opts_or.ok()) {
+    std::fprintf(stderr, "%s\n", opts_or.status().ToString().c_str());
+    return 2;
+  }
+  CliOptions opts = std::move(opts_or).value();
+
+  // --- key generation mode ---
+  if (!opts.gen_keys_path.empty()) {
+    Rng rng(opts.seed);
+    auto keys = GenerateKeyPair(opts.params.key_bits, rng);
+    if (!keys.ok()) {
+      std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+      return 1;
+    }
+    Status saved = SaveKeyPair(opts.gen_keys_path, keys.value());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote a %d-bit key pair to %s (protect this file: it "
+                "holds the secret key).\n",
+                opts.params.key_bits, opts.gen_keys_path.c_str());
+    return 0;
+  }
+
+  // --- database ---
+  std::vector<Poi> pois;
+  if (!opts.db_path.empty()) {
+    auto loaded = LoadCsv(opts.db_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "loading %s: %s\n", opts.db_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    pois = std::move(loaded).value();
+    std::printf("Loaded %zu POIs from %s\n", pois.size(),
+                opts.db_path.c_str());
+  } else {
+    pois = GenerateSequoiaLike(opts.db_size, opts.seed);
+    std::printf("Synthesized %zu Sequoia-like POIs (seed %llu)\n",
+                pois.size(), static_cast<unsigned long long>(opts.seed));
+  }
+  LspDatabase lsp(std::move(pois));
+
+  // --- group ---
+  Rng rng(opts.seed + 1);
+  std::vector<Point> group;
+  if (!opts.locations.empty()) {
+    auto parsed = ParseLocations(opts.locations);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    group = std::move(parsed).value();
+  } else {
+    for (int i = 0; i < opts.n; ++i) {
+      group.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+  }
+  opts.params.n = static_cast<int>(group.size());
+  opts.params.sanitize = !opts.no_sanitize;
+
+  // --- enums ---
+  auto aggregate = AggregateKindFromString(opts.aggregate);
+  if (!aggregate.ok()) {
+    std::fprintf(stderr, "%s\n", aggregate.status().ToString().c_str());
+    return 2;
+  }
+  opts.params.aggregate = aggregate.value();
+  Variant variant;
+  if (opts.variant == "ppgnn") {
+    variant = Variant::kPpgnn;
+  } else if (opts.variant == "opt") {
+    variant = Variant::kPpgnnOpt;
+  } else if (opts.variant == "naive") {
+    variant = Variant::kNaive;
+  } else {
+    std::fprintf(stderr, "unknown variant: %s\n", opts.variant.c_str());
+    return 2;
+  }
+
+  PoiDensityDummyGenerator density(lsp.pois(), 32);
+  NearbyDummyGenerator nearby(0.05);
+  if (opts.dummies == "poi-density") {
+    opts.params.dummy_generator = &density;
+  } else if (opts.dummies == "nearby") {
+    opts.params.dummy_generator = &nearby;
+  } else if (opts.dummies != "uniform") {
+    std::fprintf(stderr, "unknown dummy policy: %s\n", opts.dummies.c_str());
+    return 2;
+  }
+
+  std::printf(
+      "Query: %s, n=%d, d=%d, delta=%d, k=%d, theta0=%.3f, F=%s, %d-bit "
+      "keys, dummies=%s%s\n",
+      VariantToString(variant), opts.params.n, opts.params.d,
+      opts.params.delta, opts.params.k, opts.params.theta0,
+      AggregateKindToString(opts.params.aggregate), opts.params.key_bits,
+      opts.dummies.c_str(), opts.params.sanitize ? "" : " [NAS]");
+
+  KeyPair loaded_keys;
+  const KeyPair* fixed_keys = nullptr;
+  if (!opts.keys_path.empty()) {
+    auto keys = LoadKeyPair(opts.keys_path);
+    if (!keys.ok()) {
+      std::fprintf(stderr, "loading keys: %s\n",
+                   keys.status().ToString().c_str());
+      return 1;
+    }
+    loaded_keys = std::move(keys).value();
+    if (loaded_keys.pub.key_bits != opts.params.key_bits) {
+      std::printf("(using the key file's %d-bit modulus, overriding "
+                  "--keybits %d)\n",
+                  loaded_keys.pub.key_bits, opts.params.key_bits);
+      opts.params.key_bits = loaded_keys.pub.key_bits;
+    }
+    fixed_keys = &loaded_keys;
+  }
+
+  auto outcome = RunQuery(variant, opts.params, group, lsp, rng, fixed_keys);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nAnswer (%zu POIs):\n", outcome->pois.size());
+  for (size_t i = 0; i < outcome->pois.size(); ++i) {
+    std::printf("  #%zu (%.6f, %.6f)  F=%.6f\n", i + 1, outcome->pois[i].x,
+                outcome->pois[i].y,
+                AggregateCost(opts.params.aggregate, outcome->pois[i], group));
+  }
+  std::printf("\nCosts: %s\n", outcome->costs.ToString().c_str());
+  std::printf(
+      "delta'=%llu, m=%zu, omega=%llu, sanitation: %llu samples / %llu "
+      "tests (%.1f ms)\n",
+      static_cast<unsigned long long>(outcome->info.delta_prime),
+      outcome->info.answer_width_m,
+      static_cast<unsigned long long>(outcome->info.omega),
+      static_cast<unsigned long long>(outcome->info.sanitize_samples),
+      static_cast<unsigned long long>(outcome->info.sanitize_tests),
+      outcome->info.sanitize_seconds * 1e3);
+
+  Rng ref_rng(0);
+  auto reference = ReferenceAnswer(opts.params, group, lsp, ref_rng);
+  bool match = reference.size() == outcome->pois.size();
+  for (size_t i = 0; match && i < reference.size(); ++i) {
+    match = std::abs(reference[i].poi.location.x - outcome->pois[i].x) < 1e-8 &&
+            std::abs(reference[i].poi.location.y - outcome->pois[i].y) < 1e-8;
+  }
+  std::printf("Plaintext reference check: %s\n", match ? "PASS" : "FAIL");
+  return match ? 0 : 1;
+}
