@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_group.dir/bench_fig6_group.cc.o"
+  "CMakeFiles/bench_fig6_group.dir/bench_fig6_group.cc.o.d"
+  "bench_fig6_group"
+  "bench_fig6_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

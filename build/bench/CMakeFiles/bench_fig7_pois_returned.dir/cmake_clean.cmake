@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pois_returned.dir/bench_fig7_pois_returned.cc.o"
+  "CMakeFiles/bench_fig7_pois_returned.dir/bench_fig7_pois_returned.cc.o.d"
+  "bench_fig7_pois_returned"
+  "bench_fig7_pois_returned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pois_returned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collusion_attack_demo.dir/collusion_attack_demo.cpp.o"
+  "CMakeFiles/collusion_attack_demo.dir/collusion_attack_demo.cpp.o.d"
+  "collusion_attack_demo"
+  "collusion_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

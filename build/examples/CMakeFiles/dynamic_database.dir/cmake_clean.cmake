@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_database.dir/dynamic_database.cpp.o"
+  "CMakeFiles/dynamic_database.dir/dynamic_database.cpp.o.d"
+  "dynamic_database"
+  "dynamic_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

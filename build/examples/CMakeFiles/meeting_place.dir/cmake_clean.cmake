@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_place.dir/meeting_place.cpp.o"
+  "CMakeFiles/meeting_place.dir/meeting_place.cpp.o.d"
+  "meeting_place"
+  "meeting_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppmld.dir/ppmld.cpp.o"
+  "CMakeFiles/ppmld.dir/ppmld.cpp.o.d"
+  "ppmld"
+  "ppmld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppmld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

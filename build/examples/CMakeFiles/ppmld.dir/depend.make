@@ -1,0 +1,2 @@
+# Empty dependencies file for ppmld.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_user_navigation.dir/single_user_navigation.cpp.o"
+  "CMakeFiles/single_user_navigation.dir/single_user_navigation.cpp.o.d"
+  "single_user_navigation"
+  "single_user_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_user_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_baselines.dir/baselines/apnn.cc.o"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/apnn.cc.o.d"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/geoind.cc.o"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/geoind.cc.o.d"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/glp.cc.o"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/glp.cc.o.d"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/ippf.cc.o"
+  "CMakeFiles/ppgnn_baselines.dir/baselines/ippf.cc.o.d"
+  "libppgnn_baselines.a"
+  "libppgnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

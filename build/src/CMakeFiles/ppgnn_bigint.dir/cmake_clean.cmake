@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_bigint.dir/bigint/bigint.cc.o"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/bigint.cc.o.d"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/modular.cc.o"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/modular.cc.o.d"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/montgomery.cc.o"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/montgomery.cc.o.d"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/prime.cc.o"
+  "CMakeFiles/ppgnn_bigint.dir/bigint/prime.cc.o.d"
+  "libppgnn_bigint.a"
+  "libppgnn_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

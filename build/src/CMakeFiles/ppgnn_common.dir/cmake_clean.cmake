@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_common.dir/common/bytes.cc.o"
+  "CMakeFiles/ppgnn_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/ppgnn_common.dir/common/random.cc.o"
+  "CMakeFiles/ppgnn_common.dir/common/random.cc.o.d"
+  "CMakeFiles/ppgnn_common.dir/common/status.cc.o"
+  "CMakeFiles/ppgnn_common.dir/common/status.cc.o.d"
+  "libppgnn_common.a"
+  "libppgnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

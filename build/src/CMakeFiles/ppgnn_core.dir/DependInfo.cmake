@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack.cc" "src/CMakeFiles/ppgnn_core.dir/core/attack.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/attack.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/CMakeFiles/ppgnn_core.dir/core/candidate.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/candidate.cc.o.d"
+  "/root/repo/src/core/dummy.cc" "src/CMakeFiles/ppgnn_core.dir/core/dummy.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/dummy.cc.o.d"
+  "/root/repo/src/core/indicator.cc" "src/CMakeFiles/ppgnn_core.dir/core/indicator.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/indicator.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/ppgnn_core.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/CMakeFiles/ppgnn_core.dir/core/protocol.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/protocol.cc.o.d"
+  "/root/repo/src/core/sanitize.cc" "src/CMakeFiles/ppgnn_core.dir/core/sanitize.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/sanitize.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/ppgnn_core.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/selection.cc.o.d"
+  "/root/repo/src/core/wire.cc" "src/CMakeFiles/ppgnn_core.dir/core/wire.cc.o" "gcc" "src/CMakeFiles/ppgnn_core.dir/core/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppgnn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

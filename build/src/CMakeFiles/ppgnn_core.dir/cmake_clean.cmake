@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_core.dir/core/attack.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/attack.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/candidate.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/candidate.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/dummy.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/dummy.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/indicator.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/indicator.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/partition.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/partition.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/protocol.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/protocol.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/sanitize.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/sanitize.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/selection.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/selection.cc.o.d"
+  "CMakeFiles/ppgnn_core.dir/core/wire.cc.o"
+  "CMakeFiles/ppgnn_core.dir/core/wire.cc.o.d"
+  "libppgnn_core.a"
+  "libppgnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/key_io.cc" "src/CMakeFiles/ppgnn_crypto.dir/crypto/key_io.cc.o" "gcc" "src/CMakeFiles/ppgnn_crypto.dir/crypto/key_io.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/CMakeFiles/ppgnn_crypto.dir/crypto/paillier.cc.o" "gcc" "src/CMakeFiles/ppgnn_crypto.dir/crypto/paillier.cc.o.d"
+  "/root/repo/src/crypto/poi_codec.cc" "src/CMakeFiles/ppgnn_crypto.dir/crypto/poi_codec.cc.o" "gcc" "src/CMakeFiles/ppgnn_crypto.dir/crypto/poi_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppgnn_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_crypto.dir/crypto/key_io.cc.o"
+  "CMakeFiles/ppgnn_crypto.dir/crypto/key_io.cc.o.d"
+  "CMakeFiles/ppgnn_crypto.dir/crypto/paillier.cc.o"
+  "CMakeFiles/ppgnn_crypto.dir/crypto/paillier.cc.o.d"
+  "CMakeFiles/ppgnn_crypto.dir/crypto/poi_codec.cc.o"
+  "CMakeFiles/ppgnn_crypto.dir/crypto/poi_codec.cc.o.d"
+  "libppgnn_crypto.a"
+  "libppgnn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_geo.dir/geo/aggregate.cc.o"
+  "CMakeFiles/ppgnn_geo.dir/geo/aggregate.cc.o.d"
+  "CMakeFiles/ppgnn_geo.dir/geo/distance_oracle.cc.o"
+  "CMakeFiles/ppgnn_geo.dir/geo/distance_oracle.cc.o.d"
+  "libppgnn_geo.a"
+  "libppgnn_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_net.dir/net/cost.cc.o"
+  "CMakeFiles/ppgnn_net.dir/net/cost.cc.o.d"
+  "libppgnn_net.a"
+  "libppgnn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/dijkstra.cc" "src/CMakeFiles/ppgnn_roadnet.dir/roadnet/dijkstra.cc.o" "gcc" "src/CMakeFiles/ppgnn_roadnet.dir/roadnet/dijkstra.cc.o.d"
+  "/root/repo/src/roadnet/graph.cc" "src/CMakeFiles/ppgnn_roadnet.dir/roadnet/graph.cc.o" "gcc" "src/CMakeFiles/ppgnn_roadnet.dir/roadnet/graph.cc.o.d"
+  "/root/repo/src/roadnet/road_gnn.cc" "src/CMakeFiles/ppgnn_roadnet.dir/roadnet/road_gnn.cc.o" "gcc" "src/CMakeFiles/ppgnn_roadnet.dir/roadnet/road_gnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppgnn_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

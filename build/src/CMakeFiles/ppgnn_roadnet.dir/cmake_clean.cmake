@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_roadnet.dir/roadnet/dijkstra.cc.o"
+  "CMakeFiles/ppgnn_roadnet.dir/roadnet/dijkstra.cc.o.d"
+  "CMakeFiles/ppgnn_roadnet.dir/roadnet/graph.cc.o"
+  "CMakeFiles/ppgnn_roadnet.dir/roadnet/graph.cc.o.d"
+  "CMakeFiles/ppgnn_roadnet.dir/roadnet/road_gnn.cc.o"
+  "CMakeFiles/ppgnn_roadnet.dir/roadnet/road_gnn.cc.o.d"
+  "libppgnn_roadnet.a"
+  "libppgnn_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

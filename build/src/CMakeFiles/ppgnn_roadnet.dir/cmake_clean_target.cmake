@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppgnn_roadnet.a"
+)

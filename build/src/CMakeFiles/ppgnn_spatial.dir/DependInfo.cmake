@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/dataset.cc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/dataset.cc.o" "gcc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/dataset.cc.o.d"
+  "/root/repo/src/spatial/gnn.cc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/gnn.cc.o" "gcc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/gnn.cc.o.d"
+  "/root/repo/src/spatial/knn.cc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/knn.cc.o" "gcc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/knn.cc.o.d"
+  "/root/repo/src/spatial/mld.cc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/mld.cc.o" "gcc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/mld.cc.o.d"
+  "/root/repo/src/spatial/rtree.cc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/rtree.cc.o" "gcc" "src/CMakeFiles/ppgnn_spatial.dir/spatial/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ppgnn_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ppgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

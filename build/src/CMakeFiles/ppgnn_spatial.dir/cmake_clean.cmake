@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_spatial.dir/spatial/dataset.cc.o"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/dataset.cc.o.d"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/gnn.cc.o"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/gnn.cc.o.d"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/knn.cc.o"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/knn.cc.o.d"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/mld.cc.o"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/mld.cc.o.d"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/rtree.cc.o"
+  "CMakeFiles/ppgnn_spatial.dir/spatial/rtree.cc.o.d"
+  "libppgnn_spatial.a"
+  "libppgnn_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_stats.dir/stats/hypothesis.cc.o"
+  "CMakeFiles/ppgnn_stats.dir/stats/hypothesis.cc.o.d"
+  "CMakeFiles/ppgnn_stats.dir/stats/normal.cc.o"
+  "CMakeFiles/ppgnn_stats.dir/stats/normal.cc.o.d"
+  "libppgnn_stats.a"
+  "libppgnn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

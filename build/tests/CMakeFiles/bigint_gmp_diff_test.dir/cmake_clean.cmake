@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_gmp_diff_test.dir/bigint_gmp_diff_test.cc.o"
+  "CMakeFiles/bigint_gmp_diff_test.dir/bigint_gmp_diff_test.cc.o.d"
+  "bigint_gmp_diff_test"
+  "bigint_gmp_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_gmp_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dummy_test.dir/dummy_test.cc.o"
+  "CMakeFiles/dummy_test.dir/dummy_test.cc.o.d"
+  "dummy_test"
+  "dummy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dummy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

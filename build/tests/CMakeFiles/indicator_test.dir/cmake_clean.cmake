@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indicator_test.dir/indicator_test.cc.o"
+  "CMakeFiles/indicator_test.dir/indicator_test.cc.o.d"
+  "indicator_test"
+  "indicator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_io_test.dir/key_io_test.cc.o"
+  "CMakeFiles/key_io_test.dir/key_io_test.cc.o.d"
+  "key_io_test"
+  "key_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsp_service_test.dir/lsp_service_test.cc.o"
+  "CMakeFiles/lsp_service_test.dir/lsp_service_test.cc.o.d"
+  "lsp_service_test"
+  "lsp_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsp_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mld_test.dir/mld_test.cc.o"
+  "CMakeFiles/mld_test.dir/mld_test.cc.o.d"
+  "mld_test"
+  "mld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_codec_test.dir/poi_codec_test.cc.o"
+  "CMakeFiles/poi_codec_test.dir/poi_codec_test.cc.o.d"
+  "poi_codec_test"
+  "poi_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

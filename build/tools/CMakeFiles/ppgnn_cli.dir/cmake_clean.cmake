@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppgnn_cli.dir/ppgnn_cli.cc.o"
+  "CMakeFiles/ppgnn_cli.dir/ppgnn_cli.cc.o.d"
+  "ppgnn_cli"
+  "ppgnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppgnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
