@@ -156,6 +156,59 @@ void BM_PaillierScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierScalarMul)->Arg(512)->Arg(1024);
 
+void BM_MontgomeryContextCreate(benchmark::State& state) {
+  // The per-context setup cost (R^2 mod n derivation) that the Encryptor
+  // level caches amortize away from the hot path.
+  Rng rng(6);
+  const int bits = static_cast<int>(state.range(0));
+  BigInt mod = BigInt::Random(bits, rng);
+  if (!mod.IsOdd()) mod = mod + BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MontgomeryContext::Create(mod).value());
+  }
+}
+BENCHMARK(BM_MontgomeryContextCreate)->Arg(1024)->Arg(2048)->Arg(3072);
+
+// Shared fixture for the DotProduct engine-vs-naive pair: delta'
+// ciphertexts at level 1, key-bit-sized packed scalars.
+void DotProductBenchInputs(PaillierFixtureState& fx, const Encryptor& enc,
+                           uint64_t delta_prime, std::vector<Ciphertext>* v,
+                           std::vector<BigInt>* x) {
+  v->resize(delta_prime);
+  x->resize(delta_prime);
+  for (uint64_t i = 0; i < delta_prime; ++i) {
+    (*v)[i] = enc.Encrypt(BigInt::Random(60, fx.rng), fx.rng, 1).value();
+    (*x)[i] = BigInt::Random(fx.keys.pub.key_bits - 10, fx.rng);
+  }
+}
+
+void BM_DotProduct_Naive(benchmark::State& state) {
+  PaillierFixtureState fx(1024);
+  Encryptor enc(fx.keys.pub);
+  std::vector<Ciphertext> v;
+  std::vector<BigInt> x;
+  DotProductBenchInputs(fx, enc, static_cast<uint64_t>(state.range(0)), &v, &x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.DotProductNaive(x, v).value());
+  }
+}
+BENCHMARK(BM_DotProduct_Naive)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DotProduct_MultiExp(benchmark::State& state) {
+  PaillierFixtureState fx(1024);
+  Encryptor enc(fx.keys.pub);
+  std::vector<Ciphertext> v;
+  std::vector<BigInt> x;
+  DotProductBenchInputs(fx, enc, static_cast<uint64_t>(state.range(0)), &v, &x);
+  auto engine = enc.MakeDotEngine(v).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Dot(x).value());
+  }
+}
+BENCHMARK(BM_DotProduct_MultiExp)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PrivateSelection(benchmark::State& state) {
   PaillierFixtureState fx(512);
   Encryptor enc(fx.keys.pub);

@@ -90,6 +90,11 @@ Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent,
   return acc;
 }
 
+Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent,
+                      const MontgomeryContext& ctx) {
+  return ctx.ModExp(base, exponent);
+}
+
 Result<BigInt> CrtCombine(const BigInt& r1, const BigInt& m1, const BigInt& r2,
                           const BigInt& m2) {
   // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2).

@@ -9,6 +9,8 @@
 
 namespace ppgnn {
 
+class MontgomeryContext;
+
 /// Greatest common divisor of |a| and |b| (non-negative).
 BigInt Gcd(const BigInt& a, const BigInt& b);
 
@@ -21,8 +23,16 @@ Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
 
 /// base^exponent mod m, with exponent >= 0 and m >= 1. Uses a 4-bit
 /// fixed-window ladder; cost is O(bits(exponent)) modular multiplications.
+/// Odd moduli >= 128 bits construct a throwaway MontgomeryContext per
+/// call — hot paths must use the prebuilt-context overload below.
 Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent,
                       const BigInt& m);
+
+/// base^exponent mod ctx.modulus() using a prebuilt Montgomery context,
+/// skipping the per-call derivation of n' and R^2 mod n. Bit-identical
+/// to the BigInt-modulus overload for the same (odd) modulus.
+Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent,
+                      const MontgomeryContext& ctx);
 
 /// a*b mod m.
 BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);

@@ -1,11 +1,14 @@
 #include "bigint/montgomery.h"
 
 #include <array>
+#include <atomic>
 
 namespace ppgnn {
 namespace {
 
 using u128 = unsigned __int128;
+
+std::atomic<uint64_t> g_contexts_created{0};
 
 // x >= y over fixed-length little-endian limb vectors.
 bool GreaterEqual(const std::vector<uint64_t>& x,
@@ -51,7 +54,12 @@ Result<MontgomeryContext> MontgomeryContext::Create(const BigInt& modulus) {
   BigInt r2 = BigInt::Pow2(static_cast<int>(128 * ctx.limbs_)).Mod(modulus);
   ctx.r2_ = r2.Limbs();
   ctx.r2_.resize(ctx.limbs_, 0);
+  g_contexts_created.fetch_add(1, std::memory_order_relaxed);
   return ctx;
+}
+
+uint64_t MontgomeryContext::created_count() {
+  return g_contexts_created.load(std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> MontgomeryContext::MontMul(
@@ -111,17 +119,14 @@ std::vector<uint64_t> MontgomeryContext::One() const {
   return ToMont(BigInt(1));
 }
 
-Result<BigInt> MontgomeryContext::ModExp(const BigInt& base,
-                                         const BigInt& exponent) const {
-  if (exponent.IsNegative())
-    return Status::InvalidArgument("negative exponent in ModExp");
+std::vector<uint64_t> MontgomeryContext::ExpDomain(
+    const std::vector<uint64_t>& base, const BigInt& exponent) const {
   const int bits = exponent.BitLength();
-  if (bits == 0) return BigInt(1).Mod(modulus_);
+  if (bits == 0) return One();
 
   constexpr int kWindow = 4;
   std::array<std::vector<uint64_t>, 1 << kWindow> table;
-  table[0] = One();
-  table[1] = ToMont(base.Mod(modulus_));
+  table[1] = base;
   for (size_t i = 2; i < table.size(); ++i) {
     table[i] = MontMul(table[i - 1], table[1]);
   }
@@ -138,7 +143,15 @@ Result<BigInt> MontgomeryContext::ModExp(const BigInt& base,
     }
     if (chunk != 0) acc = MontMul(acc, table[chunk]);
   }
-  return FromMont(acc);
+  return acc;
+}
+
+Result<BigInt> MontgomeryContext::ModExp(const BigInt& base,
+                                         const BigInt& exponent) const {
+  if (exponent.IsNegative())
+    return Status::InvalidArgument("negative exponent in ModExp");
+  if (exponent.IsZero()) return BigInt(1).Mod(modulus_);
+  return FromMont(ExpDomain(ToMont(base.Mod(modulus_)), exponent));
 }
 
 }  // namespace ppgnn

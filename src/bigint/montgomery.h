@@ -45,6 +45,19 @@ class MontgomeryContext {
   /// exponent >= 0.
   Result<BigInt> ModExp(const BigInt& base, const BigInt& exponent) const;
 
+  /// Domain-resident exponentiation: `base` is already in the Montgomery
+  /// domain and the result stays in the domain. Lets callers convert a
+  /// value into the domain once, exponentiate/accumulate repeatedly, and
+  /// convert out once. exponent >= 0.
+  std::vector<uint64_t> ExpDomain(const std::vector<uint64_t>& base,
+                                  const BigInt& exponent) const;
+
+  /// Total number of contexts ever constructed in this process. Creation
+  /// re-derives n' and R^2 mod n (an expensive division), so hot paths
+  /// must reuse prebuilt contexts; tests and benches assert on this
+  /// counter to keep it that way.
+  static uint64_t created_count();
+
   const BigInt& modulus() const { return modulus_; }
   size_t limbs() const { return limbs_; }
 

@@ -1,0 +1,66 @@
+#include "bigint/multiexp.h"
+
+#include <algorithm>
+
+namespace ppgnn {
+
+Result<MultiExpEngine> MultiExpEngine::Create(const MontgomeryContext* ctx,
+                                              const std::vector<BigInt>& bases) {
+  if (ctx == nullptr)
+    return Status::InvalidArgument("MultiExpEngine needs a Montgomery context");
+  if (bases.empty())
+    return Status::InvalidArgument("MultiExpEngine over an empty base set");
+  MultiExpEngine engine;
+  engine.ctx_ = ctx;
+  engine.tables_.resize(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    auto& table = engine.tables_[i];
+    table.resize(kTableSize);
+    table[1] = ctx->ToMont(bases[i].Mod(ctx->modulus()));
+    for (int c = 2; c < kTableSize; ++c) {
+      table[c] = ctx->MontMul(table[c - 1], table[1]);
+    }
+  }
+  return engine;
+}
+
+Result<BigInt> MultiExpEngine::Eval(const std::vector<BigInt>& exponents) const {
+  if (exponents.size() != tables_.size())
+    return Status::InvalidArgument("MultiExp exponent count != base count");
+  int bits = 0;
+  for (const BigInt& e : exponents) {
+    if (e.IsNegative())
+      return Status::InvalidArgument("negative exponent in MultiExp");
+    bits = std::max(bits, e.BitLength());
+  }
+  if (bits == 0) return BigInt(1).Mod(ctx_->modulus());
+
+  // Straus: one shared square chain; each base folds its 4-bit window
+  // digit into the accumulator from its precomputed table.
+  std::vector<uint64_t> acc = ctx_->One();
+  const int top_window = (bits - 1) / kWindow;
+  for (int w = top_window; w >= 0; --w) {
+    if (w != top_window) {
+      for (int s = 0; s < kWindow; ++s) acc = ctx_->MontMul(acc, acc);
+    }
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      const BigInt& e = exponents[i];
+      int chunk = 0;
+      for (int bit = kWindow - 1; bit >= 0; --bit) {
+        chunk = (chunk << 1) | (e.GetBit(w * kWindow + bit) ? 1 : 0);
+      }
+      if (chunk != 0) acc = ctx_->MontMul(acc, tables_[i][chunk]);
+    }
+  }
+  return ctx_->FromMont(acc);
+}
+
+Result<BigInt> MultiExp(const std::vector<BigInt>& bases,
+                        const std::vector<BigInt>& exponents,
+                        const MontgomeryContext& ctx) {
+  PPGNN_ASSIGN_OR_RETURN(MultiExpEngine engine,
+                         MultiExpEngine::Create(&ctx, bases));
+  return engine.Eval(exponents);
+}
+
+}  // namespace ppgnn

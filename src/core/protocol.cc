@@ -107,6 +107,11 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
   PPGNN_ASSIGN_OR_RETURN(std::vector<std::vector<Point>> candidates,
                          GenerateCandidateQueries(query.plan, sets));
 
+  // Built once per query, up front: the Encryptor derives the per-level
+  // Montgomery contexts at construction and the selection workers below
+  // share them read-only — no hot-path context derivation.
+  Encryptor enc(query.pk);
+
   AnswerSanitizer* sanitizer_ptr = nullptr;
   Result<AnswerSanitizer> sanitizer =
       Status::FailedPrecondition("sanitizer unused");
@@ -176,7 +181,6 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
     if (w > 0) info->lsp_parallel_seconds += worker_cpu_seconds[w];
   }
 
-  Encryptor enc(query.pk);
   AnswerMessage out;
   if (query.is_opt) {
     PPGNN_ASSIGN_OR_RETURN(

@@ -77,14 +77,21 @@ Result<std::vector<Ciphertext>> PrivateSelect(
       }
       return;
     }
-    std::vector<BigInt> row_chunk(end - begin);
+    // One multi-exp engine per column chunk: the window tables over
+    // [v_begin..v_end) are built once and reused by all m rows.
     std::vector<Ciphertext> ind_chunk(indicator.begin() + begin,
                                       indicator.begin() + end);
+    Result<Encryptor::DotEngine> engine = enc.MakeDotEngine(ind_chunk);
+    if (!engine.ok()) {
+      for (size_t r = 0; r < rows; ++r) partial[w][r] = engine.status();
+      return;
+    }
+    std::vector<BigInt> row_chunk(end - begin);
     for (size_t r = 0; r < rows; ++r) {
       for (size_t c = begin; c < end; ++c) {
         row_chunk[c - begin] = matrix.columns[c][r];
       }
-      partial[w][r] = enc.DotProduct(row_chunk, ind_chunk);
+      partial[w][r] = engine.value().Dot(row_chunk);
     }
   });
 
@@ -123,6 +130,12 @@ Result<std::vector<Ciphertext>> PrivateSelectTwoPhase(
   const int workers = static_cast<int>(std::min<uint64_t>(
       static_cast<uint64_t>(std::max(threads, 1)), omega));
 
+  // Every block dots against the same [v1], so one engine (window tables
+  // in the Montgomery domain) is built up front and shared read-only by
+  // all workers: Dot() is const and thread-safe.
+  PPGNN_ASSIGN_OR_RETURN(Encryptor::DotEngine v1_engine,
+                         enc.MakeDotEngine(indicator.v1));
+
   FanOut(workers, worker_seconds, [&](int w) {
     std::vector<BigInt> row(block_size);
     for (uint64_t b = static_cast<uint64_t>(w); b < omega;
@@ -133,13 +146,17 @@ Result<std::vector<Ciphertext>> PrivateSelectTwoPhase(
           size_t c = col_begin + static_cast<size_t>(i);
           row[i] = c < matrix.Cols() ? matrix.columns[c][r] : BigInt(0);
         }
-        phase1[b][r] = enc.DotProduct(row, indicator.v1);
+        phase1[b][r] = v1_engine.Dot(row);
       }
     }
   });
 
   // Phase 2: select the block with [[v2]], treating the eps_1 ciphertext
-  // values as eps_2 plaintexts.
+  // values as eps_2 plaintexts. One engine over [[v2]] serves all m rows;
+  // the scalars here are full 2*keysize-bit values, which is where the
+  // shared square chain of the multi-exponentiation pays off most.
+  PPGNN_ASSIGN_OR_RETURN(Encryptor::DotEngine v2_engine,
+                         enc.MakeDotEngine(indicator.v2));
   std::vector<Ciphertext> out;
   out.reserve(rows);
   std::vector<BigInt> scalars(omega);
@@ -148,8 +165,7 @@ Result<std::vector<Ciphertext>> PrivateSelectTwoPhase(
       PPGNN_RETURN_IF_ERROR(phase1[b][r].status());
       scalars[b] = phase1[b][r].value().value;
     }
-    PPGNN_ASSIGN_OR_RETURN(Ciphertext ct,
-                           enc.DotProduct(scalars, indicator.v2));
+    PPGNN_ASSIGN_OR_RETURN(Ciphertext ct, v2_engine.Dot(scalars));
     out.push_back(std::move(ct));
   }
   return out;

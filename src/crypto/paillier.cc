@@ -1,14 +1,48 @@
 #include "crypto/paillier.h"
 
+#include <array>
+
 #include "bigint/modular.h"
 #include "bigint/prime.h"
 
 namespace ppgnn {
 
+namespace {
+// Highest memoized power of N: level-3 ciphertexts (the deepest any test
+// or protocol path goes) live in Z_{N^4}.
+constexpr int kMaxCachedNPow = 4;
+// Guards lazy creation and fills of every NPowCache. NPow is off the hot
+// path (Encryptor/Decryptor hold their own per-level caches), so one
+// global mutex is plenty.
+std::mutex g_npow_mu;
+}  // namespace
+
+struct PublicKey::NPowCache {
+  BigInt n;  // modulus the powers below were computed for
+  std::array<BigInt, kMaxCachedNPow + 1> pow;
+  std::array<bool, kMaxCachedNPow + 1> ready{};
+};
+
 BigInt PublicKey::NPow(int s) const {
-  BigInt out(1);
-  for (int i = 0; i < s; ++i) out = out * n;
-  return out;
+  if (s <= 0) return BigInt(1);
+  if (s > kMaxCachedNPow) {
+    BigInt out = NPow(kMaxCachedNPow);
+    for (int i = kMaxCachedNPow; i < s; ++i) out = out * n;
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(g_npow_mu);
+  if (npow_cache_ == nullptr || npow_cache_->n != n) {
+    npow_cache_ = std::make_shared<NPowCache>();
+    npow_cache_->n = n;
+  }
+  NPowCache& cache = *npow_cache_;
+  for (int i = 1; i <= s; ++i) {
+    if (!cache.ready[i]) {
+      cache.pow[i] = i == 1 ? n : cache.pow[i - 1] * n;
+      cache.ready[i] = true;
+    }
+  }
+  return cache.pow[s];
 }
 
 Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng) {
@@ -40,9 +74,36 @@ Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng) {
   }
 }
 
-Encryptor::Encryptor(PublicKey pk) : pk_(std::move(pk)) {}
+Encryptor::Encryptor(PublicKey pk) : pk_(std::move(pk)) {
+  // Eagerly derive the ε_1/ε_2 caches (N^2 and N^3 with their Montgomery
+  // contexts): every protocol hot path uses one of them, and eager
+  // construction keeps parallel selection workers from contending on
+  // first touch.
+  Level(1);
+  Level(2);
+}
 
-BigInt Encryptor::Modulus(int level) const { return pk_.NPow(level + 1); }
+const Encryptor::LevelCache& Encryptor::Level(int level) const {
+  const size_t idx = static_cast<size_t>(level < 0 ? 0 : level);
+  std::lock_guard<std::mutex> lock(level_mu_);
+  if (levels_.size() <= idx) levels_.resize(idx + 1);
+  std::unique_ptr<LevelCache>& slot = levels_[idx];
+  if (slot == nullptr) {
+    auto cache = std::make_unique<LevelCache>();
+    cache->n_s = pk_.NPow(static_cast<int>(idx));
+    cache->modulus = cache->n_s * pk_.n;
+    Result<MontgomeryContext> ctx = MontgomeryContext::Create(cache->modulus);
+    if (ctx.ok()) {
+      cache->ctx = std::make_unique<MontgomeryContext>(std::move(ctx).value());
+    }
+    slot = std::move(cache);
+  }
+  return *slot;
+}
+
+const BigInt& Encryptor::Modulus(int level) const {
+  return Level(level).modulus;
+}
 
 namespace {
 
@@ -69,14 +130,14 @@ Result<BigInt> OnePlusNToM(const BigInt& m, const BigInt& n, int s,
 }  // namespace
 
 Result<BigInt> Encryptor::MakeBlinding(int level, Rng& rng) const {
-  const BigInt n_s = pk_.NPow(level);
-  const BigInt mod = n_s * pk_.n;
+  const LevelCache& lc = Level(level);
   BigInt r;
   do {
     r = BigInt::RandomBelow(pk_.n, rng);
   } while (r.IsZero() || Gcd(r, pk_.n) != BigInt(1));
   op_count_.fetch_add(1, std::memory_order_relaxed);
-  return ModExp(r, n_s, mod);
+  if (lc.ctx != nullptr) return ModExp(r, lc.n_s, *lc.ctx);
+  return ModExp(r, lc.n_s, lc.modulus);
 }
 
 Status Encryptor::PrecomputeBlinding(size_t count, Rng& rng,
@@ -100,11 +161,11 @@ size_t Encryptor::PooledBlindingCount(int level) const {
 Result<Ciphertext> Encryptor::Encrypt(const BigInt& m, Rng& rng,
                                       int level) const {
   if (level < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
-  const BigInt n_s = pk_.NPow(level);
-  const BigInt mod = n_s * pk_.n;  // N^{s+1}
-  const BigInt m_red = m.Mod(n_s);
+  const LevelCache& lc = Level(level);
+  const BigInt m_red = m.Mod(lc.n_s);
 
-  PPGNN_ASSIGN_OR_RETURN(BigInt g_pow, OnePlusNToM(m_red, pk_.n, level, mod));
+  PPGNN_ASSIGN_OR_RETURN(BigInt g_pow,
+                         OnePlusNToM(m_red, pk_.n, level, lc.modulus));
 
   // Blinding factor r^{N^s}: pooled (offline/online split) or fresh.
   BigInt blind;
@@ -116,7 +177,7 @@ Result<Ciphertext> Encryptor::Encrypt(const BigInt& m, Rng& rng,
   }
 
   Ciphertext out;
-  out.value = ModMul(g_pow, blind, mod);
+  out.value = ModMul(g_pow, blind, lc.modulus);
   out.level = level;
   return out;
 }
@@ -136,14 +197,27 @@ Result<Ciphertext> Encryptor::ScalarMul(const BigInt& x,
                                         const Ciphertext& c) const {
   if (x.IsNegative())
     return Status::InvalidArgument("ScalarMul requires non-negative scalar");
+  const LevelCache& lc = Level(c.level);
   Ciphertext out;
   out.level = c.level;
-  PPGNN_ASSIGN_OR_RETURN(out.value, ModExp(c.value, x, Modulus(c.level)));
+  if (lc.ctx != nullptr) {
+    PPGNN_ASSIGN_OR_RETURN(out.value, ModExp(c.value, x, *lc.ctx));
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(out.value, ModExp(c.value, x, lc.modulus));
+  }
   op_count_.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
 Result<Ciphertext> Encryptor::DotProduct(
+    const std::vector<BigInt>& x, const std::vector<Ciphertext>& v) const {
+  if (x.size() != v.size())
+    return Status::InvalidArgument("DotProduct dimension mismatch");
+  PPGNN_ASSIGN_OR_RETURN(DotEngine engine, MakeDotEngine(v));
+  return engine.Dot(x);
+}
+
+Result<Ciphertext> Encryptor::DotProductNaive(
     const std::vector<BigInt>& x, const std::vector<Ciphertext>& v) const {
   if (x.size() != v.size())
     return Status::InvalidArgument("DotProduct dimension mismatch");
@@ -158,6 +232,54 @@ Result<Ciphertext> Encryptor::DotProduct(
     PPGNN_ASSIGN_OR_RETURN(acc, Add(acc, term));
   }
   return acc;
+}
+
+Result<Encryptor::DotEngine> Encryptor::MakeDotEngine(
+    const std::vector<Ciphertext>& v) const {
+  if (v.empty()) return Status::InvalidArgument("DotProduct on empty vectors");
+  const int level = v[0].level;
+  for (const Ciphertext& c : v) {
+    if (c.level != level)
+      return Status::InvalidArgument("DotProduct on mismatched levels");
+  }
+  DotEngine engine;
+  engine.enc_ = this;
+  engine.level_ = level;
+  engine.size_ = v.size();
+  const LevelCache& lc = Level(level);
+  if (lc.ctx != nullptr) {
+    std::vector<BigInt> bases;
+    bases.reserve(v.size());
+    for (const Ciphertext& c : v) bases.push_back(c.value);
+    PPGNN_ASSIGN_OR_RETURN(MultiExpEngine multi,
+                           MultiExpEngine::Create(lc.ctx.get(), bases));
+    engine.engine_ = std::make_unique<MultiExpEngine>(std::move(multi));
+  } else {
+    // Degenerate (even-modulus) key: keep the ladder-based reference path.
+    engine.fallback_v_ = v;
+  }
+  return engine;
+}
+
+Result<Ciphertext> Encryptor::DotEngine::Dot(
+    const std::vector<BigInt>& x) const {
+  if (x.size() != size_)
+    return Status::InvalidArgument("DotProduct dimension mismatch");
+  if (engine_ == nullptr) return enc_->DotProductNaive(x, fallback_v_);
+  size_t nonzero = 0;
+  for (const BigInt& xi : x) {
+    if (xi.IsNegative())
+      return Status::InvalidArgument("ScalarMul requires non-negative scalar");
+    if (!xi.IsZero()) ++nonzero;
+  }
+  PPGNN_ASSIGN_OR_RETURN(BigInt value, engine_->Eval(x));
+  // Cost-model parity with the naive chain: one ScalarMul + one Add per
+  // non-zero term.
+  enc_->op_count_.fetch_add(2 * nonzero, std::memory_order_relaxed);
+  Ciphertext out;
+  out.value = std::move(value);
+  out.level = level_;
+  return out;
 }
 
 Result<Ciphertext> Encryptor::Rerandomize(const Ciphertext& c,
@@ -175,23 +297,60 @@ Ciphertext Encryptor::Zero(int level) const {
 
 Decryptor::Decryptor(PublicKey pk, SecretKey sk, bool use_crt)
     : pk_(std::move(pk)), sk_(std::move(sk)), use_crt_(use_crt) {
-  lambda_inv_n_ = ModInverse(sk_.lambda, pk_.n).value();
+  // Eagerly derive the ε_1 cache — every protocol decryption touches it.
+  Level(1);
+}
+
+const Decryptor::LevelCache& Decryptor::Level(int s) const {
+  const size_t idx = static_cast<size_t>(s < 1 ? 1 : s);
+  std::lock_guard<std::mutex> lock(level_mu_);
+  if (levels_.size() <= idx) levels_.resize(idx + 1);
+  std::unique_ptr<LevelCache>& slot = levels_[idx];
+  if (slot == nullptr) {
+    auto cache = std::make_unique<LevelCache>();
+    const BigInt n_s = pk_.NPow(static_cast<int>(idx));
+    const BigInt modulus = n_s * pk_.n;  // N^{s+1}
+    cache->p_pow = BigInt(1);
+    cache->q_pow = BigInt(1);
+    for (size_t i = 0; i <= idx; ++i) {
+      cache->p_pow = cache->p_pow * sk_.p;
+      cache->q_pow = cache->q_pow * sk_.q;
+    }
+    auto adopt = [](Result<MontgomeryContext> ctx)
+        -> std::unique_ptr<MontgomeryContext> {
+      if (!ctx.ok()) return nullptr;
+      return std::make_unique<MontgomeryContext>(std::move(ctx).value());
+    };
+    cache->p_ctx = adopt(MontgomeryContext::Create(cache->p_pow));
+    cache->q_ctx = adopt(MontgomeryContext::Create(cache->q_pow));
+    cache->n_ctx = adopt(MontgomeryContext::Create(modulus));
+    cache->lambda_inv = ModInverse(sk_.lambda, n_s);
+    slot = std::move(cache);
+  }
+  return *slot;
 }
 
 Result<BigInt> Decryptor::PowLambda(const BigInt& c, int s) const {
-  const BigInt mod = pk_.NPow(s + 1);
-  if (!use_crt_) return ModExp(c, sk_.lambda, mod);
+  const LevelCache& lv = Level(s);
+  if (!use_crt_) {
+    if (lv.n_ctx != nullptr) return ModExp(c, sk_.lambda, *lv.n_ctx);
+    return ModExp(c, sk_.lambda, pk_.NPow(s + 1));
+  }
   // CRT split: exponentiate modulo p^{s+1} and q^{s+1} (half-width
   // arithmetic), then recombine. p^{s+1} and q^{s+1} are coprime and
   // their product is N^{s+1}.
-  BigInt p_pow(1), q_pow(1);
-  for (int i = 0; i <= s; ++i) {
-    p_pow = p_pow * sk_.p;
-    q_pow = q_pow * sk_.q;
+  BigInt a_p, a_q;
+  if (lv.p_ctx != nullptr) {
+    PPGNN_ASSIGN_OR_RETURN(a_p, ModExp(c.Mod(lv.p_pow), sk_.lambda, *lv.p_ctx));
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(a_p, ModExp(c.Mod(lv.p_pow), sk_.lambda, lv.p_pow));
   }
-  PPGNN_ASSIGN_OR_RETURN(BigInt a_p, ModExp(c.Mod(p_pow), sk_.lambda, p_pow));
-  PPGNN_ASSIGN_OR_RETURN(BigInt a_q, ModExp(c.Mod(q_pow), sk_.lambda, q_pow));
-  return CrtCombine(a_p, p_pow, a_q, q_pow);
+  if (lv.q_ctx != nullptr) {
+    PPGNN_ASSIGN_OR_RETURN(a_q, ModExp(c.Mod(lv.q_pow), sk_.lambda, *lv.q_ctx));
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(a_q, ModExp(c.Mod(lv.q_pow), sk_.lambda, lv.q_pow));
+  }
+  return CrtCombine(a_p, lv.p_pow, a_q, lv.q_pow);
 }
 
 namespace internal {
@@ -231,14 +390,12 @@ Result<BigInt> ExtractDjLog(const BigInt& a, const BigInt& n, int s) {
 Result<BigInt> Decryptor::Decrypt(const Ciphertext& c) const {
   const int s = c.level;
   if (s < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
-  const BigInt n_s = pk_.NPow(s);
-  const BigInt mod = n_s * pk_.n;
+  const LevelCache& lv = Level(s);
   // c^lambda = (1+N)^{lambda * m} mod N^{s+1}; the blinding term vanishes.
   PPGNN_ASSIGN_OR_RETURN(BigInt a, PowLambda(c.value, s));
   PPGNN_ASSIGN_OR_RETURN(BigInt lambda_m, internal::ExtractDjLog(a, pk_.n, s));
-  BigInt lambda_inv =
-      s == 1 ? lambda_inv_n_ : ModInverse(sk_.lambda, n_s).value();
-  return ModMul(lambda_m, lambda_inv, n_s);
+  PPGNN_RETURN_IF_ERROR(lv.lambda_inv.status());
+  return ModMul(lambda_m, lv.lambda_inv.value(), pk_.NPow(s));
 }
 
 Result<BigInt> Decryptor::DecryptLayered(const Ciphertext& outer) const {

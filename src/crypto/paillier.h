@@ -19,14 +19,27 @@
 // Encryption uses the (1+N)^m binomial fast path; decryption uses
 // Damgård-Jurik's recursive discrete-log extraction. Both are exact for
 // any s >= 1.
+//
+// Exponentiation engine: an Encryptor (and Decryptor) owns one
+// MontgomeryContext per ciphertext level (and per CRT modulus), built
+// once and reused by every homomorphic operation, so no hot call ever
+// re-derives R^2 mod n. DotProduct evaluates the whole row as one
+// simultaneous multi-exponentiation (bigint/multiexp.h); DotEngine
+// additionally shares the per-ciphertext window tables across the m rows
+// of an answer matrix. All of this is an evaluation-order change over
+// exact residue arithmetic: results are bit-identical to the naive
+// ScalarMul/Add chain, which DotProductNaive retains as the reference.
 
 #ifndef PPGNN_CRYPTO_PAILLIER_H_
 #define PPGNN_CRYPTO_PAILLIER_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/multiexp.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -37,7 +50,9 @@ struct PublicKey {
   BigInt n;
   int key_bits = 0;
 
-  /// N^s (s >= 1), cached by callers where hot.
+  /// N^s (s >= 1). Memoized (thread-safe) for s <= 4 — the highest power
+  /// any supported ciphertext level touches; the cache rides along with
+  /// copies of the key.
   BigInt NPow(int s) const;
 
   /// Wire size in bytes of a level-s ciphertext: (s+1) * key_bits / 8.
@@ -46,6 +61,13 @@ struct PublicKey {
   }
   /// Byte size of the serialized public key.
   size_t ByteSize() const { return static_cast<size_t>(key_bits) / 8; }
+
+ private:
+  struct NPowCache;
+  // Shared across copies (the cached powers depend only on n; validity is
+  // re-checked against n on every lookup, so post-copy mutation of n is
+  // safe — it just forks a fresh cache).
+  mutable std::shared_ptr<NPowCache> npow_cache_;
 };
 
 /// Secret key: Carmichael value lambda = lcm(p-1, q-1) plus the factors.
@@ -76,7 +98,10 @@ struct Ciphertext {
 Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng);
 
 /// Encryption/evaluation context bound to a public key. Thread-compatible;
-/// the RNG for blinding randomness is passed per call.
+/// the RNG for blinding randomness is passed per call. Holds one cached
+/// MontgomeryContext per ciphertext level; the homomorphic operations
+/// (Add, ScalarMul, DotProduct, DotEngine::Dot) are safe to call
+/// concurrently.
 class Encryptor {
  public:
   explicit Encryptor(PublicKey pk);
@@ -93,9 +118,48 @@ class Encryptor {
   Result<Ciphertext> ScalarMul(const BigInt& x, const Ciphertext& c) const;
 
   /// Homomorphic dot product of a plaintext row with a ciphertext vector
-  /// (Eqn 4 of the paper): Enc(sum_i x_i * v_i). Skips x_i == 0 terms.
+  /// (Eqn 4 of the paper): Enc(sum_i x_i * v_i). Evaluated as one
+  /// simultaneous multi-exponentiation; bit-identical to DotProductNaive.
   Result<Ciphertext> DotProduct(const std::vector<BigInt>& x,
                                 const std::vector<Ciphertext>& v) const;
+
+  /// The serial ScalarMul/Add reference chain for DotProduct. Retained as
+  /// the correctness oracle (tests diff the engine against it) and as the
+  /// fallback for degenerate public keys with an even modulus.
+  Result<Ciphertext> DotProductNaive(const std::vector<BigInt>& x,
+                                     const std::vector<Ciphertext>& v) const;
+
+  /// A multi-exponentiation engine bound to a fixed ciphertext vector
+  /// [v]: the per-ciphertext window tables are built once (in the
+  /// Montgomery domain) and shared by every Dot() row evaluation — the
+  /// A (x) [v] access pattern of Theorem 3.1, where the same encrypted
+  /// indicator multiplies all m rows of the answer matrix. Borrows the
+  /// Encryptor's cached context: must not outlive the Encryptor.
+  /// Dot() is const and thread-safe.
+  class DotEngine {
+   public:
+    /// Enc(sum_i x_i * v_i) for one plaintext row x.
+    Result<Ciphertext> Dot(const std::vector<BigInt>& x) const;
+
+    int level() const { return level_; }
+    size_t size() const { return size_; }
+
+   private:
+    friend class Encryptor;
+    DotEngine() = default;
+
+    const Encryptor* enc_ = nullptr;
+    int level_ = 1;
+    size_t size_ = 0;
+    // Engine path (odd modulus — every real Paillier key).
+    std::unique_ptr<MultiExpEngine> engine_;
+    // Fallback path: the ciphertexts themselves, fed to DotProductNaive.
+    std::vector<Ciphertext> fallback_v_;
+  };
+
+  /// Builds a DotEngine over [v]. Errors on empty input or mismatched
+  /// ciphertext levels.
+  Result<DotEngine> MakeDotEngine(const std::vector<Ciphertext>& v) const;
 
   /// The trivial encryption of zero with no randomness (identity element of
   /// Add). Useful as an accumulator seed; NOT semantically secure alone.
@@ -124,11 +188,28 @@ class Encryptor {
   size_t PooledBlindingCount(int level) const;
 
  private:
-  BigInt Modulus(int level) const;  // N^{level+1}
+  /// Everything the level-s hot path needs, derived once: N^s, N^{s+1},
+  /// and the Montgomery context for N^{s+1} (null when the modulus is
+  /// even — a degenerate key — in which case callers fall back to the
+  /// generic ladder).
+  struct LevelCache {
+    BigInt n_s;      // N^level
+    BigInt modulus;  // N^{level+1}
+    std::unique_ptr<MontgomeryContext> ctx;
+  };
+
+  /// Lazily builds (then reuses) the cache for `level`. Thread-safe;
+  /// levels 1 and 2 are built eagerly at construction so the selection
+  /// worker threads never contend on first touch.
+  const LevelCache& Level(int level) const;
+
+  const BigInt& Modulus(int level) const;  // N^{level+1}
   Result<BigInt> MakeBlinding(int level, Rng& rng) const;
 
   PublicKey pk_;
   mutable std::atomic<uint64_t> op_count_{0};
+  mutable std::mutex level_mu_;
+  mutable std::vector<std::unique_ptr<LevelCache>> levels_;
   // pools_[level] holds ready-made r^{N^level} mod N^{level+1} values.
   // NOT thread-safe; only the homomorphic operations (Add, ScalarMul,
   // DotProduct) may be called concurrently.
@@ -141,7 +222,8 @@ class Encryptor {
 /// modulo p^{s+1} and q^{s+1} and recombines by CRT — about twice as fast
 /// as working modulo N^{s+1} directly (half-width modular multiplies).
 /// Pass use_crt = false to force the direct path (kept for differential
-/// testing).
+/// testing). Per-level moduli, Montgomery contexts, and lambda inverses
+/// are derived once and cached (thread-safe).
 class Decryptor {
  public:
   Decryptor(PublicKey pk, SecretKey sk, bool use_crt = true);
@@ -155,13 +237,29 @@ class Decryptor {
   Result<BigInt> DecryptLayered(const Ciphertext& outer) const;
 
  private:
+  /// Per-level decryption constants: p^{s+1}/q^{s+1} with their
+  /// Montgomery contexts (CRT path), the N^{s+1} context (direct path),
+  /// and lambda^{-1} mod N^s.
+  struct LevelCache {
+    BigInt p_pow;  // p^{s+1}
+    BigInt q_pow;  // q^{s+1}
+    std::unique_ptr<MontgomeryContext> p_ctx;
+    std::unique_ptr<MontgomeryContext> q_ctx;
+    std::unique_ptr<MontgomeryContext> n_ctx;  // modulus N^{s+1}
+    Result<BigInt> lambda_inv = Status::Internal("unset");  // mod N^s
+  };
+
+  /// Lazily builds (then reuses) the cache for level `s`. Thread-safe.
+  const LevelCache& Level(int s) const;
+
   /// c^lambda mod N^{s+1}, via CRT when enabled.
   Result<BigInt> PowLambda(const BigInt& c, int s) const;
 
   PublicKey pk_;
   SecretKey sk_;
-  BigInt lambda_inv_n_;  // lambda^{-1} mod N (level-1 fast path)
   bool use_crt_;
+  mutable std::mutex level_mu_;
+  mutable std::vector<std::unique_ptr<LevelCache>> levels_;
 };
 
 namespace internal {

@@ -11,6 +11,7 @@
 
 #include "bigint/bigint.h"
 #include "bigint/modular.h"
+#include "bigint/multiexp.h"
 #include "bigint/prime.h"
 #include "common/random.h"
 
@@ -106,6 +107,31 @@ TEST(GmpDiffTest, ModExp) {
     GmpInt gb(base), ge(exp), gm(mod), out;
     mpz_powm(out.v_, gb.v_, ge.v_, gm.v_);
     EXPECT_EQ(ModExp(base, exp, mod).value().ToHex(), out.ToHex());
+  }
+}
+
+TEST(GmpDiffTest, MultiExp) {
+  // Straus simultaneous multi-exponentiation vs a GMP powm-and-multiply
+  // chain, over odd Paillier-shaped moduli.
+  Rng rng(12);
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt mod = BigInt::Random(1024, rng);
+    if (!mod.IsOdd()) mod = mod + BigInt(1);
+    auto ctx = MontgomeryContext::Create(mod).value();
+    const size_t t = 1 + rng.NextBelow(8);
+    std::vector<BigInt> bases(t), exps(t);
+    GmpInt gm(mod), acc;
+    mpz_set_ui(acc.v_, 1);
+    for (size_t i = 0; i < t; ++i) {
+      bases[i] = BigInt::RandomBelow(mod, rng);
+      exps[i] = BigInt::Random(512, rng);
+      GmpInt gb(bases[i]), ge(exps[i]), term;
+      mpz_powm(term.v_, gb.v_, ge.v_, gm.v_);
+      mpz_mul(acc.v_, acc.v_, term.v_);
+      mpz_mod(acc.v_, acc.v_, gm.v_);
+    }
+    EXPECT_EQ(MultiExp(bases, exps, ctx).value().ToHex(), acc.ToHex())
+        << "iter " << iter << " t=" << t;
   }
 }
 

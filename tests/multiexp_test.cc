@@ -1,0 +1,189 @@
+#include "bigint/multiexp.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.h"
+#include "bigint/prime.h"
+#include "common/random.h"
+#include "crypto/paillier.h"
+
+namespace ppgnn {
+namespace {
+
+// Naive reference: prod_i bases[i]^{exps[i]} mod m, one exponentiation
+// per term. MultiExp must be bit-identical to this.
+BigInt NaiveProduct(const std::vector<BigInt>& bases,
+                    const std::vector<BigInt>& exps, const BigInt& m) {
+  BigInt acc(1);
+  for (size_t i = 0; i < bases.size(); ++i) {
+    acc = ModMul(acc, ModExp(bases[i], exps[i], m).value(), m);
+  }
+  return acc;
+}
+
+BigInt OddModulus(int bits, Rng& rng) {
+  BigInt m = BigInt::Random(bits, rng);
+  if (!m.IsOdd()) m = m + BigInt(1);
+  if (m < BigInt(3)) m = BigInt(3);
+  return m;
+}
+
+TEST(MultiExpTest, MatchesNaiveProductRandomized) {
+  Rng rng(11);
+  for (int iter = 0; iter < 20; ++iter) {
+    const int bits = 128 + static_cast<int>(rng.NextBelow(700));
+    const BigInt m = OddModulus(bits, rng);
+    auto ctx = MontgomeryContext::Create(m).value();
+    const size_t t = 1 + rng.NextBelow(12);
+    std::vector<BigInt> bases(t), exps(t);
+    for (size_t i = 0; i < t; ++i) {
+      bases[i] = BigInt::RandomBelow(m, rng);
+      exps[i] = BigInt::Random(static_cast<int>(rng.NextBelow(300)), rng);
+    }
+    EXPECT_EQ(MultiExp(bases, exps, ctx).value(), NaiveProduct(bases, exps, m))
+        << "iter " << iter << " t=" << t << " bits=" << bits;
+  }
+}
+
+TEST(MultiExpTest, SingleBaseDegeneratesToModExp) {
+  Rng rng(12);
+  const BigInt m = GeneratePrime(256, rng).value();
+  auto ctx = MontgomeryContext::Create(m).value();
+  const BigInt base = BigInt::RandomBelow(m, rng);
+  const BigInt exp = BigInt::Random(200, rng);
+  EXPECT_EQ(MultiExp({base}, {exp}, ctx).value(),
+            ModExp(base, exp, m).value());
+}
+
+TEST(MultiExpTest, ZeroAndMixedExponents) {
+  Rng rng(13);
+  const BigInt m = OddModulus(256, rng);
+  auto ctx = MontgomeryContext::Create(m).value();
+  std::vector<BigInt> bases = {BigInt::RandomBelow(m, rng),
+                               BigInt::RandomBelow(m, rng),
+                               BigInt::RandomBelow(m, rng)};
+  // All-zero exponents: the empty product.
+  EXPECT_EQ(MultiExp(bases, {BigInt(0), BigInt(0), BigInt(0)}, ctx).value(),
+            BigInt(1).Mod(m));
+  // Mixed zero / one / large.
+  std::vector<BigInt> exps = {BigInt(0), BigInt(1), BigInt::Random(180, rng)};
+  EXPECT_EQ(MultiExp(bases, exps, ctx).value(), NaiveProduct(bases, exps, m));
+}
+
+TEST(MultiExpTest, RejectsBadInput) {
+  Rng rng(14);
+  const BigInt m = OddModulus(192, rng);
+  auto ctx = MontgomeryContext::Create(m).value();
+  const BigInt b = BigInt::RandomBelow(m, rng);
+  EXPECT_FALSE(MultiExp({}, {}, ctx).ok());
+  EXPECT_FALSE(MultiExp({b}, {BigInt(1), BigInt(2)}, ctx).ok());
+  EXPECT_FALSE(MultiExp({b}, {BigInt(-3)}, ctx).ok());
+  EXPECT_FALSE(MultiExpEngine::Create(nullptr, {b}).ok());
+}
+
+TEST(MultiExpTest, EngineReuseAcrossRows) {
+  // The engine's tables are built once; many Eval calls against the same
+  // bases must all match the naive product (the m-row amortization of
+  // Theorem 3.1).
+  Rng rng(15);
+  const BigInt m = OddModulus(512, rng);
+  auto ctx = MontgomeryContext::Create(m).value();
+  const size_t t = 8;
+  std::vector<BigInt> bases(t);
+  for (auto& b : bases) b = BigInt::RandomBelow(m, rng);
+  auto engine = MultiExpEngine::Create(&ctx, bases).value();
+  EXPECT_EQ(engine.size(), t);
+  for (int row = 0; row < 6; ++row) {
+    std::vector<BigInt> exps(t);
+    for (auto& e : exps) e = BigInt::Random(256, rng);
+    EXPECT_EQ(engine.Eval(exps).value(), NaiveProduct(bases, exps, m))
+        << "row " << row;
+  }
+}
+
+// --- DotProduct engine vs the naive ScalarMul/Add chain -------------------
+
+TEST(MultiExpTest, DotProductBitIdenticalToNaiveRandomized) {
+  Rng rng(16);
+  const KeyPair keys = GenerateKeyPair(256, rng).value();
+  const Encryptor enc(keys.pub);
+  for (int level = 1; level <= 2; ++level) {
+    for (int iter = 0; iter < 4; ++iter) {
+      const size_t t = 1 + rng.NextBelow(10);  // delta'
+      std::vector<Ciphertext> v(t);
+      std::vector<BigInt> x(t);
+      for (size_t i = 0; i < t; ++i) {
+        v[i] = enc.Encrypt(BigInt::Random(40, rng), rng, level).value();
+        // Mix of zero and random scalars, level-appropriate widths.
+        x[i] = rng.NextBelow(4) == 0
+                   ? BigInt(0)
+                   : BigInt::Random(level == 1 ? 60 : 512, rng);
+      }
+      const Ciphertext fast = enc.DotProduct(x, v).value();
+      const Ciphertext naive = enc.DotProductNaive(x, v).value();
+      EXPECT_EQ(fast.value, naive.value)
+          << "level " << level << " iter " << iter << " t=" << t;
+      EXPECT_EQ(fast.level, naive.level);
+    }
+  }
+}
+
+TEST(MultiExpTest, DotEngineSharedAcrossRowsMatchesNaive) {
+  Rng rng(17);
+  const KeyPair keys = GenerateKeyPair(256, rng).value();
+  const Encryptor enc(keys.pub);
+  const size_t t = 6;
+  std::vector<Ciphertext> v(t);
+  for (auto& c : v) c = enc.Encrypt(BigInt::Random(30, rng), rng).value();
+  auto engine = enc.MakeDotEngine(v).value();
+  EXPECT_EQ(engine.size(), t);
+  EXPECT_EQ(engine.level(), 1);
+  for (int row = 0; row < 5; ++row) {
+    std::vector<BigInt> x(t);
+    for (auto& xi : x) xi = BigInt::Random(60, rng);
+    const Ciphertext fast = engine.Dot(x).value();
+    const Ciphertext naive = enc.DotProductNaive(x, v).value();
+    EXPECT_EQ(fast.value, naive.value) << "row " << row;
+  }
+}
+
+TEST(MultiExpTest, DotEngineRejectsBadInput) {
+  Rng rng(18);
+  const KeyPair keys = GenerateKeyPair(128, rng).value();
+  const Encryptor enc(keys.pub);
+  EXPECT_FALSE(enc.MakeDotEngine({}).ok());
+  std::vector<Ciphertext> mixed = {
+      enc.Encrypt(BigInt(1), rng, 1).value(),
+      enc.Encrypt(BigInt(2), rng, 2).value(),
+  };
+  EXPECT_FALSE(enc.MakeDotEngine(mixed).ok());
+  std::vector<Ciphertext> v = {enc.Encrypt(BigInt(5), rng).value()};
+  auto engine = enc.MakeDotEngine(v).value();
+  EXPECT_FALSE(engine.Dot({BigInt(1), BigInt(2)}).ok());  // dimension
+  EXPECT_FALSE(engine.Dot({BigInt(-1)}).ok());            // negative scalar
+}
+
+TEST(MultiExpTest, HotPathBuildsNoNewContexts) {
+  // Context derivation (R^2 mod n) must happen only at Encryptor
+  // construction, never per homomorphic call.
+  Rng rng(19);
+  const KeyPair keys = GenerateKeyPair(256, rng).value();
+  const Encryptor enc(keys.pub);
+  std::vector<Ciphertext> v(4);
+  for (auto& c : v) c = enc.Encrypt(BigInt::Random(30, rng), rng).value();
+
+  const uint64_t before = MontgomeryContext::created_count();
+  auto engine = enc.MakeDotEngine(v).value();
+  for (int row = 0; row < 3; ++row) {
+    std::vector<BigInt> x(v.size());
+    for (auto& xi : x) xi = BigInt::Random(60, rng);
+    ASSERT_TRUE(engine.Dot(x).ok());
+    ASSERT_TRUE(enc.DotProduct(x, v).ok());
+    ASSERT_TRUE(enc.ScalarMul(x[0], v[0]).ok());
+    ASSERT_TRUE(enc.Add(v[0], v[1]).ok());
+  }
+  EXPECT_EQ(MontgomeryContext::created_count(), before);
+}
+
+}  // namespace
+}  // namespace ppgnn

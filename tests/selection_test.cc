@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "bigint/montgomery.h"
+
 namespace ppgnn {
 namespace {
 
@@ -133,6 +135,58 @@ TEST_F(SelectionTest, LargeValuesSurviveSelection) {
   auto indicator = EncryptIndicator(enc, 1, 2, *rng_).value();
   auto selected = PrivateSelect(enc, matrix, indicator).value();
   EXPECT_EQ(dec.Decrypt(selected[0]).value(), big);
+}
+
+TEST_F(SelectionTest, BitIdenticalToNaiveDotProduct) {
+  // The multi-exp engine is an evaluation-order change over exact residue
+  // arithmetic: each selected ciphertext must equal, bit for bit, the
+  // serial ScalarMul/Add reference chain over the same indicator.
+  Encryptor enc(keys_->pub);
+  const size_t rows = 3, cols = 6;
+  AnswerMatrix matrix = TestMatrix(rows, cols);
+  auto indicator = EncryptIndicator(enc, 4, cols, *rng_).value();
+  auto selected = PrivateSelect(enc, matrix, indicator).value();
+  ASSERT_EQ(selected.size(), rows);
+  std::vector<BigInt> row(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) row[c] = matrix.columns[c][r];
+    Ciphertext naive = enc.DotProductNaive(row, indicator).value();
+    EXPECT_EQ(selected[r].value, naive.value) << "row " << r;
+    EXPECT_EQ(selected[r].level, naive.level);
+  }
+}
+
+TEST_F(SelectionTest, ParallelResultBitIdenticalToSerial) {
+  // Chunked partial products recombined with Add carry the same residue
+  // as the serial evaluation, for both selection variants.
+  Encryptor enc(keys_->pub);
+  AnswerMatrix matrix = TestMatrix(2, 7);
+  auto indicator = EncryptIndicator(enc, 5, 7, *rng_).value();
+  auto serial = PrivateSelect(enc, matrix, indicator, /*threads=*/1).value();
+  auto parallel = PrivateSelect(enc, matrix, indicator, /*threads=*/3).value();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t r = 0; r < serial.size(); ++r) {
+    EXPECT_EQ(serial[r].value, parallel[r].value) << "row " << r;
+  }
+  auto opt = EncryptOptIndicator(enc, 5, 7, 3, *rng_).value();
+  auto serial2 = PrivateSelectTwoPhase(enc, matrix, opt, 1).value();
+  auto parallel2 = PrivateSelectTwoPhase(enc, matrix, opt, 4).value();
+  for (size_t r = 0; r < serial2.size(); ++r) {
+    EXPECT_EQ(serial2[r].value, parallel2[r].value) << "row " << r;
+  }
+}
+
+TEST_F(SelectionTest, SelectionHotPathBuildsNoContexts) {
+  // All Montgomery contexts are derived when the Encryptor is built; the
+  // selection loops themselves must never re-derive one.
+  Encryptor enc(keys_->pub);
+  AnswerMatrix matrix = TestMatrix(2, 8);
+  auto indicator = EncryptIndicator(enc, 3, 8, *rng_).value();
+  auto opt = EncryptOptIndicator(enc, 3, 8, 2, *rng_).value();
+  const uint64_t before = MontgomeryContext::created_count();
+  ASSERT_TRUE(PrivateSelect(enc, matrix, indicator, 2).ok());
+  ASSERT_TRUE(PrivateSelectTwoPhase(enc, matrix, opt, 2).ok());
+  EXPECT_EQ(MontgomeryContext::created_count(), before);
 }
 
 TEST_F(SelectionTest, ZeroColumnsSelectable) {
