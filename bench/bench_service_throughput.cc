@@ -1,0 +1,175 @@
+// Service-layer throughput: QPS and latency quantiles of the LspService
+// front-end as the worker pool grows, under a fixed closed-loop client
+// population. Demonstrates that inter-query parallelism (whole queries
+// on concurrent workers) scales on top of the single-query path, and
+// reports the admission/latency counters the service exposes.
+//
+// Knobs (in addition to bench_util.h's):
+//   PPGNN_BENCH_CLIENTS   closed-loop client threads (default 8)
+//   PPGNN_BENCH_REQUESTS  requests per client per data point (default 4)
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ppgnn;
+using bench::BenchConfig;
+using bench::EnvInt;
+
+struct ServicePoint {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t served = 0;
+  uint64_t errors = 0;
+};
+
+ServicePoint DrivePoint(const LspDatabase& lsp, const KeyPair& keys,
+                        const ProtocolParams& params, int workers,
+                        int clients, int requests_per_client,
+                        uint64_t seed) {
+  // Pre-build every request outside the timed region: the coordinator's
+  // encryption work would otherwise dominate the closed loop and hide
+  // the worker-pool effect this bench exists to measure.
+  std::vector<std::vector<ServiceRequest>> prebuilt(
+      static_cast<size_t>(clients));
+  {
+    Rng rng(seed + 31337);
+    for (int c = 0; c < clients; ++c) {
+      for (int i = 0; i < requests_per_client; ++i) {
+        auto group = bench::RandomGroup(params.n, rng);
+        auto request =
+            BuildServiceRequest(Variant::kPpgnn, params, group, keys, rng);
+        if (!request.ok()) {
+          std::fprintf(stderr, "build: %s\n",
+                       request.status().ToString().c_str());
+          return ServicePoint{};
+        }
+        prebuilt[static_cast<size_t>(c)].push_back(
+            std::move(request).value());
+      }
+    }
+  }
+
+  ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity =
+      static_cast<size_t>(clients) * static_cast<size_t>(requests_per_client);
+  config.sanitize = params.sanitize;
+  LspService service(lsp, config);
+
+  // In the timed loop clients only frame-decode replies (is it an answer
+  // or an error?); full decrypt-and-verify happens once per client after
+  // the clock stops.
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<uint8_t>> last_frame(
+      static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (ServiceRequest& request : prebuilt[static_cast<size_t>(c)]) {
+        std::vector<uint8_t> frame = service.Call(std::move(request));
+        auto decoded = ResponseFrame::Decode(frame);
+        if (!decoded.ok() || decoded->is_error) {
+          errors.fetch_add(1);
+        } else {
+          last_frame[static_cast<size_t>(c)] = std::move(frame);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  Decryptor dec(keys.pub, keys.sec);
+  for (const auto& frame : last_frame) {
+    if (frame.empty()) continue;
+    auto reply = ParseServedReply(frame, keys, dec, /*layered=*/false);
+    if (!reply.ok() || !reply->ok || reply->pois.empty()) {
+      errors.fetch_add(1);
+    }
+  }
+
+  ServiceStats stats = service.Stats();
+  ServicePoint point;
+  point.served = stats.served;
+  point.errors = errors.load();
+  point.qps = elapsed > 0 ? static_cast<double>(stats.served) / elapsed : 0;
+  point.p50_ms = stats.latency.p50_seconds * 1e3;
+  point.p99_ms = stats.latency.p99_seconds * 1e3;
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  // Service benches stress inter-query concurrency, not raw crypto: a
+  // smaller default database and modulus keep per-query work modest so
+  // the pool effect dominates the runtime.
+  config.key_bits = EnvInt("PPGNN_BENCH_KEYBITS", 256);
+  config.db_size =
+      static_cast<size_t>(EnvInt("PPGNN_BENCH_DB", 10000));
+  const int clients = EnvInt("PPGNN_BENCH_CLIENTS", 8);
+  const int requests = EnvInt("PPGNN_BENCH_REQUESTS", 4);
+
+  std::printf("==== LspService throughput vs worker count ====\n");
+  std::printf(
+      "(|D|=%zu, key_bits=%d, %d closed-loop clients x %d requests, "
+      "sanitation off, %u hardware threads)\n",
+      config.db_size, config.key_bits, clients, requests,
+      std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf(
+        "NOTE: single-core machine — worker-count speedups cannot "
+        "materialize here.\n");
+  }
+
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+  Rng key_rng(config.seed + 1);
+  auto keys = GenerateKeyPair(config.key_bits, key_rng);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 4;
+  params.delta = 8;
+  params.k = 3;
+  params.key_bits = config.key_bits;
+  params.sanitize = false;
+
+  double base_qps = 0;
+  for (int workers : {1, 2, 4, 8}) {
+    ServicePoint point = DrivePoint(lsp, keys.value(), params, workers,
+                                    clients, requests, config.seed);
+    if (workers == 1) base_qps = point.qps;
+    std::printf(
+        "workers=%-3d qps=%-9.2f p50_ms=%-9.2f p99_ms=%-9.2f served=%-5llu "
+        "errors=%-3llu speedup=%.2fx\n",
+        workers, point.qps, point.p50_ms, point.p99_ms,
+        static_cast<unsigned long long>(point.served),
+        static_cast<unsigned long long>(point.errors),
+        base_qps > 0 ? point.qps / base_qps : 0.0);
+    if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+      if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+        std::fprintf(f, "service_qps,workers,%d,%.3f,%.3f,%.3f,%llu\n",
+                     workers, point.qps, point.p50_ms, point.p99_ms,
+                     static_cast<unsigned long long>(point.served));
+        std::fclose(f);
+      }
+    }
+  }
+  return 0;
+}

@@ -27,6 +27,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "CryptoError";
     case StatusCode::kProtocolError:
       return "ProtocolError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 7,
   kCryptoError = 8,
   kProtocolError = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -68,6 +70,12 @@ class Status {
   }
   static Status ProtocolError(std::string msg) {
     return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -95,7 +95,8 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
                                       bool sanitize,
                                       const TestConfig& test_config,
                                       int lsp_threads,
-                                      QueryInstrumentation* info) {
+                                      QueryInstrumentation* info,
+                                      const std::atomic<bool>* cancel) {
   // Reassemble the location sets in user order.
   std::vector<LocationSet> sets(uploads.size());
   for (const LocationSetMessage& msg : uploads) {
@@ -138,6 +139,11 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
     double start = ThreadCpuSeconds();
     for (size_t i = static_cast<size_t>(worker); i < candidates.size();
          i += static_cast<size_t>(workers)) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        worker_status[worker] =
+            Status::DeadlineExceeded("lsp: query abandoned past deadline");
+        break;
+      }
       const std::vector<Point>& candidate = candidates[i];
       std::vector<RankedPoi> answer =
           lsp.solver().Query(candidate, query.k, query.aggregate);
@@ -181,6 +187,9 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
     if (w > 0) info->lsp_parallel_seconds += worker_cpu_seconds[w];
   }
 
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("lsp: query abandoned before selection");
+  }
   AnswerMessage out;
   if (query.is_opt) {
     PPGNN_ASSIGN_OR_RETURN(
@@ -217,7 +226,7 @@ Result<std::vector<uint8_t>> LspHandleQuery(
     const LspDatabase& lsp, const std::vector<uint8_t>& query_bytes,
     const std::vector<std::vector<uint8_t>>& upload_bytes,
     const TestConfig& test_config, bool sanitize, int lsp_threads,
-    QueryInstrumentation* info) {
+    QueryInstrumentation* info, const std::atomic<bool>* cancel) {
   QueryInstrumentation local_info;
   if (info == nullptr) info = &local_info;
   PPGNN_ASSIGN_OR_RETURN(QueryMessage query, QueryMessage::Decode(query_bytes));
@@ -233,7 +242,7 @@ Result<std::vector<uint8_t>> LspHandleQuery(
   PPGNN_ASSIGN_OR_RETURN(
       AnswerMessage answer,
       LspProcessQuery(lsp, query, uploads, effective_sanitize, test_config,
-                      lsp_threads, info));
+                      lsp_threads, info, cancel));
   return answer.Encode(query.pk);
 }
 
@@ -350,7 +359,7 @@ Result<QueryOutcome> RunQuery(Variant variant, const ProtocolParams& params,
   }
 
   // ===== Coordinator -> LSP: the query message, over the wire =====
-  std::vector<uint8_t> query_bytes = query.Encode();
+  PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> query_bytes, query.Encode());
   tracker.RecordSend(Link::kUserToLsp, query_bytes.size());
 
   // ===== Every user: build and send the location set =====

@@ -8,6 +8,9 @@ namespace {
 constexpr uint8_t kIndicatorPlain = 0;
 constexpr uint8_t kIndicatorOpt = 1;
 
+constexpr uint8_t kFrameAnswer = 0;
+constexpr uint8_t kFrameError = 1;
+
 Status AppendCiphertext(ByteWriter& w, const Ciphertext& ct,
                         const PublicKey& pk) {
   PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
@@ -38,11 +41,23 @@ Result<Point> ReadPoint(ByteReader& r) {
   return Point{DequantizeCoord(x), DequantizeCoord(y)};
 }
 
-uint64_t PlanDeltaPrime(const PartitionPlan& plan) {
+/// delta' = sum_i d_bar[i]^alpha, with every multiply and add checked
+/// against kMaxWireDeltaPrime. Wrapping arithmetic here was exploitable:
+/// alpha can be large and d_bar is attacker-controlled, so an unchecked
+/// product can wrap delta' small enough to match a short indicator while
+/// the true candidate enumeration is astronomically large.
+Result<uint64_t> CheckedPlanDeltaPrime(const PartitionPlan& plan) {
   uint64_t total = 0;
   for (int db : plan.d_bar) {
+    const uint64_t base = static_cast<uint64_t>(db);
     uint64_t term = 1;
-    for (int i = 0; i < plan.alpha; ++i) term *= static_cast<uint64_t>(db);
+    for (int i = 0; i < plan.alpha; ++i) {
+      if (base != 0 && term > kMaxWireDeltaPrime / base)
+        return Status::InvalidArgument("wire: delta' exceeds hard ceiling");
+      term *= base;
+    }
+    if (total > kMaxWireDeltaPrime - term)
+      return Status::InvalidArgument("wire: delta' exceeds hard ceiling");
     total += term;
   }
   return total;
@@ -50,7 +65,7 @@ uint64_t PlanDeltaPrime(const PartitionPlan& plan) {
 
 }  // namespace
 
-std::vector<uint8_t> QueryMessage::Encode() const {
+Result<std::vector<uint8_t>> QueryMessage::Encode() const {
   ByteWriter w;
   w.PutVarint(static_cast<uint64_t>(k));
   w.PutDouble(theta0);
@@ -59,22 +74,24 @@ std::vector<uint8_t> QueryMessage::Encode() const {
   for (int nb : plan.n_bar) w.PutVarint(static_cast<uint64_t>(nb));
   w.PutVarint(static_cast<uint64_t>(plan.beta()));
   for (int db : plan.d_bar) w.PutVarint(static_cast<uint64_t>(db));
-  w.PutBytes(pk.n.ToBytesPadded(pk.ByteSize()).value());
+  PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> pk_bytes,
+                         pk.n.ToBytesPadded(pk.ByteSize()));
+  w.PutBytes(pk_bytes);
   if (is_opt) {
     w.PutU8(kIndicatorOpt);
     w.PutVarint(opt_indicator.omega);
     w.PutVarint(opt_indicator.block_size);
     for (const Ciphertext& ct : opt_indicator.v1) {
-      (void)AppendCiphertext(w, ct, pk);
+      PPGNN_RETURN_IF_ERROR(AppendCiphertext(w, ct, pk));
     }
     for (const Ciphertext& ct : opt_indicator.v2) {
-      (void)AppendCiphertext(w, ct, pk);
+      PPGNN_RETURN_IF_ERROR(AppendCiphertext(w, ct, pk));
     }
   } else {
     w.PutU8(kIndicatorPlain);
     w.PutVarint(indicator.size());
     for (const Ciphertext& ct : indicator) {
-      (void)AppendCiphertext(w, ct, pk);
+      PPGNN_RETURN_IF_ERROR(AppendCiphertext(w, ct, pk));
     }
   }
   return w.Release();
@@ -84,8 +101,9 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   QueryMessage msg;
   PPGNN_ASSIGN_OR_RETURN(uint64_t k64, r.GetVarint());
+  if (k64 < 1 || k64 > kMaxWireK)
+    return Status::InvalidArgument("wire: k out of range");
   msg.k = static_cast<int>(k64);
-  if (msg.k < 1) return Status::InvalidArgument("wire: k < 1");
   PPGNN_ASSIGN_OR_RETURN(msg.theta0, r.GetDouble());
   PPGNN_ASSIGN_OR_RETURN(uint8_t agg, r.GetU8());
   if (agg > static_cast<uint8_t>(AggregateKind::kMin))
@@ -98,7 +116,8 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
   msg.plan.alpha = static_cast<int>(alpha);
   for (uint64_t j = 0; j < alpha; ++j) {
     PPGNN_ASSIGN_OR_RETURN(uint64_t nb, r.GetVarint());
-    if (nb < 1) return Status::InvalidArgument("wire: empty subgroup");
+    if (nb < 1 || nb > kMaxWireSubgroupSize)
+      return Status::InvalidArgument("wire: subgroup size out of range");
     msg.plan.n_bar.push_back(static_cast<int>(nb));
   }
   PPGNN_ASSIGN_OR_RETURN(uint64_t beta, r.GetVarint());
@@ -106,10 +125,12 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
     return Status::InvalidArgument("wire: bad beta");
   for (uint64_t i = 0; i < beta; ++i) {
     PPGNN_ASSIGN_OR_RETURN(uint64_t db, r.GetVarint());
-    if (db < 1) return Status::InvalidArgument("wire: empty segment");
+    if (db < 1 || db > kMaxWireSegmentSize)
+      return Status::InvalidArgument("wire: segment size out of range");
     msg.plan.d_bar.push_back(static_cast<int>(db));
   }
-  msg.plan.delta_prime = PlanDeltaPrime(msg.plan);
+  PPGNN_ASSIGN_OR_RETURN(msg.plan.delta_prime,
+                         CheckedPlanDeltaPrime(msg.plan));
 
   PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> pk_bytes, r.GetBytes());
   if (pk_bytes.empty() || pk_bytes.size() % 8 != 0)
@@ -124,7 +145,12 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
     msg.is_opt = true;
     PPGNN_ASSIGN_OR_RETURN(msg.opt_indicator.omega, r.GetVarint());
     PPGNN_ASSIGN_OR_RETURN(msg.opt_indicator.block_size, r.GetVarint());
-    if (msg.opt_indicator.omega < 1 || msg.opt_indicator.block_size < 1 ||
+    // Bounding both factors to the delta' ceiling keeps the product well
+    // inside 64 bits, so the shape comparison below cannot wrap.
+    if (msg.opt_indicator.omega < 1 ||
+        msg.opt_indicator.omega > kMaxWireDeltaPrime ||
+        msg.opt_indicator.block_size < 1 ||
+        msg.opt_indicator.block_size > kMaxWireDeltaPrime ||
         msg.opt_indicator.omega * msg.opt_indicator.block_size <
             msg.plan.delta_prime) {
       return Status::InvalidArgument("wire: OPT indicator shape invalid");
@@ -177,13 +203,22 @@ Result<LocationSetMessage> LocationSetMessage::Decode(
   return msg;
 }
 
-std::vector<uint8_t> AnswerMessage::Encode(const PublicKey& pk) const {
+Result<std::vector<uint8_t>> AnswerMessage::Encode(const PublicKey& pk) const {
+  if (ciphertexts.empty())
+    return Status::InvalidArgument("wire: refusing to encode empty answer");
+  const int level = ciphertexts[0].level;
+  if (level < 1 || level > 4)
+    return Status::InvalidArgument("wire: bad ciphertext level in answer");
+  for (const Ciphertext& ct : ciphertexts) {
+    if (ct.level != level)
+      return Status::InvalidArgument(
+          "wire: mixed ciphertext levels in answer");
+  }
   ByteWriter w;
   w.PutVarint(ciphertexts.size());
-  if (!ciphertexts.empty())
-    w.PutU8(static_cast<uint8_t>(ciphertexts[0].level));
+  w.PutU8(static_cast<uint8_t>(level));
   for (const Ciphertext& ct : ciphertexts) {
-    (void)AppendCiphertext(w, ct, pk);
+    PPGNN_RETURN_IF_ERROR(AppendCiphertext(w, ct, pk));
   }
   return w.Release();
 }
@@ -225,6 +260,96 @@ Result<AnswerBroadcast> AnswerBroadcast::Decode(
   }
   if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
   return msg;
+}
+
+const char* WireErrorToString(WireError code) {
+  switch (code) {
+    case WireError::kMalformed:
+      return "Malformed";
+    case WireError::kOverloaded:
+      return "Overloaded";
+    case WireError::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case WireError::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+WireError WireErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kProtocolError:
+      return WireError::kMalformed;
+    case StatusCode::kResourceExhausted:
+      return WireError::kOverloaded;
+    case StatusCode::kDeadlineExceeded:
+      return WireError::kDeadlineExceeded;
+    default:
+      return WireError::kInternal;
+  }
+}
+
+std::vector<uint8_t> ErrorMessage::Encode() const {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(code));
+  std::string clipped = detail;
+  if (clipped.size() > kMaxWireErrorDetail)
+    clipped.resize(kMaxWireErrorDetail);
+  w.PutBytes(std::vector<uint8_t>(clipped.begin(), clipped.end()));
+  return w.Release();
+}
+
+Result<ErrorMessage> ErrorMessage::Decode(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  ErrorMessage msg;
+  PPGNN_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  if (code > static_cast<uint8_t>(WireError::kInternal))
+    return Status::InvalidArgument("wire: unknown error code");
+  msg.code = static_cast<WireError>(code);
+  PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> detail, r.GetBytes());
+  if (detail.size() > kMaxWireErrorDetail)
+    return Status::InvalidArgument("wire: oversized error detail");
+  msg.detail.assign(detail.begin(), detail.end());
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return msg;
+}
+
+std::vector<uint8_t> ResponseFrame::WrapAnswer(
+    std::vector<uint8_t> answer_bytes) {
+  std::vector<uint8_t> out;
+  out.reserve(answer_bytes.size() + 1);
+  out.push_back(kFrameAnswer);
+  out.insert(out.end(), answer_bytes.begin(), answer_bytes.end());
+  return out;
+}
+
+std::vector<uint8_t> ResponseFrame::WrapError(const ErrorMessage& error) {
+  std::vector<uint8_t> payload = error.Encode();
+  std::vector<uint8_t> out;
+  out.reserve(payload.size() + 1);
+  out.push_back(kFrameError);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Result<ResponseFrame> ResponseFrame::Decode(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.empty())
+    return Status::InvalidArgument("wire: empty response frame");
+  ResponseFrame frame;
+  std::vector<uint8_t> payload(bytes.begin() + 1, bytes.end());
+  if (bytes[0] == kFrameAnswer) {
+    frame.is_error = false;
+    frame.answer = std::move(payload);
+  } else if (bytes[0] == kFrameError) {
+    frame.is_error = true;
+    PPGNN_ASSIGN_OR_RETURN(frame.error, ErrorMessage::Decode(payload));
+  } else {
+    return Status::InvalidArgument("wire: unknown response frame tag");
+  }
+  return frame;
 }
 
 }  // namespace ppgnn

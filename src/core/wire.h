@@ -7,17 +7,26 @@
 // sent (e.g. the 8-byte fixed-point quantization of locations is real,
 // not simulated).
 //
+// The decoders treat their input as adversarial: every count is bounded
+// before it is cast or used as a loop limit, and the delta' recomputation
+// is overflow-checked against kMaxWireDeltaPrime so a hostile plan cannot
+// wrap the candidate count small and slip an undersized indicator past
+// the length check.
+//
 // Layout summary (all integers little-endian or LEB128 varint):
 //   QueryMessage     k, theta0, aggregate, alpha, n_bar[], beta, d_bar[],
 //                    pk (key_bits/8 bytes), indicator kind,
 //                    [v] or ([v1], [[v2]]) as fixed-width ciphertexts
 //   LocationSetMessage  user id + d x 8-byte fixed-point locations
 //   AnswerMessage    m fixed-width ciphertexts (level 1 or 2)
+//   ErrorMessage     1-byte code + short UTF-8 detail string
+//   ResponseFrame    1-byte tag, then an AnswerMessage or ErrorMessage
 
 #ifndef PPGNN_CORE_WIRE_H_
 #define PPGNN_CORE_WIRE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -28,6 +37,16 @@
 #include "geo/aggregate.h"
 
 namespace ppgnn {
+
+/// Decode-side hard limits. These are deliberately far above anything the
+/// paper's parameter ranges produce (k <= 50, n <= 32, d <= 50,
+/// delta' <= a few thousand) but small enough that no bounded value can
+/// overflow an int or drive the LSP into an unbounded candidate loop.
+inline constexpr uint64_t kMaxWireK = 1 << 16;
+inline constexpr uint64_t kMaxWireSubgroupSize = 1 << 16;   // n_bar entries
+inline constexpr uint64_t kMaxWireSegmentSize = 1 << 16;    // d_bar entries
+inline constexpr uint64_t kMaxWireDeltaPrime = 1 << 22;     // candidate count
+inline constexpr uint64_t kMaxWireErrorDetail = 1 << 10;    // bytes
 
 /// The coordinator -> LSP query message (Algorithm 1, line 11).
 struct QueryMessage {
@@ -41,7 +60,9 @@ struct QueryMessage {
   std::vector<Ciphertext> indicator;  // PPGNN / Naive
   OptIndicator opt_indicator;         // PPGNN-OPT
 
-  std::vector<uint8_t> Encode() const;
+  /// Errors (instead of crashing) when a ciphertext or the public key
+  /// does not fit its fixed wire width.
+  Result<std::vector<uint8_t>> Encode() const;
   static Result<QueryMessage> Decode(const std::vector<uint8_t>& bytes);
 };
 
@@ -58,8 +79,10 @@ struct LocationSetMessage {
 struct AnswerMessage {
   std::vector<Ciphertext> ciphertexts;
 
-  /// Needs the public key for the fixed ciphertext widths.
-  std::vector<uint8_t> Encode(const PublicKey& pk) const;
+  /// Needs the public key for the fixed ciphertext widths. Empty answers
+  /// and mixed ciphertext levels are encode-time errors: the format
+  /// carries a single level byte, so a mixed vector cannot round-trip.
+  Result<std::vector<uint8_t>> Encode(const PublicKey& pk) const;
   static Result<AnswerMessage> Decode(const std::vector<uint8_t>& bytes,
                                       const PublicKey& pk);
 };
@@ -70,6 +93,44 @@ struct AnswerBroadcast {
 
   std::vector<uint8_t> Encode() const;
   static Result<AnswerBroadcast> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Machine-readable failure class of a served request, so clients can
+/// distinguish "my query was malformed" from "the server is overloaded"
+/// from "my deadline expired" without parsing error text.
+enum class WireError : uint8_t {
+  kMalformed = 0,         ///< query/upload bytes failed to decode or validate
+  kOverloaded = 1,        ///< admission control rejected the request
+  kDeadlineExceeded = 2,  ///< the request's time budget ran out
+  kInternal = 3,          ///< anything else that went wrong server-side
+};
+
+const char* WireErrorToString(WireError code);
+
+/// Maps a Status from the serving path onto the wire taxonomy.
+WireError WireErrorFromStatus(const Status& status);
+
+/// The LSP -> coordinator structured error reply.
+struct ErrorMessage {
+  WireError code = WireError::kInternal;
+  std::string detail;  ///< human-readable, truncated to kMaxWireErrorDetail
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ErrorMessage> Decode(const std::vector<uint8_t>& bytes);
+};
+
+/// Envelope for everything the LSP service sends back: one tag byte, then
+/// either raw AnswerMessage bytes or an ErrorMessage. Plain LspHandleQuery
+/// (the library entry point) still returns bare AnswerMessage bytes; the
+/// framing exists so a *served* reply is self-describing on the wire.
+struct ResponseFrame {
+  bool is_error = false;
+  std::vector<uint8_t> answer;  ///< AnswerMessage bytes when !is_error
+  ErrorMessage error;           ///< set when is_error
+
+  static std::vector<uint8_t> WrapAnswer(std::vector<uint8_t> answer_bytes);
+  static std::vector<uint8_t> WrapError(const ErrorMessage& error);
+  static Result<ResponseFrame> Decode(const std::vector<uint8_t>& bytes);
 };
 
 }  // namespace ppgnn

@@ -26,6 +26,7 @@
 #include "core/protocol.h"      // IWYU pragma: export
 #include "core/sanitize.h"      // IWYU pragma: export
 #include "core/selection.h"     // IWYU pragma: export
+#include "core/wire.h"          // IWYU pragma: export
 #include "crypto/key_io.h"      // IWYU pragma: export
 #include "crypto/paillier.h"    // IWYU pragma: export
 #include "crypto/poi_codec.h"   // IWYU pragma: export
@@ -33,9 +34,12 @@
 #include "geo/distance_oracle.h"  // IWYU pragma: export
 #include "geo/point.h"          // IWYU pragma: export
 #include "geo/rect.h"           // IWYU pragma: export
+#include "net/latency.h"        // IWYU pragma: export
 #include "roadnet/dijkstra.h"   // IWYU pragma: export
 #include "roadnet/graph.h"      // IWYU pragma: export
 #include "roadnet/road_gnn.h"   // IWYU pragma: export
+#include "service/lsp_service.h"  // IWYU pragma: export
+#include "service/workload.h"   // IWYU pragma: export
 #include "spatial/dataset.h"    // IWYU pragma: export
 #include "spatial/gnn.h"        // IWYU pragma: export
 #include "spatial/knn.h"        // IWYU pragma: export

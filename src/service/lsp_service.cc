@@ -1,0 +1,224 @@
+#include "service/lsp_service.h"
+
+#include <algorithm>
+#include <future>
+
+namespace ppgnn {
+namespace {
+
+std::vector<uint8_t> ErrorFrame(WireError code, std::string detail) {
+  ErrorMessage err;
+  err.code = code;
+  err.detail = std::move(detail);
+  return ResponseFrame::WrapError(err);
+}
+
+void MergeInstrumentation(QueryInstrumentation& into,
+                          const QueryInstrumentation& from) {
+  into.delta_prime += from.delta_prime;
+  into.omega += from.omega;
+  into.answer_width_m += from.answer_width_m;
+  into.pois_returned += from.pois_returned;
+  into.sanitize_samples += from.sanitize_samples;
+  into.sanitize_tests += from.sanitize_tests;
+  into.sanitize_seconds += from.sanitize_seconds;
+  into.lsp_parallel_seconds += from.lsp_parallel_seconds;
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "accepted=%llu rejected=%llu served=%llu failed=%llu "
+                "deadline_expired=%llu queued=%zu",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(served),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(deadline_expired),
+                queue_depth);
+  return std::string(buf) + " | " + latency.ToString();
+}
+
+LspService::LspService(const LspDatabase& db, ServiceConfig config)
+    : db_(db), config_(std::move(config)) {
+  const int workers = std::max(config_.workers, 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+LspService::~LspService() { Shutdown(); }
+
+bool LspService::Submit(ServiceRequest request, Callback done) {
+  const Clock::time_point now = Clock::now();
+  double budget = request.deadline_seconds > 0
+                      ? request.deadline_seconds
+                      : config_.default_deadline_seconds;
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.done = std::move(done);
+  pending.admitted = now;
+  pending.deadline =
+      budget > 0 ? now + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(budget))
+                 : Clock::time_point::max();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < config_.queue_capacity) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(std::move(pending));
+      queue_cv_.notify_one();
+      return true;
+    }
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(std::chrono::duration<double>(Clock::now() - now).count());
+  pending.done(ErrorFrame(WireError::kOverloaded,
+                          "lsp service: request queue full"));
+  return false;
+}
+
+std::vector<uint8_t> LspService::Call(ServiceRequest request) {
+  std::promise<std::vector<uint8_t>> promise;
+  std::future<std::vector<uint8_t>> future = promise.get_future();
+  Submit(std::move(request), [&promise](std::vector<uint8_t> frame) {
+    promise.set_value(std::move(frame));
+  });
+  return future.get();
+}
+
+void LspService::Reply(PendingRequest& req, std::vector<uint8_t> frame) {
+  latency_.Record(
+      std::chrono::duration<double>(Clock::now() - req.admitted).count());
+  req.done(std::move(frame));
+}
+
+void LspService::WorkerLoop() {
+  for (;;) {
+    PendingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    // Queued past its budget: answer without executing at all.
+    if (Clock::now() >= req.deadline) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      Reply(req, ErrorFrame(WireError::kDeadlineExceeded,
+                            "lsp service: deadline expired in queue"));
+      continue;
+    }
+
+    // Publish the in-flight deadline so the monitor can cancel us
+    // cooperatively mid-query.
+    std::shared_ptr<InFlight> flight;
+    if (req.deadline != Clock::time_point::max()) {
+      flight = std::make_shared<InFlight>();
+      flight->deadline = req.deadline;
+      flight->cancel = std::make_shared<std::atomic<bool>>(false);
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.push_back(flight);
+      inflight_cv_.notify_one();
+    }
+
+    if (config_.test_execute_hook) config_.test_execute_hook();
+
+    QueryInstrumentation info;
+    Result<std::vector<uint8_t>> answer = LspHandleQuery(
+        db_, req.request.query, req.request.uploads, config_.test_config,
+        config_.sanitize, config_.lsp_threads, &info,
+        flight != nullptr ? flight->cancel.get() : nullptr);
+
+    if (flight != nullptr) {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), flight),
+                      inflight_.end());
+    }
+
+    if (answer.ok()) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(totals_mu_);
+        MergeInstrumentation(totals_, info);
+      }
+      Reply(req, ResponseFrame::WrapAnswer(std::move(answer).value()));
+    } else {
+      const Status status = answer.status();
+      const WireError code = WireErrorFromStatus(status);
+      if (code == WireError::kDeadlineExceeded) {
+        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Reply(req, ErrorFrame(code, status.ToString()));
+    }
+  }
+}
+
+void LspService::MonitorLoop() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  for (;;) {
+    if (monitor_stop_) return;
+    Clock::time_point next = Clock::time_point::max();
+    const Clock::time_point now = Clock::now();
+    for (const std::shared_ptr<InFlight>& flight : inflight_) {
+      if (now >= flight->deadline) {
+        flight->cancel->store(true, std::memory_order_relaxed);
+      } else {
+        next = std::min(next, flight->deadline);
+      }
+    }
+    if (next == Clock::time_point::max()) {
+      inflight_cv_.wait(lock);
+    } else {
+      inflight_cv_.wait_until(lock, next);
+    }
+  }
+}
+
+ServiceStats LspService::Stats() const {
+  ServiceStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.latency = latency_.Summarize();
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    stats.totals = totals_;
+  }
+  return stats;
+}
+
+void LspService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    monitor_stop_ = true;
+  }
+  inflight_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,164 @@
+// LspService: an in-process, multi-threaded serving front-end over
+// LspHandleQuery — the layer that turns the wire-level LSP entry point
+// into something shaped like a network daemon.
+//
+//   * Admission control: a bounded FIFO request queue. A full queue
+//     rejects immediately with a structured kOverloaded error frame
+//     (backpressure, never unbounded buffering).
+//   * A pool of `workers` threads, each executing whole queries
+//     concurrently. This inter-query parallelism is orthogonal to the
+//     intra-query `lsp_threads` fan-out inside LspHandleQuery; both can
+//     be combined.
+//   * Per-request deadlines: a monitor thread flips a cooperative cancel
+//     flag once a request overruns its budget, and LspHandleQuery
+//     abandons the query between candidates. Requests that expire while
+//     still queued are answered without being executed at all. Either
+//     way the client gets a kDeadlineExceeded error frame.
+//   * Observability: atomic accepted/rejected/served/failed/expired
+//     counters, an end-to-end latency histogram (admission -> reply), and
+//     the summed QueryInstrumentation of every served query, snapshotted
+//     via Stats().
+//
+// Every reply — answer or error — is a wire ResponseFrame, so a client
+// can always distinguish "malformed query" / "overloaded" / "deadline
+// exceeded" / "internal" from transport garbage.
+
+#ifndef PPGNN_SERVICE_LSP_SERVICE_H_
+#define PPGNN_SERVICE_LSP_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/wire.h"
+#include "net/latency.h"
+
+namespace ppgnn {
+
+struct ServiceConfig {
+  /// Concurrent whole-query executors (>= 1).
+  int workers = 2;
+  /// Maximum queued (not yet executing) requests before reject-on-full.
+  size_t queue_capacity = 64;
+  /// Time budget applied to requests that don't carry their own;
+  /// 0 = unlimited.
+  double default_deadline_seconds = 0.0;
+  /// Intra-query fan-out passed through to LspHandleQuery.
+  int lsp_threads = 1;
+  bool sanitize = true;
+  TestConfig test_config;
+  /// Test-only: runs on the worker thread right before query execution.
+  /// Lets tests hold workers on a latch to force queue-full and
+  /// deadline-expiry deterministically. Never set in production paths.
+  std::function<void()> test_execute_hook;
+};
+
+struct ServiceRequest {
+  std::vector<uint8_t> query;                   ///< QueryMessage bytes
+  std::vector<std::vector<uint8_t>> uploads;    ///< LocationSetMessage bytes
+  /// Per-request budget from admission to reply; 0 = use the config
+  /// default.
+  double deadline_seconds = 0.0;
+};
+
+/// Counter snapshot. accepted == served + failed + deadline_expired +
+/// (still queued or executing); rejected requests are never accepted.
+struct ServiceStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_expired = 0;
+  size_t queue_depth = 0;
+  LatencySummary latency;        ///< admission -> reply, all outcomes
+  QueryInstrumentation totals;   ///< summed over served queries
+
+  std::string ToString() const;
+};
+
+class LspService {
+ public:
+  /// Invoked exactly once per submitted request with the encoded
+  /// ResponseFrame. May run on a worker thread, or inline in Submit for
+  /// rejected requests. Must not re-enter the service.
+  using Callback = std::function<void(std::vector<uint8_t>)>;
+
+  /// Starts the worker pool and deadline monitor. The database must
+  /// outlive the service.
+  LspService(const LspDatabase& db, ServiceConfig config);
+  ~LspService();
+
+  LspService(const LspService&) = delete;
+  LspService& operator=(const LspService&) = delete;
+
+  /// Non-blocking admission. Returns true if the request was queued; on
+  /// false (queue full or shutting down) the callback has already been
+  /// invoked inline with a kOverloaded error frame.
+  bool Submit(ServiceRequest request, Callback done);
+
+  /// Blocking convenience wrapper: submits and waits for the reply frame.
+  std::vector<uint8_t> Call(ServiceRequest request);
+
+  ServiceStats Stats() const;
+
+  /// Stops admission, drains the queue, joins all threads. Idempotent;
+  /// the destructor calls it.
+  void Shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingRequest {
+    ServiceRequest request;
+    Callback done;
+    Clock::time_point admitted;
+    Clock::time_point deadline;  // time_point::max() = none
+  };
+
+  /// A request currently executing on some worker, visible to the
+  /// deadline monitor.
+  struct InFlight {
+    Clock::time_point deadline;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  void WorkerLoop();
+  void MonitorLoop();
+  void Reply(PendingRequest& req, std::vector<uint8_t> frame);
+
+  const LspDatabase& db_;
+  const ServiceConfig config_;
+
+  mutable std::mutex mu_;  // guards queue_ and stopping_
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  bool stopping_ = false;
+
+  std::mutex inflight_mu_;  // guards inflight_ and monitor_stop_
+  std::condition_variable inflight_cv_;
+  std::vector<std::shared_ptr<InFlight>> inflight_;
+  bool monitor_stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread monitor_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  LatencyHistogram latency_;
+  mutable std::mutex totals_mu_;
+  QueryInstrumentation totals_;
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_LSP_SERVICE_H_

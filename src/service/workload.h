@@ -1,0 +1,46 @@
+// Client-side request construction for driving an LspService.
+//
+// Reproduces the coordinator side of Algorithm 1 (partition plan, segment
+// and position draws, encrypted indicator, per-user location sets) and
+// packages the result as a ServiceRequest, so closed-loop load generators
+// (ppgnn_cli --serve, bench_service_throughput, lsp_service_test) can
+// issue genuine protocol traffic without duplicating that logic.
+
+#ifndef PPGNN_SERVICE_WORKLOAD_H_
+#define PPGNN_SERVICE_WORKLOAD_H_
+
+#include <vector>
+
+#include "core/params.h"
+#include "core/protocol.h"
+#include "crypto/paillier.h"
+#include "service/lsp_service.h"
+
+namespace ppgnn {
+
+/// Builds one well-formed group query + uploads under `keys` for the
+/// given real locations (size params.n). Keys are caller-provided so a
+/// load generator can reuse one pair across requests instead of paying
+/// per-request key generation.
+Result<ServiceRequest> BuildServiceRequest(
+    Variant variant, const ProtocolParams& params,
+    const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng);
+
+/// What a client got back from the service.
+struct ServedReply {
+  bool ok = false;             ///< answer frame vs error frame
+  std::vector<Point> pois;     ///< decrypted answer when ok
+  ErrorMessage error;          ///< structured error when !ok
+};
+
+/// Decodes a ResponseFrame and, for answer frames, decrypts and decodes
+/// the POI list. `layered` selects DecryptLayered (PPGNN-OPT replies).
+/// Errors only on transport-level garbage; a structured service error is
+/// a successful parse with ok = false.
+Result<ServedReply> ParseServedReply(const std::vector<uint8_t>& frame_bytes,
+                                     const KeyPair& keys,
+                                     const Decryptor& dec, bool layered);
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_WORKLOAD_H_

@@ -1,9 +1,18 @@
-// Tests for the wire-level LSP entry point (LspHandleQuery): the surface
-// a network-facing LSP daemon exposes to untrusted clients. Beyond the
-// happy path, this suite throws malformed and adversarial inputs at it —
-// the decoder must fail cleanly, never crash or mis-serve.
+// Tests for the wire-level LSP entry point (LspHandleQuery) and the
+// LspService front-end built on it: the surface a network-facing LSP
+// daemon exposes to untrusted clients. Beyond the happy path, this suite
+// throws malformed and adversarial inputs at the decoder (it must fail
+// cleanly, never crash or mis-serve) and drives the service with
+// concurrent clients, full queues, and expiring deadlines — the
+// concurrency cases are the TSan tier.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "core/candidate.h"
 #include "core/indicator.h"
@@ -11,6 +20,8 @@
 #include "core/protocol.h"
 #include "core/wire.h"
 #include "crypto/poi_codec.h"
+#include "service/lsp_service.h"
+#include "service/workload.h"
 #include "spatial/dataset.h"
 
 namespace ppgnn {
@@ -52,7 +63,7 @@ class LspServiceTest : public ::testing::Test {
     Encryptor enc(keys_->pub);
     query.indicator =
         EncryptIndicator(enc, req.qi, plan.delta_prime, rng).value();
-    req.query = query.Encode();
+    req.query = query.Encode().value();
 
     std::vector<int> subgroup = SubgroupOfUser(plan);
     for (uint32_t u = 0; u < 3; ++u) {
@@ -165,7 +176,8 @@ TEST_F(LspServiceTest, RejectsIndicatorOfWrongLength) {
   // because the indicator length is checked against delta'.
   QueryMessage query = QueryMessage::Decode(req.query).value();
   query.indicator.pop_back();
-  EXPECT_FALSE(LspHandleQuery(*db_, query.Encode(), req.uploads).ok());
+  EXPECT_FALSE(
+      LspHandleQuery(*db_, query.Encode().value(), req.uploads).ok());
 }
 
 TEST_F(LspServiceTest, SanitationOnReturnsPrefix) {
@@ -177,6 +189,314 @@ TEST_F(LspServiceTest, SanitationOnReturnsPrefix) {
                                      &info);
   ASSERT_TRUE(answer_bytes.ok());
   EXPECT_GT(info.sanitize_tests, 0u);
+}
+
+TEST_F(LspServiceTest, CancelFlagAbandonsQuery) {
+  Rng rng(11);
+  Request req = MakeRequest(rng);
+  std::atomic<bool> cancel{true};
+  auto result = LspHandleQuery(*db_, req.query, req.uploads, TestConfig{},
+                               /*sanitize=*/false, 1, nullptr, &cancel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --- LspService: the concurrent serving front-end ---
+
+class ServiceTest : public LspServiceTest {
+ protected:
+  static ProtocolParams GroupParams() {
+    ProtocolParams params;
+    params.n = 3;
+    params.d = 4;
+    params.delta = 8;
+    params.k = 3;
+    params.key_bits = keys_->pub.key_bits;
+    params.sanitize = false;
+    return params;
+  }
+
+  static ServiceRequest WorkloadRequest(Rng& rng,
+                                        std::vector<Point>* real = nullptr) {
+    ProtocolParams params = GroupParams();
+    std::vector<Point> group;
+    for (int i = 0; i < params.n; ++i) {
+      group.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+    if (real != nullptr) *real = group;
+    return BuildServiceRequest(Variant::kPpgnn, params, group, *keys_, rng)
+        .value();
+  }
+};
+
+TEST_F(ServiceTest, ServesOneRequestEndToEnd) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  Rng rng(20);
+  std::vector<Point> real;
+  ServiceRequest request = WorkloadRequest(rng, &real);
+  std::vector<uint8_t> frame = service.Call(std::move(request));
+
+  Decryptor dec(keys_->pub, keys_->sec);
+  ServedReply reply =
+      ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+  ASSERT_TRUE(reply.ok) << reply.error.detail;
+  auto expected = db_->solver().Query(real, 3, AggregateKind::kSum);
+  ASSERT_EQ(reply.pois.size(), expected.size());
+  for (size_t i = 0; i < reply.pois.size(); ++i) {
+    EXPECT_NEAR(reply.pois[i].x, expected[i].poi.location.x, 1e-8);
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.totals.delta_prime, 8u);
+  EXPECT_EQ(stats.latency.count, 1u);
+  EXPECT_GT(stats.latency.p99_seconds, 0.0);
+}
+
+TEST_F(ServiceTest, MalformedQueryGetsStructuredErrorFrame) {
+  ServiceConfig config;
+  config.workers = 1;
+  LspService service(*db_, config);
+
+  ServiceRequest request;
+  request.query = {0xDE, 0xAD, 0xBE, 0xEF};
+  std::vector<uint8_t> frame = service.Call(std::move(request));
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kMalformed);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST_F(ServiceTest, RejectsOnFullQueueWithOverloadedFrame) {
+  // One worker held on a latch + capacity-1 queue: the third and fourth
+  // submissions must bounce with kOverloaded, deterministically.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.sanitize = false;
+  config.test_execute_hook = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  LspService service(*db_, config);
+
+  std::mutex reply_mu;
+  std::condition_variable reply_cv;
+  std::vector<std::vector<uint8_t>> frames;
+  auto collect = [&](std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(reply_mu);
+    frames.push_back(std::move(frame));
+    reply_cv.notify_all();
+  };
+
+  Rng rng(21);
+  ASSERT_TRUE(service.Submit(WorkloadRequest(rng), collect));
+  // Wait until the worker is parked inside request 1 so request 2 is
+  // guaranteed to sit in the queue.
+  while (entered.load() < 1) std::this_thread::yield();
+  ASSERT_TRUE(service.Submit(WorkloadRequest(rng), collect));
+  EXPECT_FALSE(service.Submit(WorkloadRequest(rng), collect));
+  EXPECT_FALSE(service.Submit(WorkloadRequest(rng), collect));
+
+  {
+    // The two rejects were delivered inline.
+    std::lock_guard<std::mutex> lock(reply_mu);
+    ASSERT_EQ(frames.size(), 2u);
+    for (const auto& frame : frames) {
+      ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+      ASSERT_TRUE(decoded.is_error);
+      EXPECT_EQ(decoded.error.code, WireError::kOverloaded);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(reply_mu);
+    reply_cv.wait(lock, [&] { return frames.size() == 4u; });
+  }
+  service.Shutdown();
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ServiceTest, DeadlineExpiresInQueueWithoutExecution) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.sanitize = false;
+  config.test_execute_hook = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  LspService service(*db_, config);
+
+  std::mutex reply_mu;
+  std::condition_variable reply_cv;
+  size_t replies = 0;
+  std::vector<uint8_t> expired_frame;
+
+  Rng rng(22);
+  service.Submit(WorkloadRequest(rng), [&](std::vector<uint8_t>) {
+    std::lock_guard<std::mutex> lock(reply_mu);
+    ++replies;
+    reply_cv.notify_all();
+  });
+  while (entered.load() < 1) std::this_thread::yield();
+
+  ServiceRequest doomed = WorkloadRequest(rng);
+  doomed.deadline_seconds = 0.01;
+  service.Submit(std::move(doomed), [&](std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(reply_mu);
+    expired_frame = std::move(frame);
+    ++replies;
+    reply_cv.notify_all();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(reply_mu);
+    reply_cv.wait(lock, [&] { return replies == 2u; });
+  }
+  service.Shutdown();
+
+  ResponseFrame decoded = ResponseFrame::Decode(expired_frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kDeadlineExceeded);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  // The doomed request never reached the execute hook.
+  EXPECT_EQ(entered.load(), 1);
+}
+
+TEST_F(ServiceTest, DeadlineCancelsMidExecution) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  // Park the worker *inside* the request (after in-flight registration)
+  // long enough for the monitor to flip the cancel flag.
+  config.test_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  };
+  LspService service(*db_, config);
+
+  Rng rng(23);
+  ServiceRequest request = WorkloadRequest(rng);
+  request.deadline_seconds = 0.02;
+  std::vector<uint8_t> frame = service.Call(std::move(request));
+
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kDeadlineExceeded);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+// The TSan workhorse: many closed-loop clients against a small queue
+// with a mix of deadlines and garbage, exercising admission, execution,
+// cancellation, and stats merging concurrently.
+TEST_F(ServiceTest, ConcurrentClientsSmallQueueMixedDeadlines) {
+  ServiceConfig config;
+  config.workers = 3;
+  config.queue_capacity = 4;
+  config.lsp_threads = 2;  // intra-query fan-out on top of the pool
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 5;
+  std::atomic<int> answers{0}, errors{0}, transport_garbage{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      Decryptor dec(keys_->pub, keys_->sec);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServiceRequest request;
+        if (i % 5 == 4) {
+          request.query = {0xFF, 0xFF, 0xFF};  // malformed
+        } else {
+          request = WorkloadRequest(rng);
+        }
+        if (i % 3 == 1) request.deadline_seconds = 1e-6;  // will expire
+        std::vector<uint8_t> frame = service.Call(std::move(request));
+        auto reply = ParseServedReply(frame, *keys_, dec, /*layered=*/false);
+        if (!reply.ok()) {
+          transport_garbage.fetch_add(1);
+        } else if (reply->ok) {
+          answers.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Shutdown();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient;
+  // Every reply is a well-formed frame — answer or structured error.
+  EXPECT_EQ(transport_garbage.load(), 0);
+  EXPECT_EQ(static_cast<uint64_t>(answers.load() + errors.load()), kTotal);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted + stats.rejected, kTotal);
+  EXPECT_EQ(stats.accepted,
+            stats.served + stats.failed + stats.deadline_expired);
+  EXPECT_EQ(stats.served, static_cast<uint64_t>(answers.load()));
+  EXPECT_EQ(stats.latency.count, kTotal);
+  EXPECT_GT(stats.deadline_expired, 0u);
+  EXPECT_GE(stats.latency.p99_seconds, stats.latency.p50_seconds);
+}
+
+TEST_F(ServiceTest, LatencyHistogramQuantilesAreOrdered) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(i * 1e-5);  // 10us .. 10ms
+  LatencySummary summary = hist.Summarize();
+  EXPECT_EQ(summary.count, 1000u);
+  EXPECT_GT(summary.p50_seconds, 0.004);
+  EXPECT_LT(summary.p50_seconds, 0.007);
+  EXPECT_GT(summary.p99_seconds, summary.p90_seconds * 0.99);
+  EXPECT_GE(summary.max_seconds, summary.p99_seconds * 0.9);
+  EXPECT_NEAR(summary.mean_seconds, 0.005, 0.001);
 }
 
 }  // namespace

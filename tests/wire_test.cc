@@ -33,6 +33,31 @@ class WireTest : public ::testing::Test {
     return msg;
   }
 
+  // Handcrafts the query header (through the public key field) so the
+  // adversarial tests below can smuggle values a well-formed Encode would
+  // never produce.
+  static ByteWriter ForgedHeader(uint64_t k, uint64_t alpha,
+                                 const std::vector<uint64_t>& n_bar,
+                                 const std::vector<uint64_t>& d_bar) {
+    ByteWriter w;
+    w.PutVarint(k);
+    w.PutDouble(0.05);
+    w.PutU8(0);  // kSum
+    w.PutVarint(alpha);
+    for (uint64_t nb : n_bar) w.PutVarint(nb);
+    w.PutVarint(d_bar.size());
+    for (uint64_t db : d_bar) w.PutVarint(db);
+    w.PutBytes(keys_->pub.n.ToBytesPadded(keys_->pub.ByteSize()).value());
+    return w;
+  }
+
+  static void AppendLevelCiphertext(ByteWriter& w, int level) {
+    Encryptor enc(keys_->pub);
+    Ciphertext ct = enc.Encrypt(BigInt(1), *rng_, level).value();
+    w.PutBytes(
+        ct.value.ToBytesPadded(keys_->pub.CiphertextBytes(level)).value());
+  }
+
   static Rng* rng_;
   static KeyPair* keys_;
 };
@@ -41,7 +66,7 @@ KeyPair* WireTest::keys_ = nullptr;
 
 TEST_F(WireTest, QueryMessageRoundTripPlain) {
   QueryMessage msg = PlainQuery();
-  auto bytes = msg.Encode();
+  auto bytes = msg.Encode().value();
   QueryMessage decoded = QueryMessage::Decode(bytes).value();
   EXPECT_EQ(decoded.k, msg.k);
   EXPECT_DOUBLE_EQ(decoded.theta0, msg.theta0);
@@ -66,7 +91,7 @@ TEST_F(WireTest, QueryMessageRoundTripOpt) {
   msg.is_opt = true;
   Encryptor enc(keys_->pub);
   msg.opt_indicator = EncryptOptIndicator(enc, 7, 8, 2, *rng_).value();
-  auto bytes = msg.Encode();
+  auto bytes = msg.Encode().value();
   QueryMessage decoded = QueryMessage::Decode(bytes).value();
   ASSERT_TRUE(decoded.is_opt);
   EXPECT_EQ(decoded.opt_indicator.omega, 2u);
@@ -89,14 +114,14 @@ TEST_F(WireTest, QueryDecodeRecomputesDeltaPrime) {
   msg.plan.delta_prime = 999;  // wrong on purpose; wire doesn't carry it
   // The indicator length must match the TRUE delta' = 8 for decode to
   // accept, so re-encode with the correct indicator.
-  auto bytes = msg.Encode();
+  auto bytes = msg.Encode().value();
   QueryMessage decoded = QueryMessage::Decode(bytes).value();
   EXPECT_EQ(decoded.plan.delta_prime, 8u);
 }
 
 TEST_F(WireTest, QueryDecodeRejectsCorruption) {
   QueryMessage msg = PlainQuery();
-  auto bytes = msg.Encode();
+  auto bytes = msg.Encode().value();
 
   // Truncation at every prefix must fail cleanly, never crash.
   for (size_t cut : std::vector<size_t>{0, 1, 5, 20, bytes.size() - 1}) {
@@ -116,8 +141,112 @@ TEST_F(WireTest, QueryDecodeRejectsCorruption) {
 TEST_F(WireTest, QueryDecodeRejectsShortPublicKey) {
   QueryMessage msg = PlainQuery();
   msg.pk.n = BigInt(12345);  // not full-width for key_bits = 256
-  auto bytes = msg.Encode();
+  auto bytes = msg.Encode().value();
   EXPECT_FALSE(QueryMessage::Decode(bytes).ok());
+}
+
+// --- adversarial decode: overflow and narrowing regressions ---
+
+// delta' = 4^64 wraps a uint64 to exactly 0, which used to match an
+// *empty* indicator and sail through decode with a plan whose true
+// candidate enumeration is astronomically large.
+TEST_F(WireTest, QueryDecodeRejectsOverflowWrappedDeltaPrime) {
+  ByteWriter w =
+      ForgedHeader(1, 64, std::vector<uint64_t>(64, 2), {4});
+  w.PutU8(0);     // plain indicator
+  w.PutVarint(0);  // length 0 == wrapped delta'
+  auto result = QueryMessage::Decode(w.Release());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Same wrap through the OPT branch: a shape of omega = block_size = 1
+// trivially covers a delta' of 0.
+TEST_F(WireTest, QueryDecodeRejectsOverflowWrappedDeltaPrimeOpt) {
+  ByteWriter w =
+      ForgedHeader(1, 64, std::vector<uint64_t>(64, 2), {4});
+  w.PutU8(1);      // OPT indicator
+  w.PutVarint(1);  // omega
+  w.PutVarint(1);  // block_size
+  AppendLevelCiphertext(w, 1);  // v1
+  AppendLevelCiphertext(w, 2);  // v2
+  EXPECT_FALSE(QueryMessage::Decode(w.Release()).ok());
+}
+
+// d_bar entries near 2^64 used to pass the (uint64) >= 1 check, wrap the
+// delta' *sum* back into a small value, and turn negative when narrowed
+// to int: (2^64 - 4) + 8 = 4 (mod 2^64), with d_bar = {-4, 8}.
+TEST_F(WireTest, QueryDecodeRejectsSegmentSizeAboveIntRange) {
+  ByteWriter w = ForgedHeader(1, 1, {2}, {0xFFFFFFFFFFFFFFFCull, 8});
+  w.PutU8(0);
+  w.PutVarint(4);
+  for (int i = 0; i < 4; ++i) AppendLevelCiphertext(w, 1);
+  EXPECT_FALSE(QueryMessage::Decode(w.Release()).ok());
+}
+
+// n_bar = 2^31 passes an unsigned >= 1 check but is INT_MIN after the
+// cast; the subgroup bookkeeping downstream must never see it.
+TEST_F(WireTest, QueryDecodeRejectsSubgroupSizeAboveIntRange) {
+  ByteWriter w = ForgedHeader(1, 1, {uint64_t{1} << 31}, {2, 2});
+  w.PutU8(0);
+  w.PutVarint(4);
+  for (int i = 0; i < 4; ++i) AppendLevelCiphertext(w, 1);
+  EXPECT_FALSE(QueryMessage::Decode(w.Release()).ok());
+}
+
+// k = 2^32 + 3 used to silently truncate to k = 3 on the cast.
+TEST_F(WireTest, QueryDecodeRejectsTruncatedK) {
+  ByteWriter w = ForgedHeader((uint64_t{1} << 32) + 3, 1, {2}, {2, 2});
+  w.PutU8(0);
+  w.PutVarint(4);
+  for (int i = 0; i < 4; ++i) AppendLevelCiphertext(w, 1);
+  EXPECT_FALSE(QueryMessage::Decode(w.Release()).ok());
+}
+
+// omega * block_size wrapping 64 bits must not satisfy the coverage
+// check (here (2^62 + 2) * 4 = 8 mod 2^64 >= delta' = 8).
+TEST_F(WireTest, QueryDecodeRejectsOptShapeProductOverflow) {
+  ByteWriter w = ForgedHeader(1, 2, {2, 2}, {2, 2});  // delta' = 8
+  w.PutU8(1);
+  w.PutVarint((uint64_t{1} << 62) + 2);  // omega
+  w.PutVarint(4);                        // block_size
+  for (int i = 0; i < 4; ++i) AppendLevelCiphertext(w, 1);
+  auto result = QueryMessage::Decode(w.Release());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("OPT indicator shape"),
+            std::string::npos);
+}
+
+// --- adversarial decode: ciphertext framing ---
+
+TEST_F(WireTest, QueryDecodeRejectsWrongWidthCiphertext) {
+  ByteWriter w = ForgedHeader(1, 1, {2}, {2, 2});  // delta' = 4
+  w.PutU8(0);
+  w.PutVarint(4);
+  // A ciphertext frame of the wrong fixed width.
+  w.PutBytes(std::vector<uint8_t>(10, 0xAB));
+  EXPECT_FALSE(QueryMessage::Decode(w.Release()).ok());
+}
+
+TEST_F(WireTest, QueryDecodeRejectsOversizedCiphertextLength) {
+  ByteWriter w = ForgedHeader(1, 1, {2}, {2, 2});
+  w.PutU8(0);
+  w.PutVarint(4);
+  // Length prefix promising far more bytes than the message holds.
+  w.PutVarint(1 << 20);
+  w.PutU8(0x01);
+  EXPECT_FALSE(QueryMessage::Decode(w.Release()).ok());
+}
+
+// --- encode-side hardening ---
+
+// A public key whose modulus does not fit its declared width used to hit
+// Result::value() on an error (process abort); now it is a clean error.
+TEST_F(WireTest, QueryEncodeRejectsOverflowingPublicKeyWidth) {
+  QueryMessage msg = PlainQuery();
+  msg.pk.key_bits = 64;  // modulus is 256-bit: nothing fits in 8 bytes
+  auto result = msg.Encode();
+  EXPECT_FALSE(result.ok());
 }
 
 TEST_F(WireTest, LocationSetRoundTrip) {
@@ -161,7 +290,7 @@ TEST_F(WireTest, AnswerMessageRoundTripBothLevels) {
       msg.ciphertexts.push_back(
           enc.Encrypt(BigInt(100 + i), *rng_, level).value());
     }
-    auto bytes = msg.Encode(keys_->pub);
+    auto bytes = msg.Encode(keys_->pub).value();
     AnswerMessage decoded = AnswerMessage::Decode(bytes, keys_->pub).value();
     ASSERT_EQ(decoded.ciphertexts.size(), 3u);
     Decryptor dec(keys_->pub, keys_->sec);
@@ -180,9 +309,28 @@ TEST_F(WireTest, AnswerMessageWireSizeMatchesCostModel) {
   AnswerMessage msg;
   msg.ciphertexts.push_back(enc.Encrypt(BigInt(1), *rng_, 1).value());
   size_t expected_payload = keys_->pub.CiphertextBytes(1);
-  auto bytes = msg.Encode(keys_->pub);
+  auto bytes = msg.Encode(keys_->pub).value();
   EXPECT_GE(bytes.size(), expected_payload);
   EXPECT_LE(bytes.size(), expected_payload + 4);
+}
+
+// Encode used to emit an empty message (no level byte) that Decode could
+// never accept; empty answers are now a hard error at the source.
+TEST_F(WireTest, AnswerMessageRejectsEmptyAtEncode) {
+  AnswerMessage empty;
+  auto result = empty.Encode(keys_->pub);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The format carries one level byte for the whole vector, so a mixed
+// vector would silently mis-parse on the other side; reject at encode.
+TEST_F(WireTest, AnswerMessageRejectsMixedLevelsAtEncode) {
+  Encryptor enc(keys_->pub);
+  AnswerMessage msg;
+  msg.ciphertexts.push_back(enc.Encrypt(BigInt(1), *rng_, 1).value());
+  msg.ciphertexts.push_back(enc.Encrypt(BigInt(2), *rng_, 2).value());
+  EXPECT_FALSE(msg.Encode(keys_->pub).ok());
 }
 
 TEST_F(WireTest, AnswerBroadcastRoundTrip) {
@@ -201,10 +349,78 @@ TEST_F(WireTest, AnswerMessageRejectsBadLevelOrWidth) {
   Encryptor enc(keys_->pub);
   AnswerMessage msg;
   msg.ciphertexts.push_back(enc.Encrypt(BigInt(5), *rng_, 1).value());
-  auto bytes = msg.Encode(keys_->pub);
+  auto bytes = msg.Encode(keys_->pub).value();
   // Corrupt the level byte (after the 1-byte count varint).
   bytes[1] = 9;
   EXPECT_FALSE(AnswerMessage::Decode(bytes, keys_->pub).ok());
+}
+
+// --- error frames ---
+
+TEST_F(WireTest, ErrorMessageRoundTripAllCodes) {
+  for (WireError code :
+       {WireError::kMalformed, WireError::kOverloaded,
+        WireError::kDeadlineExceeded, WireError::kInternal}) {
+    ErrorMessage msg;
+    msg.code = code;
+    msg.detail = std::string("details for ") + WireErrorToString(code);
+    ErrorMessage decoded = ErrorMessage::Decode(msg.Encode()).value();
+    EXPECT_EQ(decoded.code, code);
+    EXPECT_EQ(decoded.detail, msg.detail);
+  }
+}
+
+TEST_F(WireTest, ErrorMessageClipsOversizedDetail) {
+  ErrorMessage msg;
+  msg.code = WireError::kInternal;
+  msg.detail = std::string(10000, 'x');
+  ErrorMessage decoded = ErrorMessage::Decode(msg.Encode()).value();
+  EXPECT_EQ(decoded.detail.size(), kMaxWireErrorDetail);
+}
+
+TEST_F(WireTest, ErrorMessageRejectsGarbage) {
+  EXPECT_FALSE(ErrorMessage::Decode({}).ok());
+  EXPECT_FALSE(ErrorMessage::Decode({0x07, 0x00}).ok());  // unknown code
+  ErrorMessage msg;
+  msg.code = WireError::kOverloaded;
+  msg.detail = "queue full";
+  auto bytes = msg.Encode();
+  bytes.pop_back();
+  EXPECT_FALSE(ErrorMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, WireErrorFromStatusTaxonomy) {
+  EXPECT_EQ(WireErrorFromStatus(Status::InvalidArgument("x")),
+            WireError::kMalformed);
+  EXPECT_EQ(WireErrorFromStatus(Status::ProtocolError("x")),
+            WireError::kMalformed);
+  EXPECT_EQ(WireErrorFromStatus(Status::ResourceExhausted("x")),
+            WireError::kOverloaded);
+  EXPECT_EQ(WireErrorFromStatus(Status::DeadlineExceeded("x")),
+            WireError::kDeadlineExceeded);
+  EXPECT_EQ(WireErrorFromStatus(Status::CryptoError("x")),
+            WireError::kInternal);
+}
+
+TEST_F(WireTest, ResponseFrameRoundTrips) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4};
+  ResponseFrame answer = ResponseFrame::Decode(
+                             ResponseFrame::WrapAnswer(payload))
+                             .value();
+  EXPECT_FALSE(answer.is_error);
+  EXPECT_EQ(answer.answer, payload);
+
+  ErrorMessage err;
+  err.code = WireError::kDeadlineExceeded;
+  err.detail = "too slow";
+  ResponseFrame error =
+      ResponseFrame::Decode(ResponseFrame::WrapError(err)).value();
+  ASSERT_TRUE(error.is_error);
+  EXPECT_EQ(error.error.code, WireError::kDeadlineExceeded);
+  EXPECT_EQ(error.error.detail, "too slow");
+
+  EXPECT_FALSE(ResponseFrame::Decode({}).ok());
+  EXPECT_FALSE(ResponseFrame::Decode({0x09}).ok());  // unknown tag
 }
 
 }  // namespace

@@ -17,13 +17,25 @@
 //     --gen-keys PATH      generate a key pair, save to PATH, and exit
 //     --seed N
 //
+// Serve mode (in-process LspService + closed-loop load generators):
+//   ppgnn_cli --serve [--workers N] [--clients N] [--requests N]
+//             [--queue N] [--deadline SECONDS] [plus the options above]
+//   Stands up the concurrent LspService front-end and drives it with
+//   `--clients` closed-loop client threads issuing `--requests` queries
+//   each, then prints throughput, the latency histogram summary, and the
+//   service counters.
+//
 // Prints the sanitized answer, the per-party costs, and the plaintext
 // reference for verification.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "ppgnn.h"
 
@@ -44,6 +56,13 @@ struct CliOptions {
   ProtocolParams params;
   uint64_t seed = 2018;
   bool no_sanitize = false;
+  // Serve mode.
+  bool serve = false;
+  int workers = 4;
+  int clients = 4;
+  int requests_per_client = 8;
+  size_t queue_capacity = 64;
+  double deadline_seconds = 0.0;
 };
 
 void PrintUsageAndExit(const char* argv0) {
@@ -54,7 +73,9 @@ void PrintUsageAndExit(const char* argv0) {
                "          [--k N] [--theta0 X] [--keybits N] [--threads N]\n"
                "          [--dummies uniform|poi-density|nearby]\n"
                "          [--keys PATH] [--gen-keys PATH]\n"
-               "          [--no-sanitize] [--seed N]\n",
+               "          [--no-sanitize] [--seed N]\n"
+               "          [--serve] [--workers N] [--clients N]\n"
+               "          [--requests N] [--queue N] [--deadline SECONDS]\n",
                argv0);
   std::exit(2);
 }
@@ -120,6 +141,18 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (flag == "--no-sanitize") {
       opts.no_sanitize = true;
+    } else if (flag == "--serve") {
+      opts.serve = true;
+    } else if (flag == "--workers") {
+      opts.workers = std::atoi(next());
+    } else if (flag == "--clients") {
+      opts.clients = std::atoi(next());
+    } else if (flag == "--requests") {
+      opts.requests_per_client = std::atoi(next());
+    } else if (flag == "--queue") {
+      opts.queue_capacity = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--deadline") {
+      opts.deadline_seconds = std::atof(next());
     } else if (flag == "--help" || flag == "-h") {
       PrintUsageAndExit(argv[0]);
     } else {
@@ -128,6 +161,81 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+// Stands up an LspService over `lsp` and drives it with closed-loop
+// client threads, each reproducing the coordinator side of Algorithm 1
+// via BuildServiceRequest. Returns a process exit code.
+int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
+                 Variant variant, const KeyPair& keys) {
+  ServiceConfig config;
+  config.workers = opts.workers;
+  config.queue_capacity = opts.queue_capacity;
+  config.default_deadline_seconds = opts.deadline_seconds;
+  config.lsp_threads = opts.params.lsp_threads;
+  config.sanitize = opts.params.sanitize;
+  LspService service(lsp, config);
+
+  std::printf(
+      "Serving: %d workers, queue=%zu, deadline=%s, %d clients x %d "
+      "requests (lsp_threads=%d)\n",
+      opts.workers, opts.queue_capacity,
+      opts.deadline_seconds > 0 ? std::to_string(opts.deadline_seconds).c_str()
+                                : "none",
+      opts.clients, opts.requests_per_client, opts.params.lsp_threads);
+
+  const bool layered = variant == Variant::kPpgnnOpt;
+  std::atomic<uint64_t> answers{0}, service_errors{0}, client_errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(opts.clients));
+  for (int c = 0; c < opts.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(opts.seed * 7919 + static_cast<uint64_t>(c));
+      Decryptor dec(keys.pub, keys.sec);
+      for (int i = 0; i < opts.requests_per_client; ++i) {
+        std::vector<Point> group;
+        for (int u = 0; u < opts.params.n; ++u) {
+          group.push_back({rng.NextDouble(), rng.NextDouble()});
+        }
+        auto request =
+            BuildServiceRequest(variant, opts.params, group, keys, rng);
+        if (!request.ok()) {
+          std::fprintf(stderr, "client %d: %s\n", c,
+                       request.status().ToString().c_str());
+          client_errors.fetch_add(1);
+          continue;
+        }
+        std::vector<uint8_t> frame = service.Call(std::move(request).value());
+        auto reply = ParseServedReply(frame, keys, dec, layered);
+        if (!reply.ok()) {
+          std::fprintf(stderr, "client %d: transport garbage: %s\n", c,
+                       reply.status().ToString().c_str());
+          client_errors.fetch_add(1);
+        } else if (reply->ok) {
+          answers.fetch_add(1);
+        } else {
+          service_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  const uint64_t total = answers.load() + service_errors.load();
+  std::printf("\n%llu replies in %.2f s => %.2f queries/s\n",
+              static_cast<unsigned long long>(total), elapsed,
+              elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0);
+  std::printf("answers=%llu service_errors=%llu client_errors=%llu\n",
+              static_cast<unsigned long long>(answers.load()),
+              static_cast<unsigned long long>(service_errors.load()),
+              static_cast<unsigned long long>(client_errors.load()));
+  std::printf("%s\n", service.Stats().ToString().c_str());
+  return client_errors.load() == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -251,6 +359,19 @@ int main(int argc, char** argv) {
       opts.params.key_bits = loaded_keys.pub.key_bits;
     }
     fixed_keys = &loaded_keys;
+  }
+
+  if (opts.serve) {
+    if (fixed_keys == nullptr) {
+      auto keys = GenerateKeyPair(opts.params.key_bits, rng);
+      if (!keys.ok()) {
+        std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+        return 1;
+      }
+      loaded_keys = std::move(keys).value();
+      fixed_keys = &loaded_keys;
+    }
+    return RunServeMode(opts, lsp, variant, *fixed_keys);
   }
 
   auto outcome = RunQuery(variant, opts.params, group, lsp, rng, fixed_keys);
