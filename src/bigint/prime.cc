@@ -28,10 +28,12 @@ uint64_t ModSmall(const BigInt& v, uint64_t divisor) {
 }
 
 // One Miller-Rabin round with the given base; returns false if `n` is
-// definitely composite. n odd, n > 3; n - 1 = d * 2^r with d odd.
-bool MillerRabinRound(const BigInt& n, const BigInt& n_minus_1,
-                      const BigInt& d, int r, const BigInt& base) {
-  BigInt x = ModExp(base, d, n).value();
+// definitely composite, an error if the modular arithmetic itself is
+// undefined for `n` (degenerate modulus). n odd, n > 3; n - 1 = d * 2^r
+// with d odd.
+Result<bool> MillerRabinRound(const BigInt& n, const BigInt& n_minus_1,
+                              const BigInt& d, int r, const BigInt& base) {
+  PPGNN_ASSIGN_OR_RETURN(BigInt x, ModExp(base, d, n));
   if (x.IsOne() || x == n_minus_1) return true;
   for (int i = 1; i < r; ++i) {
     x = ModMul(x, x, n);
@@ -60,7 +62,10 @@ bool IsProbablePrime(const BigInt& candidate, Rng& rng, int rounds) {
   BigInt upper = candidate - BigInt(3);  // bases in [2, n-2]
   for (int round = 0; round < rounds; ++round) {
     BigInt base = BigInt::RandomBelow(upper, rng) + BigInt(2);
-    if (!MillerRabinRound(candidate, n_minus_1, d, r, base)) return false;
+    Result<bool> witness = MillerRabinRound(candidate, n_minus_1, d, r, base);
+    // A degenerate modulus cannot be proven prime; treat it as composite
+    // rather than aborting.
+    if (!witness.ok() || !witness.value()) return false;
   }
   return true;
 }

@@ -1,0 +1,280 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace ppgnn {
+namespace failpoint_internal {
+
+std::atomic<int> g_armed{0};
+
+namespace {
+
+struct PointState {
+  FailpointPolicy policy;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  Rng rng{0};
+};
+
+std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, PointState>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, PointState>();
+  return *registry;
+}
+
+/// One evaluated firing. `fire_index` numbers fires per point (0-based)
+/// so corruption draws differ deterministically between fires.
+struct Fired {
+  FailpointPolicy policy;
+  uint64_t fire_index = 0;
+};
+
+/// Counts the hit and decides whether the point fires, under the registry
+/// lock. All decisions are pure functions of (policy, hit count, seeded
+/// RNG stream), so schedules replay exactly.
+bool Evaluate(const char* point, Fired* out) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(point);
+  if (it == Registry().end()) return false;
+  PointState& state = it->second;
+  state.hits++;
+  if (state.hits <= state.policy.skip) return false;
+  const uint64_t eligible = state.hits - state.policy.skip - 1;
+  const uint64_t every = state.policy.every == 0 ? 1 : state.policy.every;
+  if (eligible % every != 0) return false;
+  if (state.policy.max_fires != 0 && state.fires >= state.policy.max_fires)
+    return false;
+  if (state.policy.probability < 1.0 &&
+      state.rng.NextDouble() >= state.policy.probability) {
+    return false;
+  }
+  out->policy = state.policy;
+  out->fire_index = state.fires;
+  state.fires++;
+  return true;
+}
+
+Status InjectedError(const char* point, StatusCode code) {
+  std::string msg = std::string("failpoint ") + point + ": injected " +
+                    StatusCodeToString(code);
+  return Status(code, std::move(msg));
+}
+
+}  // namespace
+
+Status CheckSlow(const char* point) {
+  Fired fired;
+  if (!Evaluate(point, &fired)) return Status::OK();
+  switch (fired.policy.action) {
+    case FailAction::kError:
+      return InjectedError(point, fired.policy.error_code);
+    case FailAction::kDelay:
+      if (fired.policy.delay_seconds > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fired.policy.delay_seconds));
+      }
+      return Status::OK();
+    case FailAction::kDrop:
+    case FailAction::kCorrupt:
+      // Action not supported at a Status call site: ignore.
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+bool DropSlow(const char* point) {
+  Fired fired;
+  if (!Evaluate(point, &fired)) return false;
+  return fired.policy.action == FailAction::kDrop;
+}
+
+void CorruptSlow(const char* point, std::vector<uint8_t>& bytes) {
+  Fired fired;
+  if (!Evaluate(point, &fired)) return;
+  if (fired.policy.action != FailAction::kCorrupt || bytes.empty()) return;
+  // Deterministic per fire: seed mixed with the fire index.
+  Rng rng(fired.policy.seed ^ (fired.fire_index * 0x9e3779b97f4a7c15ULL));
+  const uint32_t flips = fired.policy.corrupt_bytes == 0
+                             ? 1
+                             : fired.policy.corrupt_bytes;
+  for (uint32_t i = 0; i < flips; ++i) {
+    const size_t pos = static_cast<size_t>(rng.NextBelow(bytes.size()));
+    bytes[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+  }
+}
+
+}  // namespace failpoint_internal
+
+namespace {
+
+using failpoint_internal::Registry;
+using failpoint_internal::RegistryMu;
+
+Result<uint64_t> ParseU64(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("failpoint: empty number");
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      return Status::InvalidArgument("failpoint: bad number '" + text + "'");
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("failpoint: empty number");
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0')
+    return Status::InvalidArgument("failpoint: bad number '" + text + "'");
+  return value;
+}
+
+Result<StatusCode> ParseErrorCode(const std::string& name) {
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "overloaded") return StatusCode::kResourceExhausted;
+  if (name == "deadline") return StatusCode::kDeadlineExceeded;
+  if (name == "malformed") return StatusCode::kInvalidArgument;
+  if (name == "crypto") return StatusCode::kCryptoError;
+  return Status::InvalidArgument("failpoint: unknown error code '" + name +
+                                 "' (want internal|overloaded|deadline|"
+                                 "malformed|crypto)");
+}
+
+}  // namespace
+
+Result<FailpointPolicy> ParseFailpointPolicy(const std::string& spec) {
+  FailpointPolicy policy;
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    parts.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (parts.empty() || parts[0].empty())
+    return Status::InvalidArgument("failpoint: empty policy");
+
+  // Leading token: action[:arg].
+  const std::string& head = parts[0];
+  const size_t colon = head.find(':');
+  const std::string action = head.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : head.substr(colon + 1);
+  if (action == "error") {
+    policy.action = FailAction::kError;
+    if (!arg.empty()) {
+      PPGNN_ASSIGN_OR_RETURN(policy.error_code, ParseErrorCode(arg));
+    }
+  } else if (action == "delay") {
+    policy.action = FailAction::kDelay;
+    if (arg.empty())
+      return Status::InvalidArgument("failpoint: delay needs :<milliseconds>");
+    PPGNN_ASSIGN_OR_RETURN(double ms, ParseDouble(arg));
+    if (ms < 0) return Status::InvalidArgument("failpoint: negative delay");
+    policy.delay_seconds = ms / 1000.0;
+  } else if (action == "drop") {
+    policy.action = FailAction::kDrop;
+    if (!arg.empty())
+      return Status::InvalidArgument("failpoint: drop takes no argument");
+  } else if (action == "corrupt") {
+    policy.action = FailAction::kCorrupt;
+    if (!arg.empty()) {
+      PPGNN_ASSIGN_OR_RETURN(uint64_t n, ParseU64(arg));
+      if (n == 0 || n > 64)
+        return Status::InvalidArgument("failpoint: corrupt bytes in [1,64]");
+      policy.corrupt_bytes = static_cast<uint32_t>(n);
+    }
+  } else {
+    return Status::InvalidArgument("failpoint: unknown action '" + action +
+                                   "' (want error|delay|drop|corrupt)");
+  }
+
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& kv = parts[i];
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos)
+      return Status::InvalidArgument("failpoint: bad modifier '" + kv + "'");
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    if (key == "p") {
+      PPGNN_ASSIGN_OR_RETURN(policy.probability, ParseDouble(value));
+      if (policy.probability < 0.0 || policy.probability > 1.0)
+        return Status::InvalidArgument("failpoint: p must lie in [0,1]");
+    } else if (key == "seed") {
+      PPGNN_ASSIGN_OR_RETURN(policy.seed, ParseU64(value));
+    } else if (key == "skip") {
+      PPGNN_ASSIGN_OR_RETURN(policy.skip, ParseU64(value));
+    } else if (key == "every") {
+      PPGNN_ASSIGN_OR_RETURN(policy.every, ParseU64(value));
+      if (policy.every == 0)
+        return Status::InvalidArgument("failpoint: every must be >= 1");
+    } else if (key == "times") {
+      PPGNN_ASSIGN_OR_RETURN(policy.max_fires, ParseU64(value));
+    } else {
+      return Status::InvalidArgument("failpoint: unknown modifier '" + key +
+                                     "' (want p|seed|skip|every|times)");
+    }
+  }
+  return policy;
+}
+
+Status FailpointSetFromSpec(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0)
+    return Status::InvalidArgument(
+        "failpoint: spec must look like point=policy");
+  PPGNN_ASSIGN_OR_RETURN(FailpointPolicy policy,
+                         ParseFailpointPolicy(spec.substr(eq + 1)));
+  FailpointSet(spec.substr(0, eq), policy);
+  return Status::OK();
+}
+
+void FailpointSet(const std::string& point, FailpointPolicy policy) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  failpoint_internal::PointState state;
+  state.policy = policy;
+  state.rng = Rng(policy.seed);
+  Registry()[point] = std::move(state);
+  failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
+                                    std::memory_order_relaxed);
+}
+
+void FailpointClear(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  Registry().erase(point);
+  failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
+                                    std::memory_order_relaxed);
+}
+
+void FailpointClearAll() {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  Registry().clear();
+  failpoint_internal::g_armed.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FailpointHits(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(point);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointFires(const std::string& point) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(point);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+}  // namespace ppgnn

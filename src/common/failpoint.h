@@ -1,0 +1,127 @@
+// Deterministic fault injection for chaos testing.
+//
+// A *failpoint* is a named hook compiled into a production code path.
+// Normally it does nothing and costs a single relaxed atomic load; a test
+// (or `ppgnn_cli --fail`) arms it with a policy describing *what* to
+// inject (an error Status, a delay, a dropped message, corrupted bytes)
+// and *when* (every hit, every Nth hit, after a skip, a bounded number of
+// times, or probabilistically from a seeded RNG). All scheduling state is
+// deterministic: the same policy and the same sequence of hits produce
+// the same injections, so a chaos schedule is reproducible from its seed.
+//
+// Call-site helpers by injected action:
+//   * FailpointCheck(point)     -> Status   (error / delay policies)
+//   * FailpointDrop(point)      -> bool     (drop policies)
+//   * FailpointCorrupt(point, bytes)        (corrupt-bytes policies)
+// A policy whose action does not match the call site's helper is ignored
+// there, so one point name can be reused only for the action it supports
+// (see the catalog in DESIGN.md §9).
+//
+// Policy spec grammar (used by ParseFailpointPolicy / --fail):
+//   <action>[,key=value]...
+//   actions:  error[:internal|overloaded|deadline|malformed|crypto]
+//             delay:<milliseconds>
+//             drop
+//             corrupt[:<nbytes>]
+//   keys:     p=<probability in [0,1]>   (default 1)
+//             seed=<uint64>              (RNG for p and corruption)
+//             skip=<n>   fire only from the (n+1)-th hit on (default 0)
+//             every=<n>  consider every nth eligible hit (default 1)
+//             times=<n>  stop after n fires; 0 = unlimited (default 0)
+// Example: "service.admit=drop,p=0.3,seed=7" injects an admission drop on
+// ~30% of submissions, reproducibly.
+
+#ifndef PPGNN_COMMON_FAILPOINT_H_
+#define PPGNN_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppgnn {
+
+enum class FailAction : uint8_t {
+  kError = 0,    ///< return an injected Status from the point
+  kDelay = 1,    ///< sleep, then continue normally
+  kDrop = 2,     ///< the caller discards the message / request
+  kCorrupt = 3,  ///< flip bytes in the caller's buffer
+};
+
+struct FailpointPolicy {
+  FailAction action = FailAction::kError;
+  /// Status code injected by kError points.
+  StatusCode error_code = StatusCode::kInternal;
+  /// Sleep applied by kDelay points.
+  double delay_seconds = 0.0;
+  /// Bytes flipped by kCorrupt points.
+  uint32_t corrupt_bytes = 1;
+  /// Chance that an eligible hit fires, drawn from a seeded RNG.
+  double probability = 1.0;
+  /// Seed for the probability draw and the corruption byte positions.
+  uint64_t seed = 0x0ddba11;
+  /// The first `skip` hits never fire.
+  uint64_t skip = 0;
+  /// Of the remaining hits, only every nth is eligible (>= 1).
+  uint64_t every = 1;
+  /// Stop after this many fires; 0 = unlimited.
+  uint64_t max_fires = 0;
+};
+
+/// Parses the policy half of a spec ("drop,p=0.5,seed=3").
+Result<FailpointPolicy> ParseFailpointPolicy(const std::string& spec);
+
+/// Parses and installs a full "point=policy" spec.
+Status FailpointSetFromSpec(const std::string& spec);
+
+/// Installs (or replaces) the policy for a point and resets its counters.
+void FailpointSet(const std::string& point, FailpointPolicy policy);
+
+/// Removes one point / all points. Disarming restores the zero-cost path.
+void FailpointClear(const std::string& point);
+void FailpointClearAll();
+
+/// Times the point was traversed / actually fired since FailpointSet.
+uint64_t FailpointHits(const std::string& point);
+uint64_t FailpointFires(const std::string& point);
+
+namespace failpoint_internal {
+
+/// Number of configured points. The *only* state touched when no
+/// failpoint is armed: every hook reduces to one relaxed load of this.
+extern std::atomic<int> g_armed;
+
+Status CheckSlow(const char* point);
+bool DropSlow(const char* point);
+void CorruptSlow(const char* point, std::vector<uint8_t>& bytes);
+
+}  // namespace failpoint_internal
+
+inline bool FailpointsArmed() {
+  return failpoint_internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// Error/delay hook: returns the injected Status (after sleeping through
+/// any injected delay), or OK.
+inline Status FailpointCheck(const char* point) {
+  if (!FailpointsArmed()) return Status::OK();
+  return failpoint_internal::CheckSlow(point);
+}
+
+/// Drop hook: true when the caller should behave as if the message or
+/// request never arrived.
+inline bool FailpointDrop(const char* point) {
+  return FailpointsArmed() && failpoint_internal::DropSlow(point);
+}
+
+/// Corruption hook: deterministically flips bytes in `bytes` when a
+/// corrupt policy fires (no-op on an empty buffer).
+inline void FailpointCorrupt(const char* point, std::vector<uint8_t>& bytes) {
+  if (FailpointsArmed()) failpoint_internal::CorruptSlow(point, bytes);
+}
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_COMMON_FAILPOINT_H_

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "core/candidate.h"
 #include "core/indicator.h"
 #include "core/partition.h"
@@ -97,6 +98,7 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
                                       int lsp_threads,
                                       QueryInstrumentation* info,
                                       const std::atomic<bool>* cancel) {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.process"));
   // Reassemble the location sets in user order.
   std::vector<LocationSet> sets(uploads.size());
   for (const LocationSetMessage& msg : uploads) {
@@ -142,6 +144,10 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         worker_status[worker] =
             Status::DeadlineExceeded("lsp: query abandoned past deadline");
+        break;
+      }
+      if (Status s = FailpointCheck("lsp.candidate"); !s.ok()) {
+        worker_status[worker] = std::move(s);
         break;
       }
       const std::vector<Point>& candidate = candidates[i];
@@ -190,6 +196,7 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
     return Status::DeadlineExceeded("lsp: query abandoned before selection");
   }
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.select"));
   AnswerMessage out;
   if (query.is_opt) {
     PPGNN_ASSIGN_OR_RETURN(
@@ -374,10 +381,22 @@ Result<QueryOutcome> RunQuery(Variant variant, const ProtocolParams& params,
       LocationSetMessage msg;
       msg.user_id = static_cast<uint32_t>(u);
       msg.locations.resize(static_cast<size_t>(plan.set_size));
-      for (Point& p : msg.locations) {
-        p = dummies.Generate(real_locations[u], rng);
+      if (FailpointDrop("user.upload")) {
+        // Dropout degradation: the user never delivered its set, so the
+        // coordinator substitutes a synthetic one around a random anchor
+        // (it does not know the dropped user's location). Same d points,
+        // same wire bytes per slot — the LSP's view is shape-identical.
+        const Point anchor{rng.NextDouble(), rng.NextDouble()};
+        for (Point& p : msg.locations) {
+          p = dummies.Generate(anchor, rng);
+        }
+        info.degraded_users++;
+      } else {
+        for (Point& p : msg.locations) {
+          p = dummies.Generate(real_locations[u], rng);
+        }
+        msg.locations[pos[subgroup[u]] - 1] = real_locations[u];
       }
-      msg.locations[pos[subgroup[u]] - 1] = real_locations[u];
       upload_bytes[u] = msg.Encode();
     }
   }

@@ -81,17 +81,18 @@ Result<std::vector<Ciphertext>> PrivateSelect(
     // [v_begin..v_end) are built once and reused by all m rows.
     std::vector<Ciphertext> ind_chunk(indicator.begin() + begin,
                                       indicator.begin() + end);
-    Result<Encryptor::DotEngine> engine = enc.MakeDotEngine(ind_chunk);
-    if (!engine.ok()) {
-      for (size_t r = 0; r < rows; ++r) partial[w][r] = engine.status();
+    Result<Encryptor::DotEngine> engine_or = enc.MakeDotEngine(ind_chunk);
+    if (!engine_or.ok()) {
+      for (size_t r = 0; r < rows; ++r) partial[w][r] = engine_or.status();
       return;
     }
+    const Encryptor::DotEngine engine = std::move(engine_or).value();
     std::vector<BigInt> row_chunk(end - begin);
     for (size_t r = 0; r < rows; ++r) {
       for (size_t c = begin; c < end; ++c) {
         row_chunk[c - begin] = matrix.columns[c][r];
       }
-      partial[w][r] = engine.value().Dot(row_chunk);
+      partial[w][r] = engine.Dot(row_chunk);
     }
   });
 

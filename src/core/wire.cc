@@ -1,5 +1,8 @@
 #include "core/wire.h"
 
+#include <array>
+
+#include "common/failpoint.h"
 #include "crypto/poi_codec.h"
 
 namespace ppgnn {
@@ -10,6 +13,44 @@ constexpr uint8_t kIndicatorOpt = 1;
 
 constexpr uint8_t kFrameAnswer = 0;
 constexpr uint8_t kFrameError = 1;
+// Frame header: 1 tag byte + 4 CRC bytes.
+constexpr size_t kFrameHeaderBytes = 5;
+
+/// CRC32 (IEEE 802.3 polynomial) of the frame payload. Integrity only —
+/// an *adversarial* LSP can forge it trivially; it exists so random
+/// transit corruption is a clean decode error instead of garbage POIs.
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> WrapFrame(uint8_t tag, const uint8_t* payload,
+                               size_t len) {
+  std::vector<uint8_t> out;
+  out.reserve(len + kFrameHeaderBytes);
+  out.push_back(tag);
+  const uint32_t crc = Crc32(payload, len);
+  out.push_back(static_cast<uint8_t>(crc));
+  out.push_back(static_cast<uint8_t>(crc >> 8));
+  out.push_back(static_cast<uint8_t>(crc >> 16));
+  out.push_back(static_cast<uint8_t>(crc >> 24));
+  out.insert(out.end(), payload, payload + len);
+  return out;
+}
 
 Status AppendCiphertext(ByteWriter& w, const Ciphertext& ct,
                         const PublicKey& pk) {
@@ -66,6 +107,7 @@ Result<uint64_t> CheckedPlanDeltaPrime(const PartitionPlan& plan) {
 }  // namespace
 
 Result<std::vector<uint8_t>> QueryMessage::Encode() const {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.query.encode"));
   ByteWriter w;
   w.PutVarint(static_cast<uint64_t>(k));
   w.PutDouble(theta0);
@@ -98,6 +140,7 @@ Result<std::vector<uint8_t>> QueryMessage::Encode() const {
 }
 
 Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.query.decode"));
   ByteReader r(bytes);
   QueryMessage msg;
   PPGNN_ASSIGN_OR_RETURN(uint64_t k64, r.GetVarint());
@@ -204,6 +247,7 @@ Result<LocationSetMessage> LocationSetMessage::Decode(
 }
 
 Result<std::vector<uint8_t>> AnswerMessage::Encode(const PublicKey& pk) const {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.answer.encode"));
   if (ciphertexts.empty())
     return Status::InvalidArgument("wire: refusing to encode empty answer");
   const int level = ciphertexts[0].level;
@@ -225,6 +269,7 @@ Result<std::vector<uint8_t>> AnswerMessage::Encode(const PublicKey& pk) const {
 
 Result<AnswerMessage> AnswerMessage::Decode(const std::vector<uint8_t>& bytes,
                                             const PublicKey& pk) {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.answer.decode"));
   ByteReader r(bytes);
   AnswerMessage msg;
   PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
@@ -318,28 +363,29 @@ Result<ErrorMessage> ErrorMessage::Decode(const std::vector<uint8_t>& bytes) {
 
 std::vector<uint8_t> ResponseFrame::WrapAnswer(
     std::vector<uint8_t> answer_bytes) {
-  std::vector<uint8_t> out;
-  out.reserve(answer_bytes.size() + 1);
-  out.push_back(kFrameAnswer);
-  out.insert(out.end(), answer_bytes.begin(), answer_bytes.end());
-  return out;
+  return WrapFrame(kFrameAnswer, answer_bytes.data(), answer_bytes.size());
 }
 
 std::vector<uint8_t> ResponseFrame::WrapError(const ErrorMessage& error) {
   std::vector<uint8_t> payload = error.Encode();
-  std::vector<uint8_t> out;
-  out.reserve(payload.size() + 1);
-  out.push_back(kFrameError);
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+  return WrapFrame(kFrameError, payload.data(), payload.size());
 }
 
 Result<ResponseFrame> ResponseFrame::Decode(
     const std::vector<uint8_t>& bytes) {
-  if (bytes.empty())
-    return Status::InvalidArgument("wire: empty response frame");
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.frame.decode"));
+  if (bytes.size() < kFrameHeaderBytes)
+    return Status::InvalidArgument("wire: short response frame");
+  const uint32_t stored = static_cast<uint32_t>(bytes[1]) |
+                          static_cast<uint32_t>(bytes[2]) << 8 |
+                          static_cast<uint32_t>(bytes[3]) << 16 |
+                          static_cast<uint32_t>(bytes[4]) << 24;
+  const uint8_t* payload_data = bytes.data() + kFrameHeaderBytes;
+  const size_t payload_len = bytes.size() - kFrameHeaderBytes;
+  if (Crc32(payload_data, payload_len) != stored)
+    return Status::InvalidArgument("wire: response frame checksum mismatch");
   ResponseFrame frame;
-  std::vector<uint8_t> payload(bytes.begin() + 1, bytes.end());
+  std::vector<uint8_t> payload(payload_data, payload_data + payload_len);
   if (bytes[0] == kFrameAnswer) {
     frame.is_error = false;
     frame.answer = std::move(payload);

@@ -20,7 +20,14 @@
 //   LocationSetMessage  user id + d x 8-byte fixed-point locations
 //   AnswerMessage    m fixed-width ciphertexts (level 1 or 2)
 //   ErrorMessage     1-byte code + short UTF-8 detail string
-//   ResponseFrame    1-byte tag, then an AnswerMessage or ErrorMessage
+//   ResponseFrame    1-byte tag, 4-byte CRC32 of the payload, then an
+//                    AnswerMessage or ErrorMessage payload
+//
+// The frame CRC exists for fault tolerance, not security: a client that
+// receives a bit-flipped reply (chaos tests inject exactly this) must be
+// able to tell "corrupted in transit, retry" from "valid answer whose
+// ciphertexts decrypt to garbage" — without it, corruption inside a
+// ciphertext body would silently decode into wrong POIs.
 
 #ifndef PPGNN_CORE_WIRE_H_
 #define PPGNN_CORE_WIRE_H_
@@ -119,10 +126,12 @@ struct ErrorMessage {
   static Result<ErrorMessage> Decode(const std::vector<uint8_t>& bytes);
 };
 
-/// Envelope for everything the LSP service sends back: one tag byte, then
-/// either raw AnswerMessage bytes or an ErrorMessage. Plain LspHandleQuery
-/// (the library entry point) still returns bare AnswerMessage bytes; the
-/// framing exists so a *served* reply is self-describing on the wire.
+/// Envelope for everything the LSP service sends back: one tag byte, a
+/// CRC32 of the payload, then either raw AnswerMessage bytes or an
+/// ErrorMessage. Plain LspHandleQuery (the library entry point) still
+/// returns bare AnswerMessage bytes; the framing exists so a *served*
+/// reply is self-describing on the wire and corruption is detectable
+/// (Decode fails with a checksum error rather than mis-parsing).
 struct ResponseFrame {
   bool is_error = false;
   std::vector<uint8_t> answer;  ///< AnswerMessage bytes when !is_error

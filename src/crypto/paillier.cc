@@ -4,6 +4,7 @@
 
 #include "bigint/modular.h"
 #include "bigint/prime.h"
+#include "common/failpoint.h"
 
 namespace ppgnn {
 
@@ -160,6 +161,7 @@ size_t Encryptor::PooledBlindingCount(int level) const {
 
 Result<Ciphertext> Encryptor::Encrypt(const BigInt& m, Rng& rng,
                                       int level) const {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("paillier.encrypt"));
   if (level < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
   const LevelCache& lc = Level(level);
   const BigInt m_red = m.Mod(lc.n_s);
@@ -388,6 +390,7 @@ Result<BigInt> ExtractDjLog(const BigInt& a, const BigInt& n, int s) {
 }  // namespace internal
 
 Result<BigInt> Decryptor::Decrypt(const Ciphertext& c) const {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("paillier.decrypt"));
   const int s = c.level;
   if (s < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
   const LevelCache& lv = Level(s);

@@ -15,6 +15,7 @@
 #include "bigint/modular.h"     // IWYU pragma: export
 #include "bigint/montgomery.h"  // IWYU pragma: export
 #include "bigint/prime.h"       // IWYU pragma: export
+#include "common/failpoint.h"   // IWYU pragma: export
 #include "common/random.h"      // IWYU pragma: export
 #include "common/status.h"      // IWYU pragma: export
 #include "core/attack.h"        // IWYU pragma: export
@@ -39,6 +40,7 @@
 #include "roadnet/graph.h"      // IWYU pragma: export
 #include "roadnet/road_gnn.h"   // IWYU pragma: export
 #include "service/lsp_service.h"  // IWYU pragma: export
+#include "service/resilient_client.h"  // IWYU pragma: export
 #include "service/workload.h"   // IWYU pragma: export
 #include "spatial/dataset.h"    // IWYU pragma: export
 #include "spatial/gnn.h"        // IWYU pragma: export

@@ -3,15 +3,10 @@
 #include <algorithm>
 #include <future>
 
+#include "common/failpoint.h"
+
 namespace ppgnn {
 namespace {
-
-std::vector<uint8_t> ErrorFrame(WireError code, std::string detail) {
-  ErrorMessage err;
-  err.code = code;
-  err.detail = std::move(detail);
-  return ResponseFrame::WrapError(err);
-}
 
 void MergeInstrumentation(QueryInstrumentation& into,
                           const QueryInstrumentation& from) {
@@ -23,21 +18,30 @@ void MergeInstrumentation(QueryInstrumentation& into,
   into.sanitize_tests += from.sanitize_tests;
   into.sanitize_seconds += from.sanitize_seconds;
   into.lsp_parallel_seconds += from.lsp_parallel_seconds;
+  into.degraded_users += from.degraded_users;
 }
 
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "accepted=%llu rejected=%llu served=%llu failed=%llu "
-                "deadline_expired=%llu queued=%zu",
+                "deadline_expired=%llu queued=%zu retries=%llu hedges=%llu "
+                "degraded=%llu errors[malformed=%llu overloaded=%llu "
+                "deadline=%llu internal=%llu]",
                 static_cast<unsigned long long>(accepted),
                 static_cast<unsigned long long>(rejected),
                 static_cast<unsigned long long>(served),
                 static_cast<unsigned long long>(failed),
                 static_cast<unsigned long long>(deadline_expired),
-                queue_depth);
+                queue_depth, static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(hedges),
+                static_cast<unsigned long long>(degraded_queries),
+                static_cast<unsigned long long>(error_replies[0]),
+                static_cast<unsigned long long>(error_replies[1]),
+                static_cast<unsigned long long>(error_replies[2]),
+                static_cast<unsigned long long>(error_replies[3]));
   return std::string(buf) + " | " + latency.ToString();
 }
 
@@ -66,9 +70,13 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
       budget > 0 ? now + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(budget))
                  : Clock::time_point::max();
+  // "service.admit" simulates admission-control pressure: a fired drop
+  // rejects the request exactly as a full queue would.
+  const bool inject_reject = FailpointDrop("service.admit");
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (!stopping_ && queue_.size() < config_.queue_capacity) {
+    if (!inject_reject && !stopping_ &&
+        queue_.size() < config_.queue_capacity) {
       accepted_.fetch_add(1, std::memory_order_relaxed);
       queue_.push_back(std::move(pending));
       queue_cv_.notify_one();
@@ -77,8 +85,8 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
   }
   rejected_.fetch_add(1, std::memory_order_relaxed);
   latency_.Record(std::chrono::duration<double>(Clock::now() - now).count());
-  pending.done(ErrorFrame(WireError::kOverloaded,
-                          "lsp service: request queue full"));
+  pending.done(MakeErrorFrame(WireError::kOverloaded,
+                              "lsp service: request queue full"));
   return false;
 }
 
@@ -92,9 +100,22 @@ std::vector<uint8_t> LspService::Call(ServiceRequest request) {
 }
 
 void LspService::Reply(PendingRequest& req, std::vector<uint8_t> frame) {
+  // "service.reply" corrupts the encoded frame in flight; the client sees
+  // a checksum mismatch, never a silently-wrong answer.
+  FailpointCorrupt("service.reply", frame);
   latency_.Record(
       std::chrono::duration<double>(Clock::now() - req.admitted).count());
   req.done(std::move(frame));
+}
+
+std::vector<uint8_t> LspService::MakeErrorFrame(WireError code,
+                                                std::string detail) {
+  error_replies_[static_cast<size_t>(code)].fetch_add(
+      1, std::memory_order_relaxed);
+  ErrorMessage err;
+  err.code = code;
+  err.detail = std::move(detail);
+  return ResponseFrame::WrapError(err);
 }
 
 void LspService::WorkerLoop() {
@@ -111,8 +132,8 @@ void LspService::WorkerLoop() {
     // Queued past its budget: answer without executing at all.
     if (Clock::now() >= req.deadline) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      Reply(req, ErrorFrame(WireError::kDeadlineExceeded,
-                            "lsp service: deadline expired in queue"));
+      Reply(req, MakeErrorFrame(WireError::kDeadlineExceeded,
+                                "lsp service: deadline expired in queue"));
       continue;
     }
 
@@ -131,10 +152,16 @@ void LspService::WorkerLoop() {
     if (config_.test_execute_hook) config_.test_execute_hook();
 
     QueryInstrumentation info;
-    Result<std::vector<uint8_t>> answer = LspHandleQuery(
-        db_, req.request.query, req.request.uploads, config_.test_config,
-        config_.sanitize, config_.lsp_threads, &info,
-        flight != nullptr ? flight->cancel.get() : nullptr);
+    // "service.execute" stands in for a slow or failing worker: an
+    // injected delay or error replaces/precedes the real execution.
+    const Status injected = FailpointCheck("service.execute");
+    Result<std::vector<uint8_t>> answer =
+        injected.ok()
+            ? LspHandleQuery(db_, req.request.query, req.request.uploads,
+                             config_.test_config, config_.sanitize,
+                             config_.lsp_threads, &info,
+                             flight != nullptr ? flight->cancel.get() : nullptr)
+            : Result<std::vector<uint8_t>>(injected);
 
     if (flight != nullptr) {
       std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -144,6 +171,10 @@ void LspService::WorkerLoop() {
 
     if (answer.ok()) {
       served_.fetch_add(1, std::memory_order_relaxed);
+      if (req.request.degraded_users > 0) {
+        degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+        info.degraded_users += req.request.degraded_users;
+      }
       {
         std::lock_guard<std::mutex> lock(totals_mu_);
         MergeInstrumentation(totals_, info);
@@ -157,7 +188,7 @@ void LspService::WorkerLoop() {
       } else {
         failed_.fetch_add(1, std::memory_order_relaxed);
       }
-      Reply(req, ErrorFrame(code, status.ToString()));
+      Reply(req, MakeErrorFrame(code, status.ToString()));
     }
   }
 }
@@ -190,6 +221,12 @@ ServiceStats LspService::Stats() const {
   stats.served = served_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.hedges = hedges_.load(std::memory_order_relaxed);
+  stats.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < error_replies_.size(); ++i) {
+    stats.error_replies[i] = error_replies_[i].load(std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();

@@ -26,6 +26,7 @@
 #ifndef PPGNN_SERVICE_LSP_SERVICE_H_
 #define PPGNN_SERVICE_LSP_SERVICE_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -66,6 +67,9 @@ struct ServiceRequest {
   /// Per-request budget from admission to reply; 0 = use the config
   /// default.
   double deadline_seconds = 0.0;
+  /// Users whose uploads are coordinator-substituted dummy sets (dropout
+  /// degradation). Carried for observability; the wire shape is unchanged.
+  uint32_t degraded_users = 0;
 };
 
 /// Counter snapshot. accepted == served + failed + deadline_expired +
@@ -77,6 +81,14 @@ struct ServiceStats {
   uint64_t failed = 0;
   uint64_t deadline_expired = 0;
   size_t queue_depth = 0;
+  /// Client-side resilience events, reported back by ResilientClient (or
+  /// anything else wrapping this service) via the Record* methods.
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  /// Served queries whose request carried degraded (substituted) users.
+  uint64_t degraded_queries = 0;
+  /// Error replies sent, indexed by WireError (kMalformed..kInternal).
+  std::array<uint64_t, 4> error_replies{};
   LatencySummary latency;        ///< admission -> reply, all outcomes
   QueryInstrumentation totals;   ///< summed over served queries
 
@@ -108,6 +120,12 @@ class LspService {
 
   ServiceStats Stats() const;
 
+  /// Resilience-event hooks: a retrying/hedging client calls these so its
+  /// recovery activity shows up in the same Stats() snapshot as the
+  /// server-side counters it caused.
+  void RecordClientRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordClientHedge() { hedges_.fetch_add(1, std::memory_order_relaxed); }
+
   /// Stops admission, drains the queue, joins all threads. Idempotent;
   /// the destructor calls it.
   void Shutdown();
@@ -132,6 +150,8 @@ class LspService {
   void WorkerLoop();
   void MonitorLoop();
   void Reply(PendingRequest& req, std::vector<uint8_t> frame);
+  /// Builds an error frame and bumps the per-code reply counter.
+  std::vector<uint8_t> MakeErrorFrame(WireError code, std::string detail);
 
   const LspDatabase& db_;
   const ServiceConfig config_;
@@ -154,6 +174,10 @@ class LspService {
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> degraded_queries_{0};
+  std::array<std::atomic<uint64_t>, 4> error_replies_{};
   LatencyHistogram latency_;
   mutable std::mutex totals_mu_;
   QueryInstrumentation totals_;

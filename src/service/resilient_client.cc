@@ -1,0 +1,296 @@
+#include "service/resilient_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+namespace ppgnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+Clock::duration FromSeconds(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Shared between Call() and the (possibly two) reply callbacks of one
+/// attempt round. Held by shared_ptr so a hedge-loser's late callback
+/// lands safely even after Call() has moved on or returned.
+struct RoundState {
+  std::mutex mu;
+  std::condition_variable cv;
+  struct Reply {
+    std::vector<uint8_t> frame;
+    bool from_hedge = false;
+  };
+  std::vector<Reply> replies;
+  int outstanding = 0;
+};
+
+/// How one reply (or a whole round) resolves.
+enum class Resolution {
+  kAnswer,     ///< decodable answer frame: done
+  kTerminal,   ///< structured error a retry cannot fix: done
+  kRetryable,  ///< structured transient error or transport garbage
+};
+
+}  // namespace
+
+std::string ClientStats::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "calls=%llu attempts=%llu retries=%llu hedges=%llu hedge_wins=%llu "
+      "answers=%llu terminal=%llu budget_exhausted=%llu garbage=%llu",
+      static_cast<unsigned long long>(calls),
+      static_cast<unsigned long long>(attempts),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(hedges),
+      static_cast<unsigned long long>(hedge_wins),
+      static_cast<unsigned long long>(answers),
+      static_cast<unsigned long long>(terminal_errors),
+      static_cast<unsigned long long>(budget_exhausted),
+      static_cast<unsigned long long>(transport_garbage));
+  return buf;
+}
+
+ResilientClient::ResilientClient(LspService& service, RetryPolicy policy)
+    : service_(service), policy_(std::move(policy)), rng_(policy_.seed) {}
+
+bool ResilientClient::IsRetryable(WireError code) {
+  return code == WireError::kOverloaded || code == WireError::kDeadlineExceeded;
+}
+
+double ResilientClient::HedgeDelaySeconds() const {
+  if (policy_.hedge_delay_seconds > 0) return policy_.hedge_delay_seconds;
+  // Derive from this client's own attempt latencies once there is enough
+  // history for a p99 to mean anything.
+  if (attempt_latency_.count() >= 8) {
+    return std::max(policy_.min_hedge_delay_seconds,
+                    attempt_latency_.Quantile(0.99));
+  }
+  return policy_.fallback_hedge_delay_seconds;
+}
+
+double ResilientClient::BackoffSeconds(int completed_attempts) {
+  double base = policy_.initial_backoff_seconds *
+                std::pow(policy_.backoff_multiplier,
+                         std::max(completed_attempts - 1, 0));
+  base = std::min(base, policy_.max_backoff_seconds);
+  double jitter = 0.0;
+  if (policy_.jitter_fraction > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    jitter = policy_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return std::max(base * (1.0 + jitter), 0.0);
+}
+
+ClientCallOutcome ResilientClient::Call(ServiceRequest request) {
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point budget_deadline =
+      policy_.total_budget_seconds > 0
+          ? start + FromSeconds(policy_.total_budget_seconds)
+          : Clock::time_point::max();
+
+  ClientCallOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.calls++;
+  }
+
+  // The most recent structured (decodable) error frame, so a failed call
+  // still hands the caller something a ResponseFrame::Decode understands.
+  std::vector<uint8_t> last_error_frame;
+  ErrorMessage last_error;
+  bool saw_garbage = false;
+  bool budget_hit = false;
+
+  const int max_attempts = std::max(policy_.max_attempts, 1);
+  while (outcome.attempts < max_attempts) {
+    const Clock::time_point attempt_start = Clock::now();
+    if (attempt_start >= budget_deadline) {
+      budget_hit = true;
+      break;
+    }
+    const double remaining =
+        budget_deadline == Clock::time_point::max()
+            ? 0.0  // unlimited: let the request carry its own deadline
+            : Seconds(budget_deadline - attempt_start);
+
+    auto state = std::make_shared<RoundState>();
+    auto submit = [&](bool from_hedge) {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->outstanding++;
+      }
+      ServiceRequest copy = request;
+      if (remaining > 0 &&
+          (copy.deadline_seconds <= 0 || copy.deadline_seconds > remaining)) {
+        copy.deadline_seconds = remaining;
+      }
+      const Clock::time_point submitted = Clock::now();
+      // Submit may run the callback inline (queue-full reject), so no
+      // locks of ours are held here.
+      service_.Submit(std::move(copy), [this, state, from_hedge,
+                                       submitted](std::vector<uint8_t> frame) {
+        attempt_latency_.Record(Seconds(Clock::now() - submitted));
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->replies.push_back({std::move(frame), from_hedge});
+        state->outstanding--;
+        state->cv.notify_all();
+      });
+    };
+
+    outcome.attempts++;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.attempts++;
+    }
+    submit(/*from_hedge=*/false);
+
+    const Clock::time_point hedge_at =
+        policy_.hedge ? attempt_start + FromSeconds(HedgeDelaySeconds())
+                      : Clock::time_point::max();
+    bool hedged_this_round = false;
+    bool round_decided = false;
+    Resolution round_resolution = Resolution::kRetryable;
+
+    std::unique_lock<std::mutex> lock(state->mu);
+    size_t consumed = 0;
+    while (!round_decided) {
+      // Evaluate any replies that arrived since the last look.
+      for (; consumed < state->replies.size(); ++consumed) {
+        RoundState::Reply& reply = state->replies[consumed];
+        Result<ResponseFrame> decoded = ResponseFrame::Decode(reply.frame);
+        if (!decoded.ok()) {
+          // Transport garbage (e.g. an injected corrupt frame): the reply
+          // is unusable but the failure class is transient.
+          saw_garbage = true;
+          std::lock_guard<std::mutex> slock(mu_);
+          stats_.transport_garbage++;
+          continue;
+        }
+        if (!decoded.value().is_error) {
+          outcome.frame = std::move(reply.frame);
+          outcome.answered = true;
+          outcome.hedge_won = reply.from_hedge;
+          round_resolution = Resolution::kAnswer;
+          round_decided = true;
+          break;
+        }
+        last_error = decoded.value().error;
+        last_error_frame = std::move(reply.frame);
+        if (!IsRetryable(last_error.code)) {
+          round_resolution = Resolution::kTerminal;
+          round_decided = true;
+          break;
+        }
+      }
+      if (round_decided) break;
+      // Nothing decisive yet. If nothing is outstanding either, the
+      // round has failed retryably.
+      if (state->outstanding == 0) break;
+      const Clock::time_point now = Clock::now();
+      if (now >= budget_deadline) {
+        // Abandon the outstanding attempt: its late reply only touches
+        // `state`, which outlives us via the shared_ptr in the callback.
+        budget_hit = true;
+        round_decided = true;
+        round_resolution = Resolution::kRetryable;
+        break;
+      }
+      Clock::time_point wake = budget_deadline;
+      const bool may_hedge = policy_.hedge && !hedged_this_round &&
+                             state->replies.empty();
+      if (may_hedge) wake = std::min(wake, hedge_at);
+      if (wake == Clock::time_point::max()) {
+        state->cv.wait(lock);
+      } else {
+        state->cv.wait_until(lock, wake);
+      }
+      if (may_hedge && Clock::now() >= hedge_at && state->replies.empty() &&
+          state->outstanding > 0) {
+        hedged_this_round = true;
+        outcome.hedges++;
+        {
+          std::lock_guard<std::mutex> slock(mu_);
+          stats_.hedges++;
+        }
+        service_.RecordClientHedge();
+        lock.unlock();
+        submit(/*from_hedge=*/true);
+        lock.lock();
+      }
+    }
+    lock.unlock();
+
+    if (round_resolution == Resolution::kAnswer) {
+      if (outcome.hedge_won) {
+        std::lock_guard<std::mutex> slock(mu_);
+        stats_.hedge_wins++;
+      }
+      break;
+    }
+    if (round_resolution == Resolution::kTerminal) break;
+    if (budget_hit || outcome.attempts >= max_attempts) break;
+
+    // Transient failure with budget and attempts to spare: back off.
+    const double backoff = BackoffSeconds(outcome.attempts);
+    if (budget_deadline != Clock::time_point::max() &&
+        Clock::now() + FromSeconds(backoff) >= budget_deadline) {
+      budget_hit = true;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> slock(mu_);
+      stats_.retries++;
+    }
+    service_.RecordClientRetry();
+    if (backoff > 0) std::this_thread::sleep_for(FromSeconds(backoff));
+  }
+
+  outcome.elapsed_seconds = Seconds(Clock::now() - start);
+
+  std::lock_guard<std::mutex> slock(mu_);
+  if (outcome.answered) {
+    stats_.answers++;
+    return outcome;
+  }
+  if (!last_error_frame.empty() && !IsRetryable(last_error.code)) {
+    stats_.terminal_errors++;
+  } else if (budget_hit) {
+    stats_.budget_exhausted++;
+  }
+  if (last_error_frame.empty()) {
+    // Every reply (if any) was transport garbage, or the budget died
+    // before the first reply: synthesize a structured error so the
+    // caller still gets a decodable frame.
+    last_error.code = budget_hit ? WireError::kDeadlineExceeded
+                                 : WireError::kInternal;
+    last_error.detail = budget_hit
+                            ? "resilient client: retry budget exhausted"
+                            : (saw_garbage
+                                   ? "resilient client: reply corrupted"
+                                   : "resilient client: no reply");
+    last_error_frame = ResponseFrame::WrapError(last_error);
+  }
+  outcome.frame = std::move(last_error_frame);
+  outcome.error = std::move(last_error);
+  return outcome;
+}
+
+ClientStats ResilientClient::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ppgnn

@@ -1,5 +1,6 @@
 #include "service/workload.h"
 
+#include "common/failpoint.h"
 #include "core/candidate.h"
 #include "core/dummy.h"
 #include "core/indicator.h"
@@ -89,10 +90,22 @@ Result<ServiceRequest> BuildServiceRequest(
     LocationSetMessage msg;
     msg.user_id = static_cast<uint32_t>(u);
     msg.locations.resize(static_cast<size_t>(set_size));
-    for (Point& p : msg.locations) {
-      p = dummies.Generate(real_locations[u], rng);
+    if (FailpointDrop("user.upload")) {
+      // Dropout degradation: the coordinator never received this user's
+      // set, so it substitutes a synthetic one around a random anchor
+      // (the dropped user's location is unknown to it). Same set size,
+      // same encoded bytes per slot — wire shape is unchanged.
+      const Point anchor{rng.NextDouble(), rng.NextDouble()};
+      for (Point& p : msg.locations) {
+        p = dummies.Generate(anchor, rng);
+      }
+      request.degraded_users++;
+    } else {
+      for (Point& p : msg.locations) {
+        p = dummies.Generate(real_locations[u], rng);
+      }
+      msg.locations[pos[subgroup[u]] - 1] = real_locations[u];
     }
-    msg.locations[pos[subgroup[u]] - 1] = real_locations[u];
     request.uploads.push_back(msg.Encode());
   }
   return request;

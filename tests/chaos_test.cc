@@ -1,0 +1,433 @@
+// The chaos tier: the full service loop (coordinator-built requests,
+// LspService, ResilientClient) under scripted, deterministic fault
+// schedules. The invariants, for every injected fault:
+//
+//   1. The call ends in a correct answer or a decodable structured
+//      error — never a crash, a hang past the budget, or a silently
+//      wrong answer.
+//   2. Retries and hedges respect the call's total deadline budget.
+//   3. A dropout-degraded query is byte-shape-identical on the wire to
+//      a healthy one (same d, same delta', same message sizes).
+//
+// The probabilistic schedule seed comes from PPGNN_CHAOS_SEED when set
+// (CI runs a small seed matrix); every schedule replays exactly for a
+// given seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/partition.h"
+#include "core/protocol.h"
+#include "core/wire.h"
+#include "service/lsp_service.h"
+#include "service/resilient_client.h"
+#include "service/workload.h"
+#include "spatial/dataset.h"
+
+namespace ppgnn {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("PPGNN_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new LspDatabase(GenerateSequoiaLike(3000, 777));
+    Rng rng(778);
+    keys_ = new KeyPair(GenerateKeyPair(256, rng).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete keys_;
+  }
+  void TearDown() override { FailpointClearAll(); }
+
+  static ProtocolParams GroupParams() {
+    ProtocolParams params;
+    params.n = 3;
+    params.d = 4;
+    params.delta = 8;
+    params.k = 3;
+    params.key_bits = keys_->pub.key_bits;
+    params.sanitize = false;
+    return params;
+  }
+
+  static ServiceRequest WorkloadRequest(Rng& rng,
+                                        std::vector<Point>* real = nullptr) {
+    ProtocolParams params = GroupParams();
+    std::vector<Point> group;
+    for (int i = 0; i < params.n; ++i) {
+      group.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+    if (real != nullptr) *real = group;
+    return BuildServiceRequest(Variant::kPpgnn, params, group, *keys_, rng)
+        .value();
+  }
+
+  // Decodes an answer frame and checks it against the plaintext kGNN
+  // reference for `real` (exact up to wire quantization).
+  static void ExpectExactAnswer(const std::vector<uint8_t>& frame,
+                                const std::vector<Point>& real) {
+    Decryptor dec(keys_->pub, keys_->sec);
+    ServedReply reply =
+        ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+    ASSERT_TRUE(reply.ok) << reply.error.detail;
+    auto expected = db_->solver().Query(real, GroupParams().k,
+                                        AggregateKind::kSum);
+    ASSERT_EQ(reply.pois.size(), expected.size());
+    for (size_t i = 0; i < reply.pois.size(); ++i) {
+      EXPECT_NEAR(reply.pois[i].x, expected[i].poi.location.x, 1e-8);
+      EXPECT_NEAR(reply.pois[i].y, expected[i].poi.location.y, 1e-8);
+    }
+  }
+
+  static LspDatabase* db_;
+  static KeyPair* keys_;
+};
+LspDatabase* ChaosTest::db_ = nullptr;
+KeyPair* ChaosTest::keys_ = nullptr;
+
+// Invariant 3: a coordinator that lost a user substitutes a synthetic
+// set; the LSP-visible bytes have the same shape as a healthy query.
+TEST_F(ChaosTest, DropoutDegradedRequestIsWireShapeIdentical) {
+  ServiceRequest healthy;
+  {
+    Rng rng(50);
+    healthy = WorkloadRequest(rng);
+  }
+  ASSERT_EQ(healthy.degraded_users, 0u);
+
+  ASSERT_TRUE(FailpointSetFromSpec("user.upload=drop,times=1").ok());
+  ServiceRequest degraded;
+  std::vector<Point> real;
+  {
+    Rng rng(50);  // same coordinator randomness, one user dropped
+    degraded = WorkloadRequest(rng, &real);
+  }
+  FailpointClearAll();
+  EXPECT_EQ(degraded.degraded_users, 1u);
+
+  // Same query size, same upload count, same per-upload byte size: the
+  // LSP (and any observer of the wire) cannot tell who dropped.
+  EXPECT_EQ(degraded.query.size(), healthy.query.size());
+  ASSERT_EQ(degraded.uploads.size(), healthy.uploads.size());
+  for (size_t u = 0; u < healthy.uploads.size(); ++u) {
+    EXPECT_EQ(degraded.uploads[u].size(), healthy.uploads[u].size())
+        << "upload " << u;
+  }
+
+  // And the degraded query still serves end-to-end: delta' candidates,
+  // k decodable POIs — just not necessarily the group-optimal ones.
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+  std::vector<uint8_t> frame = service.Call(std::move(degraded));
+  Decryptor dec(keys_->pub, keys_->sec);
+  ServedReply reply =
+      ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+  ASSERT_TRUE(reply.ok) << reply.error.detail;
+  EXPECT_EQ(reply.pois.size(), static_cast<size_t>(GroupParams().k));
+  service.Shutdown();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.degraded_queries, 1u);
+  EXPECT_EQ(stats.totals.degraded_users, 1u);
+  EXPECT_EQ(stats.totals.delta_prime, 8u);
+}
+
+// Invariant 1 + retry classification: transient rejects are retried and
+// the final answer is exactly correct.
+TEST_F(ChaosTest, RetriesRecoverFromTransientOverload) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop,times=2").ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 0.001;
+  ResilientClient client(service, policy);
+
+  Rng rng(51);
+  std::vector<Point> real;
+  ClientCallOutcome outcome = client.Call(WorkloadRequest(rng, &real));
+  ASSERT_TRUE(outcome.answered)
+      << ResponseFrame::Decode(outcome.frame).value().error.detail;
+  EXPECT_EQ(outcome.attempts, 3);  // two injected rejects, then success
+  ExpectExactAnswer(outcome.frame, real);
+
+  ClientStats cs = client.Stats();
+  EXPECT_EQ(cs.retries, 2u);
+  EXPECT_EQ(cs.answers, 1u);
+  EXPECT_EQ(service.Stats().retries, 2u);
+  service.Shutdown();
+}
+
+TEST_F(ChaosTest, TerminalErrorIsNotRetried) {
+  ServiceConfig config;
+  config.workers = 1;
+  LspService service(*db_, config);
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  ResilientClient client(service, policy);
+
+  ServiceRequest garbage;
+  garbage.query = {0xDE, 0xAD};
+  ClientCallOutcome outcome = client.Call(std::move(garbage));
+  EXPECT_FALSE(outcome.answered);
+  EXPECT_EQ(outcome.attempts, 1);  // malformed: resending cannot help
+  EXPECT_EQ(outcome.error.code, WireError::kMalformed);
+  ResponseFrame decoded = ResponseFrame::Decode(outcome.frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kMalformed);
+  EXPECT_EQ(client.Stats().terminal_errors, 1u);
+  service.Shutdown();
+}
+
+// Invariant 2: a persistently failing service cannot drag a call past
+// its budget, and the caller still gets a structured error.
+TEST_F(ChaosTest, RetriesRespectTheDeadlineBudget) {
+  ServiceConfig config;
+  config.workers = 1;
+  LspService service(*db_, config);
+
+  ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop").ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.total_budget_seconds = 0.25;
+  policy.initial_backoff_seconds = 0.005;
+  policy.max_backoff_seconds = 0.05;
+  ResilientClient client(service, policy);
+
+  Rng rng(52);
+  ClientCallOutcome outcome = client.Call(WorkloadRequest(rng));
+  EXPECT_FALSE(outcome.answered);
+  // Rejects are inline and instant; only backoffs consume time, and the
+  // budget caps them. Generous slop for loaded CI machines.
+  EXPECT_LE(outcome.elapsed_seconds, 0.25 + 0.2);
+  EXPECT_GT(outcome.attempts, 1);
+  ResponseFrame decoded = ResponseFrame::Decode(outcome.frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kOverloaded);
+  EXPECT_EQ(client.Stats().budget_exhausted, 1u);
+  service.Shutdown();
+}
+
+TEST_F(ChaosTest, HedgeWinsWhenPrimaryStalls) {
+  ServiceConfig config;
+  config.workers = 2;  // room for primary + hedge to run concurrently
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  // Only the first execution stalls; the hedge runs clean.
+  ASSERT_TRUE(FailpointSetFromSpec("service.execute=delay:500,times=1").ok());
+
+  RetryPolicy policy;
+  policy.hedge = true;
+  policy.hedge_delay_seconds = 0.03;
+  ResilientClient client(service, policy);
+
+  Rng rng(53);
+  std::vector<Point> real;
+  ClientCallOutcome outcome = client.Call(WorkloadRequest(rng, &real));
+  ASSERT_TRUE(outcome.answered);
+  EXPECT_EQ(outcome.hedges, 1);
+  EXPECT_TRUE(outcome.hedge_won);
+  ExpectExactAnswer(outcome.frame, real);
+  ClientStats cs = client.Stats();
+  EXPECT_EQ(cs.hedges, 1u);
+  EXPECT_EQ(cs.hedge_wins, 1u);
+  EXPECT_EQ(service.Stats().hedges, 1u);
+  service.Shutdown();
+}
+
+// A corrupted reply is detectable garbage (frame CRC), classified as
+// transient, and the retry recovers the exact answer.
+TEST_F(ChaosTest, CorruptReplyIsRetriedAndRecovered) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  ASSERT_TRUE(FailpointSetFromSpec("service.reply=corrupt:3,times=1").ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.001;
+  ResilientClient client(service, policy);
+
+  Rng rng(54);
+  std::vector<Point> real;
+  ClientCallOutcome outcome = client.Call(WorkloadRequest(rng, &real));
+  ASSERT_TRUE(outcome.answered);
+  EXPECT_EQ(outcome.attempts, 2);
+  ExpectExactAnswer(outcome.frame, real);
+  EXPECT_EQ(client.Stats().transport_garbage, 1u);
+  service.Shutdown();
+}
+
+// Injected failures below the service layer (crypto, candidate loop)
+// surface as structured internal errors, not crashes.
+TEST_F(ChaosTest, LspLayerFaultsYieldStructuredErrors) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  ResilientClient client(service, policy);
+
+  Rng rng(55);
+  for (const char* spec :
+       {"lsp.process=error:malformed,times=1", "lsp.candidate=error,times=1",
+        "lsp.select=error:crypto,times=1"}) {
+    // Build the (healthy) request before arming so the fault hits the
+    // serving path, not the coordinator's own encryption.
+    ServiceRequest request = WorkloadRequest(rng);
+    ASSERT_TRUE(FailpointSetFromSpec(spec).ok()) << spec;
+    ClientCallOutcome outcome = client.Call(std::move(request));
+    EXPECT_FALSE(outcome.answered) << spec;
+    ResponseFrame decoded = ResponseFrame::Decode(outcome.frame).value();
+    ASSERT_TRUE(decoded.is_error) << spec;
+    FailpointClearAll();
+  }
+  // With everything cleared the same client serves exactly again.
+  std::vector<Point> real;
+  ClientCallOutcome healthy = client.Call(WorkloadRequest(rng, &real));
+  ASSERT_TRUE(healthy.answered);
+  ExpectExactAnswer(healthy.frame, real);
+  service.Shutdown();
+}
+
+// Crypto-layer failpoints surface as clean Results at the Paillier entry
+// points (the coordinator side of the protocol).
+TEST_F(ChaosTest, PaillierFailpointsReturnCleanErrors) {
+  Rng rng(56);
+  Encryptor enc(keys_->pub);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Ciphertext good = enc.Encrypt(BigInt(42), rng, 1).value();
+
+  ASSERT_TRUE(FailpointSetFromSpec("paillier.encrypt=error:crypto,times=1")
+                  .ok());
+  Result<Ciphertext> blocked = enc.Encrypt(BigInt(7), rng, 1);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kCryptoError);
+  // times=1 exhausted: encryption works again.
+  EXPECT_TRUE(enc.Encrypt(BigInt(7), rng, 1).ok());
+
+  ASSERT_TRUE(FailpointSetFromSpec("paillier.decrypt=error:crypto,times=1")
+                  .ok());
+  EXPECT_FALSE(dec.Decrypt(good).ok());
+  EXPECT_EQ(dec.Decrypt(good).value(), BigInt(42));
+}
+
+// The scripted schedule: a stream of requests against a service with
+// several probabilistic failpoints armed at once, seeded from
+// PPGNN_CHAOS_SEED. Every call must end inside its budget with either
+// an exact answer (healthy request) or a decodable frame.
+TEST_F(ChaosTest, ScriptedScheduleNeverCrashesHangsOrLies) {
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("PPGNN_CHAOS_SEED=" + std::to_string(seed));
+
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop,p=0.15,seed=" +
+                                   std::to_string(seed))
+                  .ok());
+  ASSERT_TRUE(FailpointSetFromSpec("service.reply=corrupt:2,p=0.1,seed=" +
+                                   std::to_string(seed + 1))
+                  .ok());
+  ASSERT_TRUE(FailpointSetFromSpec("user.upload=drop,p=0.1,seed=" +
+                                   std::to_string(seed + 2))
+                  .ok());
+  ASSERT_TRUE(FailpointSetFromSpec("service.execute=delay:20,p=0.2,seed=" +
+                                   std::to_string(seed + 3))
+                  .ok());
+  ASSERT_TRUE(FailpointSetFromSpec("lsp.candidate=error,p=0.05,seed=" +
+                                   std::to_string(seed + 4))
+                  .ok());
+
+  constexpr double kBudget = 2.0;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.total_budget_seconds = kBudget;
+  policy.initial_backoff_seconds = 0.002;
+  policy.max_backoff_seconds = 0.02;
+  policy.hedge = true;
+  policy.hedge_delay_seconds = 0.2;
+  policy.seed = seed;
+  ResilientClient client(service, policy);
+
+  Rng rng(9000 + seed);
+  int answered = 0, exact_checked = 0, structured_errors = 0, degraded = 0;
+  for (int i = 0; i < 25; ++i) {
+    std::vector<Point> real;
+    ServiceRequest request = WorkloadRequest(rng, &real);
+    const bool is_degraded = request.degraded_users > 0;
+    ClientCallOutcome outcome = client.Call(std::move(request));
+
+    // Never a hang past the budget (wide slop: a slow execution that
+    // beat the in-queue deadline check may finish its full query).
+    EXPECT_LT(outcome.elapsed_seconds, kBudget + 2.0) << "request " << i;
+    // Never an undecodable reply.
+    Result<ResponseFrame> decoded = ResponseFrame::Decode(outcome.frame);
+    ASSERT_TRUE(decoded.ok()) << "request " << i << ": "
+                              << decoded.status().ToString();
+    if (outcome.answered) {
+      ++answered;
+      if (is_degraded) {
+        ++degraded;
+        // Degraded: still k decodable POIs, just not reference-exact.
+        Decryptor dec(keys_->pub, keys_->sec);
+        ServedReply reply =
+            ParseServedReply(outcome.frame, *keys_, dec, /*layered=*/false)
+                .value();
+        ASSERT_TRUE(reply.ok);
+        EXPECT_EQ(reply.pois.size(), static_cast<size_t>(GroupParams().k));
+      } else {
+        // Healthy and answered: the answer must be exactly right —
+        // corruption or faults may delay it, never falsify it.
+        ExpectExactAnswer(outcome.frame, real);
+        ++exact_checked;
+      }
+    } else {
+      ++structured_errors;
+      EXPECT_TRUE(decoded.value().is_error);
+    }
+  }
+  FailpointClearAll();
+  service.Shutdown();
+
+  // The schedule must actually exercise both outcomes and the checks.
+  EXPECT_GT(answered, 0);
+  EXPECT_GT(exact_checked, 0);
+  EXPECT_EQ(answered + structured_errors, 25);
+
+  ServiceStats stats = service.Stats();
+  // Every degraded request the client saw answered was served at least
+  // once (a hedge pair can be served twice, so >= not ==).
+  EXPECT_GE(stats.degraded_queries, static_cast<uint64_t>(degraded));
+  ClientStats cs = client.Stats();
+  EXPECT_EQ(cs.calls, 25u);
+  EXPECT_GE(cs.attempts, cs.calls);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -487,6 +487,61 @@ TEST_F(ServiceTest, ConcurrentClientsSmallQueueMixedDeadlines) {
   EXPECT_GE(stats.latency.p99_seconds, stats.latency.p50_seconds);
 }
 
+TEST_F(ServiceTest, StatsExposeRetryHedgeDegradedAndErrorCodeCounters) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  // Per-code error replies: one malformed...
+  ServiceRequest malformed;
+  malformed.query = {0xBA, 0xD0};
+  ResponseFrame err1 =
+      ResponseFrame::Decode(service.Call(std::move(malformed))).value();
+  ASSERT_TRUE(err1.is_error);
+  EXPECT_EQ(err1.error.code, WireError::kMalformed);
+  // ...and one deadline (expires before a worker can pick it up).
+  Rng rng(24);
+  ServiceRequest doomed = WorkloadRequest(rng);
+  doomed.deadline_seconds = 1e-9;
+  ResponseFrame err2 =
+      ResponseFrame::Decode(service.Call(std::move(doomed))).value();
+  ASSERT_TRUE(err2.is_error);
+  EXPECT_EQ(err2.error.code, WireError::kDeadlineExceeded);
+
+  // A degraded-but-served query: the request says 2 of its users were
+  // substituted; the service must count the query and sum the users.
+  ServiceRequest degraded = WorkloadRequest(rng);
+  degraded.degraded_users = 2;
+  ResponseFrame served =
+      ResponseFrame::Decode(service.Call(std::move(degraded))).value();
+  EXPECT_FALSE(served.is_error);
+
+  // Client-side resilience events flow in through the Record hooks.
+  service.RecordClientRetry();
+  service.RecordClientRetry();
+  service.RecordClientHedge();
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.hedges, 1u);
+  EXPECT_EQ(stats.degraded_queries, 1u);
+  EXPECT_EQ(stats.totals.degraded_users, 2u);
+  EXPECT_EQ(stats.error_replies[static_cast<size_t>(WireError::kMalformed)],
+            1u);
+  EXPECT_EQ(
+      stats.error_replies[static_cast<size_t>(WireError::kDeadlineExceeded)],
+      1u);
+  EXPECT_EQ(stats.error_replies[static_cast<size_t>(WireError::kOverloaded)],
+            0u);
+  EXPECT_EQ(stats.error_replies[static_cast<size_t>(WireError::kInternal)],
+            0u);
+  // The counters are part of the human-readable snapshot too.
+  EXPECT_NE(stats.ToString().find("retries=2"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("degraded=1"), std::string::npos);
+}
+
 TEST_F(ServiceTest, LatencyHistogramQuantilesAreOrdered) {
   LatencyHistogram hist;
   for (int i = 1; i <= 1000; ++i) hist.Record(i * 1e-5);  // 10us .. 10ms

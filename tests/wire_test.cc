@@ -423,5 +423,67 @@ TEST_F(WireTest, ResponseFrameRoundTrips) {
   EXPECT_FALSE(ResponseFrame::Decode({0x09}).ok());  // unknown tag
 }
 
+TEST_F(WireTest, ResponseFrameDetectsCorruption) {
+  Encryptor enc(keys_->pub);
+  AnswerMessage msg;
+  msg.ciphertexts.push_back(enc.Encrypt(BigInt(7), *rng_, 1).value());
+  std::vector<uint8_t> frame =
+      ResponseFrame::WrapAnswer(msg.Encode(keys_->pub).value());
+  // Flip one bit anywhere in the frame: decode must fail cleanly. A flip
+  // in the payload trips the CRC; a flip in the stored CRC mismatches the
+  // payload; a flip in the tag is an unknown tag (or a CRC'd mismatch).
+  for (size_t pos : std::vector<size_t>{0, 1, 4, 5, frame.size() / 2,
+                                        frame.size() - 1}) {
+    std::vector<uint8_t> bad = frame;
+    bad[pos] ^= 0x10;
+    EXPECT_FALSE(ResponseFrame::Decode(bad).ok()) << "pos=" << pos;
+  }
+}
+
+// --- exhaustive truncation fuzz: every prefix of a valid encoding must
+// --- produce a clean Status error (never UB, an abort, or acceptance).
+
+TEST_F(WireTest, ResponseFrameEveryTruncationFailsCleanly) {
+  ErrorMessage err;
+  err.code = WireError::kOverloaded;
+  err.detail = "queue full";
+  const std::vector<uint8_t> frame = ResponseFrame::WrapError(err);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<uint8_t> prefix(frame.begin(), frame.begin() + cut);
+    EXPECT_FALSE(ResponseFrame::Decode(prefix).ok()) << "cut=" << cut;
+  }
+  EXPECT_TRUE(ResponseFrame::Decode(frame).ok());
+}
+
+TEST_F(WireTest, ErrorMessageEveryTruncationFailsCleanly) {
+  ErrorMessage err;
+  err.code = WireError::kMalformed;
+  err.detail = "bad query bytes";
+  const std::vector<uint8_t> bytes = err.Encode();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(ErrorMessage::Decode(prefix).ok()) << "cut=" << cut;
+  }
+  EXPECT_TRUE(ErrorMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, AnswerMessageEveryTruncationFailsCleanly) {
+  Encryptor enc(keys_->pub);
+  for (int level : {1, 2}) {
+    AnswerMessage msg;
+    for (int i = 0; i < 2; ++i) {
+      msg.ciphertexts.push_back(
+          enc.Encrypt(BigInt(10 + i), *rng_, level).value());
+    }
+    const std::vector<uint8_t> bytes = msg.Encode(keys_->pub).value();
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+      EXPECT_FALSE(AnswerMessage::Decode(prefix, keys_->pub).ok())
+          << "level=" << level << " cut=" << cut;
+    }
+    EXPECT_TRUE(AnswerMessage::Decode(bytes, keys_->pub).ok());
+  }
+}
+
 }  // namespace
 }  // namespace ppgnn

@@ -25,6 +25,16 @@
 //   each, then prints throughput, the latency histogram summary, and the
 //   service counters.
 //
+// Chaos knobs (serve mode):
+//   --fail POINT=POLICY  arm a failpoint before serving; repeatable.
+//                        POLICY is <action>[:<arg>][,p=|seed=|skip=|
+//                        every=|times=], e.g.
+//                        --fail service.admit=drop,p=0.2,seed=7
+//   --retry-budget-ms X  route client traffic through ResilientClient
+//                        with an X-millisecond per-call retry budget
+//                        (retries + backoff + hedging); prints client
+//                        stats alongside the service counters.
+//
 // Prints the sanitized answer, the per-party costs, and the plaintext
 // reference for verification.
 
@@ -63,6 +73,8 @@ struct CliOptions {
   int requests_per_client = 8;
   size_t queue_capacity = 64;
   double deadline_seconds = 0.0;
+  std::vector<std::string> fail_specs;
+  double retry_budget_ms = 0.0;
 };
 
 void PrintUsageAndExit(const char* argv0) {
@@ -75,7 +87,8 @@ void PrintUsageAndExit(const char* argv0) {
                "          [--keys PATH] [--gen-keys PATH]\n"
                "          [--no-sanitize] [--seed N]\n"
                "          [--serve] [--workers N] [--clients N]\n"
-               "          [--requests N] [--queue N] [--deadline SECONDS]\n",
+               "          [--requests N] [--queue N] [--deadline SECONDS]\n"
+               "          [--fail POINT=POLICY]... [--retry-budget-ms X]\n",
                argv0);
   std::exit(2);
 }
@@ -153,6 +166,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.queue_capacity = static_cast<size_t>(std::atoll(next()));
     } else if (flag == "--deadline") {
       opts.deadline_seconds = std::atof(next());
+    } else if (flag == "--fail") {
+      opts.fail_specs.push_back(next());
+    } else if (flag == "--retry-budget-ms") {
+      opts.retry_budget_ms = std::atof(next());
     } else if (flag == "--help" || flag == "-h") {
       PrintUsageAndExit(argv[0]);
     } else {
@@ -176,13 +193,31 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
   config.sanitize = opts.params.sanitize;
   LspService service(lsp, config);
 
+  for (const std::string& spec : opts.fail_specs) {
+    Status armed = FailpointSetFromSpec(spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--fail %s: %s\n", spec.c_str(),
+                   armed.ToString().c_str());
+      return 2;
+    }
+    std::printf("Armed failpoint: %s\n", spec.c_str());
+  }
+
+  RetryPolicy retry_policy;
+  retry_policy.total_budget_seconds = opts.retry_budget_ms / 1e3;
+  retry_policy.hedge = true;
+  retry_policy.seed = opts.seed ^ 0xc1a05u;
+  ResilientClient resilient(service, retry_policy);
+  const bool use_resilient = opts.retry_budget_ms > 0;
+
   std::printf(
       "Serving: %d workers, queue=%zu, deadline=%s, %d clients x %d "
-      "requests (lsp_threads=%d)\n",
+      "requests (lsp_threads=%d)%s\n",
       opts.workers, opts.queue_capacity,
       opts.deadline_seconds > 0 ? std::to_string(opts.deadline_seconds).c_str()
                                 : "none",
-      opts.clients, opts.requests_per_client, opts.params.lsp_threads);
+      opts.clients, opts.requests_per_client, opts.params.lsp_threads,
+      use_resilient ? ", resilient client" : "");
 
   const bool layered = variant == Variant::kPpgnnOpt;
   std::atomic<uint64_t> answers{0}, service_errors{0}, client_errors{0};
@@ -206,7 +241,12 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
           client_errors.fetch_add(1);
           continue;
         }
-        std::vector<uint8_t> frame = service.Call(std::move(request).value());
+        std::vector<uint8_t> frame;
+        if (use_resilient) {
+          frame = resilient.Call(std::move(request).value()).frame;
+        } else {
+          frame = service.Call(std::move(request).value());
+        }
         auto reply = ParseServedReply(frame, keys, dec, layered);
         if (!reply.ok()) {
           std::fprintf(stderr, "client %d: transport garbage: %s\n", c,
@@ -235,6 +275,10 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
               static_cast<unsigned long long>(service_errors.load()),
               static_cast<unsigned long long>(client_errors.load()));
   std::printf("%s\n", service.Stats().ToString().c_str());
+  if (use_resilient) {
+    std::printf("%s\n", resilient.Stats().ToString().c_str());
+  }
+  FailpointClearAll();
   return client_errors.load() == 0 ? 0 : 1;
 }
 
