@@ -32,7 +32,7 @@ void AblationSanitationEarlyExit(const LspDatabase& lsp,
   std::printf("\n-- A1: sequential early exit in the sanitation Z-test --\n");
   Rng rng(config.seed);
   for (double theta0 : {0.01, 0.05, 0.1}) {
-    auto sanitizer = AnswerSanitizer::Create(theta0, TestConfig{}).value();
+    auto sanitizer = ValueOrDie(AnswerSanitizer::Create(theta0, TestConfig{}));
     SanitizeStats stats;
     int queries = 20;
     for (int q = 0; q < queries; ++q) {

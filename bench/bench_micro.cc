@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "ppgnn.h"
 
 namespace ppgnn {
@@ -30,7 +31,7 @@ void BM_BigIntDivMod(benchmark::State& state) {
   BigInt a = BigInt::Random(2 * bits, rng);
   BigInt b = BigInt::Random(bits, rng) + BigInt(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BigInt::DivMod(a, b).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(BigInt::DivMod(a, b)));
   }
 }
 BENCHMARK(BM_BigIntDivMod)->Arg(512)->Arg(1024)->Arg(2048);
@@ -44,7 +45,7 @@ void BM_ModExp(benchmark::State& state) {
   BigInt mod = BigInt::Random(bits, rng) + BigInt(3);
   if (!mod.IsOdd()) mod = mod + BigInt(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ModExp(base, exp, mod).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(ModExp(base, exp, mod)));
   }
 }
 BENCHMARK(BM_ModExp)->Arg(512)->Arg(1024)->Arg(2048);
@@ -58,7 +59,7 @@ void BM_ModExpLadderNoMontgomery(benchmark::State& state) {
   BigInt mod = BigInt::Random(bits, rng) + BigInt(3);
   if (mod.IsOdd()) mod = mod + BigInt(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ModExp(base, exp, mod).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(ModExp(base, exp, mod)));
   }
 }
 BENCHMARK(BM_ModExpLadderNoMontgomery)->Arg(512)->Arg(1024)->Arg(2048);
@@ -67,7 +68,7 @@ void BM_GeneratePrime(benchmark::State& state) {
   Rng rng(4);
   const int bits = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(GeneratePrime(bits, rng).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(GeneratePrime(bits, rng)));
   }
 }
 BENCHMARK(BM_GeneratePrime)->Arg(128)->Arg(256)->Arg(512);
@@ -78,7 +79,7 @@ struct PaillierFixtureState {
   Rng rng{5};
   KeyPair keys;
   PaillierFixtureState(int key_bits)
-      : keys(GenerateKeyPair(key_bits, rng).value()) {}
+      : keys(bench::ValueOrDie(GenerateKeyPair(key_bits, rng))) {}
 };
 
 void BM_PaillierEncryptL1(benchmark::State& state) {
@@ -86,7 +87,7 @@ void BM_PaillierEncryptL1(benchmark::State& state) {
   Encryptor enc(fx.keys.pub);
   BigInt m(123456789);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.Encrypt(m, fx.rng, 1).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, 1)));
   }
 }
 BENCHMARK(BM_PaillierEncryptL1)->Arg(512)->Arg(1024);
@@ -96,7 +97,7 @@ void BM_PaillierEncryptL2(benchmark::State& state) {
   Encryptor enc(fx.keys.pub);
   BigInt m(123456789);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.Encrypt(m, fx.rng, 2).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, 2)));
   }
 }
 BENCHMARK(BM_PaillierEncryptL2)->Arg(512)->Arg(1024);
@@ -115,7 +116,7 @@ void BM_PaillierEncryptL1Pooled(benchmark::State& state) {
       (void)enc.PrecomputeBlinding(kBatch, fx.rng, 1);
       state.ResumeTiming();
     }
-    benchmark::DoNotOptimize(enc.Encrypt(m, fx.rng, 1).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, 1)));
   }
 }
 BENCHMARK(BM_PaillierEncryptL1Pooled)
@@ -127,9 +128,9 @@ void BM_PaillierDecryptL1NoCrt(benchmark::State& state) {
   PaillierFixtureState fx(static_cast<int>(state.range(0)));
   Encryptor enc(fx.keys.pub);
   Decryptor dec(fx.keys.pub, fx.keys.sec, /*use_crt=*/false);
-  Ciphertext ct = enc.Encrypt(BigInt(42), fx.rng, 1).value();
+  Ciphertext ct = bench::ValueOrDie(enc.Encrypt(BigInt(42), fx.rng, 1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dec.Decrypt(ct).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(dec.Decrypt(ct)));
   }
 }
 BENCHMARK(BM_PaillierDecryptL1NoCrt)->Arg(512)->Arg(1024);
@@ -138,9 +139,9 @@ void BM_PaillierDecryptL1(benchmark::State& state) {
   PaillierFixtureState fx(static_cast<int>(state.range(0)));
   Encryptor enc(fx.keys.pub);
   Decryptor dec(fx.keys.pub, fx.keys.sec);
-  Ciphertext ct = enc.Encrypt(BigInt(42), fx.rng, 1).value();
+  Ciphertext ct = bench::ValueOrDie(enc.Encrypt(BigInt(42), fx.rng, 1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dec.Decrypt(ct).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(dec.Decrypt(ct)));
   }
 }
 BENCHMARK(BM_PaillierDecryptL1)->Arg(512)->Arg(1024);
@@ -148,10 +149,10 @@ BENCHMARK(BM_PaillierDecryptL1)->Arg(512)->Arg(1024);
 void BM_PaillierScalarMul(benchmark::State& state) {
   PaillierFixtureState fx(static_cast<int>(state.range(0)));
   Encryptor enc(fx.keys.pub);
-  Ciphertext ct = enc.Encrypt(BigInt(42), fx.rng, 1).value();
+  Ciphertext ct = bench::ValueOrDie(enc.Encrypt(BigInt(42), fx.rng, 1));
   BigInt scalar = BigInt::Random(60, fx.rng);  // packed-POI-sized scalar
   for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.ScalarMul(scalar, ct).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.ScalarMul(scalar, ct)));
   }
 }
 BENCHMARK(BM_PaillierScalarMul)->Arg(512)->Arg(1024);
@@ -164,7 +165,7 @@ void BM_MontgomeryContextCreate(benchmark::State& state) {
   BigInt mod = BigInt::Random(bits, rng);
   if (!mod.IsOdd()) mod = mod + BigInt(1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(MontgomeryContext::Create(mod).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(MontgomeryContext::Create(mod)));
   }
 }
 BENCHMARK(BM_MontgomeryContextCreate)->Arg(1024)->Arg(2048)->Arg(3072);
@@ -177,7 +178,7 @@ void DotProductBenchInputs(PaillierFixtureState& fx, const Encryptor& enc,
   v->resize(delta_prime);
   x->resize(delta_prime);
   for (uint64_t i = 0; i < delta_prime; ++i) {
-    (*v)[i] = enc.Encrypt(BigInt::Random(60, fx.rng), fx.rng, 1).value();
+    (*v)[i] = bench::ValueOrDie(enc.Encrypt(BigInt::Random(60, fx.rng), fx.rng, 1));
     (*x)[i] = BigInt::Random(fx.keys.pub.key_bits - 10, fx.rng);
   }
 }
@@ -189,7 +190,7 @@ void BM_DotProduct_Naive(benchmark::State& state) {
   std::vector<BigInt> x;
   DotProductBenchInputs(fx, enc, static_cast<uint64_t>(state.range(0)), &v, &x);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.DotProductNaive(x, v).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.DotProductNaive(x, v)));
   }
 }
 BENCHMARK(BM_DotProduct_Naive)->Arg(16)->Arg(64)->Arg(128)
@@ -201,9 +202,9 @@ void BM_DotProduct_MultiExp(benchmark::State& state) {
   std::vector<Ciphertext> v;
   std::vector<BigInt> x;
   DotProductBenchInputs(fx, enc, static_cast<uint64_t>(state.range(0)), &v, &x);
-  auto engine = enc.MakeDotEngine(v).value();
+  auto engine = bench::ValueOrDie(enc.MakeDotEngine(v));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.Dot(x).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(engine.Dot(x)));
   }
 }
 BENCHMARK(BM_DotProduct_MultiExp)->Arg(16)->Arg(64)->Arg(128)
@@ -213,13 +214,13 @@ void BM_PrivateSelection(benchmark::State& state) {
   PaillierFixtureState fx(512);
   Encryptor enc(fx.keys.pub);
   const uint64_t delta_prime = static_cast<uint64_t>(state.range(0));
-  auto indicator = EncryptIndicator(enc, 1, delta_prime, fx.rng).value();
+  auto indicator = bench::ValueOrDie(EncryptIndicator(enc, 1, delta_prime, fx.rng));
   AnswerMatrix matrix;
   for (uint64_t c = 0; c < delta_prime; ++c) {
     matrix.columns.push_back({BigInt::Random(500, fx.rng)});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(PrivateSelect(enc, matrix, indicator).value());
+    benchmark::DoNotOptimize(bench::ValueOrDie(PrivateSelect(enc, matrix, indicator)));
   }
 }
 BENCHMARK(BM_PrivateSelection)->Arg(25)->Arg(100)->Arg(200);
@@ -266,7 +267,7 @@ void BM_SanitizeCandidate(benchmark::State& state) {
   static RTree tree = RTree::Build(GenerateSequoiaLike(kSequoiaSize, 9));
   MbmGnnSolver solver(&tree);
   const double theta0 = static_cast<double>(state.range(0)) / 1000.0;
-  auto sanitizer = AnswerSanitizer::Create(theta0, TestConfig{}).value();
+  auto sanitizer = bench::ValueOrDie(AnswerSanitizer::Create(theta0, TestConfig{}));
   Rng rng(10);
   std::vector<Point> group(8);
   for (Point& p : group) p = {rng.NextDouble(), rng.NextDouble()};

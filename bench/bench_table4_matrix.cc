@@ -40,7 +40,7 @@ int main() {
     ProtocolParams params;
     params.key_bits = config.key_bits;
     Rng r(1);
-    auto out = RunQuery(Variant::kPpgnn, params, group, lsp, r).value();
+    auto out = ValueOrDie(RunQuery(Variant::kPpgnn, params, group, lsp, r));
     std::snprintf(buf, sizeof(buf),
                   "d=%d dummies/user; delta'=%llu candidate queries; "
                   "downlink=%llu B (m ciphertexts only); sanitized to %zu "
@@ -59,7 +59,7 @@ int main() {
     params.key_bits = config.key_bits;
     params.sanitize = false;
     Rng r(2);
-    auto out = RunQuery(Variant::kPpgnn, params, group, lsp, r).value();
+    auto out = ValueOrDie(RunQuery(Variant::kPpgnn, params, group, lsp, r));
     // Attack the full answer.
     std::vector<Point> colluders(group.begin() + 1, group.end());
     InequalityAttack attack(colluders, out.pois, AggregateKind::kSum);
@@ -75,14 +75,14 @@ int main() {
 
   // ---- APNN (n = 1) ----
   {
-    auto server = ApnnServer::Build(&lsp, 64, 8).value();
+    auto server = ValueOrDie(ApnnServer::Build(&lsp, 64, 8));
     ApnnParams params;
     params.grid = 64;
     params.b = 5;
     params.k = 8;
     params.key_bits = config.key_bits;
     Rng r(4);
-    auto out = server.Query(group[0], params, r).value();
+    auto out = ValueOrDie(server.Query(group[0], params, r));
     std::snprintf(buf, sizeof(buf),
                   "cloak of b^2=25 cells; approximate answer; %0.fs grid "
                   "pre-compute redone on every update (n=1 only)",
@@ -96,7 +96,7 @@ int main() {
     GeoIndParams params;
     params.k = 8;
     Rng r(5);
-    auto out = RunGeoInd(lsp, params, group[0], r).value();
+    auto out = ValueOrDie(RunGeoInd(lsp, params, group[0], r));
     double noise = Distance(group[0], out.reported);
     std::snprintf(buf, sizeof(buf),
                   "LSP SAW the reported point (%.3f, %.3f) and the answer "
@@ -110,7 +110,7 @@ int main() {
     IppfParams params;
     params.k = 8;
     Rng r(6);
-    auto out = RunIppf(lsp, params, group, r).value();
+    auto out = ValueOrDie(RunIppf(lsp, params, group, r));
     std::snprintf(buf, sizeof(buf),
                   "LSP returned %zu candidate POIs for k=8 (Privacy III "
                   "lost: %zux over-disclosure)",
@@ -124,7 +124,7 @@ int main() {
     params.k = 8;
     params.key_bits = config.key_bits;
     Rng r(7);
-    auto out = RunGlp(lsp, params, group, r).value();
+    auto out = ValueOrDie(RunGlp(lsp, params, group, r));
     // The collusion break: n-1 users + the opened centroid solve exactly
     // for the victim's location.
     Point recovered;

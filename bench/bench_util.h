@@ -20,6 +20,19 @@
 
 namespace ppgnn::bench {
 
+/// Unwraps a Result in bench setup/measurement code, aborting loudly on
+/// error. Benches assert success by construction (fixed seeds, valid
+/// parameters); this names that intent where a bare .value() would look
+/// like an unchecked error path.
+template <typename T>
+T ValueOrDie(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
 inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   return value != nullptr ? std::atoi(value) : fallback;

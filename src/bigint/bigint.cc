@@ -537,11 +537,13 @@ Result<std::pair<BigInt, BigInt>> BigInt::DivMod(const BigInt& a,
 
 BigInt operator/(const BigInt& a, const BigInt& b) {
   auto qr = BigInt::DivMod(a, b);
+  // ppgnn-lint: allow(unchecked-result): operator/ has no error channel; division by zero must abort, matching built-in integer semantics
   return qr.value().first;
 }
 
 BigInt operator%(const BigInt& a, const BigInt& b) {
   auto qr = BigInt::DivMod(a, b);
+  // ppgnn-lint: allow(unchecked-result): operator% has no error channel; division by zero must abort, matching built-in integer semantics
   return qr.value().second;
 }
 

@@ -43,12 +43,12 @@ class ByteReader {
       : data_(data.data()), size_(data.size()) {}
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  Result<uint8_t> GetU8();
-  Result<uint32_t> GetU32();
-  Result<uint64_t> GetU64();
-  Result<uint64_t> GetVarint();
-  Result<std::vector<uint8_t>> GetBytes();
-  Result<double> GetDouble();
+  [[nodiscard]] Result<uint8_t> GetU8();
+  [[nodiscard]] Result<uint32_t> GetU32();
+  [[nodiscard]] Result<uint64_t> GetU64();
+  [[nodiscard]] Result<uint64_t> GetVarint();
+  [[nodiscard]] Result<std::vector<uint8_t>> GetBytes();
+  [[nodiscard]] Result<double> GetDouble();
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

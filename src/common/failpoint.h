@@ -71,10 +71,10 @@ struct FailpointPolicy {
 };
 
 /// Parses the policy half of a spec ("drop,p=0.5,seed=3").
-Result<FailpointPolicy> ParseFailpointPolicy(const std::string& spec);
+[[nodiscard]] Result<FailpointPolicy> ParseFailpointPolicy(const std::string& spec);
 
 /// Parses and installs a full "point=policy" spec.
-Status FailpointSetFromSpec(const std::string& spec);
+[[nodiscard]] Status FailpointSetFromSpec(const std::string& spec);
 
 /// Installs (or replaces) the policy for a point and resets its counters.
 void FailpointSet(const std::string& point, FailpointPolicy policy);
@@ -93,7 +93,7 @@ namespace failpoint_internal {
 /// failpoint is armed: every hook reduces to one relaxed load of this.
 extern std::atomic<int> g_armed;
 
-Status CheckSlow(const char* point);
+[[nodiscard]] Status CheckSlow(const char* point);
 bool DropSlow(const char* point);
 void CorruptSlow(const char* point, std::vector<uint8_t>& bytes);
 

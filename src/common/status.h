@@ -36,7 +36,9 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// Success-or-error outcome of an operation. Cheap to copy in the OK case.
-class Status {
+/// [[nodiscard]] at class scope: silently dropping a returned Status hides
+/// the error path, so every caller must consume (or explicitly void) it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -98,7 +100,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// A value of type T or an error Status. Exactly one is present.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or from an error Status keeps call
   /// sites terse (`return value;` / `return Status::...;`).

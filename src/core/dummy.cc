@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+// The real user location must stay indistinguishable from the dummies
+// sent alongside it; it must never branch control flow or be logged.
+// ppgnn: secret(real)
+
 namespace ppgnn {
 
 Point UniformDummyGenerator::Generate(const Point&, Rng& rng) const {

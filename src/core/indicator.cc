@@ -2,6 +2,11 @@
 
 #include <cmath>
 
+// The query position inside the candidate window — and the block/offset
+// pair derived from it — is the value the whole protocol hides from the
+// LSP. It must never branch control flow or reach a log/encode sink.
+// ppgnn: secret(qi, block, offset)
+
 namespace ppgnn {
 
 uint64_t ChooseOmega(uint64_t delta_prime, size_t m) {
@@ -28,6 +33,7 @@ uint64_t ChooseOmega(uint64_t delta_prime, size_t m) {
 }
 
 Result<std::vector<BigInt>> MakeIndicator(uint64_t qi, uint64_t length) {
+  // ppgnn-lint: allow(secret-flow): user-side range validation before encryption; runs on the trusted client, nothing observable by the LSP
   if (qi < 1 || qi > length)
     return Status::OutOfRange("indicator position out of range");
   std::vector<BigInt> v(length, BigInt(0));
@@ -53,6 +59,7 @@ Result<OptIndicator> EncryptOptIndicator(const Encryptor& enc, uint64_t qi,
                                          Rng& rng) {
   if (omega < 1 || omega > delta_prime)
     return Status::InvalidArgument("omega must lie in [1, delta']");
+  // ppgnn-lint: allow(secret-flow): user-side range validation before encryption; runs on the trusted client, nothing observable by the LSP
   if (qi < 1 || qi > delta_prime)
     return Status::OutOfRange("indicator position out of range");
   OptIndicator out;

@@ -69,8 +69,8 @@ struct QueryMessage {
 
   /// Errors (instead of crashing) when a ciphertext or the public key
   /// does not fit its fixed wire width.
-  Result<std::vector<uint8_t>> Encode() const;
-  static Result<QueryMessage> Decode(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] Result<std::vector<uint8_t>> Encode() const;
+  [[nodiscard]] static Result<QueryMessage> Decode(const std::vector<uint8_t>& bytes);
 };
 
 /// One user's (i, L_i) upload (Algorithm 1, line 15).
@@ -79,7 +79,7 @@ struct LocationSetMessage {
   LocationSet locations;
 
   std::vector<uint8_t> Encode() const;
-  static Result<LocationSetMessage> Decode(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static Result<LocationSetMessage> Decode(const std::vector<uint8_t>& bytes);
 };
 
 /// The LSP -> coordinator encrypted answer (Algorithm 2, line 8).
@@ -89,8 +89,8 @@ struct AnswerMessage {
   /// Needs the public key for the fixed ciphertext widths. Empty answers
   /// and mixed ciphertext levels are encode-time errors: the format
   /// carries a single level byte, so a mixed vector cannot round-trip.
-  Result<std::vector<uint8_t>> Encode(const PublicKey& pk) const;
-  static Result<AnswerMessage> Decode(const std::vector<uint8_t>& bytes,
+  [[nodiscard]] Result<std::vector<uint8_t>> Encode(const PublicKey& pk) const;
+  [[nodiscard]] static Result<AnswerMessage> Decode(const std::vector<uint8_t>& bytes,
                                       const PublicKey& pk);
 };
 
@@ -99,7 +99,7 @@ struct AnswerBroadcast {
   std::vector<Point> pois;
 
   std::vector<uint8_t> Encode() const;
-  static Result<AnswerBroadcast> Decode(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static Result<AnswerBroadcast> Decode(const std::vector<uint8_t>& bytes);
 };
 
 /// Machine-readable failure class of a served request, so clients can
@@ -123,7 +123,7 @@ struct ErrorMessage {
   std::string detail;  ///< human-readable, truncated to kMaxWireErrorDetail
 
   std::vector<uint8_t> Encode() const;
-  static Result<ErrorMessage> Decode(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static Result<ErrorMessage> Decode(const std::vector<uint8_t>& bytes);
 };
 
 /// Envelope for everything the LSP service sends back: one tag byte, a
@@ -139,7 +139,7 @@ struct ResponseFrame {
 
   static std::vector<uint8_t> WrapAnswer(std::vector<uint8_t> answer_bytes);
   static std::vector<uint8_t> WrapError(const ErrorMessage& error);
-  static Result<ResponseFrame> Decode(const std::vector<uint8_t>& bytes);
+  [[nodiscard]] static Result<ResponseFrame> Decode(const std::vector<uint8_t>& bytes);
 };
 
 }  // namespace ppgnn

@@ -5,6 +5,8 @@
 #include "bigint/modular.h"
 #include "common/bytes.h"
 
+// ppgnn: secret(lambda, p, q, sec)
+
 namespace ppgnn {
 namespace {
 
@@ -18,10 +20,12 @@ Result<BigInt> GetBigInt(ByteReader& r) {
 Status ValidateKeyPair(const KeyPair& keys) {
   if (keys.pub.n.BitLength() != keys.pub.key_bits)
     return Status::CryptoError("public key is not full width");
+  // ppgnn-lint: allow(secret-flow): owner-side integrity check after key import; attacker never observes this branch
   if (keys.sec.p * keys.sec.q != keys.pub.n)
     return Status::CryptoError("N != p*q: corrupted key material");
   BigInt lambda =
       Lcm(keys.sec.p - BigInt(1), keys.sec.q - BigInt(1));
+  // ppgnn-lint: allow(secret-flow): owner-side integrity check after key import; attacker never observes this branch
   if (lambda != keys.sec.lambda)
     return Status::CryptoError("lambda != lcm(p-1, q-1)");
   return Status::OK();

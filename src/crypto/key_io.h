@@ -20,15 +20,15 @@
 namespace ppgnn {
 
 std::vector<uint8_t> SerializePublicKey(const PublicKey& pk);
-Result<PublicKey> DeserializePublicKey(const std::vector<uint8_t>& bytes);
+[[nodiscard]] Result<PublicKey> DeserializePublicKey(const std::vector<uint8_t>& bytes);
 
 std::vector<uint8_t> SerializeKeyPair(const KeyPair& keys);
-Result<KeyPair> DeserializeKeyPair(const std::vector<uint8_t>& bytes);
+[[nodiscard]] Result<KeyPair> DeserializeKeyPair(const std::vector<uint8_t>& bytes);
 
 /// Writes/reads the KeyPair format to a file. The file holds the SECRET
 /// key; callers own its protection.
-Status SaveKeyPair(const std::string& path, const KeyPair& keys);
-Result<KeyPair> LoadKeyPair(const std::string& path);
+[[nodiscard]] Status SaveKeyPair(const std::string& path, const KeyPair& keys);
+[[nodiscard]] Result<KeyPair> LoadKeyPair(const std::string& path);
 
 }  // namespace ppgnn
 

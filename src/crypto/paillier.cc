@@ -6,6 +6,8 @@
 #include "bigint/prime.h"
 #include "common/failpoint.h"
 
+// ppgnn: secret(lambda, p, q, sk_)
+
 namespace ppgnn {
 
 namespace {
@@ -56,6 +58,7 @@ Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng) {
   while (true) {
     PPGNN_ASSIGN_OR_RETURN(BigInt p, GeneratePrime(half, rng));
     PPGNN_ASSIGN_OR_RETURN(BigInt q, GeneratePrime(half, rng));
+    // ppgnn-lint: allow(secret-flow): key-generation retry loop; rejecting p == q reveals nothing beyond the published modulus structure
     if (p == q) continue;
     BigInt n = p * q;
     // Force exact modulus size (top bits of p*q can fall one short).

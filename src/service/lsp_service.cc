@@ -93,7 +93,9 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
 std::vector<uint8_t> LspService::Call(ServiceRequest request) {
   std::promise<std::vector<uint8_t>> promise;
   std::future<std::vector<uint8_t>> future = promise.get_future();
-  Submit(std::move(request), [&promise](std::vector<uint8_t> frame) {
+  // A rejected submit still delivers the error frame via the callback,
+  // so the accepted/rejected bool carries no extra information here.
+  (void)Submit(std::move(request), [&promise](std::vector<uint8_t> frame) {
     promise.set_value(std::move(frame));
   });
   return future.get();

@@ -113,7 +113,7 @@ class LspService {
   /// Non-blocking admission. Returns true if the request was queued; on
   /// false (queue full or shutting down) the callback has already been
   /// invoked inline with a kOverloaded error frame.
-  bool Submit(ServiceRequest request, Callback done);
+  [[nodiscard]] bool Submit(ServiceRequest request, Callback done);
 
   /// Blocking convenience wrapper: submits and waits for the reply frame.
   std::vector<uint8_t> Call(ServiceRequest request);

@@ -139,8 +139,9 @@ ClientCallOutcome ResilientClient::Call(ServiceRequest request) {
       }
       const Clock::time_point submitted = Clock::now();
       // Submit may run the callback inline (queue-full reject), so no
-      // locks of ours are held here.
-      service_.Submit(std::move(copy), [this, state, from_hedge,
+      // locks of ours are held here; a reject still surfaces through the
+      // callback's error frame, so the bool is redundant.
+      (void)service_.Submit(std::move(copy), [this, state, from_hedge,
                                        submitted](std::vector<uint8_t> frame) {
         attempt_latency_.Record(Seconds(Clock::now() - submitted));
         std::lock_guard<std::mutex> lock(state->mu);

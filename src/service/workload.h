@@ -22,7 +22,7 @@ namespace ppgnn {
 /// given real locations (size params.n). Keys are caller-provided so a
 /// load generator can reuse one pair across requests instead of paying
 /// per-request key generation.
-Result<ServiceRequest> BuildServiceRequest(
+[[nodiscard]] Result<ServiceRequest> BuildServiceRequest(
     Variant variant, const ProtocolParams& params,
     const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng);
 
@@ -37,7 +37,7 @@ struct ServedReply {
 /// the POI list. `layered` selects DecryptLayered (PPGNN-OPT replies).
 /// Errors only on transport-level garbage; a structured service error is
 /// a successful parse with ok = false.
-Result<ServedReply> ParseServedReply(const std::vector<uint8_t>& frame_bytes,
+[[nodiscard]] Result<ServedReply> ParseServedReply(const std::vector<uint8_t>& frame_bytes,
                                      const KeyPair& keys,
                                      const Decryptor& dec, bool layered);
 

@@ -1,0 +1,381 @@
+// Unit tests for the ppgnn-lint rule engine (tools/lint). Each rule gets
+// a tripping fixture, a suppressed variant, and a clean variant, all as
+// in-memory SourceFiles so the tests are hermetic. The final test proves
+// the report itself is deterministic: two full LoadTree+RunLint runs over
+// the same on-disk fixture tree produce byte-identical output.
+
+#include "tools/lint/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppgnn {
+namespace lint {
+namespace {
+
+std::vector<Finding> LintOne(const std::string& path,
+                             const std::string& content) {
+  std::vector<SourceFile> files = {{path, content}};
+  return RunLint(files);
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  const std::vector<std::string> rules = Rules(findings);
+  return static_cast<size_t>(std::count(rules.begin(), rules.end(), rule));
+}
+
+TEST(LintMeta, FourRulesRegistered) {
+  const std::vector<std::string>& rules = RuleNames();
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "unchecked-result"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "secret-flow"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "determinism"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "include-hygiene"),
+            rules.end());
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-result
+// ---------------------------------------------------------------------------
+
+TEST(UncheckedResult, BareValueTrips) {
+  auto findings = LintOne("src/core/fixture.cc",
+                          "int F() {\n"
+                          "  auto r = Parse();\n"
+                          "  return r.value();\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "unchecked-result"), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("bare .value()"), std::string::npos);
+}
+
+TEST(UncheckedResult, BareValueSuppressed) {
+  auto findings =
+      LintOne("src/core/fixture.cc",
+              "int F() {\n"
+              "  auto r = Parse();\n"
+              "  // ppgnn-lint: allow(unchecked-result): fixture proven ok\n"
+              "  return r.value();\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(UncheckedResult, GuardedValueClean) {
+  auto findings = LintOne("src/core/fixture.cc",
+                          "int F() {\n"
+                          "  auto r = Parse();\n"
+                          "  if (!r.ok()) return -1;\n"
+                          "  return r.value();\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(UncheckedResult, MovedReceiverStillResolved) {
+  // std::move(...) wrappers must not hide the receiver from the guard
+  // search, and must not let `std` match an unrelated guard either.
+  auto findings = LintOne("src/core/fixture.cc",
+                          "int F() {\n"
+                          "  auto r = Parse();\n"
+                          "  return std::move(r).value();\n"
+                          "}\n");
+  EXPECT_EQ(CountRule(findings, "unchecked-result"), 1u);
+}
+
+TEST(UncheckedResult, DiscardedStatusCallTrips) {
+  std::vector<SourceFile> files = {
+      {"src/common/io.h", "Status Flush();\n"},
+      {"src/core/use.cc", "void G() {\n  Flush();\n}\n"},
+  };
+  auto findings = RunLint(files);
+  ASSERT_EQ(CountRule(findings, "unchecked-result"), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/use.cc");
+  EXPECT_NE(findings[0].message.find("Flush"), std::string::npos);
+}
+
+TEST(UncheckedResult, DiscardedCallSuppressed) {
+  std::vector<SourceFile> files = {
+      {"src/common/io.h", "Status Flush();\n"},
+      {"src/core/use.cc",
+       "void G() {\n"
+       "  // ppgnn-lint: allow(unchecked-result): fire-and-forget by design\n"
+       "  Flush();\n"
+       "}\n"},
+  };
+  EXPECT_EQ(RunLint(files).size(), 0u);
+}
+
+TEST(UncheckedResult, AssignedCallClean) {
+  std::vector<SourceFile> files = {
+      {"src/common/io.h", "Status Flush();\n"},
+      {"src/core/use.cc",
+       "void G() {\n"
+       "  Status s = Flush();\n"
+       "  if (!s.ok()) Abort();\n"
+       "}\n"},
+  };
+  EXPECT_EQ(RunLint(files).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// secret-flow
+// ---------------------------------------------------------------------------
+
+TEST(SecretFlow, SecretInConditionTrips) {
+  auto findings = LintOne("src/crypto/fixture.cc",
+                          "// ppgnn: secret(sk)\n"
+                          "int F(int sk) {\n"
+                          "  if (sk > 0) return 1;\n"
+                          "  return 0;\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "secret-flow"), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("`sk`"), std::string::npos);
+}
+
+TEST(SecretFlow, SecretInConditionSuppressed) {
+  auto findings =
+      LintOne("src/crypto/fixture.cc",
+              "// ppgnn: secret(sk)\n"
+              "int F(int sk) {\n"
+              "  // ppgnn-lint: allow(secret-flow): trusted-side validation\n"
+              "  if (sk > 0) return 1;\n"
+              "  return 0;\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(SecretFlow, ArithmeticOnSecretClean) {
+  auto findings = LintOne("src/crypto/fixture.cc",
+                          "// ppgnn: secret(sk)\n"
+                          "int F(int sk, int pub) {\n"
+                          "  int masked = sk ^ pub;\n"
+                          "  if (pub > 0) return masked;\n"
+                          "  return 0;\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(SecretFlow, UntaggedFileClean) {
+  // Without a tag comment nothing is secret, however suggestive the name.
+  auto findings = LintOne("src/crypto/fixture.cc",
+                          "int F(int sk) {\n"
+                          "  if (sk > 0) return 1;\n"
+                          "  return 0;\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(SecretFlow, SecretIntoSerializeTrips) {
+  auto findings = LintOne("src/crypto/fixture.cc",
+                          "// ppgnn: secret(sk)\n"
+                          "void F(Writer& w, BigInt sk) {\n"
+                          "  SerializeKey(w, sk);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "secret-flow"), 1u);
+  EXPECT_NE(findings[0].message.find("SerializeKey"), std::string::npos);
+}
+
+TEST(SecretFlow, SecretToStreamTrips) {
+  auto findings = LintOne("src/crypto/fixture.cc",
+                          "// ppgnn: secret(sk)\n"
+                          "void F(BigInt sk) {\n"
+                          "  std::cout << sk;\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "secret-flow"), 1u);
+  EXPECT_NE(findings[0].message.find("stream/log sink"), std::string::npos);
+}
+
+TEST(SecretFlow, ProseMentionDoesNotRegister) {
+  // A doc comment *about* the tag syntax must not create secrets.
+  auto findings =
+      LintOne("src/crypto/fixture.cc",
+              "// Identifiers tagged `ppgnn: secret(a, b)` are tracked.\n"
+              "int F(int a) {\n"
+              "  if (a > 0) return 1;\n"
+              "  return 0;\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, RandomDeviceTrips) {
+  auto findings = LintOne("src/core/fixture.cc",
+                          "#include <random>\n"
+                          "unsigned F() {\n"
+                          "  std::random_device rd;\n"
+                          "  return rd();\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "determinism"), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(Determinism, RandCallSuppressed) {
+  auto findings =
+      LintOne("src/core/fixture.cc",
+              "int F() {\n"
+              "  // ppgnn-lint: allow(determinism): fixture for this test\n"
+              "  return rand();\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(Determinism, ExemptPathsClean) {
+  const char* body =
+      "#include <random>\n"
+      "unsigned F() {\n"
+      "  std::mt19937 gen(1);\n"
+      "  return gen();\n"
+      "}\n";
+  EXPECT_EQ(LintOne("src/common/random.cc", body).size(), 0u);
+  EXPECT_EQ(LintOne("src/service/backoff.cc", body).size(), 0u);
+}
+
+TEST(Determinism, TimeAsPlainIdentifierClean) {
+  // `time` and `clock` are banned only as calls; variables keep the name.
+  auto findings = LintOne("src/core/fixture.cc",
+                          "double Account(double time) {\n"
+                          "  double clock = time * 2;\n"
+                          "  return clock;\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(IncludeHygiene, LowerLayerIncludingHigherTrips) {
+  auto findings = LintOne("src/common/fixture.h",
+                          "#include \"core/protocol.h\"\n");
+  ASSERT_EQ(CountRule(findings, "include-hygiene"), 1u);
+  EXPECT_NE(findings[0].message.find("higher layer"), std::string::npos);
+}
+
+TEST(IncludeHygiene, LayerViolationSuppressed) {
+  auto findings = LintOne(
+      "src/common/fixture.h",
+      "#include \"core/protocol.h\"  // ppgnn-lint: allow(include-hygiene): "
+      "fixture for this test\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(IncludeHygiene, DownwardIncludeClean) {
+  auto findings = LintOne("src/core/fixture.h",
+                          "#include \"common/status.h\"\n"
+                          "#include \"crypto/paillier.h\"\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(IncludeHygiene, OwnHeaderFirstTrips) {
+  std::vector<SourceFile> files = {
+      {"src/geo/fixture.h", "int F();\n"},
+      {"src/geo/fixture.cc",
+       "#include \"common/status.h\"\n"
+       "#include \"geo/fixture.h\"\n"
+       "int F() { return 1; }\n"},
+  };
+  auto findings = RunLint(files);
+  ASSERT_EQ(CountRule(findings, "include-hygiene"), 1u);
+  EXPECT_EQ(findings[0].file, "src/geo/fixture.cc");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(IncludeHygiene, OwnHeaderFirstClean) {
+  std::vector<SourceFile> files = {
+      {"src/geo/fixture.h", "int F();\n"},
+      {"src/geo/fixture.cc",
+       "#include \"geo/fixture.h\"\n"
+       "#include \"common/status.h\"\n"
+       "int F() { return 1; }\n"},
+  };
+  EXPECT_EQ(RunLint(files).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// suppression policy (meta rule)
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, MissingJustificationIsAFindingAndSuppressesNothing) {
+  auto findings = LintOne("src/core/fixture.cc",
+                          "int F() {\n"
+                          "  auto r = Parse();\n"
+                          "  // ppgnn-lint: allow(unchecked-result)\n"
+                          "  return r.value();\n"
+                          "}\n");
+  EXPECT_EQ(CountRule(findings, "suppression"), 1u);
+  EXPECT_EQ(CountRule(findings, "unchecked-result"), 1u);
+}
+
+TEST(Suppression, UnknownRuleIsAFinding) {
+  auto findings = LintOne("src/core/fixture.cc",
+                          "// ppgnn-lint: allow(made-up-rule): because\n"
+                          "int F() { return 1; }\n");
+  ASSERT_EQ(CountRule(findings, "suppression"), 1u);
+  EXPECT_NE(findings[0].message.find("made-up-rule"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// report determinism
+// ---------------------------------------------------------------------------
+
+TEST(Report, ByteIdenticalAcrossRuns) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "ppgnn_lint_fixture";
+  fs::remove_all(root);
+  ASSERT_TRUE(fs::create_directories(root / "deep"));
+  {
+    std::ofstream(root / "a.cc")
+        << "int F() {\n  auto r = Parse();\n  return r.value();\n}\n";
+    std::ofstream(root / "deep" / "b.cc")
+        << "int G() {\n  return rand();\n}\n";
+    std::ofstream(root / "deep" / "c.h") << "int H();\n";
+    std::ofstream(root / "ignored.txt") << "not C++\n";
+  }
+
+  auto run = [&]() {
+    std::string error;
+    std::vector<SourceFile> files = LoadTree({root.string()}, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return FormatReport(RunLint(files), files.size());
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("unchecked-result"), std::string::npos);
+  EXPECT_NE(first.find("determinism"), std::string::npos);
+  EXPECT_NE(first.find("3 files scanned"), std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(Report, FindingsAreGloballySorted) {
+  std::vector<SourceFile> files = {
+      {"src/core/z.cc", "int F() {\n  auto r = P();\n  return r.value();\n}\n"},
+      {"src/core/a.cc", "int G() {\n  auto r = P();\n  return r.value();\n}\n"},
+  };
+  auto findings = RunLint(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/core/a.cc");
+  EXPECT_EQ(findings[1].file, "src/core/z.cc");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace ppgnn

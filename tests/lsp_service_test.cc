@@ -365,7 +365,7 @@ TEST_F(ServiceTest, DeadlineExpiresInQueueWithoutExecution) {
   std::vector<uint8_t> expired_frame;
 
   Rng rng(22);
-  service.Submit(WorkloadRequest(rng), [&](std::vector<uint8_t>) {
+  (void)service.Submit(WorkloadRequest(rng), [&](std::vector<uint8_t>) {
     std::lock_guard<std::mutex> lock(reply_mu);
     ++replies;
     reply_cv.notify_all();
@@ -374,7 +374,7 @@ TEST_F(ServiceTest, DeadlineExpiresInQueueWithoutExecution) {
 
   ServiceRequest doomed = WorkloadRequest(rng);
   doomed.deadline_seconds = 0.01;
-  service.Submit(std::move(doomed), [&](std::vector<uint8_t> frame) {
+  (void)service.Submit(std::move(doomed), [&](std::vector<uint8_t> frame) {
     std::lock_guard<std::mutex> lock(reply_mu);
     expired_frame = std::move(frame);
     ++replies;

@@ -1,0 +1,292 @@
+#include "tools/lint/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/rules.h"
+
+namespace ppgnn {
+namespace lint {
+namespace {
+
+bool HasCppExtension(const std::string& path) {
+  static const char* const kExts[] = {".h", ".hh", ".hpp", ".cc", ".cpp"};
+  for (const char* ext : kExts) {
+    size_t len = std::char_traits<char>::length(ext);
+    if (path.size() > len && path.compare(path.size() - len, len, ext) == 0)
+      return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// One parsed `ppgnn-lint: allow(rule[, rule]): justification` comment.
+struct Suppression {
+  int line = 0;              // line the comment sits on
+  bool alone = false;        // comment is the only thing on its line
+  std::vector<std::string> rules;
+  std::string justification;
+};
+
+std::vector<Suppression> ParseSuppressions(
+    const SourceFile& file, const std::vector<Token>& tokens,
+    const std::vector<std::string>& lines, std::vector<Finding>* meta) {
+  std::vector<Suppression> out;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment) continue;
+    // The marker must open the comment; prose mentioning the syntax
+    // (docs, hint strings quoted into comments) does not suppress.
+    if (t.text.rfind("ppgnn-lint:", 0) != 0) continue;
+    size_t tag = 0;
+    size_t allow = t.text.find("allow", tag);
+    size_t open = allow == std::string::npos ? std::string::npos
+                                             : t.text.find('(', allow);
+    size_t close = open == std::string::npos ? std::string::npos
+                                             : t.text.find(')', open);
+    if (close == std::string::npos) {
+      meta->push_back(Finding{
+          file.path, t.line, "suppression",
+          "malformed ppgnn-lint comment (expected `ppgnn-lint: "
+          "allow(rule): justification`)",
+          "fix the comment or delete it"});
+      continue;
+    }
+    Suppression s;
+    s.line = t.line;
+    // Rule list: comma-separated identifiers (kebab-case allowed).
+    std::string name;
+    for (size_t i = open + 1; i <= close; ++i) {
+      char c = t.text[i];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_') {
+        name.push_back(c);
+      } else if (!name.empty()) {
+        s.rules.push_back(name);
+        name.clear();
+      }
+    }
+    size_t colon = t.text.find(':', close);
+    if (colon != std::string::npos) {
+      std::string just = t.text.substr(colon + 1);
+      size_t b = just.find_first_not_of(" \t");
+      s.justification = b == std::string::npos ? "" : just.substr(b);
+    }
+    // The raw line tells us whether the comment stands alone (in which
+    // case it covers the next line as well).
+    if (t.line >= 1 && static_cast<size_t>(t.line) <= lines.size()) {
+      const std::string& raw = lines[static_cast<size_t>(t.line) - 1];
+      size_t slash = raw.find("//");
+      s.alone = slash != std::string::npos &&
+                raw.find_first_not_of(" \t") == slash;
+    }
+
+    if (s.rules.empty()) {
+      meta->push_back(Finding{
+          file.path, t.line, "suppression",
+          "suppression names no rule",
+          "use `ppgnn-lint: allow(rule): justification`"});
+      continue;
+    }
+    const std::vector<std::string>& known = RuleNames();
+    for (const std::string& r : s.rules) {
+      if (std::find(known.begin(), known.end(), r) == known.end()) {
+        meta->push_back(Finding{
+            file.path, t.line, "suppression",
+            "suppression names unknown rule `" + r + "`",
+            "known rules: unchecked-result, secret-flow, determinism, "
+            "include-hygiene"});
+      }
+    }
+    if (s.justification.empty()) {
+      meta->push_back(Finding{
+          file.path, t.line, "suppression",
+          "suppression has no justification",
+          "every allow must say why: `ppgnn-lint: allow(rule): <reason>`"});
+      continue;  // an unjustified allow suppresses nothing
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Collects function names declared (or defined) with a Status or
+/// Result<T> return type:  `Status Name(` / `Result<...> Name(`.
+void CollectStatusFunctions(const std::vector<Token>& toks,
+                            std::set<std::string>* names) {
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    size_t after_type = 0;
+    if (t.text == "Status") {
+      after_type = i + 1;
+    } else if (t.text == "Result") {
+      // Balance the template argument list; `>>` closes two levels.
+      size_t j = i + 1;
+      while (j < toks.size() && toks[j].kind == TokKind::kComment) ++j;
+      if (j >= toks.size() || toks[j].kind != TokKind::kPunct ||
+          toks[j].text != "<")
+        continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind != TokKind::kPunct) continue;
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">") --depth;
+        if (toks[j].text == ">>") depth -= 2;
+        if (depth <= 0) break;
+      }
+      if (j >= toks.size()) continue;
+      after_type = j + 1;
+    } else {
+      continue;
+    }
+    while (after_type < toks.size() &&
+           toks[after_type].kind == TokKind::kComment)
+      ++after_type;
+    if (after_type + 1 >= toks.size()) continue;
+    const Token& name = toks[after_type];
+    const Token* open = &toks[after_type + 1];
+    size_t k = after_type + 1;
+    while (k < toks.size() && toks[k].kind == TokKind::kComment) ++k;
+    if (k >= toks.size()) continue;
+    open = &toks[k];
+    if (name.kind == TokKind::kIdent && open->kind == TokKind::kPunct &&
+        open->text == "(") {
+      names->insert(name.text);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kRules = {
+      "unchecked-result", "secret-flow", "determinism", "include-hygiene"};
+  return kRules;
+}
+
+ProjectIndex BuildIndex(const std::vector<SourceFile>& files) {
+  ProjectIndex index;
+  for (const SourceFile& f : files) {
+    index.all_paths.insert(f.path);
+    CollectStatusFunctions(Lex(f.content), &index.status_functions);
+  }
+  return index;
+}
+
+std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index) {
+  FileContext ctx;
+  ctx.file = &file;
+  ctx.index = &index;
+  ctx.tokens = Lex(file.content);
+  ctx.lines = SplitLines(file.content);
+
+  std::vector<Finding> meta;
+  std::vector<Suppression> allows =
+      ParseSuppressions(file, ctx.tokens, ctx.lines, &meta);
+
+  std::vector<Finding> raw;
+  CheckUncheckedResult(ctx, &raw);
+  CheckSecretFlow(ctx, &raw);
+  CheckDeterminism(ctx, &raw);
+  CheckIncludeHygiene(ctx, &raw);
+
+  std::vector<Finding> out = std::move(meta);  // never suppressible
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (const Suppression& s : allows) {
+      if (std::find(s.rules.begin(), s.rules.end(), f.rule) == s.rules.end())
+        continue;
+      if (f.line == s.line || (s.alone && f.line == s.line + 1)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
+  ProjectIndex index = BuildIndex(files);
+  std::vector<Finding> findings;
+  for (const SourceFile& f : files) {
+    std::vector<Finding> file_findings = AnalyzeFile(f, index);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+std::vector<SourceFile> LoadTree(const std::vector<std::string>& roots,
+                                 std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      if (error != nullptr) *error = "not a directory: " + root;
+      return {};
+    }
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string path = it->path().generic_string();
+      if (!HasCppExtension(path)) continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      if (!in.is_open()) {
+        if (error != nullptr) *error = "cannot read " + path;
+        return {};
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back(SourceFile{std::move(path), buf.str()});
+    }
+    if (ec) {
+      if (error != nullptr) *error = "walk failed under " + root;
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+std::string FormatReport(const std::vector<Finding>& findings,
+                         size_t files_scanned) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+    if (!f.hint.empty()) out << "    hint: " << f.hint << "\n";
+  }
+  out << "ppgnn-lint: " << findings.size() << " finding"
+      << (findings.size() == 1 ? "" : "s") << " in " << files_scanned
+      << " file" << (files_scanned == 1 ? "" : "s") << " scanned\n";
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace ppgnn

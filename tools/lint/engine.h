@@ -1,0 +1,105 @@
+// ppgnn_lint rule engine: project invariants enforced as named rules.
+//
+// The analyzer is deliberately textual — a lexer plus per-rule pattern
+// matchers, no type information — so it stays dependency-free, runs over
+// the whole tree in milliseconds, and its verdicts are easy to predict
+// from the source. The rules encode conventions this repo already
+// follows; see DESIGN.md section 10 for the rationale of each.
+//
+// Rules:
+//   unchecked-result  bare Result<T>::value() with no ok()/status() guard
+//                     in the preceding lines, and statements that discard
+//                     the Status/Result of a fallible call.
+//   secret-flow       identifiers tagged `// ppgnn: secret(a, b)` must not
+//                     reach stream/log sinks, Encode*/Serialize* calls, or
+//                     if/while/for/switch conditions (constant-time
+//                     discipline for key material and indicator indices).
+//   determinism       no rand/time/std::random_device/system_clock outside
+//                     common/random and service/ timing code — everything
+//                     else must draw from ppgnn::Rng so failpoint/chaos
+//                     schedules replay bit-identically.
+//   include-hygiene   each src/**.cc includes its own header first, and no
+//                     layer includes a higher layer (bigint never sees
+//                     service/).
+//
+// Suppression: `// ppgnn-lint: allow(rule): justification` on the finding
+// line, or alone on the line directly above it. The justification is
+// mandatory; an empty one is itself reported (rule "suppression").
+
+#ifndef PPGNN_TOOLS_LINT_ENGINE_H_
+#define PPGNN_TOOLS_LINT_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ppgnn {
+namespace lint {
+
+/// One rule violation, anchored to a file and 1-based line.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;
+
+  bool operator<(const Finding& other) const {
+    if (file != other.file) return file < other.file;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+  bool operator==(const Finding& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           message == other.message && hint == other.hint;
+  }
+};
+
+/// A file to analyze. `path` is repo-relative with forward slashes; the
+/// path prefix drives the scoping decisions (src/ layering, exemptions).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Cross-file facts gathered in a first pass over the whole file set.
+struct ProjectIndex {
+  /// Names of functions declared to return Status or Result<T> anywhere
+  /// in the tree; used by the discarded-call half of unchecked-result.
+  std::set<std::string> status_functions;
+  /// Every path in the file set (for own-header existence checks).
+  std::set<std::string> all_paths;
+};
+
+/// First pass: collect the project facts the per-file rules need.
+ProjectIndex BuildIndex(const std::vector<SourceFile>& files);
+
+/// Runs every rule over one file and applies its suppression comments.
+/// Returned findings are unsorted; RunLint sorts globally.
+std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index);
+
+/// Index + analyze + sort over a whole file set. Deterministic: the same
+/// files yield the same findings in the same order, always.
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files);
+
+/// Reads every C++ source file (.h/.hh/.hpp/.cc/.cpp) under the given
+/// root directories, sorted by path. Paths are recorded as given + the
+/// relative part, normalized to forward slashes. On I/O failure returns
+/// an empty vector and sets *error.
+std::vector<SourceFile> LoadTree(const std::vector<std::string>& roots,
+                                 std::string* error);
+
+/// Deterministic human-readable report: one block per finding plus a
+/// trailing summary line. Byte-identical across runs on identical input.
+std::string FormatReport(const std::vector<Finding>& findings,
+                         size_t files_scanned);
+
+/// Names of all real rules (excludes the meta rule "suppression").
+const std::vector<std::string>& RuleNames();
+
+}  // namespace lint
+}  // namespace ppgnn
+
+#endif  // PPGNN_TOOLS_LINT_ENGINE_H_

@@ -1,0 +1,191 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace ppgnn {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the rules care about. Longest first so the
+// greedy match below picks "<<=" over "<<" over "<".
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<<", ">>", "::", "->", "&&", "||",
+    "==",  "!=",  "<=",  ">=",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",
+};
+
+// Trims leading/trailing whitespace in place.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  bool in_directive = false;
+  bool line_has_token = false;  // any non-whitespace token on this line yet
+
+  auto push = [&](TokKind kind, std::string text, int tok_line) {
+    out.push_back(Token{kind, std::move(text), tok_line, in_directive});
+  };
+
+  while (i < n) {
+    char c = source[i];
+
+    // Line splice: backslash-newline continues the logical line (keeps a
+    // directive open across physical lines).
+    if (c == '\\' && i + 1 < n &&
+        (source[i + 1] == '\n' ||
+         (source[i + 1] == '\r' && i + 2 < n && source[i + 2] == '\n'))) {
+      i += source[i + 1] == '\n' ? 2 : 3;
+      ++line;
+      continue;
+    }
+
+    if (c == '\n') {
+      ++i;
+      ++line;
+      in_directive = false;
+      line_has_token = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' as the first token of a line.
+    if (c == '#' && !line_has_token) {
+      in_directive = true;
+      push(TokKind::kPunct, "#", line);
+      line_has_token = true;
+      ++i;
+      continue;
+    }
+
+    line_has_token = true;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t j = i + 2;
+      while (j < n && source[j] != '\n') ++j;
+      push(TokKind::kComment, Trim(source.substr(i + 2, j - i - 2)), line);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) {
+        if (source[j] == '\n') ++line;
+        ++j;
+      }
+      size_t end = (j + 1 < n) ? j : n;
+      push(TokKind::kComment, Trim(source.substr(i + 2, end - i - 2)),
+           start_line);
+      out.back().line = start_line;
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && delim.size() < 16) {
+        delim.push_back(source[j]);
+        ++j;
+      }
+      std::string close = ")" + delim + "\"";
+      size_t end = source.find(close, j);
+      int start_line = line;
+      if (end == std::string::npos) end = n;
+      for (size_t k = i; k < end && k < n; ++k) {
+        if (source[k] == '\n') ++line;
+      }
+      size_t stop = end == n ? n : end + close.size();
+      push(TokKind::kString, source.substr(i, stop - i), start_line);
+      out.back().line = start_line;
+      i = stop;
+      continue;
+    }
+
+    // String / char literals with escapes.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      size_t stop = j < n ? j + 1 : n;
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           source.substr(i, stop - i), line);
+      i = stop;
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      push(TokKind::kIdent, source.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    // Numbers (accepts digit separators, suffixes, hex, and exponents —
+    // precision is irrelevant to the rules, only token boundaries matter).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       source[j] == '\'' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokKind::kNumber, source.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    // Multi-char punctuators, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        push(TokKind::kPunct, p, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace ppgnn

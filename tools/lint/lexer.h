@@ -1,0 +1,43 @@
+// A lightweight C++ lexer for ppgnn_lint.
+//
+// This is not a conforming C++ tokenizer — it is exactly enough lexer to
+// drive the project-invariant rules in rules.cc: identifiers, literals,
+// punctuation, and comments, each tagged with its 1-based source line and
+// whether it sits inside a preprocessor directive. Trigraphs, UCNs and
+// digraphs are out of scope; raw strings, line splices and nested
+// block-comment edge cases are handled because the repo contains them.
+
+#ifndef PPGNN_TOOLS_LINT_LEXER_H_
+#define PPGNN_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace ppgnn {
+namespace lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords (the rules treat keywords by name)
+  kNumber,   // numeric literal, including ' separators and suffixes
+  kString,   // "..." or R"delim(...)delim", text includes the quotes
+  kChar,     // '...'
+  kPunct,    // one operator or punctuator ("<<", "::", "->", "(", ...)
+  kComment,  // // or /* */ comment, text without the delimiters, trimmed
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;             // 1-based line of the token's first character
+  bool in_directive = false;  // true inside a preprocessor directive
+                              // (including spliced continuation lines)
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punctuation so the rule engine always sees the full file.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace lint
+}  // namespace ppgnn
+
+#endif  // PPGNN_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,52 @@
+// ppgnn_lint: the project-invariant static analyzer.
+//
+//   ppgnn_lint [--list-rules] [dir...]
+//
+// Walks the given directories (default: src tools bench, relative to the
+// working directory — the `lint` CMake target runs from the repo root),
+// analyzes every C++ source file, and prints findings. Exit status:
+//   0  clean
+//   1  unsuppressed findings
+//   2  usage or I/O error
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/engine.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : ppgnn::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ppgnn_lint [--list-rules] [dir...]\n");
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ppgnn_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+    roots.push_back(std::move(arg));
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+
+  std::string error;
+  std::vector<ppgnn::lint::SourceFile> files =
+      ppgnn::lint::LoadTree(roots, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "ppgnn_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::vector<ppgnn::lint::Finding> findings = ppgnn::lint::RunLint(files);
+  std::string report = ppgnn::lint::FormatReport(findings, files.size());
+  std::fputs(report.c_str(), stdout);
+  return findings.empty() ? 0 : 1;
+}

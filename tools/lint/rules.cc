@@ -1,0 +1,535 @@
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ppgnn {
+namespace lint {
+namespace {
+
+bool IsIdentByte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// Index of the next non-comment token at or after `i`, or tokens.size().
+size_t NextCode(const std::vector<Token>& toks, size_t i) {
+  while (i < toks.size() && toks[i].kind == TokKind::kComment) ++i;
+  return i;
+}
+
+/// Skips a balanced (...) / [...] / {...} group. `open` must index the
+/// opening punctuator; returns the index just past the matching close
+/// (or tokens.size() on unbalanced input).
+size_t SkipBalanced(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == close && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Statement spans: [begin, end) token ranges split on `;` `{` `}` at
+/// parenthesis depth zero, so a `for(;;)` header or a lambda argument does
+/// not fracture the enclosing statement.
+std::vector<std::pair<size_t, size_t>> StatementSpans(
+    const std::vector<Token>& toks) {
+  std::vector<std::pair<size_t, size_t>> spans;
+  size_t begin = 0;
+  int paren = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[") ++paren;
+    if (t.text == ")" || t.text == "]") --paren;
+    if (paren > 0) continue;
+    if (t.text == ";" || t.text == "{" || t.text == "}") {
+      if (i > begin) spans.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  if (toks.size() > begin) spans.emplace_back(begin, toks.size());
+  return spans;
+}
+
+}  // namespace
+
+const std::string& ContextLine(const FileContext& ctx, int line) {
+  static const std::string kEmpty;
+  if (line < 1 || static_cast<size_t>(line) > ctx.lines.size()) return kEmpty;
+  return ctx.lines[static_cast<size_t>(line) - 1];
+}
+
+bool LineContainsIdent(const std::string& line, const std::string& ident) {
+  if (ident.empty()) return false;
+  size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentByte(line[pos - 1]);
+    size_t end = pos + ident.size();
+    bool right_ok = end >= line.size() || !IsIdentByte(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-result
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// How far above a `.value()` call an `ok()` / `status()` guard on the
+/// same receiver still counts. Generous on purpose: the rule exists to
+/// catch *absent* guards, not to police their distance.
+constexpr int kGuardWindowLines = 30;
+
+/// Collects the identifier names that make up the receiver expression of
+/// a `.value()` call, walking member/call/index chains backward from the
+/// `.` at `dot`. E.g. `std::move(engine_or).value()` -> {engine_or, ...}.
+std::set<std::string> ReceiverIdents(const std::vector<Token>& toks,
+                                     size_t dot) {
+  std::set<std::string> ids;
+  size_t i = dot;
+  bool expect_primary = true;  // next backward token should end a primary
+  while (i > 0) {
+    --i;
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kComment) continue;
+    if (expect_primary) {
+      if (t.kind == TokKind::kPunct && (t.text == ")" || t.text == "]")) {
+        // Balance backward, harvesting identifiers inside the group.
+        const std::string close = t.text;
+        const std::string open = close == ")" ? "(" : "[";
+        int depth = 0;
+        while (true) {
+          const Token& u = toks[i];
+          if (u.kind == TokKind::kIdent) ids.insert(u.text);
+          if (u.kind == TokKind::kPunct && u.text == close) ++depth;
+          if (u.kind == TokKind::kPunct && u.text == open && --depth == 0)
+            break;
+          if (i == 0) return ids;
+          --i;
+        }
+        expect_primary = false;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        ids.insert(t.text);
+        expect_primary = false;
+        continue;
+      }
+      return ids;
+    }
+    // After a primary: only member/scope separators extend the chain.
+    if (t.kind == TokKind::kPunct &&
+        (t.text == "." || t.text == "->" || t.text == "::")) {
+      expect_primary = true;
+      continue;
+    }
+    return ids;
+  }
+  return ids;
+}
+
+void CheckBareValue(const FileContext& ctx, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = ctx.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!IsPunct(toks[i], ".")) continue;
+    size_t name = NextCode(toks, i + 1);
+    if (name >= toks.size() || !IsIdent(toks[name], "value")) continue;
+    size_t open = NextCode(toks, name + 1);
+    if (open >= toks.size() || !IsPunct(toks[open], "(")) continue;
+    size_t close = NextCode(toks, open + 1);
+    if (close >= toks.size() || !IsPunct(toks[close], ")")) continue;
+
+    std::set<std::string> ids = ReceiverIdents(toks, i);
+    // `std` / `move` wrap everything and would match unrelated guards.
+    ids.erase("std");
+    ids.erase("move");
+
+    const int line = toks[name].line;
+    bool guarded = false;
+    for (int l = std::max(1, line - kGuardWindowLines); l <= line && !guarded;
+         ++l) {
+      const std::string& text = ContextLine(ctx, l);
+      if (text.find(".ok(") == std::string::npos &&
+          text.find(".status(") == std::string::npos) {
+        continue;
+      }
+      for (const std::string& id : ids) {
+        if (LineContainsIdent(text, id)) {
+          guarded = true;
+          break;
+        }
+      }
+    }
+    if (guarded) continue;
+
+    std::string recv;
+    for (const std::string& id : ids) {
+      if (!recv.empty()) recv += "/";
+      recv += id;
+    }
+    out->push_back(Finding{
+        ctx.file->path, line, "unchecked-result",
+        "bare .value() on `" + (recv.empty() ? std::string("<expr>") : recv) +
+            "` with no ok()/status() guard in the preceding " +
+            std::to_string(kGuardWindowLines) + " lines",
+        "guard with `if (x.ok())`, use PPGNN_ASSIGN_OR_RETURN, or add "
+        "`// ppgnn-lint: allow(unchecked-result): <why success is "
+        "guaranteed>`"});
+  }
+}
+
+void CheckDiscardedCall(const FileContext& ctx, std::vector<Finding>* out) {
+  const std::vector<Token>& toks = ctx.tokens;
+  const std::set<std::string>& fallible = ctx.index->status_functions;
+
+  // Statement-start token indices: after `;`/`{`/`}` at paren depth 0,
+  // after the close-paren of an if/while/for/switch header, and after a
+  // brace-less `else`.
+  std::set<size_t> starts;
+  starts.insert(NextCode(toks, 0));
+  int paren = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[") ++paren;
+      if (t.text == ")" || t.text == "]") --paren;
+      if (paren == 0 && (t.text == ";" || t.text == "{" || t.text == "}"))
+        starts.insert(NextCode(toks, i + 1));
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || t.in_directive) continue;
+    if (t.text == "if" || t.text == "while" || t.text == "for" ||
+        t.text == "switch") {
+      size_t open = NextCode(toks, i + 1);
+      if (open < toks.size() && IsIdent(toks[open], "constexpr"))
+        open = NextCode(toks, open + 1);
+      if (open < toks.size() && IsPunct(toks[open], "("))
+        starts.insert(NextCode(toks, SkipBalanced(toks, open)));
+    } else if (t.text == "else") {
+      starts.insert(NextCode(toks, i + 1));
+    }
+  }
+
+  for (size_t s : starts) {
+    if (s >= toks.size()) continue;
+    // Match:  [::] ident ((:: | . | ->) ident)* '(' ... ')' ';'
+    size_t i = s;
+    if (i < toks.size() && IsPunct(toks[i], "::")) i = NextCode(toks, i + 1);
+    std::string last;
+    while (i < toks.size() && toks[i].kind == TokKind::kIdent) {
+      last = toks[i].text;
+      size_t sep = NextCode(toks, i + 1);
+      if (sep < toks.size() &&
+          (IsPunct(toks[sep], "::") || IsPunct(toks[sep], ".") ||
+           IsPunct(toks[sep], "->"))) {
+        i = NextCode(toks, sep + 1);
+        continue;
+      }
+      i = sep;
+      break;
+    }
+    if (last.empty() || i >= toks.size() || !IsPunct(toks[i], "(")) continue;
+    if (toks[i].in_directive) continue;  // macro bodies: checked at expansion
+    size_t after = NextCode(toks, SkipBalanced(toks, i));
+    if (after >= toks.size() || !IsPunct(toks[after], ";")) continue;
+    if (fallible.count(last) == 0) continue;
+    out->push_back(Finding{
+        ctx.file->path, toks[i].line, "unchecked-result",
+        "result of Status/Result-returning call `" + last + "` is discarded",
+        "check it (`Status s = ...; if (!s.ok())`), propagate with "
+        "PPGNN_RETURN_IF_ERROR, or add `// ppgnn-lint: "
+        "allow(unchecked-result): <why>`"});
+  }
+}
+
+}  // namespace
+
+void CheckUncheckedResult(const FileContext& ctx, std::vector<Finding>* out) {
+  CheckBareValue(ctx, out);
+  CheckDiscardedCall(ctx, out);
+}
+
+// ---------------------------------------------------------------------------
+// secret-flow
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parses every `ppgnn: secret(a, b, c)` tag comment in the file.
+std::set<std::string> SecretIdents(const FileContext& ctx) {
+  std::set<std::string> secrets;
+  for (const Token& t : ctx.tokens) {
+    if (t.kind != TokKind::kComment) continue;
+    // The tag must open the comment; prose that merely *mentions* the
+    // syntax (docs, this file) does not register secrets.
+    if (t.text.rfind("ppgnn: secret(", 0) != 0) continue;
+    size_t open = t.text.find('(');
+    size_t close = t.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string name;
+    for (size_t i = open + 1; i <= close; ++i) {
+      char c = t.text[i];
+      if (IsIdentByte(c)) {
+        name.push_back(c);
+      } else if (!name.empty()) {
+        secrets.insert(name);
+        name.clear();
+      }
+    }
+  }
+  return secrets;
+}
+
+const std::set<std::string>& StreamSinkIdents() {
+  static const std::set<std::string> kSinks = {
+      "cout", "cerr",    "clog", "printf", "fprintf",
+      "puts", "fputs",   "sprintf", "snprintf", "syslog"};
+  return kSinks;
+}
+
+const std::set<std::string>& StreamishIdents() {
+  static const std::set<std::string> kStreams = {
+      "os", "oss", "out", "stream", "ostream", "log", "logger"};
+  return kStreams;
+}
+
+}  // namespace
+
+void CheckSecretFlow(const FileContext& ctx, std::vector<Finding>* out) {
+  const std::set<std::string> secrets = SecretIdents(ctx);
+  if (secrets.empty()) return;
+  const std::vector<Token>& toks = ctx.tokens;
+
+  // Sink 1: secret inside an if/while/for/switch condition — a
+  // data-dependent branch on secret state (timing/trace channel).
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text != "if" && t.text != "while" && t.text != "for" &&
+        t.text != "switch") {
+      continue;
+    }
+    size_t open = NextCode(toks, i + 1);
+    if (open < toks.size() && IsIdent(toks[open], "constexpr"))
+      open = NextCode(toks, open + 1);
+    if (open >= toks.size() || !IsPunct(toks[open], "(")) continue;
+    size_t end = SkipBalanced(toks, open);
+    for (size_t j = open + 1; j + 1 < end; ++j) {
+      if (toks[j].kind == TokKind::kIdent && secrets.count(toks[j].text)) {
+        out->push_back(Finding{
+            ctx.file->path, toks[j].line, "secret-flow",
+            "secret `" + toks[j].text + "` branches a `" + t.text +
+                "` condition (data-dependent control flow)",
+            "make the path constant-time (branchless select / fixed trip "
+            "count), or add `// ppgnn-lint: allow(secret-flow): <why the "
+            "branch leaks nothing>`"});
+        break;  // one finding per condition is enough
+      }
+    }
+    i = end > i ? end - 1 : i;
+  }
+
+  // Sink 2: secret inside the argument list of an Encode*/Serialize*
+  // call — plaintext secrets must never enter a pre-encryption wire path.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (!StartsWith(t.text, "Encode") && !StartsWith(t.text, "Serialize"))
+      continue;
+    size_t open = NextCode(toks, i + 1);
+    if (open >= toks.size() || !IsPunct(toks[open], "(")) continue;
+    size_t end = SkipBalanced(toks, open);
+    for (size_t j = open + 1; j + 1 < end; ++j) {
+      if (toks[j].kind == TokKind::kIdent && secrets.count(toks[j].text)) {
+        out->push_back(Finding{
+            ctx.file->path, toks[j].line, "secret-flow",
+            "secret `" + toks[j].text + "` is passed to `" + t.text +
+                "` (pre-encryption wire path)",
+            "encrypt before encoding, or add `// ppgnn-lint: "
+            "allow(secret-flow): <why this boundary is safe>`"});
+      }
+    }
+  }
+
+  // Sink 3: secret in a statement that also feeds a stream/log sink.
+  for (const auto& span : StatementSpans(toks)) {
+    bool has_shift = false;
+    bool has_sink = false;
+    bool has_streamish = false;
+    const Token* secret_tok = nullptr;
+    for (size_t j = span.first; j < span.second; ++j) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kComment) continue;
+      if (IsPunct(t, "<<")) has_shift = true;
+      if (t.kind == TokKind::kIdent) {
+        if (StreamSinkIdents().count(t.text)) has_sink = true;
+        if (StreamishIdents().count(t.text)) has_streamish = true;
+        if (secret_tok == nullptr && secrets.count(t.text)) secret_tok = &t;
+      }
+    }
+    if (secret_tok == nullptr) continue;
+    if (has_sink || (has_shift && has_streamish)) {
+      out->push_back(Finding{
+          ctx.file->path, secret_tok->line, "secret-flow",
+          "secret `" + secret_tok->text + "` reaches a stream/log sink",
+          "never log key material, locations, or indicator indices; log a "
+          "redacted digest instead, or add `// ppgnn-lint: "
+          "allow(secret-flow): <why>`"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const FileContext& ctx, std::vector<Finding>* out) {
+  const std::string& path = ctx.file->path;
+  // common/random wraps the one sanctioned seed source; service/ owns
+  // wall-clock deadlines and backoff timing by design.
+  if (StartsWith(path, "src/common/random") || StartsWith(path, "src/service/"))
+    return;
+
+  // Banned outright: ambient entropy and wall-clock sources.
+  static const std::set<std::string> kBannedAlways = {
+      "random_device", "system_clock",  "srand",        "rand_r",
+      "drand48",       "gettimeofday",  "localtime",    "gmtime",
+      "mt19937",       "mt19937_64",    "minstd_rand",  "default_random_engine",
+  };
+  // Banned only as a call (the bare words are too common to blanket-ban).
+  static const std::set<std::string> kBannedCalls = {"rand", "time", "clock"};
+
+  const std::vector<Token>& toks = ctx.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    bool banned = kBannedAlways.count(t.text) > 0;
+    if (!banned && kBannedCalls.count(t.text) > 0) {
+      size_t next = NextCode(toks, i + 1);
+      banned = next < toks.size() && IsPunct(toks[next], "(");
+    }
+    if (!banned) continue;
+    out->push_back(Finding{
+        path, t.line, "determinism",
+        "nondeterministic source `" + t.text +
+            "` outside common/random and service/ timing code",
+        "draw from a seeded ppgnn::Rng (common/random.h) so failpoint and "
+        "chaos schedules replay bit-identically; wall-clock timing belongs "
+        "in service/"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Layer rank of each src/ subdirectory; a file may only include headers
+/// from layers at or below its own. Derived from the dependency structure
+/// at the time the rule was introduced — raising a layer is an explicit,
+/// reviewed decision (edit this table), never an accident.
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},  {"bigint", 1},  {"geo", 1},     {"net", 1},
+      {"stats", 1},   {"spatial", 2}, {"crypto", 2},  {"roadnet", 3},
+      {"core", 3},    {"baselines", 4}, {"service", 4},
+  };
+  return kRanks;
+}
+
+/// One `#include "..."` directive.
+struct QuotedInclude {
+  std::string path;
+  int line;
+};
+
+std::vector<QuotedInclude> QuotedIncludes(const FileContext& ctx) {
+  std::vector<QuotedInclude> out;
+  const std::vector<Token>& toks = ctx.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsPunct(toks[i], "#")) continue;
+    size_t kw = NextCode(toks, i + 1);
+    if (kw >= toks.size() || !IsIdent(toks[kw], "include")) continue;
+    size_t arg = NextCode(toks, kw + 1);
+    if (arg >= toks.size() || toks[arg].kind != TokKind::kString) continue;
+    std::string inner = toks[arg].text;
+    if (inner.size() >= 2) inner = inner.substr(1, inner.size() - 2);
+    out.push_back(QuotedInclude{inner, toks[arg].line});
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckIncludeHygiene(const FileContext& ctx, std::vector<Finding>* out) {
+  const std::string& path = ctx.file->path;
+  if (!StartsWith(path, "src/")) return;
+  // First path component under src/ is the layer; files directly in src/
+  // (the ppgnn.h umbrella) are deliberately above the layering.
+  size_t dir_end = path.find('/', 4);
+  if (dir_end == std::string::npos) return;
+  const std::string self_dir = path.substr(4, dir_end - 4);
+  auto self_rank = LayerRanks().find(self_dir);
+
+  const std::vector<QuotedInclude> includes = QuotedIncludes(ctx);
+
+  // Own header first: src/<d>/<base>.cc must open with src/<d>/<base>.h
+  // (compile-the-header-standalone discipline).
+  const bool is_cc = path.size() > 3 && path.compare(path.size() - 3, 3,
+                                                     ".cc") == 0;
+  if (is_cc && !includes.empty()) {
+    std::string own = path.substr(4, path.size() - 4 - 3) + ".h";
+    if (ctx.index->all_paths.count("src/" + own) > 0 &&
+        includes.front().path != own) {
+      out->push_back(Finding{
+          path, includes.front().line, "include-hygiene",
+          "first include is \"" + includes.front().path +
+              "\" but this file's own header \"" + own + "\" exists",
+          "include the own header first so it is proven self-contained"});
+    }
+  }
+
+  if (self_rank == LayerRanks().end()) return;
+  for (const QuotedInclude& inc : includes) {
+    size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string target_dir = inc.path.substr(0, slash);
+    auto target_rank = LayerRanks().find(target_dir);
+    if (target_rank == LayerRanks().end()) continue;
+    if (target_rank->second > self_rank->second) {
+      out->push_back(Finding{
+          path, inc.line, "include-hygiene",
+          "layer `" + self_dir + "` (rank " +
+              std::to_string(self_rank->second) + ") includes \"" + inc.path +
+              "\" from higher layer `" + target_dir + "` (rank " +
+              std::to_string(target_rank->second) + ")",
+          "invert the dependency (move shared types down a layer) or "
+          "promote the layer in tools/lint/rules.cc with review"});
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace ppgnn

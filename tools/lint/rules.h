@@ -1,0 +1,40 @@
+// Internal interface between the engine (engine.cc: indexing, suppression,
+// report) and the rule implementations (rules.cc). Not installed; only
+// engine.cc, rules.cc and the tests include this.
+
+#ifndef PPGNN_TOOLS_LINT_RULES_H_
+#define PPGNN_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/engine.h"
+#include "tools/lint/lexer.h"
+
+namespace ppgnn {
+namespace lint {
+
+/// Everything a rule needs about one file, prepared once by AnalyzeFile.
+struct FileContext {
+  const SourceFile* file = nullptr;
+  const ProjectIndex* index = nullptr;
+  std::vector<Token> tokens;       // full token stream, comments included
+  std::vector<std::string> lines;  // raw physical lines, 0-based storage
+};
+
+/// Returns the raw text of 1-based line `line`, or "" out of range.
+const std::string& ContextLine(const FileContext& ctx, int line);
+
+/// True if `line` contains `ident` delimited by non-identifier characters.
+bool LineContainsIdent(const std::string& line, const std::string& ident);
+
+// The four rules. Each appends to `out`.
+void CheckUncheckedResult(const FileContext& ctx, std::vector<Finding>* out);
+void CheckSecretFlow(const FileContext& ctx, std::vector<Finding>* out);
+void CheckDeterminism(const FileContext& ctx, std::vector<Finding>* out);
+void CheckIncludeHygiene(const FileContext& ctx, std::vector<Finding>* out);
+
+}  // namespace lint
+}  // namespace ppgnn
+
+#endif  // PPGNN_TOOLS_LINT_RULES_H_
