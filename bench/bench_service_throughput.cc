@@ -7,8 +7,23 @@
 // Knobs (in addition to bench_util.h's):
 //   PPGNN_BENCH_CLIENTS   closed-loop client threads (default 8)
 //   PPGNN_BENCH_REQUESTS  requests per client per data point (default 4)
+//
+// Overload mode (`bench_service_throughput --overload`): measures the
+// admission-control story instead of the worker-pool story. A closed
+// loop first measures sustainable capacity, then open-loop phases offer
+// 0.5x / 1x / 2x / 4x that rate with per-request deadlines and report
+// goodput (answers inside the deadline), sheds, queue expiries, and the
+// two acceptance invariants from EXPERIMENTS.md: goodput at 2x >= 80% of
+// goodput at 1x, and zero queries abandoned after starting crypto.
+// Extra knobs:
+//   PPGNN_BENCH_WORKERS            service workers in overload mode (4)
+//   PPGNN_BENCH_DEADLINE_MS        per-request deadline (500)
+//   PPGNN_BENCH_OVERLOAD_SECONDS   seconds per offered-load phase (3)
 
 #include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +34,7 @@ namespace {
 using namespace ppgnn;
 using bench::BenchConfig;
 using bench::EnvInt;
+using bench::ValueOrDie;
 
 struct ServicePoint {
   double qps = 0;
@@ -30,8 +46,8 @@ struct ServicePoint {
 
 ServicePoint DrivePoint(const LspDatabase& lsp, const KeyPair& keys,
                         const ProtocolParams& params, int workers,
-                        int clients, int requests_per_client,
-                        uint64_t seed) {
+                        int clients, int requests_per_client, uint64_t seed,
+                        std::shared_ptr<CostModel> model = nullptr) {
   // Pre-build every request outside the timed region: the coordinator's
   // encryption work would otherwise dominate the closed loop and hide
   // the worker-pool effect this bench exists to measure.
@@ -60,6 +76,7 @@ ServicePoint DrivePoint(const LspDatabase& lsp, const KeyPair& keys,
   config.queue_capacity =
       static_cast<size_t>(clients) * static_cast<size_t>(requests_per_client);
   config.sanitize = params.sanitize;
+  if (model != nullptr) config.cost_model = std::move(model);
   LspService service(lsp, config);
 
   // In the timed loop clients only frame-decode replies (is it an answer
@@ -109,9 +126,206 @@ ServicePoint DrivePoint(const LspDatabase& lsp, const KeyPair& keys,
   return point;
 }
 
+// --- overload mode ---
+
+struct OverloadPoint {
+  double offered_qps = 0;
+  double goodput_qps = 0;
+  uint64_t offered = 0;
+  uint64_t answers = 0;
+  uint64_t overloaded = 0;  // shed or queue-full, structured kOverloaded
+  uint64_t expired = 0;     // structured kDeadlineExceeded
+  uint64_t other = 0;
+  ServiceStats stats;
+};
+
+/// Offers `rate_qps` for `seconds`, open-loop (a paced dispatcher thread
+/// that never waits for replies), each request carrying `deadline_ms`.
+/// The shared cost model accumulates calibration across phases, exactly
+/// as a long-running server's would.
+OverloadPoint DriveOverloadPhase(const LspDatabase& lsp, const KeyPair& keys,
+                                 const ProtocolParams& params, int workers,
+                                 double rate_qps, double seconds,
+                                 uint64_t deadline_ms,
+                                 std::shared_ptr<CostModel> model,
+                                 uint64_t seed) {
+  // A small pool of prebuilt requests, cycled by copy: building one
+  // request costs more crypto than serving it, so building offered-many
+  // would dominate the bench.
+  std::vector<ServiceRequest> pool;
+  {
+    Rng rng(seed + 77);
+    for (int i = 0; i < 32; ++i) {
+      auto group = bench::RandomGroup(params.n, rng);
+      pool.push_back(ValueOrDie(
+          BuildServiceRequest(Variant::kPpgnn, params, group, keys, rng)));
+    }
+  }
+
+  ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = 64;
+  config.sanitize = params.sanitize;
+  config.cost_model = std::move(model);
+  LspService service(lsp, config);
+
+  const uint64_t offered =
+      static_cast<uint64_t>(rate_qps * seconds) > 0
+          ? static_cast<uint64_t>(rate_qps * seconds)
+          : 1;
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / rate_qps));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t replied = 0;
+  OverloadPoint point;
+  point.offered = offered;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto next_send = start;
+  for (uint64_t i = 0; i < offered; ++i) {
+    std::this_thread::sleep_until(next_send);
+    next_send += interval;
+    ServiceRequest request = pool[i % pool.size()];
+    request.deadline_seconds = static_cast<double>(deadline_ms) / 1e3;
+    (void)service.Submit(std::move(request), [&](std::vector<uint8_t> frame) {
+      auto decoded = ResponseFrame::Decode(frame);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!decoded.ok()) {
+        ++point.other;
+      } else if (!decoded->is_error) {
+        ++point.answers;
+      } else if (decoded->error.code == WireError::kOverloaded) {
+        ++point.overloaded;
+      } else if (decoded->error.code == WireError::kDeadlineExceeded) {
+        ++point.expired;
+      } else {
+        ++point.other;
+      }
+      ++replied;
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return replied == offered; });
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  point.offered_qps = elapsed > 0 ? static_cast<double>(offered) / elapsed : 0;
+  point.goodput_qps =
+      elapsed > 0 ? static_cast<double>(point.answers) / elapsed : 0;
+  point.stats = service.Stats();
+  return point;
+}
+
+int RunOverloadMode() {
+  BenchConfig config;
+  config.key_bits = EnvInt("PPGNN_BENCH_KEYBITS", 256);
+  config.db_size = static_cast<size_t>(EnvInt("PPGNN_BENCH_DB", 10000));
+  const int workers = EnvInt("PPGNN_BENCH_WORKERS", 4);
+  const uint64_t deadline_ms =
+      static_cast<uint64_t>(EnvInt("PPGNN_BENCH_DEADLINE_MS", 500));
+  const double phase_seconds =
+      static_cast<double>(EnvInt("PPGNN_BENCH_OVERLOAD_SECONDS", 3));
+
+  std::printf("==== LspService overload sweep ====\n");
+  std::printf(
+      "(|D|=%zu, key_bits=%d, workers=%d, deadline=%llums, %.0fs per "
+      "phase)\n",
+      config.db_size, config.key_bits, workers,
+      static_cast<unsigned long long>(deadline_ms), phase_seconds);
+
+  LspDatabase lsp(GenerateSequoiaLike(config.db_size, config.seed));
+  Rng key_rng(config.seed + 1);
+  KeyPair keys = ValueOrDie(GenerateKeyPair(config.key_bits, key_rng));
+
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 4;
+  params.delta = 8;
+  params.k = 3;
+  params.key_bits = config.key_bits;
+  params.sanitize = false;
+
+  // Capacity: a closed loop with as many clients as workers measures the
+  // sustainable service rate (and warms the shared cost model).
+  auto model = std::make_shared<CostModel>();
+  double capacity_qps;
+  {
+    ServicePoint closed = DrivePoint(lsp, keys, params, workers, workers, 8,
+                                     config.seed, model);
+    capacity_qps = closed.qps;
+    std::printf("capacity: %.2f qps (closed loop, p99=%.2fms)\n",
+                capacity_qps, closed.p99_ms);
+    if (capacity_qps <= 0) {
+      std::fprintf(stderr, "capacity measurement failed\n");
+      return 1;
+    }
+  }
+
+  double goodput_1x = 0, goodput_2x = 0;
+  uint64_t abandoned_total = 0;
+  std::printf(
+      "%-6s %-12s %-12s %-8s %-10s %-8s %-8s %-6s %-6s\n", "load",
+      "offered_qps", "goodput_qps", "answers", "overloaded", "expired",
+      "shed", "aband", "limit");
+  for (double factor : {0.5, 1.0, 2.0, 4.0}) {
+    OverloadPoint point = DriveOverloadPhase(
+        lsp, keys, params, workers, factor * capacity_qps, phase_seconds,
+        deadline_ms, model, config.seed + static_cast<uint64_t>(factor * 10));
+    if (factor == 1.0) goodput_1x = point.goodput_qps;
+    if (factor == 2.0) goodput_2x = point.goodput_qps;
+    abandoned_total += point.stats.abandoned_executing;
+    std::printf(
+        "%-6.1f %-12.2f %-12.2f %-8llu %-10llu %-8llu %-8llu %-6llu %-6d\n",
+        factor, point.offered_qps, point.goodput_qps,
+        static_cast<unsigned long long>(point.answers),
+        static_cast<unsigned long long>(point.overloaded),
+        static_cast<unsigned long long>(point.expired),
+        static_cast<unsigned long long>(point.stats.shed),
+        static_cast<unsigned long long>(point.stats.abandoned_executing),
+        point.stats.concurrency_limit);
+    if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+      if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+        std::fprintf(f, "service_overload,%.1f,%.3f,%.3f,%llu,%llu,%llu\n",
+                     factor, point.offered_qps, point.goodput_qps,
+                     static_cast<unsigned long long>(point.answers),
+                     static_cast<unsigned long long>(point.overloaded),
+                     static_cast<unsigned long long>(
+                         point.stats.abandoned_executing));
+        std::fclose(f);
+      }
+    }
+  }
+
+  const double retention = goodput_1x > 0 ? goodput_2x / goodput_1x : 0;
+  std::printf("cost model: %llu observations\n",
+              static_cast<unsigned long long>(model->observations()));
+  std::printf("goodput retention at 2x: %.1f%% (acceptance: >= 80%%) %s\n",
+              retention * 100.0, retention >= 0.8 ? "PASS" : "FAIL");
+  std::printf("abandoned mid-crypto: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(abandoned_total),
+              abandoned_total == 0 ? "PASS" : "FAIL");
+  // Only the hard invariant fails the process: goodput retention is
+  // timing-sensitive on loaded CI machines, the no-abandon guarantee is
+  // not supposed to be.
+  return abandoned_total == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overload") == 0) return RunOverloadMode();
+    std::fprintf(stderr, "unknown flag: %s (try --overload)\n", argv[i]);
+    return 2;
+  }
   BenchConfig config;
   // Service benches stress inter-query concurrency, not raw crypto: a
   // smaller default database and modulus keep per-query work modest so

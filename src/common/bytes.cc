@@ -65,11 +65,20 @@ Result<uint64_t> ByteReader::GetVarint() {
 }
 
 Result<std::vector<uint8_t>> ByteReader::GetBytes() {
+  // `len > size_ - pos_` rather than `pos_ + len > size_`: a hostile
+  // varint length near 2^64 would wrap the sum and slip past the bound.
   PPGNN_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
-  if (pos_ + len > size_) return Status::OutOfRange("ByteReader: bytes past end");
+  if (len > size_ - pos_) return Status::OutOfRange("ByteReader: bytes past end");
   std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
   pos_ += len;
   return out;
+}
+
+Result<uint64_t> ByteReader::SkipBytes() {
+  PPGNN_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+  if (len > size_ - pos_) return Status::OutOfRange("ByteReader: bytes past end");
+  pos_ += len;
+  return len;
 }
 
 Result<double> ByteReader::GetDouble() {

@@ -48,6 +48,10 @@ class ByteReader {
   [[nodiscard]] Result<uint64_t> GetU64();
   [[nodiscard]] Result<uint64_t> GetVarint();
   [[nodiscard]] Result<std::vector<uint8_t>> GetBytes();
+  /// Advances past one length-prefixed blob without copying it. Returns
+  /// the skipped payload length. Lets header-only parsers (admission-time
+  /// cost peeking) walk a message without materializing ciphertext bodies.
+  [[nodiscard]] Result<uint64_t> SkipBytes();
   [[nodiscard]] Result<double> GetDouble();
 
   size_t remaining() const { return size_ - pos_; }

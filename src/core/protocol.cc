@@ -108,7 +108,7 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
   }
 
   PPGNN_ASSIGN_OR_RETURN(std::vector<std::vector<Point>> candidates,
-                         GenerateCandidateQueries(query.plan, sets));
+                         GenerateCandidateQueries(query.plan, sets, cancel));
 
   // Built once per query, up front: the Encryptor derives the per-level
   // Montgomery contexts at construction and the selection workers below
@@ -202,12 +202,12 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
     PPGNN_ASSIGN_OR_RETURN(
         out.ciphertexts,
         PrivateSelectTwoPhase(enc, matrix, query.opt_indicator, lsp_threads,
-                              &info->lsp_parallel_seconds));
+                              &info->lsp_parallel_seconds, cancel));
   } else {
     PPGNN_ASSIGN_OR_RETURN(
         out.ciphertexts,
         PrivateSelect(enc, matrix, query.indicator, lsp_threads,
-                      &info->lsp_parallel_seconds));
+                      &info->lsp_parallel_seconds, cancel));
   }
   return out;
 }

@@ -33,6 +33,14 @@ void FanOut(int workers, double* worker_seconds, Task&& task) {
   }
 }
 
+bool Cancelled(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+Status CancelledStatus() {
+  return Status::DeadlineExceeded("selection abandoned past deadline");
+}
+
 }  // namespace
 
 Status AnswerMatrix::Validate() const {
@@ -50,7 +58,7 @@ Status AnswerMatrix::Validate() const {
 Result<std::vector<Ciphertext>> PrivateSelect(
     const Encryptor& enc, const AnswerMatrix& matrix,
     const std::vector<Ciphertext>& indicator, int threads,
-    double* worker_seconds) {
+    double* worker_seconds, const std::atomic<bool>* cancel) {
   PPGNN_RETURN_IF_ERROR(matrix.Validate());
   if (indicator.size() != matrix.Cols())
     return Status::InvalidArgument(
@@ -89,6 +97,10 @@ Result<std::vector<Ciphertext>> PrivateSelect(
     const Encryptor::DotEngine engine = std::move(engine_or).value();
     std::vector<BigInt> row_chunk(end - begin);
     for (size_t r = 0; r < rows; ++r) {
+      if (Cancelled(cancel)) {
+        partial[w][r] = CancelledStatus();
+        break;
+      }
       for (size_t c = begin; c < end; ++c) {
         row_chunk[c - begin] = matrix.columns[c][r];
       }
@@ -111,7 +123,8 @@ Result<std::vector<Ciphertext>> PrivateSelect(
 
 Result<std::vector<Ciphertext>> PrivateSelectTwoPhase(
     const Encryptor& enc, const AnswerMatrix& matrix,
-    const OptIndicator& indicator, int threads, double* worker_seconds) {
+    const OptIndicator& indicator, int threads, double* worker_seconds,
+    const std::atomic<bool>* cancel) {
   PPGNN_RETURN_IF_ERROR(matrix.Validate());
   const uint64_t omega = indicator.omega;
   const uint64_t block_size = indicator.block_size;
@@ -143,6 +156,10 @@ Result<std::vector<Ciphertext>> PrivateSelectTwoPhase(
          b += static_cast<uint64_t>(workers)) {
       const size_t col_begin = static_cast<size_t>(b * block_size);
       for (size_t r = 0; r < rows; ++r) {
+        if (Cancelled(cancel)) {
+          phase1[b][r] = CancelledStatus();
+          break;
+        }
         for (uint64_t i = 0; i < block_size; ++i) {
           size_t c = col_begin + static_cast<size_t>(i);
           row[i] = c < matrix.Cols() ? matrix.columns[c][r] : BigInt(0);
@@ -162,6 +179,7 @@ Result<std::vector<Ciphertext>> PrivateSelectTwoPhase(
   out.reserve(rows);
   std::vector<BigInt> scalars(omega);
   for (size_t r = 0; r < rows; ++r) {
+    if (Cancelled(cancel)) return CancelledStatus();
     for (uint64_t b = 0; b < omega; ++b) {
       PPGNN_RETURN_IF_ERROR(phase1[b][r].status());
       scalars[b] = phase1[b][r].value().value;

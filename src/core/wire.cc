@@ -1,5 +1,6 @@
 #include "core/wire.h"
 
+#include <algorithm>
 #include <array>
 
 #include "common/failpoint.h"
@@ -104,6 +105,27 @@ Result<uint64_t> CheckedPlanDeltaPrime(const PartitionPlan& plan) {
   return total;
 }
 
+/// Marks the start of the optional deadline/idempotency trailer. A
+/// version-1 frame ends right after the indicator; the tag keeps a
+/// truncated-or-corrupted trailer from silently parsing as absent.
+constexpr uint8_t kQueryTrailerTag = 0x51;
+
+/// Reads the optional trailer at the current position. AtEnd means a
+/// version-1 frame: both fields stay zero.
+Status ReadQueryTrailer(ByteReader& r, uint64_t* deadline_ms,
+                        uint64_t* idempotency_key) {
+  if (r.AtEnd()) return Status::OK();
+  PPGNN_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  if (tag != kQueryTrailerTag)
+    return Status::InvalidArgument("wire: unknown query trailer tag");
+  PPGNN_ASSIGN_OR_RETURN(*deadline_ms, r.GetVarint());
+  if (*deadline_ms > kMaxWireMillis)
+    return Status::InvalidArgument("wire: deadline_ms out of range");
+  PPGNN_ASSIGN_OR_RETURN(*idempotency_key, r.GetU64());
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::vector<uint8_t>> QueryMessage::Encode() const {
@@ -135,6 +157,13 @@ Result<std::vector<uint8_t>> QueryMessage::Encode() const {
     for (const Ciphertext& ct : indicator) {
       PPGNN_RETURN_IF_ERROR(AppendCiphertext(w, ct, pk));
     }
+  }
+  if (deadline_ms != 0 || idempotency_key != 0) {
+    if (deadline_ms > kMaxWireMillis)
+      return Status::InvalidArgument("wire: deadline_ms out of range");
+    w.PutU8(kQueryTrailerTag);
+    w.PutVarint(deadline_ms);
+    w.PutU64(idempotency_key);
   }
   return w.Release();
 }
@@ -217,8 +246,73 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
   } else {
     return Status::InvalidArgument("wire: unknown indicator kind");
   }
-  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  PPGNN_RETURN_IF_ERROR(
+      ReadQueryTrailer(r, &msg.deadline_ms, &msg.idempotency_key));
   return msg;
+}
+
+Result<QueryWireHeader> PeekQueryHeader(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  QueryWireHeader header;
+  PPGNN_ASSIGN_OR_RETURN(uint64_t k64, r.GetVarint());
+  if (k64 < 1 || k64 > kMaxWireK)
+    return Status::InvalidArgument("wire: k out of range");
+  header.k = static_cast<int>(k64);
+  PPGNN_RETURN_IF_ERROR(r.GetDouble().status());  // theta0
+  PPGNN_RETURN_IF_ERROR(r.GetU8().status());      // aggregate
+  PartitionPlan plan;
+  PPGNN_ASSIGN_OR_RETURN(uint64_t alpha, r.GetVarint());
+  if (alpha < 1 || alpha > 4096)
+    return Status::InvalidArgument("wire: bad alpha");
+  plan.alpha = static_cast<int>(alpha);
+  for (uint64_t j = 0; j < alpha; ++j) {
+    PPGNN_ASSIGN_OR_RETURN(uint64_t nb, r.GetVarint());
+    if (nb < 1 || nb > kMaxWireSubgroupSize)
+      return Status::InvalidArgument("wire: subgroup size out of range");
+  }
+  PPGNN_ASSIGN_OR_RETURN(uint64_t beta, r.GetVarint());
+  if (beta < 1 || beta > 1 << 20)
+    return Status::InvalidArgument("wire: bad beta");
+  for (uint64_t i = 0; i < beta; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(uint64_t db, r.GetVarint());
+    if (db < 1 || db > kMaxWireSegmentSize)
+      return Status::InvalidArgument("wire: segment size out of range");
+    plan.d_bar.push_back(static_cast<int>(db));
+  }
+  PPGNN_ASSIGN_OR_RETURN(header.delta_prime, CheckedPlanDeltaPrime(plan));
+
+  PPGNN_ASSIGN_OR_RETURN(uint64_t pk_len, r.SkipBytes());
+  if (pk_len == 0 || pk_len % 8 != 0)
+    return Status::InvalidArgument("wire: bad public key width");
+  header.key_bits = static_cast<int>(pk_len * 8);
+
+  PPGNN_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  uint64_t body_count = 0;
+  if (kind == kIndicatorOpt) {
+    header.is_opt = true;
+    PPGNN_ASSIGN_OR_RETURN(header.omega, r.GetVarint());
+    PPGNN_ASSIGN_OR_RETURN(uint64_t block_size, r.GetVarint());
+    if (header.omega < 1 || header.omega > kMaxWireDeltaPrime ||
+        block_size < 1 || block_size > kMaxWireDeltaPrime ||
+        header.omega * block_size < header.delta_prime) {
+      return Status::InvalidArgument("wire: OPT indicator shape invalid");
+    }
+    body_count = header.omega + block_size;
+  } else if (kind == kIndicatorPlain) {
+    PPGNN_ASSIGN_OR_RETURN(body_count, r.GetVarint());
+    if (body_count != header.delta_prime)
+      return Status::InvalidArgument("wire: indicator length != delta'");
+  } else {
+    return Status::InvalidArgument("wire: unknown indicator kind");
+  }
+  // Skip the ciphertext bodies without touching them: the peek must stay
+  // O(indicator count), never O(ciphertext bytes).
+  for (uint64_t i = 0; i < body_count; ++i) {
+    PPGNN_RETURN_IF_ERROR(r.SkipBytes().status());
+  }
+  PPGNN_RETURN_IF_ERROR(
+      ReadQueryTrailer(r, &header.deadline_ms, &header.idempotency_key));
+  return header;
 }
 
 std::vector<uint8_t> LocationSetMessage::Encode() const {
@@ -343,6 +437,11 @@ std::vector<uint8_t> ErrorMessage::Encode() const {
   if (clipped.size() > kMaxWireErrorDetail)
     clipped.resize(kMaxWireErrorDetail);
   w.PutBytes(std::vector<uint8_t>(clipped.begin(), clipped.end()));
+  // Version-gated hint: a zero hint encodes as the version-1 frame, so
+  // pre-hint decoders keep accepting everything we emit by default.
+  if (retry_after_ms != 0) {
+    w.PutVarint(std::min(retry_after_ms, kMaxWireMillis));
+  }
   return w.Release();
 }
 
@@ -357,7 +456,12 @@ Result<ErrorMessage> ErrorMessage::Decode(const std::vector<uint8_t>& bytes) {
   if (detail.size() > kMaxWireErrorDetail)
     return Status::InvalidArgument("wire: oversized error detail");
   msg.detail.assign(detail.begin(), detail.end());
-  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  if (!r.AtEnd()) {
+    PPGNN_ASSIGN_OR_RETURN(msg.retry_after_ms, r.GetVarint());
+    if (msg.retry_after_ms == 0 || msg.retry_after_ms > kMaxWireMillis)
+      return Status::InvalidArgument("wire: retry_after_ms out of range");
+    if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  }
   return msg;
 }
 

@@ -54,6 +54,10 @@ inline constexpr uint64_t kMaxWireSubgroupSize = 1 << 16;   // n_bar entries
 inline constexpr uint64_t kMaxWireSegmentSize = 1 << 16;    // d_bar entries
 inline constexpr uint64_t kMaxWireDeltaPrime = 1 << 22;     // candidate count
 inline constexpr uint64_t kMaxWireErrorDetail = 1 << 10;    // bytes
+/// Upper bound on the optional deadline / retry-after hints (~12 days in
+/// milliseconds) — far beyond any sane budget, small enough that seconds
+/// conversions cannot overflow a double's integer range.
+inline constexpr uint64_t kMaxWireMillis = 1ull << 30;
 
 /// The coordinator -> LSP query message (Algorithm 1, line 11).
 struct QueryMessage {
@@ -66,12 +70,44 @@ struct QueryMessage {
   bool is_opt = false;
   std::vector<Ciphertext> indicator;  // PPGNN / Naive
   OptIndicator opt_indicator;         // PPGNN-OPT
+  /// Optional wire-version-2 trailer (0 = absent): the client's remaining
+  /// time budget for this query, propagated so the server can shed or
+  /// abandon work the caller would no longer accept, and a client-chosen
+  /// idempotency key so a retried or hedged duplicate can be coalesced
+  /// with the in-flight original instead of re-running the crypto
+  /// pipeline. Version-1 frames simply end after the indicator; they
+  /// decode with both fields zero, and Encode emits no trailer when both
+  /// are zero — old readers and writers interoperate unchanged.
+  uint64_t deadline_ms = 0;
+  uint64_t idempotency_key = 0;
 
   /// Errors (instead of crashing) when a ciphertext or the public key
   /// does not fit its fixed wire width.
   [[nodiscard]] Result<std::vector<uint8_t>> Encode() const;
   [[nodiscard]] static Result<QueryMessage> Decode(const std::vector<uint8_t>& bytes);
 };
+
+/// The admission-relevant prefix of an encoded QueryMessage, parsed
+/// without materializing any ciphertext (bodies are length-skipped).
+/// This is what cost-aware admission reads *before* deciding to spend
+/// crypto on a request: every field is public wire metadata — none of it
+/// derives from `// ppgnn: secret` data.
+struct QueryWireHeader {
+  int k = 0;
+  uint64_t delta_prime = 0;
+  int key_bits = 0;
+  bool is_opt = false;
+  uint64_t omega = 0;       ///< OPT block count (0 for plain)
+  uint64_t deadline_ms = 0;
+  uint64_t idempotency_key = 0;
+};
+
+/// Bounds-checked header peek over QueryMessage bytes. Validation depth
+/// matches QueryMessage::Decode for everything it reads; a query that
+/// peeks cleanly can still fail full decode (e.g. a wrong-width
+/// ciphertext body), which surfaces later as kMalformed.
+[[nodiscard]] Result<QueryWireHeader> PeekQueryHeader(
+    const std::vector<uint8_t>& bytes);
 
 /// One user's (i, L_i) upload (Algorithm 1, line 15).
 struct LocationSetMessage {
@@ -121,6 +157,11 @@ WireError WireErrorFromStatus(const Status& status);
 struct ErrorMessage {
   WireError code = WireError::kInternal;
   std::string detail;  ///< human-readable, truncated to kMaxWireErrorDetail
+  /// Optional backpressure hint on kOverloaded replies (0 = none): how
+  /// long the server expects its backlog to need before a resend has a
+  /// chance. Version-gated like the QueryMessage trailer: old frames end
+  /// after the detail string and decode with the hint absent.
+  uint64_t retry_after_ms = 0;
 
   std::vector<uint8_t> Encode() const;
   [[nodiscard]] static Result<ErrorMessage> Decode(const std::vector<uint8_t>& bytes);

@@ -39,7 +39,10 @@
 #include "roadnet/dijkstra.h"   // IWYU pragma: export
 #include "roadnet/graph.h"      // IWYU pragma: export
 #include "roadnet/road_gnn.h"   // IWYU pragma: export
+#include "service/admission.h"  // IWYU pragma: export
+#include "service/cost_model.h" // IWYU pragma: export
 #include "service/lsp_service.h"  // IWYU pragma: export
+#include "service/reply_cache.h"  // IWYU pragma: export
 #include "service/resilient_client.h"  // IWYU pragma: export
 #include "service/workload.h"   // IWYU pragma: export
 #include "spatial/dataset.h"    // IWYU pragma: export

@@ -1,0 +1,49 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppgnn {
+
+AimdLimiter::AimdLimiter(const Options& options) : options_(options) {
+  options_.min_concurrency = std::max(options_.min_concurrency, 1);
+  options_.max_concurrency =
+      std::max(options_.max_concurrency, options_.min_concurrency);
+  options_.window = std::max(options_.window, 1);
+  options_.decrease_factor = std::clamp(options_.decrease_factor, 0.1, 0.99);
+  limit_.store(std::clamp(options_.initial_concurrency,
+                          options_.min_concurrency, options_.max_concurrency),
+               std::memory_order_relaxed);
+  window_.reserve(static_cast<size_t>(options_.window));
+}
+
+void AimdLimiter::OnComplete(double execute_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  window_.push_back(execute_seconds);
+  if (window_.size() < static_cast<size_t>(options_.window)) return;
+
+  // p99 of the window via nth_element — the window is small (tens of
+  // entries) and already ours to scramble.
+  const size_t idx = (window_.size() * 99) / 100;
+  const size_t nth = std::min(idx, window_.size() - 1);
+  std::nth_element(window_.begin(), window_.begin() + static_cast<long>(nth),
+                   window_.end());
+  const double p99 = window_[nth];
+  window_.clear();
+
+  const int cur = limit_.load(std::memory_order_relaxed);
+  if (p99 > options_.target_p99_seconds) {
+    const int next = std::max(
+        options_.min_concurrency,
+        static_cast<int>(std::floor(cur * options_.decrease_factor)));
+    if (next < cur) {
+      limit_.store(next, std::memory_order_relaxed);
+      decreases_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (cur < options_.max_concurrency) {
+    limit_.store(cur + 1, std::memory_order_relaxed);
+    increases_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ppgnn

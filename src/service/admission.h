@@ -1,0 +1,62 @@
+// Adaptive concurrency limiting for the LSP service.
+//
+// A fixed worker-pool size is the wrong in-flight bound: the same pool
+// that keeps 512-bit queries at a healthy p99 drives 2048-bit queries
+// into multi-second queues, and vice versa. AimdLimiter replaces the
+// static cap with the classic TCP control loop — additive increase while
+// the execute-stage p99 sits under target, multiplicative decrease the
+// moment a window's p99 blows through it — so the effective concurrency
+// converges onto whatever the current workload mix can actually sustain.
+//
+// Decisions are made on completed-work latency windows, not on a clock,
+// so the limiter is deterministic given the sequence of observed
+// durations (the determinism lint bans ambient time here anyway).
+
+#ifndef PPGNN_SERVICE_ADMISSION_H_
+#define PPGNN_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ppgnn {
+
+class AimdLimiter {
+ public:
+  struct Options {
+    double target_p99_seconds = 0.5;  ///< execute-stage latency target
+    int min_concurrency = 1;
+    int max_concurrency = 64;
+    int initial_concurrency = 4;
+    int window = 32;  ///< completions per adjustment decision
+    double decrease_factor = 0.7;
+  };
+
+  explicit AimdLimiter(const Options& options);
+
+  /// Current admission bound on concurrently executing queries. Lock-free;
+  /// workers read this before dequeuing work.
+  int limit() const { return limit_.load(std::memory_order_relaxed); }
+
+  /// Feeds one completed execution's wall seconds. Every `window`
+  /// completions the window's p99 is compared against the target and the
+  /// limit adjusted: over target -> limit *= decrease_factor (floored at
+  /// min), otherwise -> limit += 1 (capped at max).
+  void OnComplete(double execute_seconds);
+
+  uint64_t increases() const { return increases_.load(std::memory_order_relaxed); }
+  uint64_t decreases() const { return decreases_.load(std::memory_order_relaxed); }
+
+ private:
+  Options options_;
+  std::atomic<int> limit_;
+  std::atomic<uint64_t> increases_{0};
+  std::atomic<uint64_t> decreases_{0};
+  std::mutex mu_;
+  std::vector<double> window_;  // guarded by mu_
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_ADMISSION_H_

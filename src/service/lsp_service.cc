@@ -21,32 +21,73 @@ void MergeInstrumentation(QueryInstrumentation& into,
   into.degraded_users += from.degraded_users;
 }
 
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+AimdLimiter::Options LimiterOptions(const ServiceConfig& config) {
+  AimdLimiter::Options options;
+  const int workers = std::max(config.workers, 1);
+  options.target_p99_seconds = config.target_p99_seconds;
+  options.min_concurrency = std::max(config.min_concurrency, 1);
+  options.max_concurrency =
+      config.max_concurrency > 0 ? config.max_concurrency : workers;
+  // Start wide open: the limiter only bites once a latency signal says
+  // the pool is over-driving the machine.
+  options.initial_concurrency = options.max_concurrency;
+  options.window = config.aimd_window;
+  return options;
+}
+
+ReplyCache::Options CacheOptions(const ServiceConfig& config) {
+  ReplyCache::Options options;
+  options.capacity = config.reply_cache_capacity;
+  options.ttl_seconds = config.reply_cache_ttl_seconds;
+  return options;
+}
+
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "accepted=%llu rejected=%llu served=%llu failed=%llu "
-                "deadline_expired=%llu queued=%zu retries=%llu hedges=%llu "
-                "degraded=%llu errors[malformed=%llu overloaded=%llu "
-                "deadline=%llu internal=%llu]",
-                static_cast<unsigned long long>(accepted),
-                static_cast<unsigned long long>(rejected),
-                static_cast<unsigned long long>(served),
-                static_cast<unsigned long long>(failed),
-                static_cast<unsigned long long>(deadline_expired),
-                queue_depth, static_cast<unsigned long long>(retries),
-                static_cast<unsigned long long>(hedges),
-                static_cast<unsigned long long>(degraded_queries),
-                static_cast<unsigned long long>(error_replies[0]),
-                static_cast<unsigned long long>(error_replies[1]),
-                static_cast<unsigned long long>(error_replies[2]),
-                static_cast<unsigned long long>(error_replies[3]));
-  return std::string(buf) + " | " + latency.ToString();
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "accepted=%llu rejected=%llu (shed=%llu) served=%llu failed=%llu "
+      "deadline_expired=%llu (queue=%llu exec=%llu) queued=%zu limit=%d "
+      "aimd[+%llu/-%llu] dedup[join=%llu replay=%llu] retries=%llu "
+      "hedges=%llu degraded=%llu errors[malformed=%llu overloaded=%llu "
+      "deadline=%llu internal=%llu]",
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(expired_in_queue),
+      static_cast<unsigned long long>(abandoned_executing), queue_depth,
+      concurrency_limit, static_cast<unsigned long long>(aimd_increases),
+      static_cast<unsigned long long>(aimd_decreases),
+      static_cast<unsigned long long>(dedup_joins),
+      static_cast<unsigned long long>(dedup_replays),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(hedges),
+      static_cast<unsigned long long>(degraded_queries),
+      static_cast<unsigned long long>(error_replies[0]),
+      static_cast<unsigned long long>(error_replies[1]),
+      static_cast<unsigned long long>(error_replies[2]),
+      static_cast<unsigned long long>(error_replies[3]));
+  return std::string(buf) + " | e2e " + latency.ToString() + " | wait " +
+         queue_wait.ToString() + " | exec " + execute.ToString();
 }
 
 LspService::LspService(const LspDatabase& db, ServiceConfig config)
-    : db_(db), config_(std::move(config)) {
+    : db_(db),
+      config_(std::move(config)),
+      cost_model_(config_.cost_model != nullptr
+                      ? config_.cost_model
+                      : std::make_shared<CostModel>()),
+      limiter_(LimiterOptions(config_)),
+      reply_cache_(CacheOptions(config_)) {
   const int workers = std::max(config_.workers, 1);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -57,36 +98,109 @@ LspService::LspService(const LspDatabase& db, ServiceConfig config)
 
 LspService::~LspService() { Shutdown(); }
 
+LspService::Callback LspService::MakeLeg(Clock::time_point admitted,
+                                         Callback done) {
+  return [this, admitted, done = std::move(done)](std::vector<uint8_t> frame) {
+    // Same delivery path as a primary Reply: per-leg transport
+    // corruption, per-leg end-to-end latency.
+    FailpointCorrupt("service.reply", frame);
+    latency_.Record(Seconds(Clock::now() - admitted));
+    done(std::move(frame));
+  };
+}
+
 bool LspService::Submit(ServiceRequest request, Callback done) {
   const Clock::time_point now = Clock::now();
   double budget = request.deadline_seconds > 0
                       ? request.deadline_seconds
                       : config_.default_deadline_seconds;
+  uint64_t dedup_key = request.idempotency_key;
+
   PendingRequest pending;
-  pending.request = std::move(request);
-  pending.done = std::move(done);
   pending.admitted = now;
+  // Admission reads only the public wire header — the deadline and
+  // idempotency trailer plus the cost features — without decoding any
+  // ciphertext. A failed peek is NOT rejected here: the request flows
+  // through so the worker's full decode produces the usual kMalformed
+  // reply (and admission simply runs without cost information).
+  if (Result<QueryWireHeader> header = PeekQueryHeader(request.query);
+      header.ok()) {
+    pending.features = CostFeatures::FromHeader(header.value());
+    pending.has_features = true;
+    if (dedup_key == 0) dedup_key = header.value().idempotency_key;
+    if (header.value().deadline_ms > 0) {
+      const double wire_budget =
+          static_cast<double>(header.value().deadline_ms) / 1000.0;
+      budget = budget > 0 ? std::min(budget, wire_budget) : wire_budget;
+    }
+  }
   pending.deadline =
       budget > 0 ? now + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double>(budget))
                  : Clock::time_point::max();
+  pending.request = std::move(request);
+
+  // Dedup routing first: joining an in-flight duplicate or replaying a
+  // cached answer costs (nearly) nothing, so it happens even when a
+  // fresh request would be shed.
+  if (config_.enable_dedup && dedup_key != 0) {
+    ReplyCache::AdmitResult routed =
+        reply_cache_.AdmitOrAttach(dedup_key, MakeLeg(now, done));
+    if (routed.admission == ReplyCache::Admission::kReplayed) {
+      dedup_replays_.fetch_add(1, std::memory_order_relaxed);
+      MakeLeg(now, std::move(done))(std::move(routed.frame));
+      return true;
+    }
+    if (routed.admission == ReplyCache::Admission::kJoined) {
+      dedup_joins_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    pending.cache_key = dedup_key;
+  }
+
   // "service.admit" simulates admission-control pressure: a fired drop
   // rejects the request exactly as a full queue would.
   const bool inject_reject = FailpointDrop("service.admit");
+
+  // Cost-aware shedding: if the predicted execute time already exceeds
+  // the whole budget, the only possible outcome of admission would be a
+  // kDeadlineExceeded reply *after* burning crypto on it. Reject now,
+  // before any crypto, and tell the client how far off it was.
+  if (!inject_reject && config_.cost_admission && pending.has_features &&
+      budget > 0) {
+    const double predicted = cost_model_->PredictSeconds(pending.features);
+    if (predicted > budget) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> frame = MakeErrorFrame(
+          WireError::kOverloaded,
+          "lsp service: predicted cost exceeds request budget",
+          RetryAfterHintMs(predicted - budget));
+      if (pending.cache_key != 0) AbortPrimary(pending.cache_key, frame);
+      latency_.Record(Seconds(Clock::now() - now));
+      done(std::move(frame));
+      return false;
+    }
+  }
+
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!inject_reject && !stopping_ &&
         queue_.size() < config_.queue_capacity) {
       accepted_.fetch_add(1, std::memory_order_relaxed);
+      pending.done = std::move(done);
       queue_.push_back(std::move(pending));
       queue_cv_.notify_one();
       return true;
     }
   }
   rejected_.fetch_add(1, std::memory_order_relaxed);
-  latency_.Record(std::chrono::duration<double>(Clock::now() - now).count());
-  pending.done(MakeErrorFrame(WireError::kOverloaded,
-                              "lsp service: request queue full"));
+  std::vector<uint8_t> frame =
+      MakeErrorFrame(WireError::kOverloaded, "lsp service: request queue full",
+                     RetryAfterHintMs(0.0));
+  if (pending.cache_key != 0) AbortPrimary(pending.cache_key, frame);
+  latency_.Record(Seconds(Clock::now() - now));
+  done(std::move(frame));
   return false;
 }
 
@@ -105,19 +219,56 @@ void LspService::Reply(PendingRequest& req, std::vector<uint8_t> frame) {
   // "service.reply" corrupts the encoded frame in flight; the client sees
   // a checksum mismatch, never a silently-wrong answer.
   FailpointCorrupt("service.reply", frame);
-  latency_.Record(
-      std::chrono::duration<double>(Clock::now() - req.admitted).count());
+  latency_.Record(Seconds(Clock::now() - req.admitted));
   req.done(std::move(frame));
 }
 
+void LspService::Finish(PendingRequest& req, std::vector<uint8_t> frame,
+                        bool cache_for_replay) {
+  if (req.cache_key != 0) {
+    // The cache keeps (and the joined legs receive) the pre-corruption
+    // frame: transport faults are per-leg, never cached.
+    std::vector<ReplyCache::Waiter> waiters =
+        reply_cache_.Complete(req.cache_key, frame, cache_for_replay);
+    for (ReplyCache::Waiter& waiter : waiters) waiter(frame);
+  }
+  Reply(req, std::move(frame));
+}
+
+void LspService::AbortPrimary(uint64_t cache_key,
+                              const std::vector<uint8_t>& frame) {
+  std::vector<ReplyCache::Waiter> waiters = reply_cache_.Abort(cache_key);
+  for (ReplyCache::Waiter& waiter : waiters) waiter(frame);
+}
+
 std::vector<uint8_t> LspService::MakeErrorFrame(WireError code,
-                                                std::string detail) {
+                                                std::string detail,
+                                                uint64_t retry_after_ms) {
   error_replies_[static_cast<size_t>(code)].fetch_add(
       1, std::memory_order_relaxed);
   ErrorMessage err;
   err.code = code;
   err.detail = std::move(detail);
+  err.retry_after_ms = retry_after_ms;
   return ResponseFrame::WrapError(err);
+}
+
+uint64_t LspService::RetryAfterHintMs(double extra_seconds) {
+  if (config_.retry_after_hint_ms > 0) return config_.retry_after_hint_ms;
+  // Backlog drain estimate: queued requests times the observed mean
+  // execute time, divided by the concurrency actually allowed. All
+  // public metadata; before any execution has been observed the floor
+  // applies.
+  const double mean_execute = execute_.Summarize().mean_seconds;
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_.size();
+  }
+  const double drain = (static_cast<double>(depth) + 1.0) * mean_execute /
+                       static_cast<double>(std::max(limiter_.limit(), 1));
+  const double hint = std::clamp(std::max(drain, extra_seconds), 0.010, 10.0);
+  return static_cast<uint64_t>(hint * 1000.0);
 }
 
 void LspService::WorkerLoop() {
@@ -125,73 +276,133 @@ void LspService::WorkerLoop() {
     PendingRequest req;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this] {
+        // The AIMD limit — not the pool size — bounds concurrent
+        // execution. On shutdown the limit is ignored so the queue
+        // drains promptly.
+        return stopping_ ||
+               (!queue_.empty() && executing_ < limiter_.limit());
+      });
       if (queue_.empty()) return;  // stopping_ and drained
       req = std::move(queue_.front());
       queue_.pop_front();
+      ++executing_;
     }
+    ProcessRequest(req);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+    }
+    // A finished execution frees a concurrency slot and may have raised
+    // the AIMD limit; wake all waiters to re-evaluate, not just one.
+    queue_cv_.notify_all();
+  }
+}
 
-    // Queued past its budget: answer without executing at all.
-    if (Clock::now() >= req.deadline) {
+void LspService::ProcessRequest(PendingRequest& req) {
+  const Clock::time_point dequeued = Clock::now();
+  queue_wait_.Record(Seconds(dequeued - req.admitted));
+
+  // Queued past its budget: answer without executing at all.
+  if (dequeued >= req.deadline) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+    Finish(req,
+           MakeErrorFrame(WireError::kDeadlineExceeded,
+                          "lsp service: deadline expired in queue"),
+           /*cache_for_replay=*/false);
+    return;
+  }
+
+  // Second cost gate, now against the *remaining* budget: a query whose
+  // queue wait ate its slack is abandoned here, before any crypto, so a
+  // mid-execution cancellation only happens when the prediction itself
+  // was wrong.
+  if (config_.cost_admission && req.has_features &&
+      req.deadline != Clock::time_point::max()) {
+    const double remaining = Seconds(req.deadline - dequeued);
+    if (cost_model_->PredictSeconds(req.features) > remaining) {
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      Reply(req, MakeErrorFrame(WireError::kDeadlineExceeded,
-                                "lsp service: deadline expired in queue"));
-      continue;
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      Finish(req,
+             MakeErrorFrame(
+                 WireError::kDeadlineExceeded,
+                 "lsp service: predicted cost exceeds remaining deadline"),
+             /*cache_for_replay=*/false);
+      return;
     }
+  }
 
-    // Publish the in-flight deadline so the monitor can cancel us
-    // cooperatively mid-query.
-    std::shared_ptr<InFlight> flight;
-    if (req.deadline != Clock::time_point::max()) {
-      flight = std::make_shared<InFlight>();
-      flight->deadline = req.deadline;
-      flight->cancel = std::make_shared<std::atomic<bool>>(false);
-      std::lock_guard<std::mutex> lock(inflight_mu_);
-      inflight_.push_back(flight);
-      inflight_cv_.notify_one();
+  // Publish the in-flight deadline so the monitor can cancel us
+  // cooperatively mid-query.
+  std::shared_ptr<InFlight> flight;
+  if (req.deadline != Clock::time_point::max()) {
+    flight = std::make_shared<InFlight>();
+    flight->deadline = req.deadline;
+    flight->cancel = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.push_back(flight);
+    inflight_cv_.notify_one();
+  }
+
+  if (config_.test_execute_hook) config_.test_execute_hook();
+
+  QueryInstrumentation info;
+  // "service.execute" stands in for a slow or failing worker: an
+  // injected delay or error replaces/precedes the real execution. The
+  // timer starts before the failpoint so injected slowness feeds the
+  // AIMD limiter like real slowness would.
+  const Clock::time_point execute_start = Clock::now();
+  const Status injected = FailpointCheck("service.execute");
+  const bool executed = injected.ok();
+  Result<std::vector<uint8_t>> answer =
+      executed
+          ? LspHandleQuery(db_, req.request.query, req.request.uploads,
+                           config_.test_config, config_.sanitize,
+                           config_.lsp_threads, &info,
+                           flight != nullptr ? flight->cancel.get() : nullptr)
+          : Result<std::vector<uint8_t>>(injected);
+  const double execute_seconds = Seconds(Clock::now() - execute_start);
+
+  if (flight != nullptr) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), flight),
+                    inflight_.end());
+  }
+
+  if (executed) {
+    execute_.Record(execute_seconds);
+    limiter_.OnComplete(execute_seconds);
+  }
+
+  if (answer.ok()) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    // Only full, successful executions train the model: an abandoned
+    // query's truncated duration would bias predictions down.
+    if (executed && req.has_features) {
+      cost_model_->Observe(req.features, execute_seconds);
     }
-
-    if (config_.test_execute_hook) config_.test_execute_hook();
-
-    QueryInstrumentation info;
-    // "service.execute" stands in for a slow or failing worker: an
-    // injected delay or error replaces/precedes the real execution.
-    const Status injected = FailpointCheck("service.execute");
-    Result<std::vector<uint8_t>> answer =
-        injected.ok()
-            ? LspHandleQuery(db_, req.request.query, req.request.uploads,
-                             config_.test_config, config_.sanitize,
-                             config_.lsp_threads, &info,
-                             flight != nullptr ? flight->cancel.get() : nullptr)
-            : Result<std::vector<uint8_t>>(injected);
-
-    if (flight != nullptr) {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
-      inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), flight),
-                      inflight_.end());
+    if (req.request.degraded_users > 0) {
+      degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+      info.degraded_users += req.request.degraded_users;
     }
-
-    if (answer.ok()) {
-      served_.fetch_add(1, std::memory_order_relaxed);
-      if (req.request.degraded_users > 0) {
-        degraded_queries_.fetch_add(1, std::memory_order_relaxed);
-        info.degraded_users += req.request.degraded_users;
-      }
-      {
-        std::lock_guard<std::mutex> lock(totals_mu_);
-        MergeInstrumentation(totals_, info);
-      }
-      Reply(req, ResponseFrame::WrapAnswer(std::move(answer).value()));
+    {
+      std::lock_guard<std::mutex> lock(totals_mu_);
+      MergeInstrumentation(totals_, info);
+    }
+    Finish(req, ResponseFrame::WrapAnswer(std::move(answer).value()),
+           /*cache_for_replay=*/true);
+  } else {
+    const Status status = answer.status();
+    const WireError code = WireErrorFromStatus(status);
+    if (code == WireError::kDeadlineExceeded) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      abandoned_executing_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      const Status status = answer.status();
-      const WireError code = WireErrorFromStatus(status);
-      if (code == WireError::kDeadlineExceeded) {
-        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        failed_.fetch_add(1, std::memory_order_relaxed);
-      }
-      Reply(req, MakeErrorFrame(code, status.ToString()));
+      failed_.fetch_add(1, std::memory_order_relaxed);
     }
+    Finish(req, MakeErrorFrame(code, status.ToString()),
+           /*cache_for_replay=*/false);
   }
 }
 
@@ -223,6 +434,16 @@ ServiceStats LspService::Stats() const {
   stats.served = served_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.abandoned_executing =
+      abandoned_executing_.load(std::memory_order_relaxed);
+  stats.dedup_joins = dedup_joins_.load(std::memory_order_relaxed);
+  stats.dedup_replays = dedup_replays_.load(std::memory_order_relaxed);
+  stats.concurrency_limit = limiter_.limit();
+  stats.aimd_increases = limiter_.increases();
+  stats.aimd_decreases = limiter_.decreases();
+  stats.cost_observations = cost_model_->observations();
   stats.retries = retries_.load(std::memory_order_relaxed);
   stats.hedges = hedges_.load(std::memory_order_relaxed);
   stats.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
@@ -234,6 +455,8 @@ ServiceStats LspService::Stats() const {
     stats.queue_depth = queue_.size();
   }
   stats.latency = latency_.Summarize();
+  stats.queue_wait = queue_wait_.Summarize();
+  stats.execute = execute_.Summarize();
   {
     std::lock_guard<std::mutex> lock(totals_mu_);
     stats.totals = totals_;

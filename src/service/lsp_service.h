@@ -2,22 +2,33 @@
 // LspHandleQuery — the layer that turns the wire-level LSP entry point
 // into something shaped like a network daemon.
 //
-//   * Admission control: a bounded FIFO request queue. A full queue
-//     rejects immediately with a structured kOverloaded error frame
-//     (backpressure, never unbounded buffering).
-//   * A pool of `workers` threads, each executing whole queries
-//     concurrently. This inter-query parallelism is orthogonal to the
-//     intra-query `lsp_threads` fan-out inside LspHandleQuery; both can
-//     be combined.
-//   * Per-request deadlines: a monitor thread flips a cooperative cancel
-//     flag once a request overruns its budget, and LspHandleQuery
-//     abandons the query between candidates. Requests that expire while
-//     still queued are answered without being executed at all. Either
-//     way the client gets a kDeadlineExceeded error frame.
-//   * Observability: atomic accepted/rejected/served/failed/expired
-//     counters, an end-to-end latency histogram (admission -> reply), and
-//     the summed QueryInstrumentation of every served query, snapshotted
-//     via Stats().
+//   * Admission control, in order of cheapness:
+//       1. a bounded FIFO request queue (full -> kOverloaded, never
+//          unbounded buffering);
+//       2. cost-aware shedding: a CostModel prediction from the public
+//          wire header (delta', k, key bits — peeked without decoding
+//          any ciphertext) is compared against the request's remaining
+//          deadline, and a query that cannot finish in time is rejected
+//          *before any crypto runs*, with a retry_after_ms hint.
+//     Every admission decision reads only public wire metadata — never
+//     `// ppgnn: secret` data (the ppgnn-lint secret-flow rule enforces
+//     this transitively).
+//   * A pool of `workers` threads. The *effective* in-flight bound is an
+//     AIMD limiter driven by the execute-stage p99, so the service
+//     converges onto the concurrency the current workload mix sustains
+//     instead of trusting a static pool size.
+//   * Per-request deadlines: propagated from the wire (QueryMessage
+//     deadline_ms) or set locally; a monitor thread flips a cooperative
+//     cancel flag once a request overruns, and the query pipeline
+//     (candidate expansion, sanitize, both selection phases) abandons
+//     work at its next checkpoint. Requests that expire while queued —
+//     or whose predicted cost no longer fits the remaining budget at
+//     dequeue — are answered without executing at all.
+//   * Idempotent dedup: a request carrying an idempotency key joins the
+//     in-flight original with the same key (one execution, every leg
+//     replied) or replays the cached answer frame of a completed one.
+//   * Observability: counters, queue-wait / execute / end-to-end latency
+//     histograms, and summed QueryInstrumentation via Stats().
 //
 // Every reply — answer or error — is a wire ResponseFrame, so a client
 // can always distinguish "malformed query" / "overloaded" / "deadline
@@ -40,11 +51,16 @@
 #include "core/protocol.h"
 #include "core/wire.h"
 #include "net/latency.h"
+#include "service/admission.h"
+#include "service/cost_model.h"
+#include "service/reply_cache.h"
 
 namespace ppgnn {
 
 struct ServiceConfig {
-  /// Concurrent whole-query executors (>= 1).
+  /// Concurrent whole-query executors (>= 1). This is the thread-pool
+  /// size; the AIMD limiter below bounds how many of them may execute
+  /// at once.
   int workers = 2;
   /// Maximum queued (not yet executing) requests before reject-on-full.
   size_t queue_capacity = 64;
@@ -55,6 +71,28 @@ struct ServiceConfig {
   int lsp_threads = 1;
   bool sanitize = true;
   TestConfig test_config;
+
+  // --- Overload resilience ---
+  /// Predicted-cost-vs-deadline shedding at Submit and again at dequeue.
+  /// Only applies to requests that carry a deadline.
+  bool cost_admission = true;
+  /// Idempotency-key reply coalescing.
+  bool enable_dedup = true;
+  /// AIMD: execute-stage p99 target and concurrency bounds.
+  /// max_concurrency 0 = use `workers`.
+  double target_p99_seconds = 0.5;
+  int min_concurrency = 1;
+  int max_concurrency = 0;
+  int aimd_window = 32;
+  size_t reply_cache_capacity = 1024;
+  double reply_cache_ttl_seconds = 30.0;
+  /// Test override for the kOverloaded retry_after_ms hint; 0 = computed
+  /// from the backlog and the observed mean execute time.
+  uint64_t retry_after_hint_ms = 0;
+  /// Shared cost model (e.g. one model across a fleet of services in a
+  /// simulation); null = the service owns a private one.
+  std::shared_ptr<CostModel> cost_model;
+
   /// Test-only: runs on the worker thread right before query execution.
   /// Lets tests hold workers on a latch to force queue-full and
   /// deadline-expiry deterministically. Never set in production paths.
@@ -65,15 +103,20 @@ struct ServiceRequest {
   std::vector<uint8_t> query;                   ///< QueryMessage bytes
   std::vector<std::vector<uint8_t>> uploads;    ///< LocationSetMessage bytes
   /// Per-request budget from admission to reply; 0 = use the config
-  /// default.
+  /// default. The effective budget is the tighter of this and the wire
+  /// deadline_ms carried inside `query`, when either is set.
   double deadline_seconds = 0.0;
+  /// Dedup key; 0 = fall back to the wire idempotency_key inside
+  /// `query`, which may itself be 0 (dedup disabled for this request).
+  uint64_t idempotency_key = 0;
   /// Users whose uploads are coordinator-substituted dummy sets (dropout
   /// degradation). Carried for observability; the wire shape is unchanged.
   uint32_t degraded_users = 0;
 };
 
 /// Counter snapshot. accepted == served + failed + deadline_expired +
-/// (still queued or executing); rejected requests are never accepted.
+/// (still queued or executing); rejected requests are never accepted,
+/// and dedup joins/replays are answered without being accepted.
 struct ServiceStats {
   uint64_t accepted = 0;
   uint64_t rejected = 0;
@@ -81,6 +124,21 @@ struct ServiceStats {
   uint64_t failed = 0;
   uint64_t deadline_expired = 0;
   size_t queue_depth = 0;
+  /// Cost-based Submit-time rejections (a subset of `rejected`).
+  uint64_t shed = 0;
+  /// deadline_expired split: answered without any crypto vs. cancelled
+  /// mid-execution. expired_in_queue + abandoned_executing ==
+  /// deadline_expired.
+  uint64_t expired_in_queue = 0;
+  uint64_t abandoned_executing = 0;
+  /// Idempotency-key coalescing.
+  uint64_t dedup_joins = 0;
+  uint64_t dedup_replays = 0;
+  /// Adaptive concurrency.
+  int concurrency_limit = 0;
+  uint64_t aimd_increases = 0;
+  uint64_t aimd_decreases = 0;
+  uint64_t cost_observations = 0;
   /// Client-side resilience events, reported back by ResilientClient (or
   /// anything else wrapping this service) via the Record* methods.
   uint64_t retries = 0;
@@ -89,8 +147,10 @@ struct ServiceStats {
   uint64_t degraded_queries = 0;
   /// Error replies sent, indexed by WireError (kMalformed..kInternal).
   std::array<uint64_t, 4> error_replies{};
-  LatencySummary latency;        ///< admission -> reply, all outcomes
-  QueryInstrumentation totals;   ///< summed over served queries
+  LatencySummary latency;      ///< admission -> reply, all outcomes
+  LatencySummary queue_wait;   ///< admission -> dequeue, executed or expired
+  LatencySummary execute;      ///< dequeue -> finish, executed requests only
+  QueryInstrumentation totals; ///< summed over served queries
 
   std::string ToString() const;
 };
@@ -99,7 +159,7 @@ class LspService {
  public:
   /// Invoked exactly once per submitted request with the encoded
   /// ResponseFrame. May run on a worker thread, or inline in Submit for
-  /// rejected requests. Must not re-enter the service.
+  /// rejected/replayed requests. Must not re-enter the service.
   using Callback = std::function<void(std::vector<uint8_t>)>;
 
   /// Starts the worker pool and deadline monitor. The database must
@@ -110,9 +170,10 @@ class LspService {
   LspService(const LspService&) = delete;
   LspService& operator=(const LspService&) = delete;
 
-  /// Non-blocking admission. Returns true if the request was queued; on
-  /// false (queue full or shutting down) the callback has already been
-  /// invoked inline with a kOverloaded error frame.
+  /// Non-blocking admission. Returns true if the request was queued,
+  /// joined an in-flight duplicate, or was answered from the reply
+  /// cache; on false (queue full, shed, or shutting down) the callback
+  /// has already been invoked inline with a kOverloaded error frame.
   [[nodiscard]] bool Submit(ServiceRequest request, Callback done);
 
   /// Blocking convenience wrapper: submits and waits for the reply frame.
@@ -138,6 +199,9 @@ class LspService {
     Callback done;
     Clock::time_point admitted;
     Clock::time_point deadline;  // time_point::max() = none
+    CostFeatures features;
+    bool has_features = false;
+    uint64_t cache_key = 0;  // nonzero = this request is a dedup primary
   };
 
   /// A request currently executing on some worker, visible to the
@@ -149,16 +213,41 @@ class LspService {
 
   void WorkerLoop();
   void MonitorLoop();
+  /// Executes (or expires) one dequeued request and replies on all legs.
+  void ProcessRequest(PendingRequest& req);
   void Reply(PendingRequest& req, std::vector<uint8_t> frame);
+  /// Distributes `frame` to the request's own leg and, when it is a
+  /// dedup primary, to every joined duplicate; answers (cache_for_replay)
+  /// stay cached for later replays.
+  void Finish(PendingRequest& req, std::vector<uint8_t> frame,
+              bool cache_for_replay);
+  /// One delivery leg: applies the transport failpoint, records
+  /// end-to-end latency, invokes the callback. Joined duplicates are
+  /// stored in the reply cache as legs so every duplicate gets the same
+  /// (pre-corruption) frame through the same path as the primary.
+  Callback MakeLeg(Clock::time_point admitted, Callback done);
   /// Builds an error frame and bumps the per-code reply counter.
-  std::vector<uint8_t> MakeErrorFrame(WireError code, std::string detail);
+  std::vector<uint8_t> MakeErrorFrame(WireError code, std::string detail,
+                                      uint64_t retry_after_ms = 0);
+  /// Backpressure hint for kOverloaded replies: config override, or an
+  /// estimate of how long the current backlog needs to drain (plus
+  /// `extra_seconds`, e.g. how far a shed request's cost overshot its
+  /// budget).
+  uint64_t RetryAfterHintMs(double extra_seconds);
+  /// Rejects a registered dedup primary: aborts the cache entry and
+  /// errors out any waiters that joined in the meantime.
+  void AbortPrimary(uint64_t cache_key, const std::vector<uint8_t>& frame);
 
   const LspDatabase& db_;
   const ServiceConfig config_;
+  std::shared_ptr<CostModel> cost_model_;
+  AimdLimiter limiter_;
+  ReplyCache reply_cache_;
 
-  mutable std::mutex mu_;  // guards queue_ and stopping_
+  mutable std::mutex mu_;  // guards queue_, executing_, and stopping_
   std::condition_variable queue_cv_;
   std::deque<PendingRequest> queue_;
+  int executing_ = 0;
   bool stopping_ = false;
 
   std::mutex inflight_mu_;  // guards inflight_ and monitor_stop_
@@ -174,11 +263,18 @@ class LspService {
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> expired_in_queue_{0};
+  std::atomic<uint64_t> abandoned_executing_{0};
+  std::atomic<uint64_t> dedup_joins_{0};
+  std::atomic<uint64_t> dedup_replays_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> hedges_{0};
   std::atomic<uint64_t> degraded_queries_{0};
   std::array<std::atomic<uint64_t>, 4> error_replies_{};
   LatencyHistogram latency_;
+  LatencyHistogram queue_wait_;
+  LatencyHistogram execute_;
   mutable std::mutex totals_mu_;
   QueryInstrumentation totals_;
 };

@@ -1,0 +1,84 @@
+#include "service/reply_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ppgnn {
+
+ReplyCache::ReplyCache(const Options& options) : options_(options) {}
+
+ReplyCache::AdmitResult ReplyCache::AdmitOrAttach(uint64_t key,
+                                                  Waiter waiter) {
+  AdmitResult result;
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictLocked(Clock::now());
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(key, Entry{});
+    result.admission = Admission::kPrimary;
+    return result;
+  }
+  if (it->second.completed) {
+    result.admission = Admission::kReplayed;
+    result.frame = it->second.frame;
+    return result;
+  }
+  it->second.waiters.push_back(std::move(waiter));
+  result.admission = Admission::kJoined;
+  return result;
+}
+
+std::vector<ReplyCache::Waiter> ReplyCache::Complete(
+    uint64_t key, const std::vector<uint8_t>& frame, bool cache_for_replay) {
+  std::vector<Waiter> waiters;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.completed) return waiters;
+  waiters = std::move(it->second.waiters);
+  if (cache_for_replay) {
+    it->second.completed = true;
+    it->second.frame = frame;
+    it->second.waiters.clear();
+    it->second.completed_at = Clock::now();
+    completed_order_.push_back(key);
+    EvictLocked(it->second.completed_at);
+  } else {
+    entries_.erase(it);
+  }
+  return waiters;
+}
+
+std::vector<ReplyCache::Waiter> ReplyCache::Abort(uint64_t key) {
+  std::vector<Waiter> waiters;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.completed) return waiters;
+  waiters = std::move(it->second.waiters);
+  entries_.erase(it);
+  return waiters;
+}
+
+size_t ReplyCache::CompletedEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_order_.size();
+}
+
+void ReplyCache::EvictLocked(Clock::time_point now) {
+  const auto ttl = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(std::max(options_.ttl_seconds, 0.0)));
+  while (!completed_order_.empty()) {
+    const uint64_t key = completed_order_.front();
+    auto it = entries_.find(key);
+    // A key can linger in completed_order_ after its entry was replaced;
+    // only a still-completed entry counts against capacity/TTL.
+    const bool stale = it == entries_.end() || !it->second.completed;
+    const bool over_capacity = completed_order_.size() > options_.capacity;
+    const bool expired =
+        !stale && options_.ttl_seconds > 0 && now - it->second.completed_at >= ttl;
+    if (!stale && !over_capacity && !expired) break;
+    if (!stale) entries_.erase(it);
+    completed_order_.pop_front();
+  }
+}
+
+}  // namespace ppgnn

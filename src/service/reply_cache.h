@@ -1,0 +1,99 @@
+// Idempotent reply coalescing for the LSP service.
+//
+// A hedged or retried duplicate carries the same client-chosen
+// idempotency key as its original. Instead of re-running the crypto
+// pipeline — doubling server load exactly when the server is slow —
+// the duplicate either *joins* the in-flight original (its callback is
+// fired with a copy of the original's frame when it completes) or
+// *replays* the cached frame of an already-completed request.
+//
+// Semantics, chosen so client-visible retry behavior stays honest:
+//   * Only answers are cached for replay. An error completion is
+//     delivered to any joiners (they were racing the same doomed
+//     execution) and the entry is dropped, so a later retry with the
+//     same key runs fresh rather than replaying a stale failure.
+//   * The cached frame is the pre-transport one: corruption injected on
+//     one delivery leg must not poison the cache.
+//   * Completed entries are evicted by TTL and by capacity (FIFO);
+//     in-flight entries are never evicted.
+//
+// Thread-safe. Callbacks are never invoked under the internal lock —
+// mutating calls return the waiters due and the caller delivers them.
+
+#ifndef PPGNN_SERVICE_REPLY_CACHE_H_
+#define PPGNN_SERVICE_REPLY_CACHE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ppgnn {
+
+class ReplyCache {
+ public:
+  using Waiter = std::function<void(std::vector<uint8_t>)>;
+
+  enum class Admission {
+    kPrimary,   ///< first sighting: caller must execute and later Complete
+    kJoined,    ///< duplicate of an in-flight key: waiter was enqueued
+    kReplayed,  ///< duplicate of a completed key: frame returned now
+  };
+
+  struct Options {
+    size_t capacity = 1024;     ///< completed entries kept for replay
+    double ttl_seconds = 30.0;  ///< completed-entry lifetime
+  };
+
+  struct AdmitResult {
+    Admission admission = Admission::kPrimary;
+    std::vector<uint8_t> frame;  ///< set iff kReplayed
+  };
+
+  explicit ReplyCache(const Options& options);
+
+  /// Routes one request. kPrimary leaves `waiter` with the caller (the
+  /// primary replies through its normal path); kJoined keeps it until the
+  /// primary's Complete/Abort.
+  AdmitResult AdmitOrAttach(uint64_t key, Waiter waiter);
+
+  /// Finishes the in-flight entry for `key`. Returns the joined waiters;
+  /// the caller invokes each with its own copy of `frame`. When
+  /// `cache_for_replay` is true (answers) the frame is kept for later
+  /// kReplayed hits; otherwise (errors) the entry is dropped entirely.
+  [[nodiscard]] std::vector<Waiter> Complete(uint64_t key,
+                                             const std::vector<uint8_t>& frame,
+                                             bool cache_for_replay);
+
+  /// Drops an in-flight entry whose primary never executed (e.g. it lost
+  /// the queue-capacity race after registration). Returns any waiters
+  /// that joined in the meantime so the caller can error them out.
+  [[nodiscard]] std::vector<Waiter> Abort(uint64_t key);
+
+  size_t CompletedEntries() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    bool completed = false;
+    std::vector<uint8_t> frame;       // valid when completed
+    std::vector<Waiter> waiters;      // valid while in flight
+    Clock::time_point completed_at{};
+  };
+
+  /// Drops expired / over-capacity completed entries. Requires mu_ held.
+  void EvictLocked(Clock::time_point now);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::deque<uint64_t> completed_order_;  // FIFO eviction of completed keys
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_REPLY_CACHE_H_

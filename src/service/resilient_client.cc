@@ -46,11 +46,12 @@ enum class Resolution {
 }  // namespace
 
 std::string ClientStats::ToString() const {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "calls=%llu attempts=%llu retries=%llu hedges=%llu hedge_wins=%llu "
-      "answers=%llu terminal=%llu budget_exhausted=%llu garbage=%llu",
+      "answers=%llu terminal=%llu budget_exhausted=%llu garbage=%llu "
+      "retry_after_honored=%llu breaker[opens=%llu fast_fails=%llu]",
       static_cast<unsigned long long>(calls),
       static_cast<unsigned long long>(attempts),
       static_cast<unsigned long long>(retries),
@@ -59,7 +60,10 @@ std::string ClientStats::ToString() const {
       static_cast<unsigned long long>(answers),
       static_cast<unsigned long long>(terminal_errors),
       static_cast<unsigned long long>(budget_exhausted),
-      static_cast<unsigned long long>(transport_garbage));
+      static_cast<unsigned long long>(transport_garbage),
+      static_cast<unsigned long long>(retry_after_honored),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(breaker_fast_fails));
   return buf;
 }
 
@@ -94,6 +98,60 @@ double ResilientClient::BackoffSeconds(int completed_attempts) {
   return std::max(base * (1.0 + jitter), 0.0);
 }
 
+uint64_t ResilientClient::NextIdempotencyKey() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t key = 0;
+  while (key == 0) key = rng_.NextUint64();  // 0 means "untagged" on the wire
+  return key;
+}
+
+bool ResilientClient::BreakerAdmit(bool* is_probe) {
+  *is_probe = false;
+  if (policy_.breaker_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!breaker_open_) return true;
+  if (breaker_probe_in_flight_) return false;
+  if (Clock::now() < breaker_open_until_) return false;
+  // Half-open: exactly one probe goes through; everyone else keeps
+  // fast-failing until its verdict.
+  breaker_probe_in_flight_ = true;
+  *is_probe = true;
+  return true;
+}
+
+void ResilientClient::BreakerOnOutcome(bool success, bool was_probe) {
+  if (policy_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (was_probe) breaker_probe_in_flight_ = false;
+  if (success) {
+    breaker_consecutive_failures_ = 0;
+    breaker_open_ = false;
+    return;
+  }
+  if (breaker_open_) {
+    // Only a failed probe re-arms the cooldown; a straggler reply from
+    // before the breaker opened must not extend it.
+    if (was_probe) {
+      breaker_open_until_ =
+          Clock::now() + FromSeconds(policy_.breaker_cooldown_seconds);
+      stats_.breaker_opens++;
+    }
+    return;
+  }
+  if (++breaker_consecutive_failures_ >= policy_.breaker_threshold) {
+    breaker_open_ = true;
+    breaker_open_until_ =
+        Clock::now() + FromSeconds(policy_.breaker_cooldown_seconds);
+    stats_.breaker_opens++;
+  }
+}
+
+void ResilientClient::BreakerReleaseProbe() {
+  if (policy_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  breaker_probe_in_flight_ = false;
+}
+
 ClientCallOutcome ResilientClient::Call(ServiceRequest request) {
   const Clock::time_point start = Clock::now();
   const Clock::time_point budget_deadline =
@@ -105,6 +163,11 @@ ClientCallOutcome ResilientClient::Call(ServiceRequest request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.calls++;
+  }
+  // One key per logical call: every retry and hedge below carries it, so
+  // the server coalesces duplicates instead of re-running the pipeline.
+  if (policy_.tag_idempotency && request.idempotency_key == 0) {
+    request.idempotency_key = NextIdempotencyKey();
   }
 
   // The most recent structured (decodable) error frame, so a failed call
@@ -126,113 +189,151 @@ ClientCallOutcome ResilientClient::Call(ServiceRequest request) {
             ? 0.0  // unlimited: let the request carry its own deadline
             : Seconds(budget_deadline - attempt_start);
 
-    auto state = std::make_shared<RoundState>();
-    auto submit = [&](bool from_hedge) {
-      {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->outstanding++;
-      }
-      ServiceRequest copy = request;
-      if (remaining > 0 &&
-          (copy.deadline_seconds <= 0 || copy.deadline_seconds > remaining)) {
-        copy.deadline_seconds = remaining;
-      }
-      const Clock::time_point submitted = Clock::now();
-      // Submit may run the callback inline (queue-full reject), so no
-      // locks of ours are held here; a reject still surfaces through the
-      // callback's error frame, so the bool is redundant.
-      (void)service_.Submit(std::move(copy), [this, state, from_hedge,
-                                       submitted](std::vector<uint8_t> frame) {
-        attempt_latency_.Record(Seconds(Clock::now() - submitted));
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->replies.push_back({std::move(frame), from_hedge});
-        state->outstanding--;
-        state->cv.notify_all();
-      });
-    };
-
-    outcome.attempts++;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.attempts++;
-    }
-    submit(/*from_hedge=*/false);
-
-    const Clock::time_point hedge_at =
-        policy_.hedge ? attempt_start + FromSeconds(HedgeDelaySeconds())
-                      : Clock::time_point::max();
-    bool hedged_this_round = false;
-    bool round_decided = false;
+    uint64_t round_retry_after_ms = 0;
+    bool round_is_probe = false;
     Resolution round_resolution = Resolution::kRetryable;
 
-    std::unique_lock<std::mutex> lock(state->mu);
-    size_t consumed = 0;
-    while (!round_decided) {
-      // Evaluate any replies that arrived since the last look.
-      for (; consumed < state->replies.size(); ++consumed) {
-        RoundState::Reply& reply = state->replies[consumed];
-        Result<ResponseFrame> decoded = ResponseFrame::Decode(reply.frame);
-        if (!decoded.ok()) {
-          // Transport garbage (e.g. an injected corrupt frame): the reply
-          // is unusable but the failure class is transient.
-          saw_garbage = true;
-          std::lock_guard<std::mutex> slock(mu_);
-          stats_.transport_garbage++;
-          continue;
-        }
-        if (!decoded.value().is_error) {
-          outcome.frame = std::move(reply.frame);
-          outcome.answered = true;
-          outcome.hedge_won = reply.from_hedge;
-          round_resolution = Resolution::kAnswer;
-          round_decided = true;
-          break;
-        }
-        last_error = decoded.value().error;
-        last_error_frame = std::move(reply.frame);
-        if (!IsRetryable(last_error.code)) {
-          round_resolution = Resolution::kTerminal;
-          round_decided = true;
-          break;
-        }
+    if (!BreakerAdmit(&round_is_probe)) {
+      // Open breaker: answer the attempt locally with a synthesized
+      // overloaded frame — the whole point is to not touch the server.
+      outcome.attempts++;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.attempts++;
+        stats_.breaker_fast_fails++;
       }
-      if (round_decided) break;
-      // Nothing decisive yet. If nothing is outstanding either, the
-      // round has failed retryably.
-      if (state->outstanding == 0) break;
-      const Clock::time_point now = Clock::now();
-      if (now >= budget_deadline) {
-        // Abandon the outstanding attempt: its late reply only touches
-        // `state`, which outlives us via the shared_ptr in the callback.
-        budget_hit = true;
-        round_decided = true;
-        round_resolution = Resolution::kRetryable;
-        break;
-      }
-      Clock::time_point wake = budget_deadline;
-      const bool may_hedge = policy_.hedge && !hedged_this_round &&
-                             state->replies.empty();
-      if (may_hedge) wake = std::min(wake, hedge_at);
-      if (wake == Clock::time_point::max()) {
-        state->cv.wait(lock);
-      } else {
-        state->cv.wait_until(lock, wake);
-      }
-      if (may_hedge && Clock::now() >= hedge_at && state->replies.empty() &&
-          state->outstanding > 0) {
-        hedged_this_round = true;
-        outcome.hedges++;
+      last_error = ErrorMessage{};
+      last_error.code = WireError::kOverloaded;
+      last_error.detail = "resilient client: circuit breaker open";
+      last_error.retry_after_ms = static_cast<uint64_t>(
+          std::max(policy_.breaker_cooldown_seconds, 0.001) * 1000.0);
+      last_error_frame = ResponseFrame::WrapError(last_error);
+      round_retry_after_ms = last_error.retry_after_ms;
+    } else {
+      auto state = std::make_shared<RoundState>();
+      auto submit = [&](bool from_hedge) {
         {
-          std::lock_guard<std::mutex> slock(mu_);
-          stats_.hedges++;
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->outstanding++;
         }
-        service_.RecordClientHedge();
-        lock.unlock();
-        submit(/*from_hedge=*/true);
-        lock.lock();
+        ServiceRequest copy = request;
+        if (remaining > 0 &&
+            (copy.deadline_seconds <= 0 || copy.deadline_seconds > remaining)) {
+          copy.deadline_seconds = remaining;
+        }
+        const Clock::time_point submitted = Clock::now();
+        // Submit may run the callback inline (queue-full reject), so no
+        // locks of ours are held here; a reject still surfaces through
+        // the callback's error frame, so the bool is redundant.
+        (void)service_.Submit(
+            std::move(copy),
+            [this, state, from_hedge, submitted](std::vector<uint8_t> frame) {
+              attempt_latency_.Record(Seconds(Clock::now() - submitted));
+              std::lock_guard<std::mutex> lock(state->mu);
+              state->replies.push_back({std::move(frame), from_hedge});
+              state->outstanding--;
+              state->cv.notify_all();
+            });
+      };
+
+      outcome.attempts++;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.attempts++;
       }
+      submit(/*from_hedge=*/false);
+
+      const Clock::time_point hedge_at =
+          policy_.hedge ? attempt_start + FromSeconds(HedgeDelaySeconds())
+                        : Clock::time_point::max();
+      bool hedged_this_round = false;
+      bool round_decided = false;
+
+      std::unique_lock<std::mutex> lock(state->mu);
+      size_t consumed = 0;
+      while (!round_decided) {
+        // Evaluate any replies that arrived since the last look.
+        for (; consumed < state->replies.size(); ++consumed) {
+          RoundState::Reply& reply = state->replies[consumed];
+          Result<ResponseFrame> decoded = ResponseFrame::Decode(reply.frame);
+          if (!decoded.ok()) {
+            // Transport garbage (e.g. an injected corrupt frame): the
+            // reply is unusable but the failure class is transient.
+            saw_garbage = true;
+            std::lock_guard<std::mutex> slock(mu_);
+            stats_.transport_garbage++;
+            continue;
+          }
+          if (!decoded.value().is_error) {
+            outcome.frame = std::move(reply.frame);
+            outcome.answered = true;
+            outcome.hedge_won = reply.from_hedge;
+            BreakerOnOutcome(/*success=*/true, round_is_probe);
+            round_is_probe = false;
+            round_resolution = Resolution::kAnswer;
+            round_decided = true;
+            break;
+          }
+          last_error = decoded.value().error;
+          last_error_frame = std::move(reply.frame);
+          if (!IsRetryable(last_error.code)) {
+            BreakerOnOutcome(/*success=*/false, round_is_probe);
+            round_is_probe = false;
+            round_resolution = Resolution::kTerminal;
+            round_decided = true;
+            break;
+          }
+          if (last_error.code == WireError::kOverloaded) {
+            if (last_error.retry_after_ms > 0) {
+              round_retry_after_ms = last_error.retry_after_ms;
+            }
+            BreakerOnOutcome(/*success=*/false, round_is_probe);
+            round_is_probe = false;
+          }
+        }
+        if (round_decided) break;
+        // Nothing decisive yet. If nothing is outstanding either, the
+        // round has failed retryably.
+        if (state->outstanding == 0) break;
+        const Clock::time_point now = Clock::now();
+        if (now >= budget_deadline) {
+          // Abandon the outstanding attempt: its late reply only touches
+          // `state`, which outlives us via the shared_ptr in the
+          // callback.
+          budget_hit = true;
+          round_decided = true;
+          round_resolution = Resolution::kRetryable;
+          break;
+        }
+        Clock::time_point wake = budget_deadline;
+        const bool may_hedge =
+            policy_.hedge && !hedged_this_round && state->replies.empty();
+        if (may_hedge) wake = std::min(wake, hedge_at);
+        if (wake == Clock::time_point::max()) {
+          state->cv.wait(lock);
+        } else {
+          state->cv.wait_until(lock, wake);
+        }
+        if (may_hedge && Clock::now() >= hedge_at && state->replies.empty() &&
+            state->outstanding > 0) {
+          hedged_this_round = true;
+          outcome.hedges++;
+          {
+            std::lock_guard<std::mutex> slock(mu_);
+            stats_.hedges++;
+          }
+          service_.RecordClientHedge();
+          lock.unlock();
+          submit(/*from_hedge=*/true);
+          lock.lock();
+        }
+      }
+      lock.unlock();
     }
-    lock.unlock();
+    // A probe round that ended without a decisive reply (garbage only,
+    // or abandoned on budget) releases the probe slot so the breaker can
+    // try again rather than fast-failing forever.
+    if (round_is_probe) BreakerReleaseProbe();
 
     if (round_resolution == Resolution::kAnswer) {
       if (outcome.hedge_won) {
@@ -244,8 +345,24 @@ ClientCallOutcome ResilientClient::Call(ServiceRequest request) {
     if (round_resolution == Resolution::kTerminal) break;
     if (budget_hit || outcome.attempts >= max_attempts) break;
 
-    // Transient failure with budget and attempts to spare: back off.
-    const double backoff = BackoffSeconds(outcome.attempts);
+    // Transient failure with budget and attempts to spare: back off. A
+    // server retry_after_ms hint replaces the exponential schedule
+    // (jitter still applies so hinted clients don't stampede in sync).
+    double backoff = BackoffSeconds(outcome.attempts);
+    if (policy_.honor_retry_after && round_retry_after_ms > 0) {
+      double jitter = 0.0;
+      if (policy_.jitter_fraction > 0) {
+        std::lock_guard<std::mutex> slock(mu_);
+        jitter = policy_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+      }
+      backoff = std::max(
+          static_cast<double>(round_retry_after_ms) / 1000.0 * (1.0 + jitter),
+          0.0);
+      std::lock_guard<std::mutex> slock(mu_);
+      stats_.retry_after_honored++;
+    }
+    // Capped against the remaining budget: never sleep past the point
+    // where no further attempt could run.
     if (budget_deadline != Clock::time_point::max() &&
         Clock::now() + FromSeconds(backoff) >= budget_deadline) {
       budget_hit = true;

@@ -12,7 +12,8 @@ namespace ppgnn {
 
 Result<ServiceRequest> BuildServiceRequest(
     Variant variant, const ProtocolParams& params,
-    const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng) {
+    const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng,
+    const RequestWireOptions& wire) {
   PPGNN_RETURN_IF_ERROR(params.Validate());
   if (real_locations.size() != static_cast<size_t>(params.n))
     return Status::InvalidArgument("real_locations.size() != n");
@@ -63,6 +64,8 @@ Result<ServiceRequest> BuildServiceRequest(
   query.aggregate = params.aggregate;
   query.plan = plan;
   query.pk = keys.pub;
+  query.deadline_ms = wire.deadline_ms;
+  query.idempotency_key = wire.idempotency_key;
   Encryptor enc(keys.pub);
   if (variant == Variant::kPpgnnOpt) {
     query.is_opt = true;

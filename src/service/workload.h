@@ -18,13 +18,24 @@
 
 namespace ppgnn {
 
+/// Optional wire-version-2 fields stamped into the encoded QueryMessage
+/// (zero = absent, producing byte-identical version-1 frames). Setting
+/// them here — rather than on the ServiceRequest — exercises the real
+/// end-to-end path: encoded into the query trailer, peeked by admission,
+/// honored by the server.
+struct RequestWireOptions {
+  uint64_t deadline_ms = 0;
+  uint64_t idempotency_key = 0;
+};
+
 /// Builds one well-formed group query + uploads under `keys` for the
 /// given real locations (size params.n). Keys are caller-provided so a
 /// load generator can reuse one pair across requests instead of paying
 /// per-request key generation.
 [[nodiscard]] Result<ServiceRequest> BuildServiceRequest(
     Variant variant, const ProtocolParams& params,
-    const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng);
+    const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng,
+    const RequestWireOptions& wire = {});
 
 /// What a client got back from the service.
 struct ServedReply {

@@ -1,0 +1,583 @@
+// Unit tests for the overload-resilience building blocks — CostModel,
+// AimdLimiter, ReplyCache — plus service-level coverage of the admission
+// behaviors they compose into: cost-based shedding with a retry_after
+// hint, and idempotency-key dedup (join + replay).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/indicator.h"
+#include "core/partition.h"
+#include "core/protocol.h"
+#include "core/wire.h"
+#include "service/admission.h"
+#include "service/cost_model.h"
+#include "service/lsp_service.h"
+#include "service/reply_cache.h"
+#include "spatial/dataset.h"
+
+namespace ppgnn {
+namespace {
+
+CostFeatures Features(uint64_t delta_prime, int key_bits, int k = 3,
+                      bool is_opt = false, uint64_t omega = 0) {
+  CostFeatures f;
+  f.delta_prime = delta_prime;
+  f.k = k;
+  f.key_bits = key_bits;
+  f.is_opt = is_opt;
+  f.omega = omega;
+  return f;
+}
+
+// --- CostModel ---
+
+TEST(CostModelTest, AnalyticGrowsWithDeltaPrime) {
+  const double a = CostModel::AnalyticSeconds(Features(16, 1024));
+  const double b = CostModel::AnalyticSeconds(Features(64, 1024));
+  const double c = CostModel::AnalyticSeconds(Features(256, 1024));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  // The per-candidate terms dominate: 4x the candidates should cost at
+  // least ~3x, not some sublinear shrug.
+  EXPECT_GT(b, 3.0 * a * 0.9);
+}
+
+TEST(CostModelTest, AnalyticGrowsQuadraticallyWithKeyBits) {
+  const double k512 = CostModel::AnalyticSeconds(Features(64, 512));
+  const double k1024 = CostModel::AnalyticSeconds(Features(64, 1024));
+  const double k2048 = CostModel::AnalyticSeconds(Features(64, 2048));
+  EXPECT_LT(k512, k1024);
+  EXPECT_LT(k1024, k2048);
+  // Crypto term scales (key_bits/1024)^2; with the non-crypto terms mixed
+  // in, doubling the key size should still cost well over 2x.
+  EXPECT_GT(k2048, 2.0 * k1024);
+}
+
+TEST(CostModelTest, OptPhaseTwoAddsCost) {
+  const double plain = CostModel::AnalyticSeconds(Features(64, 1024));
+  const double opt =
+      CostModel::AnalyticSeconds(Features(64, 1024, 3, true, 8));
+  EXPECT_GT(opt, plain);
+}
+
+TEST(CostModelTest, PredictionHasPositiveFloor) {
+  EXPECT_GE(CostModel::AnalyticSeconds(Features(0, 0, 0)), 1.0e-4);
+  CostModel model;
+  EXPECT_GE(model.PredictSeconds(Features(0, 0, 0)), 1.0e-4);
+}
+
+TEST(CostModelTest, EwmaConvergesOntoObservedRatio) {
+  CostModel model;
+  const CostFeatures f = Features(64, 1024);
+  const double analytic = CostModel::AnalyticSeconds(f);
+  // This machine runs 3x slower than the calibration machine.
+  for (int i = 0; i < 50; ++i) {
+    model.Observe(f, 3.0 * analytic);
+  }
+  const double predicted = model.PredictSeconds(f);
+  EXPECT_NEAR(predicted / analytic, 3.0, 0.05);
+  EXPECT_EQ(model.observations(), 50u);
+}
+
+TEST(CostModelTest, UnseenBucketFallsBackToGlobalRatio) {
+  CostModel model;
+  const CostFeatures seen = Features(64, 1024);
+  for (int i = 0; i < 50; ++i) {
+    model.Observe(seen, 2.0 * CostModel::AnalyticSeconds(seen));
+  }
+  // A key-size class the model has never observed still benefits from
+  // the machine-speed correction learned globally.
+  const CostFeatures unseen = Features(64, 2048);
+  const double predicted = model.PredictSeconds(unseen);
+  EXPECT_NEAR(predicted / CostModel::AnalyticSeconds(unseen), 2.0, 0.05);
+}
+
+TEST(CostModelTest, BucketRatioShadowsGlobal) {
+  CostModel model;
+  const CostFeatures small = Features(16, 1024);
+  const CostFeatures large = Features(1024, 1024);
+  for (int i = 0; i < 50; ++i) {
+    model.Observe(small, 2.0 * CostModel::AnalyticSeconds(small));
+    model.Observe(large, 5.0 * CostModel::AnalyticSeconds(large));
+  }
+  EXPECT_NEAR(
+      model.PredictSeconds(small) / CostModel::AnalyticSeconds(small), 2.0,
+      0.1);
+  EXPECT_NEAR(
+      model.PredictSeconds(large) / CostModel::AnalyticSeconds(large), 5.0,
+      0.1);
+}
+
+TEST(CostModelTest, ObserveRejectsNonPositiveAndNan) {
+  CostModel model;
+  const CostFeatures f = Features(64, 1024);
+  model.Observe(f, 0.0);
+  model.Observe(f, -1.0);
+  model.Observe(f, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(model.observations(), 0u);
+  // Prediction is untouched: pure analytic.
+  EXPECT_DOUBLE_EQ(model.PredictSeconds(f), CostModel::AnalyticSeconds(f));
+}
+
+// --- AimdLimiter ---
+
+AimdLimiter::Options LimiterOptions(double target, int initial, int window) {
+  AimdLimiter::Options o;
+  o.target_p99_seconds = target;
+  o.min_concurrency = 1;
+  o.max_concurrency = 16;
+  o.initial_concurrency = initial;
+  o.window = window;
+  o.decrease_factor = 0.7;
+  return o;
+}
+
+TEST(AimdLimiterTest, DecreasesMultiplicativelyOnSlowWindow) {
+  AimdLimiter limiter(LimiterOptions(0.010, 10, 4));
+  ASSERT_EQ(limiter.limit(), 10);
+  for (int i = 0; i < 4; ++i) limiter.OnComplete(0.100);  // p99 over target
+  EXPECT_EQ(limiter.limit(), 7);  // floor(10 * 0.7)
+  EXPECT_EQ(limiter.decreases(), 1u);
+  EXPECT_EQ(limiter.increases(), 0u);
+}
+
+TEST(AimdLimiterTest, IncreasesAdditivelyOnFastWindow) {
+  AimdLimiter limiter(LimiterOptions(0.010, 4, 4));
+  for (int i = 0; i < 4; ++i) limiter.OnComplete(0.001);
+  EXPECT_EQ(limiter.limit(), 5);
+  EXPECT_EQ(limiter.increases(), 1u);
+}
+
+TEST(AimdLimiterTest, IncompleteWindowMakesNoDecision) {
+  AimdLimiter limiter(LimiterOptions(0.010, 4, 8));
+  for (int i = 0; i < 7; ++i) limiter.OnComplete(0.100);
+  EXPECT_EQ(limiter.limit(), 4);
+  EXPECT_EQ(limiter.decreases(), 0u);
+}
+
+TEST(AimdLimiterTest, WindowP99Semantics) {
+  // Small window: floor(32 * 99 / 100) = 31 is the max element, so one
+  // straggler in a 32-wide window does trigger a decrease (by design —
+  // a small window cannot distinguish p99 from max).
+  AimdLimiter small(LimiterOptions(0.010, 8, 32));
+  for (int i = 0; i < 31; ++i) small.OnComplete(0.001);
+  small.OnComplete(5.0);
+  EXPECT_EQ(small.decreases(), 1u);
+  // Large window: floor(200 * 99 / 100) = 198 is the second-largest, so
+  // a single straggler among 200 is ignored.
+  AimdLimiter large(LimiterOptions(0.010, 8, 200));
+  for (int i = 0; i < 199; ++i) large.OnComplete(0.001);
+  large.OnComplete(5.0);
+  EXPECT_EQ(large.decreases(), 0u);
+  EXPECT_EQ(large.limit(), 9);  // counted as a fast window
+}
+
+TEST(AimdLimiterTest, RespectsBounds) {
+  AimdLimiter limiter(LimiterOptions(0.010, 8, 2));
+  for (int round = 0; round < 20; ++round) {
+    limiter.OnComplete(1.0);
+    limiter.OnComplete(1.0);
+  }
+  EXPECT_EQ(limiter.limit(), 1);  // floored at min_concurrency
+  for (int round = 0; round < 40; ++round) {
+    limiter.OnComplete(0.0001);
+    limiter.OnComplete(0.0001);
+  }
+  EXPECT_EQ(limiter.limit(), 16);  // capped at max_concurrency
+}
+
+TEST(AimdLimiterTest, ClampsDegenerateOptions) {
+  AimdLimiter::Options o;
+  o.min_concurrency = -3;
+  o.max_concurrency = -7;
+  o.initial_concurrency = 100;
+  o.window = 0;
+  AimdLimiter limiter(o);
+  EXPECT_EQ(limiter.limit(), 1);  // min=1, max=1, initial clamped
+}
+
+// --- ReplyCache ---
+
+ReplyCache::Options CacheOptions(size_t capacity, double ttl) {
+  ReplyCache::Options o;
+  o.capacity = capacity;
+  o.ttl_seconds = ttl;
+  return o;
+}
+
+TEST(ReplyCacheTest, PrimaryJoinReplayLifecycle) {
+  ReplyCache cache(CacheOptions(16, 30.0));
+  const std::vector<uint8_t> frame = {1, 2, 3};
+
+  auto first = cache.AdmitOrAttach(7, nullptr);
+  EXPECT_EQ(first.admission, ReplyCache::Admission::kPrimary);
+
+  std::vector<uint8_t> joined_frame;
+  auto second = cache.AdmitOrAttach(
+      7, [&](std::vector<uint8_t> f) { joined_frame = std::move(f); });
+  EXPECT_EQ(second.admission, ReplyCache::Admission::kJoined);
+
+  auto waiters = cache.Complete(7, frame, /*cache_for_replay=*/true);
+  ASSERT_EQ(waiters.size(), 1u);
+  waiters[0](frame);
+  EXPECT_EQ(joined_frame, frame);
+
+  auto third = cache.AdmitOrAttach(7, nullptr);
+  EXPECT_EQ(third.admission, ReplyCache::Admission::kReplayed);
+  EXPECT_EQ(third.frame, frame);
+  EXPECT_EQ(cache.CompletedEntries(), 1u);
+}
+
+TEST(ReplyCacheTest, ErrorCompletionIsDeliveredButNeverReplayed) {
+  ReplyCache cache(CacheOptions(16, 30.0));
+  ASSERT_EQ(cache.AdmitOrAttach(9, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  int joiner_calls = 0;
+  (void)cache.AdmitOrAttach(9,
+                            [&](std::vector<uint8_t>) { ++joiner_calls; });
+  auto waiters = cache.Complete(9, {0xEE}, /*cache_for_replay=*/false);
+  ASSERT_EQ(waiters.size(), 1u);
+  waiters[0]({0xEE});
+  EXPECT_EQ(joiner_calls, 1);
+  // The failure is not cached: a later retry with the same key runs fresh.
+  EXPECT_EQ(cache.AdmitOrAttach(9, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  EXPECT_EQ(cache.CompletedEntries(), 0u);
+}
+
+TEST(ReplyCacheTest, AbortReturnsJoinedWaiters) {
+  ReplyCache cache(CacheOptions(16, 30.0));
+  ASSERT_EQ(cache.AdmitOrAttach(5, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  int joiner_calls = 0;
+  (void)cache.AdmitOrAttach(5,
+                            [&](std::vector<uint8_t>) { ++joiner_calls; });
+  auto waiters = cache.Abort(5);
+  ASSERT_EQ(waiters.size(), 1u);
+  waiters[0]({});
+  EXPECT_EQ(joiner_calls, 1);
+  EXPECT_EQ(cache.AdmitOrAttach(5, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+}
+
+TEST(ReplyCacheTest, CapacityEvictsOldestCompleted) {
+  ReplyCache cache(CacheOptions(2, 30.0));
+  for (uint64_t key = 1; key <= 3; ++key) {
+    ASSERT_EQ(cache.AdmitOrAttach(key, nullptr).admission,
+              ReplyCache::Admission::kPrimary);
+    (void)cache.Complete(key, {static_cast<uint8_t>(key)},
+                         /*cache_for_replay=*/true);
+  }
+  EXPECT_EQ(cache.CompletedEntries(), 2u);
+  // Key 1 (oldest) was evicted; 2 and 3 still replay.
+  EXPECT_EQ(cache.AdmitOrAttach(1, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  EXPECT_EQ(cache.AdmitOrAttach(2, nullptr).admission,
+            ReplyCache::Admission::kReplayed);
+  EXPECT_EQ(cache.AdmitOrAttach(3, nullptr).admission,
+            ReplyCache::Admission::kReplayed);
+}
+
+TEST(ReplyCacheTest, TtlEvictsCompletedEntries) {
+  ReplyCache cache(CacheOptions(16, 0.02));
+  ASSERT_EQ(cache.AdmitOrAttach(11, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  (void)cache.Complete(11, {0x11}, /*cache_for_replay=*/true);
+  EXPECT_EQ(cache.AdmitOrAttach(11, nullptr).admission,
+            ReplyCache::Admission::kReplayed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(cache.AdmitOrAttach(11, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+}
+
+TEST(ReplyCacheTest, InFlightEntriesSurviveEvictionPressure) {
+  ReplyCache cache(CacheOptions(1, 30.0));
+  ASSERT_EQ(cache.AdmitOrAttach(100, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  // Churn completed entries past capacity while 100 stays in flight.
+  for (uint64_t key = 1; key <= 4; ++key) {
+    ASSERT_EQ(cache.AdmitOrAttach(key, nullptr).admission,
+              ReplyCache::Admission::kPrimary);
+    (void)cache.Complete(key, {0x01}, /*cache_for_replay=*/true);
+  }
+  // The in-flight entry still coalesces duplicates.
+  EXPECT_EQ(cache.AdmitOrAttach(100, [](std::vector<uint8_t>) {}).admission,
+            ReplyCache::Admission::kJoined);
+  auto waiters = cache.Complete(100, {0x64}, /*cache_for_replay=*/true);
+  EXPECT_EQ(waiters.size(), 1u);
+}
+
+TEST(ReplyCacheTest, DoubleCompleteIsIgnored) {
+  ReplyCache cache(CacheOptions(16, 30.0));
+  ASSERT_EQ(cache.AdmitOrAttach(3, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  (void)cache.Complete(3, {0xAA}, /*cache_for_replay=*/true);
+  auto again = cache.Complete(3, {0xBB}, /*cache_for_replay=*/true);
+  EXPECT_TRUE(again.empty());
+  // The first frame wins.
+  auto replay = cache.AdmitOrAttach(3, nullptr);
+  ASSERT_EQ(replay.admission, ReplyCache::Admission::kReplayed);
+  EXPECT_EQ(replay.frame, std::vector<uint8_t>{0xAA});
+}
+
+// --- service-level admission behavior ---
+
+class AdmissionServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new LspDatabase(GenerateSequoiaLike(3000, 777));
+    Rng rng(778);
+    keys_ = new KeyPair(GenerateKeyPair(256, rng).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete keys_;
+  }
+
+  struct Request {
+    std::vector<uint8_t> query;
+    std::vector<std::vector<uint8_t>> uploads;
+  };
+
+  static Request MakeRequest(Rng& rng) {
+    Request req;
+    PartitionPlan plan = SolvePartition(3, 4, 8).value();
+    QueryMessage query;
+    query.k = 3;
+    query.theta0 = 0.05;
+    query.aggregate = AggregateKind::kSum;
+    query.plan = plan;
+    query.pk = keys_->pub;
+    std::vector<int> x(plan.alpha, 1);
+    Encryptor enc(keys_->pub);
+    query.indicator =
+        EncryptIndicator(enc, QueryIndex(plan, 1, x), plan.delta_prime, rng)
+            .value();
+    req.query = query.Encode().value();
+    for (uint32_t u = 0; u < 3; ++u) {
+      LocationSetMessage msg;
+      msg.user_id = u;
+      for (int i = 0; i < 4; ++i) {
+        msg.locations.push_back({rng.NextDouble(), rng.NextDouble()});
+      }
+      req.uploads.push_back(msg.Encode());
+    }
+    return req;
+  }
+
+  static LspDatabase* db_;
+  static KeyPair* keys_;
+};
+LspDatabase* AdmissionServiceTest::db_ = nullptr;
+KeyPair* AdmissionServiceTest::keys_ = nullptr;
+
+TEST_F(AdmissionServiceTest, ShedsDoomedRequestBeforeAnyCryptoRuns) {
+  ServiceConfig config;
+  config.workers = 1;
+  LspService service(*db_, config);
+
+  Rng rng(10);
+  Request req = MakeRequest(rng);
+  ServiceRequest sreq;
+  sreq.query = req.query;
+  sreq.uploads = req.uploads;
+  // A nanosecond budget cannot fit any predicted execution: the request
+  // must be rejected at Submit, before a single ciphertext is decoded.
+  sreq.deadline_seconds = 1e-9;
+
+  std::vector<uint8_t> frame;
+  bool admitted = service.Submit(std::move(sreq), [&](std::vector<uint8_t> f) {
+    frame = std::move(f);
+  });
+  EXPECT_FALSE(admitted);
+
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kOverloaded);
+  EXPECT_GT(decoded.error.retry_after_ms, 0u);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.served, 0u);
+  // Shedding never started crypto, so nothing was abandoned mid-flight.
+  EXPECT_EQ(stats.abandoned_executing, 0u);
+}
+
+TEST_F(AdmissionServiceTest, GenerousDeadlineIsNotShed) {
+  ServiceConfig config;
+  config.workers = 1;
+  LspService service(*db_, config);
+
+  Rng rng(11);
+  Request req = MakeRequest(rng);
+  ServiceRequest sreq;
+  sreq.query = req.query;
+  sreq.uploads = req.uploads;
+  sreq.deadline_seconds = 30.0;
+
+  auto frame = service.Call(std::move(sreq));
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  EXPECT_FALSE(decoded.is_error);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.served, 1u);
+  // The completed execution fed the model.
+  EXPECT_EQ(stats.cost_observations, 1u);
+}
+
+TEST_F(AdmissionServiceTest, DedupJoinsInFlightAndRepliesBothLegsIdentically) {
+  ServiceConfig config;
+  config.workers = 1;
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool primary_entered = false;
+  config.test_execute_hook = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    primary_entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  LspService service(*db_, config);
+
+  Rng rng(12);
+  Request req = MakeRequest(rng);
+
+  std::mutex frames_mu;
+  std::condition_variable frames_cv;
+  std::vector<std::vector<uint8_t>> frames;
+  auto submit_leg = [&] {
+    ServiceRequest sreq;
+    sreq.query = req.query;
+    sreq.uploads = req.uploads;
+    sreq.idempotency_key = 0xF00Dull;
+    ASSERT_TRUE(service.Submit(std::move(sreq), [&](std::vector<uint8_t> f) {
+      std::lock_guard<std::mutex> lock(frames_mu);
+      frames.push_back(std::move(f));
+      frames_cv.notify_all();
+    }));
+  };
+
+  submit_leg();  // primary
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return primary_entered; });
+  }
+  submit_leg();  // duplicate joins the held primary
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(frames_mu);
+    frames_cv.wait(lock, [&] { return frames.size() == 2; });
+  }
+
+  // One execution, two legs, bit-identical frames.
+  EXPECT_EQ(frames[0], frames[1]);
+  EXPECT_FALSE(ResponseFrame::Decode(frames[0]).value().is_error);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.dedup_joins, 1u);
+
+  // A third submission after completion replays from the cache without
+  // touching the queue (the single worker is idle; still only 1 served).
+  ServiceRequest sreq;
+  sreq.query = req.query;
+  sreq.uploads = req.uploads;
+  sreq.idempotency_key = 0xF00Dull;
+  std::vector<uint8_t> replayed;
+  ASSERT_TRUE(service.Submit(std::move(sreq), [&](std::vector<uint8_t> f) {
+    replayed = std::move(f);
+  }));
+  EXPECT_EQ(replayed, frames[0]);
+  stats = service.Stats();
+  EXPECT_EQ(stats.dedup_replays, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+}
+
+TEST_F(AdmissionServiceTest, DedupDisabledRunsEveryCopy) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.enable_dedup = false;
+  LspService service(*db_, config);
+
+  Rng rng(13);
+  Request req = MakeRequest(rng);
+  for (int i = 0; i < 2; ++i) {
+    ServiceRequest sreq;
+    sreq.query = req.query;
+    sreq.uploads = req.uploads;
+    sreq.idempotency_key = 0xF00Dull;
+    auto frame = service.Call(std::move(sreq));
+    EXPECT_FALSE(ResponseFrame::Decode(frame).value().is_error);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.dedup_joins, 0u);
+  EXPECT_EQ(stats.dedup_replays, 0u);
+}
+
+TEST_F(AdmissionServiceTest, RetryAfterHintOverrideIsHonored) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.retry_after_hint_ms = 123;
+  LspService service(*db_, config);
+
+  Rng rng(14);
+  Request req = MakeRequest(rng);
+  ServiceRequest sreq;
+  sreq.query = req.query;
+  sreq.uploads = req.uploads;
+  sreq.deadline_seconds = 1e-9;  // forces a shed
+  std::vector<uint8_t> frame;
+  EXPECT_FALSE(service.Submit(std::move(sreq), [&](std::vector<uint8_t> f) {
+    frame = std::move(f);
+  }));
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.retry_after_ms, 123u);
+}
+
+TEST_F(AdmissionServiceTest, StatsExposeConcurrencyLimitAndAimdCounters) {
+  // The limiter starts wide open at max_concurrency, so a fresh service
+  // can only move by *decreasing*: make every completion blow the p99
+  // target and watch the limit walk down toward min_concurrency.
+  ServiceConfig config;
+  config.workers = 2;
+  config.aimd_window = 1;            // every completion is a decision
+  config.target_p99_seconds = 1e-9;  // everything is "slow" -> decreases
+  config.max_concurrency = 8;
+  LspService service(*db_, config);
+  EXPECT_EQ(service.Stats().concurrency_limit, 8);
+
+  Rng rng(15);
+  for (int i = 0; i < 3; ++i) {
+    Request req = MakeRequest(rng);
+    ServiceRequest sreq;
+    sreq.query = req.query;
+    sreq.uploads = req.uploads;
+    auto frame = service.Call(std::move(sreq));
+    EXPECT_FALSE(ResponseFrame::Decode(frame).value().is_error);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.aimd_decreases, 3u);
+  EXPECT_EQ(stats.concurrency_limit, 2);  // floor(floor(floor(8*.7)*.7)*.7)
+  EXPECT_EQ(stats.cost_observations, 3u);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -15,8 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -238,6 +242,10 @@ TEST_F(ChaosTest, HedgeWinsWhenPrimaryStalls) {
   RetryPolicy policy;
   policy.hedge = true;
   policy.hedge_delay_seconds = 0.03;
+  // This test wants a genuine race: with idempotency tagging the hedge
+  // would join the stalled primary (see HedgedDuplicateCoalesces below)
+  // instead of executing independently and winning.
+  policy.tag_idempotency = false;
   ResilientClient client(service, policy);
 
   Rng rng(53);
@@ -427,6 +435,326 @@ TEST_F(ChaosTest, ScriptedScheduleNeverCrashesHangsOrLies) {
   ClientStats cs = client.Stats();
   EXPECT_EQ(cs.calls, 25u);
   EXPECT_GE(cs.attempts, cs.calls);
+}
+
+// With idempotency tagging on (the default), a hedge is not a second
+// execution: it joins the stalled primary server-side and both legs get
+// the same frame from the one run of the crypto pipeline.
+TEST_F(ChaosTest, HedgedDuplicateCoalescesIntoOneExecution) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  ASSERT_TRUE(FailpointSetFromSpec("service.execute=delay:100,times=1").ok());
+
+  RetryPolicy policy;
+  policy.hedge = true;
+  policy.hedge_delay_seconds = 0.01;
+  ASSERT_TRUE(policy.tag_idempotency);  // the default under test
+  ResilientClient client(service, policy);
+
+  Rng rng(57);
+  std::vector<Point> real;
+  ClientCallOutcome outcome = client.Call(WorkloadRequest(rng, &real));
+  ASSERT_TRUE(outcome.answered);
+  EXPECT_EQ(outcome.hedges, 1);
+  ExpectExactAnswer(outcome.frame, real);
+
+  service.Shutdown();
+  ServiceStats stats = service.Stats();
+  // One accepted execution; the hedge was a dedup join, not a second run.
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.dedup_joins, 1u);
+  EXPECT_EQ(stats.hedges, 1u);
+}
+
+// The acceptance check for dedup delivery: both legs of a duplicate pair
+// receive bit-identical frames from the single execution.
+TEST_F(ChaosTest, DuplicateLegsReceiveBitIdenticalFrames) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  // Stall the primary's execution so the duplicate provably arrives
+  // while the original is still in flight.
+  ASSERT_TRUE(FailpointSetFromSpec("service.execute=delay:50,times=1").ok());
+
+  Rng rng(58);
+  std::vector<Point> real;
+  ServiceRequest request = WorkloadRequest(rng, &real);
+  request.idempotency_key = 0xD00DFEEDull;
+  ServiceRequest duplicate = request;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::vector<uint8_t>> frames;
+  auto collect = [&](std::vector<uint8_t> f) {
+    std::lock_guard<std::mutex> lock(mu);
+    frames.push_back(std::move(f));
+    cv.notify_all();
+  };
+  ASSERT_TRUE(service.Submit(std::move(request), collect));
+  ASSERT_TRUE(service.Submit(std::move(duplicate), collect));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return frames.size() == 2; }));
+  }
+
+  EXPECT_EQ(frames[0], frames[1]);
+  ExpectExactAnswer(frames[0], real);
+  service.Shutdown();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.dedup_joins, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+}
+
+// Overload storm: a burst far beyond capacity against a tiny queue. The
+// service must shed with actionable hints, keep every reply decodable,
+// and never abandon a query it already started crypto on.
+TEST_F(ChaosTest, OverloadStormShedsCleanlyAndNeverAbandonsStartedWork) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 4;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  // Every execution drags an extra 30 ms, so the burst below is several
+  // times capacity for the 300 ms budgets it carries.
+  ASSERT_TRUE(FailpointSetFromSpec("service.execute=delay:30").ok());
+
+  constexpr int kBurst = 30;
+  Rng rng(59);
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < kBurst; ++i) {
+    ServiceRequest request = WorkloadRequest(rng);
+    request.deadline_seconds = 0.3;
+    requests.push_back(std::move(request));
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::vector<uint8_t>> frames;
+  for (ServiceRequest& request : requests) {
+    (void)service.Submit(std::move(request), [&](std::vector<uint8_t> f) {
+      std::lock_guard<std::mutex> lock(mu);
+      frames.push_back(std::move(f));
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                            [&] { return frames.size() == kBurst; }));
+  }
+  service.Shutdown();
+
+  int answers = 0, overloaded = 0, deadline = 0;
+  for (const std::vector<uint8_t>& frame : frames) {
+    ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+    if (!decoded.is_error) {
+      ++answers;
+      continue;
+    }
+    if (decoded.error.code == WireError::kOverloaded) {
+      ++overloaded;
+      // Every shed/reject carries a usable backpressure hint.
+      EXPECT_GT(decoded.error.retry_after_ms, 0u);
+    } else {
+      EXPECT_EQ(decoded.error.code, WireError::kDeadlineExceeded);
+      ++deadline;
+    }
+  }
+  EXPECT_EQ(answers + overloaded + deadline, kBurst);
+  EXPECT_GT(answers, 0);     // the service did not collapse under the storm
+  EXPECT_GT(overloaded, 0);  // and it did push back
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted + stats.rejected, static_cast<uint64_t>(kBurst));
+  EXPECT_EQ(stats.accepted,
+            stats.served + stats.failed + stats.deadline_expired);
+  // The core overload guarantee: work, once started, is finished. Every
+  // deadline casualty was caught before its crypto began.
+  EXPECT_EQ(stats.abandoned_executing, 0u);
+  EXPECT_EQ(stats.deadline_expired, stats.expired_in_queue);
+}
+
+// Budget exhaustion with a hedge still in flight: the caller gets exactly
+// one decodable terminal frame at the budget edge, and the late legs are
+// absorbed without leaking or crashing.
+TEST_F(ChaosTest, BudgetExhaustionWithHedgeInFlightYieldsOneTerminalFrame) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  // Both the primary and the hedge stall far past the client's budget.
+  ASSERT_TRUE(FailpointSetFromSpec("service.execute=delay:400").ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.total_budget_seconds = 0.1;
+  policy.hedge = true;
+  policy.hedge_delay_seconds = 0.01;
+  ResilientClient client(service, policy);
+
+  Rng rng(63);
+  ClientCallOutcome outcome = client.Call(WorkloadRequest(rng));
+  EXPECT_FALSE(outcome.answered);
+  // Returned at the budget edge, not after the 400 ms stall.
+  EXPECT_LT(outcome.elapsed_seconds, 0.35);
+  ResponseFrame decoded = ResponseFrame::Decode(outcome.frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_TRUE(decoded.error.code == WireError::kOverloaded ||
+              decoded.error.code == WireError::kDeadlineExceeded)
+      << WireErrorToString(decoded.error.code);
+
+  ClientStats cs = client.Stats();
+  EXPECT_EQ(cs.calls, 1u);
+  EXPECT_EQ(cs.answers, 0u);
+  EXPECT_EQ(cs.budget_exhausted, 1u);
+
+  // The stalled legs are still executing. Shutdown drains them; their
+  // late replies must land in the (still-alive) client without incident
+  // — the no-leaked-callback half of the contract.
+  service.Shutdown();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted,
+            stats.served + stats.failed + stats.deadline_expired);
+}
+
+// The retry_after_ms hint steers the client's backoff in both
+// directions: a small hint must beat the configured exponential
+// schedule, a large hint must override a tiny one — and the hint is
+// always capped against the remaining budget.
+TEST_F(ChaosTest, RetryAfterHintShortensAndLengthensBackoff) {
+  Rng rng(64);
+
+  // Hint far below the exponential schedule: two retries would cost
+  // 50 + 100 ms of configured backoff, but the 1 ms hint wins.
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.sanitize = false;
+    config.retry_after_hint_ms = 1;
+    LspService service(*db_, config);
+    ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop,times=2").ok());
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.initial_backoff_seconds = 0.050;
+    policy.backoff_multiplier = 2.0;
+    policy.jitter_fraction = 0.0;
+    ResilientClient client(service, policy);
+    ClientCallOutcome outcome = client.Call(WorkloadRequest(rng));
+    FailpointClearAll();
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_EQ(outcome.attempts, 3);
+    EXPECT_LT(outcome.elapsed_seconds, 0.120);  // << the 150 ms schedule
+    EXPECT_EQ(client.Stats().retry_after_honored, 2u);
+    service.Shutdown();
+  }
+
+  // Hint far above the exponential schedule: the client waits as told.
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.sanitize = false;
+    config.retry_after_hint_ms = 150;
+    LspService service(*db_, config);
+    ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop,times=1").ok());
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.initial_backoff_seconds = 0.001;
+    policy.jitter_fraction = 0.0;
+    ResilientClient client(service, policy);
+    ClientCallOutcome outcome = client.Call(WorkloadRequest(rng));
+    FailpointClearAll();
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_EQ(outcome.attempts, 2);
+    EXPECT_GE(outcome.elapsed_seconds, 0.140);  // >> the 1 ms schedule
+    EXPECT_EQ(client.Stats().retry_after_honored, 1u);
+    service.Shutdown();
+  }
+
+  // Hint past the remaining budget: the client gives up immediately
+  // instead of sleeping into a deadline it cannot make.
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.sanitize = false;
+    config.retry_after_hint_ms = 5000;
+    LspService service(*db_, config);
+    ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop").ok());
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.total_budget_seconds = 0.2;
+    ResilientClient client(service, policy);
+    ClientCallOutcome outcome = client.Call(WorkloadRequest(rng));
+    FailpointClearAll();
+    EXPECT_FALSE(outcome.answered);
+    EXPECT_LT(outcome.elapsed_seconds, 0.2);  // no 5 s sleep happened
+    EXPECT_EQ(client.Stats().budget_exhausted, 1u);
+    service.Shutdown();
+  }
+}
+
+// Circuit breaker: consecutive overloaded replies open it, an open
+// breaker fast-fails locally without touching the server, and a
+// successful half-open probe closes it again.
+TEST_F(ChaosTest, CircuitBreakerOpensFastFailsAndRecovers) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  ASSERT_TRUE(FailpointSetFromSpec("service.admit=drop").ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // each Call is one decisive observation
+  policy.breaker_threshold = 3;
+  policy.breaker_cooldown_seconds = 0.05;
+  ResilientClient client(service, policy);
+
+  Rng rng(65);
+  ServiceRequest request = WorkloadRequest(rng);
+
+  // Three consecutive overloaded replies trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    ClientCallOutcome outcome = client.Call(request);
+    EXPECT_FALSE(outcome.answered);
+    EXPECT_EQ(outcome.error.code, WireError::kOverloaded);
+  }
+  EXPECT_EQ(client.Stats().breaker_opens, 1u);
+  const uint64_t server_rejects = service.Stats().rejected;
+  EXPECT_EQ(server_rejects, 3u);
+
+  // While open (cooldown not yet elapsed): local fast-fail. The frame is
+  // still a decodable structured error with a cooldown hint, and the
+  // server never sees the attempt.
+  ClientCallOutcome fast = client.Call(request);
+  EXPECT_FALSE(fast.answered);
+  EXPECT_EQ(fast.error.code, WireError::kOverloaded);
+  EXPECT_GT(fast.error.retry_after_ms, 0u);
+  EXPECT_EQ(client.Stats().breaker_fast_fails, 1u);
+  EXPECT_EQ(service.Stats().rejected, server_rejects);  // unchanged
+
+  // Heal the service, wait out the cooldown: the next call is the
+  // half-open probe, it succeeds, and the breaker closes for good.
+  FailpointClearAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ClientCallOutcome probe = client.Call(request);
+  EXPECT_TRUE(probe.answered);
+  ClientCallOutcome after = client.Call(WorkloadRequest(rng));
+  EXPECT_TRUE(after.answered);
+  ClientStats cs = client.Stats();
+  EXPECT_EQ(cs.breaker_opens, 1u);
+  EXPECT_EQ(cs.breaker_fast_fails, 1u);
+  EXPECT_EQ(cs.answers, 2u);
+  service.Shutdown();
 }
 
 }  // namespace

@@ -492,6 +492,10 @@ TEST_F(ServiceTest, StatsExposeRetryHedgeDegradedAndErrorCodeCounters) {
   config.workers = 1;
   config.queue_capacity = 8;
   config.sanitize = false;
+  // Keep the hopeless-deadline request below on the queue-expiry path:
+  // with cost admission on it would be shed at Submit as kOverloaded
+  // instead (that path is covered in admission_test).
+  config.cost_admission = false;
   LspService service(*db_, config);
 
   // Per-code error replies: one malformed...
@@ -552,6 +556,134 @@ TEST_F(ServiceTest, LatencyHistogramQuantilesAreOrdered) {
   EXPECT_GT(summary.p99_seconds, summary.p90_seconds * 0.99);
   EXPECT_GE(summary.max_seconds, summary.p99_seconds * 0.9);
   EXPECT_NEAR(summary.mean_seconds, 0.005, 0.001);
+}
+
+TEST_F(ServiceTest, QueueWaitAndExecuteAreRecordedSeparately) {
+  // Hold the single worker on a latch so a second request measurably
+  // waits in the queue, then verify the two histograms split the
+  // end-to-end time instead of lumping it together.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  config.test_execute_hook = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  };
+  LspService service(*db_, config);
+
+  Rng rng(60);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int done = 0;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(service.Submit(WorkloadRequest(rng),
+                               [&](std::vector<uint8_t>) {
+                                 std::lock_guard<std::mutex> lock(done_mu);
+                                 ++done;
+                                 done_cv.notify_all();
+                               }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == 2; });
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.served, 2u);
+  ASSERT_EQ(stats.queue_wait.count, 2u);
+  ASSERT_EQ(stats.execute.count, 2u);
+  // The second request sat behind the latched first for >= 30ms; that
+  // time lands in queue_wait, not in execute (the latch holds the worker
+  // before the execute timer starts, so execute stays honest).
+  EXPECT_GT(stats.queue_wait.max_seconds, 0.025);
+  EXPECT_GT(stats.execute.max_seconds, 0.0);
+  EXPECT_LT(stats.execute.max_seconds, 0.025);
+  EXPECT_GE(stats.latency.max_seconds, stats.queue_wait.max_seconds);
+}
+
+TEST_F(ServiceTest, WireDeadlinePropagatesFromQueryTrailer) {
+  // The deadline rides inside the encoded QueryMessage (wire version 2):
+  // no ServiceRequest.deadline_seconds is set, yet the service must honor
+  // the 1 ms budget — here by shedding at admission (predicted cost far
+  // exceeds it) with a structured kOverloaded + retry hint.
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  Rng rng(61);
+  ProtocolParams params = GroupParams();
+  std::vector<Point> group;
+  for (int i = 0; i < params.n; ++i) {
+    group.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  RequestWireOptions wire;
+  wire.deadline_ms = 1;
+  ServiceRequest request =
+      BuildServiceRequest(Variant::kPpgnn, params, group, *keys_, rng, wire)
+          .value();
+  ASSERT_EQ(request.deadline_seconds, 0.0);
+
+  std::vector<uint8_t> frame;
+  EXPECT_FALSE(service.Submit(std::move(request), [&](std::vector<uint8_t> f) {
+    frame = std::move(f);
+  }));
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kOverloaded);
+  EXPECT_GT(decoded.error.retry_after_ms, 0u);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.accepted, 0u);
+
+  // A generous wire deadline sails through and is served normally.
+  wire.deadline_ms = 30000;
+  ServiceRequest fine =
+      BuildServiceRequest(Variant::kPpgnn, params, group, *keys_, rng, wire)
+          .value();
+  std::vector<uint8_t> ok_frame = service.Call(std::move(fine));
+  EXPECT_FALSE(ResponseFrame::Decode(ok_frame).value().is_error);
+  EXPECT_EQ(service.Stats().served, 1u);
+}
+
+TEST_F(ServiceTest, WireIdempotencyKeyPropagatesFromQueryTrailer) {
+  // The dedup key also rides in the trailer: two submissions of the same
+  // encoded request coalesce without ServiceRequest.idempotency_key set.
+  ServiceConfig config;
+  config.workers = 1;
+  config.sanitize = false;
+  LspService service(*db_, config);
+
+  Rng rng(62);
+  ProtocolParams params = GroupParams();
+  std::vector<Point> group;
+  for (int i = 0; i < params.n; ++i) {
+    group.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  RequestWireOptions wire;
+  wire.idempotency_key = 0xABCDEF01ull;
+  ServiceRequest request =
+      BuildServiceRequest(Variant::kPpgnn, params, group, *keys_, rng, wire)
+          .value();
+  ASSERT_EQ(request.idempotency_key, 0u);
+  ServiceRequest copy = request;
+
+  std::vector<uint8_t> first = service.Call(std::move(request));
+  EXPECT_FALSE(ResponseFrame::Decode(first).value().is_error);
+  std::vector<uint8_t> second = service.Call(std::move(copy));
+  EXPECT_EQ(second, first);  // replayed bit-identically from the cache
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.dedup_replays, 1u);
 }
 
 }  // namespace

@@ -485,5 +485,186 @@ TEST_F(WireTest, AnswerMessageEveryTruncationFailsCleanly) {
   }
 }
 
+// --- wire-version-2 trailer: deadline + idempotency key ---
+
+TEST_F(WireTest, QueryTrailerRoundTripPlainAndOpt) {
+  for (bool opt : {false, true}) {
+    QueryMessage msg = PlainQuery();
+    if (opt) {
+      msg.indicator.clear();
+      msg.is_opt = true;
+      Encryptor enc(keys_->pub);
+      msg.opt_indicator = EncryptOptIndicator(enc, 7, 8, 2, *rng_).value();
+    }
+    msg.deadline_ms = 1500;
+    msg.idempotency_key = 0xDEADBEEFCAFEF00Dull;
+    QueryMessage decoded = QueryMessage::Decode(msg.Encode().value()).value();
+    EXPECT_EQ(decoded.deadline_ms, 1500u) << "opt=" << opt;
+    EXPECT_EQ(decoded.idempotency_key, 0xDEADBEEFCAFEF00Dull)
+        << "opt=" << opt;
+  }
+}
+
+TEST_F(WireTest, QueryTrailerAbsentWhenFieldsZero) {
+  // Zero fields must produce the byte-identical version-1 frame, and a
+  // version-1 frame must decode with the fields reading as absent (zero).
+  QueryMessage v1 = PlainQuery();
+  QueryMessage v2 = v1;
+  v2.deadline_ms = 0;
+  v2.idempotency_key = 0;
+  EXPECT_EQ(v1.Encode().value(), v2.Encode().value());
+  QueryMessage decoded = QueryMessage::Decode(v1.Encode().value()).value();
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+  EXPECT_EQ(decoded.idempotency_key, 0u);
+}
+
+TEST_F(WireTest, QueryTrailerKeyAloneStillEmitsTrailer) {
+  // An idempotency key without a deadline is a legal combination (client
+  // dedup tagging with no budget): the trailer must still round-trip.
+  QueryMessage msg = PlainQuery();
+  msg.idempotency_key = 42;
+  QueryMessage decoded = QueryMessage::Decode(msg.Encode().value()).value();
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+  EXPECT_EQ(decoded.idempotency_key, 42u);
+}
+
+TEST_F(WireTest, QueryTrailerEveryTruncationFailsCleanly) {
+  QueryMessage msg = PlainQuery();
+  const size_t v1_len = msg.Encode().value().size();
+  msg.deadline_ms = 250;
+  msg.idempotency_key = 7;
+  const std::vector<uint8_t> bytes = msg.Encode().value();
+  ASSERT_GT(bytes.size(), v1_len);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    auto decoded = QueryMessage::Decode(prefix);
+    if (cut == v1_len) {
+      // Cutting exactly at the trailer boundary reconstructs the valid
+      // version-1 frame: it must decode, with both fields absent.
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value().deadline_ms, 0u);
+      EXPECT_EQ(decoded.value().idempotency_key, 0u);
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+    }
+  }
+  EXPECT_TRUE(QueryMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, QueryTrailerRejectsUnknownTagAndOversizedDeadline) {
+  QueryMessage msg = PlainQuery();
+  std::vector<uint8_t> bytes = msg.Encode().value();
+  bytes.push_back(0x52);  // not kQueryTrailerTag
+  EXPECT_FALSE(QueryMessage::Decode(bytes).ok());
+
+  msg.deadline_ms = kMaxWireMillis + 1;
+  EXPECT_FALSE(msg.Encode().ok());
+}
+
+TEST_F(WireTest, PeekQueryHeaderAgreesWithDecode) {
+  for (bool opt : {false, true}) {
+    for (bool trailer : {false, true}) {
+      QueryMessage msg = PlainQuery();
+      if (opt) {
+        msg.indicator.clear();
+        msg.is_opt = true;
+        Encryptor enc(keys_->pub);
+        msg.opt_indicator = EncryptOptIndicator(enc, 7, 8, 2, *rng_).value();
+      }
+      if (trailer) {
+        msg.deadline_ms = 900;
+        msg.idempotency_key = 123;
+      }
+      const std::vector<uint8_t> bytes = msg.Encode().value();
+      QueryWireHeader header = PeekQueryHeader(bytes).value();
+      QueryMessage decoded = QueryMessage::Decode(bytes).value();
+      EXPECT_EQ(header.k, decoded.k);
+      EXPECT_EQ(header.delta_prime, decoded.plan.delta_prime);
+      EXPECT_EQ(header.key_bits, decoded.pk.key_bits);
+      EXPECT_EQ(header.is_opt, decoded.is_opt);
+      if (opt) {
+        EXPECT_EQ(header.omega, decoded.opt_indicator.omega);
+      }
+      EXPECT_EQ(header.deadline_ms, decoded.deadline_ms);
+      EXPECT_EQ(header.idempotency_key, decoded.idempotency_key);
+    }
+  }
+}
+
+TEST_F(WireTest, PeekQueryHeaderEveryTruncationFailsCleanly) {
+  // A version-1 frame (no trailer) has no valid strict prefix: the peek
+  // must reject every cut without touching ciphertext bytes.
+  QueryMessage msg = PlainQuery();
+  const std::vector<uint8_t> bytes = msg.Encode().value();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(PeekQueryHeader(prefix).ok()) << "cut=" << cut;
+  }
+  EXPECT_TRUE(PeekQueryHeader(bytes).ok());
+}
+
+// --- version-gated retry_after_ms hint on error frames ---
+
+TEST_F(WireTest, ErrorMessageRetryAfterRoundTrip) {
+  ErrorMessage msg;
+  msg.code = WireError::kOverloaded;
+  msg.detail = "shed: predicted cost exceeds deadline";
+  msg.retry_after_ms = 75;
+  ErrorMessage decoded = ErrorMessage::Decode(msg.Encode()).value();
+  EXPECT_EQ(decoded.code, WireError::kOverloaded);
+  EXPECT_EQ(decoded.retry_after_ms, 75u);
+}
+
+TEST_F(WireTest, ErrorMessageRetryAfterAbsentOnOldFrames) {
+  ErrorMessage msg;
+  msg.code = WireError::kOverloaded;
+  msg.detail = "queue full";
+  ErrorMessage zero = msg;
+  zero.retry_after_ms = 0;
+  // Zero hint encodes as the byte-identical version-1 frame...
+  EXPECT_EQ(msg.Encode(), zero.Encode());
+  // ...and version-1 frames decode with the hint absent.
+  ErrorMessage decoded = ErrorMessage::Decode(msg.Encode()).value();
+  EXPECT_EQ(decoded.retry_after_ms, 0u);
+  // An explicit zero varint on the wire is malformed (zero means absent,
+  // and absent frames simply end earlier).
+  std::vector<uint8_t> bytes = msg.Encode();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(ErrorMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, ErrorMessageRetryAfterClippedAtEncodeRejectedAtDecode) {
+  ErrorMessage msg;
+  msg.code = WireError::kOverloaded;
+  msg.detail = "x";
+  msg.retry_after_ms = kMaxWireMillis + 999;
+  // Encode clips to the wire ceiling rather than erroring: a hint is
+  // advisory, and a clipped hint is still a useful hint.
+  ErrorMessage decoded = ErrorMessage::Decode(msg.Encode()).value();
+  EXPECT_EQ(decoded.retry_after_ms, kMaxWireMillis);
+}
+
+TEST_F(WireTest, ErrorMessageWithHintEveryTruncationFailsCleanly) {
+  ErrorMessage msg;
+  msg.code = WireError::kDeadlineExceeded;
+  msg.detail = "expired in queue";
+  msg.retry_after_ms = 200;
+  const std::vector<uint8_t> bytes = msg.Encode();
+  ErrorMessage v1 = msg;
+  v1.retry_after_ms = 0;
+  const size_t v1_len = v1.Encode().size();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    auto decoded = ErrorMessage::Decode(prefix);
+    if (cut == v1_len) {
+      ASSERT_TRUE(decoded.ok());  // valid version-1 frame
+      EXPECT_EQ(decoded.value().retry_after_ms, 0u);
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+    }
+  }
+  EXPECT_TRUE(ErrorMessage::Decode(bytes).ok());
+}
+
 }  // namespace
 }  // namespace ppgnn

@@ -25,6 +25,16 @@
 //   each, then prints throughput, the latency histogram summary, and the
 //   service counters.
 //
+// Overload-resilience knobs (serve mode):
+//   --target-p99-ms X    AIMD concurrency limiter's execute-stage p99
+//                        target (default 500)
+//   --max-concurrency N  AIMD upper bound; 0 = the worker count
+//   --no-cost-admission  disable predicted-cost-vs-deadline shedding
+//   --no-dedup           disable idempotency-key reply coalescing
+//   --wire-deadline-ms N stamp each query's deadline into the wire
+//                        trailer (exercises end-to-end deadline
+//                        propagation instead of the local budget)
+//
 // Chaos knobs (serve mode):
 //   --fail POINT=POLICY  arm a failpoint before serving; repeatable.
 //                        POLICY is <action>[:<arg>][,p=|seed=|skip=|
@@ -75,6 +85,12 @@ struct CliOptions {
   double deadline_seconds = 0.0;
   std::vector<std::string> fail_specs;
   double retry_budget_ms = 0.0;
+  // Overload-resilience knobs.
+  double target_p99_ms = 500.0;
+  int max_concurrency = 0;
+  bool no_cost_admission = false;
+  bool no_dedup = false;
+  uint64_t wire_deadline_ms = 0;
 };
 
 void PrintUsageAndExit(const char* argv0) {
@@ -88,7 +104,10 @@ void PrintUsageAndExit(const char* argv0) {
                "          [--no-sanitize] [--seed N]\n"
                "          [--serve] [--workers N] [--clients N]\n"
                "          [--requests N] [--queue N] [--deadline SECONDS]\n"
-               "          [--fail POINT=POLICY]... [--retry-budget-ms X]\n",
+               "          [--fail POINT=POLICY]... [--retry-budget-ms X]\n"
+               "          [--target-p99-ms X] [--max-concurrency N]\n"
+               "          [--no-cost-admission] [--no-dedup]\n"
+               "          [--wire-deadline-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -170,6 +189,16 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.fail_specs.push_back(next());
     } else if (flag == "--retry-budget-ms") {
       opts.retry_budget_ms = std::atof(next());
+    } else if (flag == "--target-p99-ms") {
+      opts.target_p99_ms = std::atof(next());
+    } else if (flag == "--max-concurrency") {
+      opts.max_concurrency = std::atoi(next());
+    } else if (flag == "--no-cost-admission") {
+      opts.no_cost_admission = true;
+    } else if (flag == "--no-dedup") {
+      opts.no_dedup = true;
+    } else if (flag == "--wire-deadline-ms") {
+      opts.wire_deadline_ms = static_cast<uint64_t>(std::atoll(next()));
     } else if (flag == "--help" || flag == "-h") {
       PrintUsageAndExit(argv[0]);
     } else {
@@ -191,6 +220,10 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
   config.default_deadline_seconds = opts.deadline_seconds;
   config.lsp_threads = opts.params.lsp_threads;
   config.sanitize = opts.params.sanitize;
+  config.target_p99_seconds = opts.target_p99_ms / 1e3;
+  config.max_concurrency = opts.max_concurrency;
+  config.cost_admission = !opts.no_cost_admission;
+  config.enable_dedup = !opts.no_dedup;
   LspService service(lsp, config);
 
   for (const std::string& spec : opts.fail_specs) {
@@ -212,12 +245,18 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
 
   std::printf(
       "Serving: %d workers, queue=%zu, deadline=%s, %d clients x %d "
-      "requests (lsp_threads=%d)%s\n",
+      "requests (lsp_threads=%d)%s\n"
+      "Admission: cost=%s dedup=%s target_p99=%.0fms max_concurrency=%d "
+      "wire_deadline=%llums\n",
       opts.workers, opts.queue_capacity,
       opts.deadline_seconds > 0 ? std::to_string(opts.deadline_seconds).c_str()
                                 : "none",
       opts.clients, opts.requests_per_client, opts.params.lsp_threads,
-      use_resilient ? ", resilient client" : "");
+      use_resilient ? ", resilient client" : "",
+      opts.no_cost_admission ? "off" : "on", opts.no_dedup ? "off" : "on",
+      opts.target_p99_ms,
+      opts.max_concurrency > 0 ? opts.max_concurrency : opts.workers,
+      static_cast<unsigned long long>(opts.wire_deadline_ms));
 
   const bool layered = variant == Variant::kPpgnnOpt;
   std::atomic<uint64_t> answers{0}, service_errors{0}, client_errors{0};
@@ -233,8 +272,10 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
         for (int u = 0; u < opts.params.n; ++u) {
           group.push_back({rng.NextDouble(), rng.NextDouble()});
         }
+        RequestWireOptions wire;
+        wire.deadline_ms = opts.wire_deadline_ms;
         auto request =
-            BuildServiceRequest(variant, opts.params, group, keys, rng);
+            BuildServiceRequest(variant, opts.params, group, keys, rng, wire);
         if (!request.ok()) {
           std::fprintf(stderr, "client %d: %s\n", c,
                        request.status().ToString().c_str());
