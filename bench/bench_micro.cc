@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "bench_util.h"
 #include "ppgnn.h"
 
@@ -113,7 +116,7 @@ void BM_PaillierEncryptL1Pooled(benchmark::State& state) {
   for (auto _ : state) {
     if (enc.PooledBlindingCount(1) == 0) {
       state.PauseTiming();
-      (void)enc.PrecomputeBlinding(kBatch, fx.rng, 1);
+      (void)enc.RefillBlindingPool(1, kBatch, fx.rng);
       state.ResumeTiming();
     }
     benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, 1)));
@@ -123,6 +126,156 @@ BENCHMARK(BM_PaillierEncryptL1Pooled)
     ->Arg(512)
     ->Arg(1024)
     ->Iterations(1000);
+
+// ---- Encrypt-side hot path (fixed-base / offline-online engine) ----
+//
+// Four variants of the same Encrypt call, isolating each acceleration
+// layer: the seed's fresh square-and-multiply blinding, the shared
+// fixed-base comb, CRT-split evaluation for secret-key holders, and the
+// pooled online path. All variants produce bit-identical ciphertexts
+// for the same RNG stream (paillier_test.cc enforces this), so the
+// comparison is pure cost. Args are {key_bits, level}; EXPERIMENTS.md
+// records the resulting curves and CostModel's encrypt constants are
+// fitted to them.
+
+PaillierFixtureState& SharedPaillierFixture(int key_bits) {
+  // Key generation at 2048 bits is seconds of work; share one fixture
+  // per key size across the BM_Encrypt_* family instead of regenerating
+  // it for every benchmark registration.
+  static auto* cache = new std::map<int, std::unique_ptr<PaillierFixtureState>>;
+  auto& slot = (*cache)[key_bits];
+  if (slot == nullptr) slot = std::make_unique<PaillierFixtureState>(key_bits);
+  return *slot;
+}
+
+EncryptorOptions NaiveEncryptorOptions() {
+  EncryptorOptions options;
+  options.use_fixed_base = false;
+  options.use_crt = false;
+  return options;
+}
+
+void BM_Encrypt_Naive(benchmark::State& state) {
+  PaillierFixtureState& fx = SharedPaillierFixture(
+      static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub, NaiveEncryptorOptions());
+  const int level = static_cast<int>(state.range(1));
+  BigInt m(123456789);
+  // One untimed encrypt warms the level/blinding caches (h derivation,
+  // fixed-base tables) so the loop measures steady-state cost.
+  (void)bench::ValueOrDie(enc.Encrypt(m, fx.rng, level));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, level)));
+  }
+}
+BENCHMARK(BM_Encrypt_Naive)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({2048, 1})
+    ->Args({2048, 2});
+
+void BM_Encrypt_FixedBase(benchmark::State& state) {
+  PaillierFixtureState& fx = SharedPaillierFixture(
+      static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  const int level = static_cast<int>(state.range(1));
+  BigInt m(123456789);
+  // One untimed encrypt warms the level/blinding caches (h derivation,
+  // fixed-base tables) so the loop measures steady-state cost.
+  (void)bench::ValueOrDie(enc.Encrypt(m, fx.rng, level));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, level)));
+  }
+}
+BENCHMARK(BM_Encrypt_FixedBase)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({2048, 1})
+    ->Args({2048, 2});
+
+void BM_Encrypt_Crt(benchmark::State& state) {
+  // Secret-key holder: blinding evaluated mod p^{s+1} and q^{s+1} with
+  // half-width fixed-base engines, recombined by CRT.
+  PaillierFixtureState& fx = SharedPaillierFixture(
+      static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys);
+  const int level = static_cast<int>(state.range(1));
+  BigInt m(123456789);
+  // One untimed encrypt warms the level/blinding caches (h derivation,
+  // fixed-base tables) so the loop measures steady-state cost.
+  (void)bench::ValueOrDie(enc.Encrypt(m, fx.rng, level));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, level)));
+  }
+}
+BENCHMARK(BM_Encrypt_Crt)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({2048, 1})
+    ->Args({2048, 2});
+
+void BM_Encrypt_Pooled(benchmark::State& state) {
+  // Pure online cost: blinding factors come from the pool, refilled
+  // outside the timed region.
+  PaillierFixtureState& fx = SharedPaillierFixture(
+      static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  const int level = static_cast<int>(state.range(1));
+  BigInt m(123456789);
+  constexpr size_t kBatch = 512;
+  for (auto _ : state) {
+    if (enc.PooledBlindingCount(level) == 0) {
+      state.PauseTiming();
+      (void)enc.RefillBlindingPool(level, kBatch, fx.rng);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(bench::ValueOrDie(enc.Encrypt(m, fx.rng, level)));
+  }
+}
+BENCHMARK(BM_Encrypt_Pooled)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Iterations(1000);
+
+void BM_RefillBlindingPool_FixedBase(benchmark::State& state) {
+  // Offline producer cost per blinding factor (what the
+  // BlindingRefiller thread pays), via the shared fixed-base engine.
+  PaillierFixtureState& fx = SharedPaillierFixture(
+      static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys.pub);
+  const int level = static_cast<int>(state.range(1));
+  constexpr size_t kBatch = 64;
+  (void)enc.RefillBlindingPool(level, 1, fx.rng);  // untimed cache warmup
+  for (auto _ : state) {
+    (void)enc.RefillBlindingPool(level, kBatch, fx.rng);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_RefillBlindingPool_FixedBase)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({2048, 1})
+    ->Args({2048, 2});
+
+void BM_RefillBlindingPool_Crt(benchmark::State& state) {
+  PaillierFixtureState& fx = SharedPaillierFixture(
+      static_cast<int>(state.range(0)));
+  Encryptor enc(fx.keys);
+  const int level = static_cast<int>(state.range(1));
+  constexpr size_t kBatch = 64;
+  (void)enc.RefillBlindingPool(level, 1, fx.rng);  // untimed cache warmup
+  for (auto _ : state) {
+    (void)enc.RefillBlindingPool(level, kBatch, fx.rng);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_RefillBlindingPool_Crt)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({2048, 1})
+    ->Args({2048, 2});
 
 void BM_PaillierDecryptL1NoCrt(benchmark::State& state) {
   PaillierFixtureState fx(static_cast<int>(state.range(0)));

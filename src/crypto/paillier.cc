@@ -6,7 +6,12 @@
 #include "bigint/prime.h"
 #include "common/failpoint.h"
 
-// ppgnn: secret(lambda, p, q, sk_)
+// ppgnn: secret(lambda, p, q, sk_, crt_p_pow, crt_q_pow, crt_p_engine, crt_q_engine)
+//
+// The crt_* members are precomputed from the secret factors (moduli
+// p^{s+1}/q^{s+1} and the fixed-base tables over them), so they carry the
+// same taint as p and q themselves: control flow branches on the `crt` /
+// `crt_engines` configuration booleans instead, never on these values.
 
 namespace ppgnn {
 
@@ -78,11 +83,25 @@ Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng) {
   }
 }
 
-Encryptor::Encryptor(PublicKey pk) : pk_(std::move(pk)) {
+Encryptor::Encryptor(PublicKey pk)
+    : Encryptor(std::move(pk), EncryptorOptions()) {}
+
+Encryptor::Encryptor(PublicKey pk, const EncryptorOptions& options)
+    : pk_(std::move(pk)), opts_(options) {
   // Eagerly derive the ε_1/ε_2 caches (N^2 and N^3 with their Montgomery
   // contexts): every protocol hot path uses one of them, and eager
   // construction keeps parallel selection workers from contending on
-  // first touch.
+  // first touch. The blinding machinery stays lazy — evaluation-only
+  // Encryptors (the LSP's selection path) never encrypt, so they never
+  // pay for the h_s derivation or the fixed-base tables.
+  Level(1);
+  Level(2);
+}
+
+Encryptor::Encryptor(const KeyPair& keys, const EncryptorOptions& options)
+    : pk_(keys.pub),
+      opts_(options),
+      sk_(std::make_unique<SecretKey>(keys.sec)) {
   Level(1);
   Level(2);
 }
@@ -116,6 +135,10 @@ namespace {
 // falling factorial times (i!)^{-1} mod N^{s+1} (i! is a unit mod N).
 Result<BigInt> OnePlusNToM(const BigInt& m, const BigInt& n, int s,
                            const BigInt& mod) {
+  // s = 1 closed form (1 + mN): the general loop below reduces to it,
+  // but skipping the ModInverse of 1! keeps the pooled online path — an
+  // embedding plus one multiply — free of extended-gcd work.
+  if (s == 1) return (BigInt(1) + ModMul(m, n, mod)).Mod(mod);
   BigInt acc(1);           // i = 0 term
   BigInt n_pow(1);         // N^i
   BigInt falling(1);       // m (m-1) ... (m-i+1)
@@ -133,33 +156,152 @@ Result<BigInt> OnePlusNToM(const BigInt& m, const BigInt& n, int s,
 
 }  // namespace
 
-Result<BigInt> Encryptor::MakeBlinding(int level, Rng& rng) const {
+Result<const Encryptor::LevelCache::Blinding*> Encryptor::EnsureBlinding(
+    int level) const {
   const LevelCache& lc = Level(level);
-  BigInt r;
-  do {
-    r = BigInt::RandomBelow(pk_.n, rng);
-  } while (r.IsZero() || Gcd(r, pk_.n) != BigInt(1));
-  op_count_.fetch_add(1, std::memory_order_relaxed);
-  if (lc.ctx != nullptr) return ModExp(r, lc.n_s, *lc.ctx);
-  return ModExp(r, lc.n_s, lc.modulus);
+  std::lock_guard<std::mutex> lock(level_mu_);
+  if (lc.blinding != nullptr) return lc.blinding.get();
+  auto b = std::make_unique<LevelCache::Blinding>();
+  // h_s = g^{N^s} mod N^{s+1} with g = 2: a unit modulo every odd
+  // semiprime N, and deterministic — the base (hence every fixed-base
+  // table derived from it) is a pure function of the public key.
+  const BigInt g(2);
+  if (lc.ctx != nullptr) {
+    PPGNN_ASSIGN_OR_RETURN(b->h, ModExp(g, lc.n_s, *lc.ctx));
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(b->h, ModExp(g, lc.n_s, lc.modulus));
+  }
+  if (opts_.use_fixed_base && lc.ctx != nullptr) {
+    // Shared process-wide: every Encryptor over this key (and every
+    // request-scoped Encryptor the workload layer creates) reuses one
+    // table build. Null on registry failure -> generic ladder below.
+    b->engine = SharedFixedBaseEngine(b->h, lc.modulus, BlindingExponentBits(),
+                                      opts_.fixed_base_window);
+  }
+  // ppgnn-lint: allow(secret-flow): branches on key presence (role), not bits
+  if (sk_ != nullptr && opts_.use_crt) {
+    // CRT split mirroring the decrypt side: blind mod p^{s+1} and
+    // q^{s+1} at half width, recombine. Exact, so bit-identical to the
+    // direct h^t mod N^{s+1}.
+    BigInt p_pow(1);
+    BigInt q_pow(1);
+    for (int i = 0; i <= level; ++i) {
+      p_pow = p_pow * sk_->p;
+      q_pow = q_pow * sk_->q;
+    }
+    Result<MontgomeryContext> p_ctx = MontgomeryContext::Create(p_pow);
+    Result<MontgomeryContext> q_ctx = MontgomeryContext::Create(q_pow);
+    if (p_ctx.ok() && q_ctx.ok()) {
+      b->crt_p_pow = std::move(p_pow);
+      b->crt_q_pow = std::move(q_pow);
+      b->crt_p_ctx =
+          std::make_unique<MontgomeryContext>(std::move(p_ctx).value());
+      b->crt_q_ctx =
+          std::make_unique<MontgomeryContext>(std::move(q_ctx).value());
+      b->crt = true;
+      if (opts_.use_fixed_base) {
+        b->crt_p_engine =
+            SharedFixedBaseEngine(b->h.Mod(b->crt_p_pow), b->crt_p_pow,
+                                  BlindingExponentBits(),
+                                  opts_.fixed_base_window);
+        b->crt_q_engine =
+            SharedFixedBaseEngine(b->h.Mod(b->crt_q_pow), b->crt_q_pow,
+                                  BlindingExponentBits(),
+                                  opts_.fixed_base_window);
+        b->crt_engines =
+            b->crt_p_engine != nullptr && b->crt_q_engine != nullptr;
+      }
+    }
+  }
+  lc.blinding = std::move(b);
+  return lc.blinding.get();
 }
 
-Status Encryptor::PrecomputeBlinding(size_t count, Rng& rng,
-                                     int level) const {
+Result<BigInt> Encryptor::MakeBlinding(int level, Rng& rng) const {
+  const LevelCache& lc = Level(level);
+  PPGNN_ASSIGN_OR_RETURN(const LevelCache::Blinding* b, EnsureBlinding(level));
+  // One fixed-width draw regardless of path: the bit-identity guarantee
+  // (naive == fixed-base == CRT on the same RNG stream) requires every
+  // configuration to consume the same randomness AND compute the same
+  // exact residue h_s^t.
+  const BigInt t = BigInt::Random(BlindingExponentBits(), rng);
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  if (b->crt) {
+    BigInt blind_p;
+    BigInt blind_q;
+    if (b->crt_engines) {
+      fixed_base_evals_.fetch_add(1, std::memory_order_relaxed);
+      PPGNN_ASSIGN_OR_RETURN(blind_p, b->crt_p_engine->Pow(t));
+      PPGNN_ASSIGN_OR_RETURN(blind_q, b->crt_q_engine->Pow(t));
+    } else {
+      generic_evals_.fetch_add(1, std::memory_order_relaxed);
+      PPGNN_ASSIGN_OR_RETURN(
+          blind_p, ModExp(b->h.Mod(b->crt_p_pow), t, *b->crt_p_ctx));
+      PPGNN_ASSIGN_OR_RETURN(
+          blind_q, ModExp(b->h.Mod(b->crt_q_pow), t, *b->crt_q_ctx));
+    }
+    return CrtCombine(blind_p, b->crt_p_pow, blind_q, b->crt_q_pow);
+  }
+  if (b->engine != nullptr) {
+    fixed_base_evals_.fetch_add(1, std::memory_order_relaxed);
+    return b->engine->Pow(t);
+  }
+  generic_evals_.fetch_add(1, std::memory_order_relaxed);
+  if (lc.ctx != nullptr) return ModExp(b->h, t, *lc.ctx);
+  return ModExp(b->h, t, lc.modulus);
+}
+
+Status Encryptor::RefillBlindingPool(int level, size_t count,
+                                     Rng& rng) const {
   if (level < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
+  // The expensive exponentiations run outside the pool lock so request
+  // threads encrypting concurrently never block on the offline batch.
+  std::vector<BigInt> fresh;
+  fresh.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    PPGNN_ASSIGN_OR_RETURN(BigInt blind, MakeBlinding(level, rng));
+    fresh.push_back(std::move(blind));
+  }
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (pools_.size() <= static_cast<size_t>(level)) {
     pools_.resize(static_cast<size_t>(level) + 1);
   }
-  for (size_t i = 0; i < count; ++i) {
-    PPGNN_ASSIGN_OR_RETURN(BigInt blind, MakeBlinding(level, rng));
-    pools_[level].push_back(std::move(blind));
-  }
+  auto& pool = pools_[static_cast<size_t>(level)];
+  for (BigInt& blind : fresh) pool.push_back(std::move(blind));
+  refilled_.fetch_add(count, std::memory_order_relaxed);
   return Status::OK();
 }
 
 size_t Encryptor::PooledBlindingCount(int level) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (level < 1 || pools_.size() <= static_cast<size_t>(level)) return 0;
-  return pools_[level].size();
+  return pools_[static_cast<size_t>(level)].size();
+}
+
+Encryptor::BlindingStats Encryptor::blinding_stats() const {
+  BlindingStats stats;
+  stats.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  stats.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  stats.refilled = refilled_.load(std::memory_order_relaxed);
+  stats.fixed_base_evals = fixed_base_evals_.load(std::memory_order_relaxed);
+  stats.generic_evals = generic_evals_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    for (const auto& pool : pools_) stats.pooled += pool.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(level_mu_);
+    for (const auto& lc : levels_) {
+      if (lc == nullptr || lc->blinding == nullptr) continue;
+      const LevelCache::Blinding& b = *lc->blinding;
+      if (b.engine != nullptr) stats.table_bytes += b.engine->table_bytes();
+      if (b.crt_engines) {
+        stats.table_bytes += b.crt_p_engine->table_bytes();
+        stats.table_bytes += b.crt_q_engine->table_bytes();
+      }
+    }
+  }
+  return stats;
 }
 
 Result<Ciphertext> Encryptor::Encrypt(const BigInt& m, Rng& rng,
@@ -172,12 +314,25 @@ Result<Ciphertext> Encryptor::Encrypt(const BigInt& m, Rng& rng,
   PPGNN_ASSIGN_OR_RETURN(BigInt g_pow,
                          OnePlusNToM(m_red, pk_.n, level, lc.modulus));
 
-  // Blinding factor r^{N^s}: pooled (offline/online split) or fresh.
+  // Blinding factor h_s^t: pooled (offline/online split) or computed
+  // online — on the fixed-base path when the engine exists, so pool
+  // exhaustion degrades to the fast online cost, not the naive ladder.
   BigInt blind;
-  if (PooledBlindingCount(level) > 0) {
-    blind = std::move(pools_[level].back());
-    pools_[level].pop_back();
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (static_cast<size_t>(level) < pools_.size() &&
+        !pools_[static_cast<size_t>(level)].empty()) {
+      auto& pool = pools_[static_cast<size_t>(level)];
+      blind = std::move(pool.back());
+      pool.pop_back();
+      pooled = true;
+    }
+  }
+  if (pooled) {
+    pool_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
+    pool_misses_.fetch_add(1, std::memory_order_relaxed);
     PPGNN_ASSIGN_OR_RETURN(blind, MakeBlinding(level, rng));
   }
 

@@ -20,6 +20,22 @@
 // Damgård-Jurik's recursive discrete-log extraction. Both are exact for
 // any s >= 1.
 //
+// Blinding: the random term r^{N^s} is drawn as h_s^t for the fixed
+// public base h_s = g^{N^s} mod N^{s+1} (g = 2, a unit modulo every odd
+// semiprime N) and a fresh (key_bits + 64)-bit exponent t — the standard
+// Damgård-Jurik Section 4.2 shortcut. h_s^t ranges over the N^s-th
+// residues with a bias negligible in the 64 slack bits, so ciphertext
+// indistinguishability rests on the same DCR assumption as the scheme
+// itself. What the shortcut buys is a *fixed* base that lives as long as
+// the key: the exponentiation runs on a shared fixed-base window table
+// (bigint/fixedbase.h) instead of a full square-and-multiply ladder,
+// and secret-key holders additionally split it across p^{s+1} / q^{s+1}
+// with CRT recombination, mirroring the decrypt side. Every
+// configuration (generic ladder, fixed-base, CRT) computes the same
+// exact residue h_s^t, so ciphertexts are bit-identical for the same
+// RNG stream regardless of EncryptorOptions — the chaos/dedup/replay
+// machinery depends on that, and paillier_test enforces it.
+//
 // Exponentiation engine: an Encryptor (and Decryptor) owns one
 // MontgomeryContext per ciphertext level (and per CRT modulus), built
 // once and reused by every homomorphic operation, so no hot call ever
@@ -39,6 +55,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/fixedbase.h"
 #include "bigint/multiexp.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -97,18 +114,45 @@ struct Ciphertext {
 /// use small keys for speed).
 Result<KeyPair> GenerateKeyPair(int key_bits, Rng& rng);
 
-/// Encryption/evaluation context bound to a public key. Thread-compatible;
-/// the RNG for blinding randomness is passed per call. Holds one cached
-/// MontgomeryContext per ciphertext level; the homomorphic operations
-/// (Add, ScalarMul, DotProduct, DotEngine::Dot) are safe to call
-/// concurrently.
+/// Blinding-path knobs. The default is the fast configuration; the
+/// alternatives exist as differential references (every configuration
+/// produces bit-identical ciphertexts for the same RNG stream).
+struct EncryptorOptions {
+  /// Evaluate h_s^t on shared fixed-base window tables. false = the
+  /// retained generic-ladder reference path.
+  bool use_fixed_base = true;
+  /// Table digit width in bits; 0 = auto (see bigint/fixedbase.h).
+  int fixed_base_window = 0;
+  /// Split blinding across p^{s+1}/q^{s+1} with CRT recombination.
+  /// Only effective on Encryptors constructed with the secret key.
+  bool use_crt = true;
+};
+
+/// Encryption/evaluation context bound to a public key. The RNG for
+/// blinding randomness is passed per call. Holds one cached
+/// MontgomeryContext per ciphertext level. Thread-safety contract: the
+/// homomorphic operations (Add, ScalarMul, DotProduct, DotEngine::Dot)
+/// AND Encrypt / Rerandomize / RefillBlindingPool are all safe to call
+/// concurrently — the blinding pool is mutex-guarded precisely so a
+/// dedicated background thread can keep it topped up while request
+/// threads encrypt (service/blinding_refiller.h); lsp_service_test's
+/// TSan tier exercises that combination.
 class Encryptor {
  public:
   explicit Encryptor(PublicKey pk);
+  Encryptor(PublicKey pk, const EncryptorOptions& options);
+  /// Secret-key holder's context (the querying user owns the key pair in
+  /// PPGNN): enables the CRT-accelerated blinding path. The secret key
+  /// is copied; the Encryptor never exposes it.
+  explicit Encryptor(const KeyPair& keys,
+                     const EncryptorOptions& options = EncryptorOptions());
 
   const PublicKey& public_key() const { return pk_; }
 
-  /// Encrypts m (reduced into Z_{N^level}) at the given level.
+  /// Encrypts m (reduced into Z_{N^level}) at the given level. Consumes
+  /// randomness from `rng` only when the blinding pool for `level` is
+  /// empty (one fixed-width draw), so a pool-exhausted Encrypt is
+  /// byte-equivalent to a never-pooled one on the same RNG stream.
   Result<Ciphertext> Encrypt(const BigInt& m, Rng& rng, int level = 1) const;
 
   /// Homomorphic addition: Enc(m1 + m2). Levels must match.
@@ -176,16 +220,29 @@ class Encryptor {
     return op_count_.load(std::memory_order_relaxed);
   }
 
-  /// Offline phase: precomputes `count` blinding factors r^{N^level} so
-  /// that subsequent Encrypt calls at that level are a cheap plaintext
-  /// embedding plus one modular multiplication. This is the classic
-  /// Paillier offline/online split; the mobile-user cost of PPGNN's
-  /// indicator encryption drops by ~an order of magnitude when the pool
-  /// is warm (see bench_micro).
-  Status PrecomputeBlinding(size_t count, Rng& rng, int level = 1) const;
+  /// Offline phase of the offline/online split: generates `count`
+  /// blinding factors h_s^t in one batch and appends them to the pool
+  /// for `level`, so subsequent Encrypt calls are a cheap plaintext
+  /// embedding plus one modular multiplication. The exponentiations run
+  /// outside the pool lock — safe to call from a dedicated background
+  /// thread (service/blinding_refiller.h) while other threads encrypt.
+  Status RefillBlindingPool(int level, size_t count, Rng& rng) const;
 
   /// Blinding factors currently pooled for `level`.
   size_t PooledBlindingCount(int level) const;
+
+  /// Observability for the blinding pipeline (threaded into
+  /// ServiceStats). Counter reads are racy-but-monotonic snapshots.
+  struct BlindingStats {
+    uint64_t pool_hits = 0;      ///< Encrypt served from the pool
+    uint64_t pool_misses = 0;    ///< Encrypt fell through to an online path
+    uint64_t refilled = 0;       ///< factors produced by RefillBlindingPool
+    uint64_t fixed_base_evals = 0;  ///< h^t via fixed-base tables (CRT or not)
+    uint64_t generic_evals = 0;     ///< h^t via the generic ladder
+    size_t pooled = 0;           ///< currently pooled, summed over levels
+    size_t table_bytes = 0;      ///< fixed-base tables reachable from here
+  };
+  BlindingStats blinding_stats() const;
 
  private:
   /// Everything the level-s hot path needs, derived once: N^s, N^{s+1},
@@ -196,6 +253,26 @@ class Encryptor {
     BigInt n_s;      // N^level
     BigInt modulus;  // N^{level+1}
     std::unique_ptr<MontgomeryContext> ctx;
+
+    /// Blinding-base machinery, built lazily on first use (evaluation-only
+    /// Encryptors — e.g. the LSP's selection path — never pay for it):
+    /// h = h_s, the shared fixed-base engine over it, and, for secret-key
+    /// holders, the CRT split. Immutable once built; guarded by level_mu_
+    /// during construction.
+    struct Blinding {
+      BigInt h;  // g^{N^s} mod N^{s+1}, g = 2
+      std::shared_ptr<const FixedBaseEngine> engine;  // null on naive config
+      // CRT split (crt == true only when all pieces exist).
+      bool crt = false;
+      bool crt_engines = false;  // fixed-base tables on both CRT halves
+      BigInt crt_p_pow;  // p^{level+1}
+      BigInt crt_q_pow;  // q^{level+1}
+      std::unique_ptr<MontgomeryContext> crt_p_ctx;
+      std::unique_ptr<MontgomeryContext> crt_q_ctx;
+      std::shared_ptr<const FixedBaseEngine> crt_p_engine;
+      std::shared_ptr<const FixedBaseEngine> crt_q_engine;
+    };
+    mutable std::unique_ptr<Blinding> blinding;
   };
 
   /// Lazily builds (then reuses) the cache for `level`. Thread-safe;
@@ -203,17 +280,34 @@ class Encryptor {
   /// worker threads never contend on first touch.
   const LevelCache& Level(int level) const;
 
+  /// Lazily builds (then reuses) the blinding machinery for `level`.
+  /// The returned pointer stays valid for the Encryptor's lifetime.
+  Result<const LevelCache::Blinding*> EnsureBlinding(int level) const;
+
+  /// Bit width of the blinding exponent t.
+  int BlindingExponentBits() const { return pk_.key_bits + 64; }
+
   const BigInt& Modulus(int level) const;  // N^{level+1}
   Result<BigInt> MakeBlinding(int level, Rng& rng) const;
 
   PublicKey pk_;
+  EncryptorOptions opts_;
+  /// Secret key copy for the CRT blinding split; null for public-only
+  /// Encryptors.
+  std::unique_ptr<SecretKey> sk_;
   mutable std::atomic<uint64_t> op_count_{0};
   mutable std::mutex level_mu_;
   mutable std::vector<std::unique_ptr<LevelCache>> levels_;
-  // pools_[level] holds ready-made r^{N^level} mod N^{level+1} values.
-  // NOT thread-safe; only the homomorphic operations (Add, ScalarMul,
-  // DotProduct) may be called concurrently.
+  // pools_[level] holds ready-made h_s^t mod N^{level+1} values. Guarded
+  // by pool_mu_ (see the class comment's thread-safety contract).
+  mutable std::mutex pool_mu_;
   mutable std::vector<std::vector<BigInt>> pools_;
+  // Blinding pipeline counters (see BlindingStats).
+  mutable std::atomic<uint64_t> pool_hits_{0};
+  mutable std::atomic<uint64_t> pool_misses_{0};
+  mutable std::atomic<uint64_t> refilled_{0};
+  mutable std::atomic<uint64_t> fixed_base_evals_{0};
+  mutable std::atomic<uint64_t> generic_evals_{0};
 };
 
 /// Decryption context bound to a key pair.

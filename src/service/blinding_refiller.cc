@@ -1,0 +1,71 @@
+#include "service/blinding_refiller.h"
+
+#include <chrono>
+
+namespace ppgnn {
+
+BlindingRefiller::BlindingRefiller(std::shared_ptr<const Encryptor> encryptor,
+                                   BlindingRefillerOptions options)
+    : encryptor_(std::move(encryptor)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  if (options_.start_thread) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+BlindingRefiller::~BlindingRefiller() { Stop(); }
+
+Status BlindingRefiller::TopUpOnce() {
+  std::lock_guard<std::mutex> work(work_mu_);
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  Status first_error = Status::OK();
+  for (int level : options_.levels) {
+    const size_t have = encryptor_->PooledBlindingCount(level);
+    if (have >= options_.low_watermark) continue;
+    const size_t want = options_.target > have ? options_.target - have : 1;
+    Status status = encryptor_->RefillBlindingPool(level, want, rng_);
+    if (status.ok()) {
+      refilled_.fetch_add(want, std::memory_order_relaxed);
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = status;
+    }
+  }
+  return first_error;
+}
+
+void BlindingRefiller::Loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.poll_interval_seconds > 0 ? options_.poll_interval_seconds
+                                         : 0.002);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    // Failures are counted in stats(); the loop keeps going — a refill
+    // error (e.g. an injected failpoint) must not kill the offline
+    // pipeline for the process lifetime.
+    (void)TopUpOnce();
+    lock.lock();
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+  }
+}
+
+void BlindingRefiller::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+BlindingRefiller::Stats BlindingRefiller::stats() const {
+  Stats stats;
+  stats.passes = passes_.load(std::memory_order_relaxed);
+  stats.refilled = refilled_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ppgnn

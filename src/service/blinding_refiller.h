@@ -1,0 +1,102 @@
+// Background driver for the offline half of the Paillier offline/online
+// split: a dedicated thread that keeps an Encryptor's blinding pools
+// topped up so request threads encrypt at pooled cost (one multiply)
+// instead of paying the online exponentiation.
+//
+// The Encryptor's pool is mutex-guarded and RefillBlindingPool runs its
+// exponentiations outside that lock, so the refiller coexists with any
+// number of concurrent Encrypt callers (the TSan tier exercises this
+// against the LspService worker pool). Randomness comes from one seeded
+// ppgnn::Rng owned by the refiller — the pool's *contents* are
+// deterministic given the seed, which keeps chaos/replay runs
+// reproducible; only the interleaving of who consumes which pooled
+// factor is scheduling-dependent.
+//
+// Used by `ppgnn_cli --serve --blinding-pool N` for the load-generator
+// clients' shared Encryptor; see DESIGN.md section 12.
+
+#ifndef PPGNN_SERVICE_BLINDING_REFILLER_H_
+#define PPGNN_SERVICE_BLINDING_REFILLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "crypto/paillier.h"
+
+namespace ppgnn {
+
+struct BlindingRefillerOptions {
+  /// Ciphertext levels to keep warm.
+  std::vector<int> levels = {1, 2};
+  /// Refill a level when its pool drops below this...
+  size_t low_watermark = 32;
+  /// ...back up to this.
+  size_t target = 128;
+  /// Seed for the refiller's private Rng (blinding randomness).
+  uint64_t seed = 0xb11d5eed;
+  /// How long the thread sleeps between pool checks.
+  double poll_interval_seconds = 0.002;
+  /// Tests: construct without starting the thread (drive TopUpOnce
+  /// manually).
+  bool start_thread = true;
+};
+
+class BlindingRefiller {
+ public:
+  /// Starts the refill thread (unless options.start_thread is false).
+  /// The encryptor is shared: the refiller holds a reference for its
+  /// lifetime.
+  explicit BlindingRefiller(std::shared_ptr<const Encryptor> encryptor,
+                            BlindingRefillerOptions options = {});
+  ~BlindingRefiller();
+
+  BlindingRefiller(const BlindingRefiller&) = delete;
+  BlindingRefiller& operator=(const BlindingRefiller&) = delete;
+
+  /// One synchronous refill pass over all configured levels: tops up
+  /// every level below the low watermark to the target. Safe to call
+  /// concurrently with the background thread (serialized internally).
+  /// Returns the first refill error, if any.
+  Status TopUpOnce();
+
+  /// Stops and joins the background thread. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  struct Stats {
+    uint64_t passes = 0;    ///< TopUpOnce invocations (thread or manual)
+    uint64_t refilled = 0;  ///< blinding factors produced
+    uint64_t errors = 0;    ///< failed refill attempts
+  };
+  Stats stats() const;
+
+ private:
+  void Loop();
+
+  std::shared_ptr<const Encryptor> encryptor_;
+  BlindingRefillerOptions options_;
+
+  // Serializes refill passes (the thread and manual TopUpOnce callers);
+  // also guards rng_.
+  std::mutex work_mu_;
+  Rng rng_;
+
+  std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> refilled_{0};
+  std::atomic<uint64_t> errors_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_BLINDING_REFILLER_H_

@@ -9,28 +9,43 @@ namespace ppgnn {
 namespace {
 
 // Analytic coefficients, fitted to the EXPERIMENTS.md calibration runs
-// on the reference machine (1024-bit keys unless noted):
+// on the reference machine (1024-bit keys unless noted). Re-calibrated
+// after the fixed-base blinding engine landed: rerandomization inside
+// selection/sanitize now rides the shared comb, which shifted the
+// crypto constants down (see EXPERIMENTS.md section on the encrypt-side
+// engine).
 //
-//   BM_DotProduct multi-exp: 15.8 ms @ delta'=16, 51.8 ms @ 64,
-//   89.6 ms @ 128  ->  dot(delta') ~ 5.3 ms + 0.66 ms * delta',
+//   BM_DotProduct multi-exp: 12.2 ms @ delta'=16, 38.5 ms @ 64,
+//   75.0 ms @ 128  ->  dot(delta') ~ 3.2 ms + 0.56 ms * delta',
 //   split evenly between per-base window-table build (paid once per
 //   engine) and the per-row accumulation (paid m times).
 //
-//   LSP candidate + kNN + sanitize: ~119 ms at delta'=100 with
-//   sanitation at 60-70% of it  ->  ~0.4 ms per candidate blended.
+//   LSP candidate + kNN + sanitize: BM_PrivateSelection at 11.2 ms for
+//   delta'=100 with sanitation on top  ->  ~0.35 ms per candidate
+//   blended.
 //
 // Modular multiplication scales ~quadratically in the modulus size, so
 // everything crypto is multiplied by (key_bits/1024)^2. The EWMA in
 // CostModel::Observe absorbs machine-to-machine constant factors; only
 // the *shape* below has to be right.
-constexpr double kBaseSeconds = 1.0e-3;      // decode, framing, bookkeeping
-constexpr double kCandidateSeconds = 0.4e-3; // kNN + sanitize per candidate
-constexpr double kTableSeconds = 0.33e-3;    // window tables per column
-constexpr double kColumnSeconds = 0.35e-3;   // per column per row
+constexpr double kBaseSeconds = 1.0e-3;       // decode, framing, bookkeeping
+constexpr double kCandidateSeconds = 0.35e-3; // kNN + sanitize per candidate
+constexpr double kTableSeconds = 0.28e-3;     // window tables per column
+constexpr double kColumnSeconds = 0.28e-3;    // per column per row
 // Phase-2 scalars are 2*key_bits wide over N^3 arithmetic; ~4x a phase-1
 // column operation at the same key size.
 constexpr double kOptPhase2Factor = 4.0;
 constexpr double kMinPredictionSeconds = 1.0e-4;
+
+// Per-ciphertext encryption constants at 1024-bit keys, measured by
+// BM_Encrypt_* (bench_micro.cc); indexed [level - 1]. The exponentiation
+// paths walk a ~key_bits-wide exponent whose per-step multiply is
+// quadratic in the modulus, hence cubic key scaling; the pooled online
+// path is two modular multiplies, hence quadratic.
+constexpr double kEncryptNaiveSeconds[2] = {3.9e-3, 10.3e-3};
+constexpr double kEncryptFixedBaseSeconds[2] = {0.61e-3, 1.39e-3};
+constexpr double kEncryptCrtSeconds[2] = {0.58e-3, 0.99e-3};
+constexpr double kEncryptPooledSeconds[2] = {2.3e-6, 12.8e-6};
 
 size_t PackedIntsFor(int k, int key_bits) {
   // PoiCodec requires key_bits >= 128; admission validated the header but
@@ -64,6 +79,33 @@ double CostModel::AnalyticSeconds(const CostFeatures& f) {
                kOptPhase2Factor * key_scale;
   }
   return std::max(seconds, kMinPredictionSeconds);
+}
+
+double CostModel::AnalyticEncryptSeconds(int key_bits, int level,
+                                         EncryptPath path) {
+  const int idx = level >= 2 ? 1 : 0;
+  const double ratio = static_cast<double>(std::max(key_bits, 128)) / 1024.0;
+  switch (path) {
+    case EncryptPath::kNaive:
+      return kEncryptNaiveSeconds[idx] * ratio * ratio * ratio;
+    case EncryptPath::kFixedBase:
+      return kEncryptFixedBaseSeconds[idx] * ratio * ratio * ratio;
+    case EncryptPath::kCrt:
+      return kEncryptCrtSeconds[idx] * ratio * ratio * ratio;
+    case EncryptPath::kPooled:
+      return kEncryptPooledSeconds[idx] * ratio * ratio;
+  }
+  return kEncryptNaiveSeconds[idx] * ratio * ratio * ratio;
+}
+
+void CostModel::SeedPrior(const CostFeatures& f, double expected_seconds) {
+  if (!(expected_seconds > 0.0)) return;  // also rejects NaN
+  const double analytic = AnalyticSeconds(f);
+  const int b = BucketIndex(f);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bucket_count_[b] > 0) return;  // real data always wins
+  bucket_ratio_[b] = expected_seconds / analytic;
+  bucket_count_[b] = 1;
 }
 
 int CostModel::BucketIndex(const CostFeatures& f) {

@@ -1,5 +1,7 @@
 #include "service/workload.h"
 
+#include <optional>
+
 #include "common/failpoint.h"
 #include "core/candidate.h"
 #include "core/dummy.h"
@@ -13,8 +15,11 @@ namespace ppgnn {
 Result<ServiceRequest> BuildServiceRequest(
     Variant variant, const ProtocolParams& params,
     const std::vector<Point>& real_locations, const KeyPair& keys, Rng& rng,
-    const RequestWireOptions& wire) {
+    const RequestWireOptions& wire, const Encryptor* encryptor) {
   PPGNN_RETURN_IF_ERROR(params.Validate());
+  if (encryptor != nullptr && !(encryptor->public_key().n == keys.pub.n))
+    return Status::InvalidArgument(
+        "encryptor does not wrap the request key pair");
   if (real_locations.size() != static_cast<size_t>(params.n))
     return Status::InvalidArgument("real_locations.size() != n");
 
@@ -66,7 +71,9 @@ Result<ServiceRequest> BuildServiceRequest(
   query.pk = keys.pub;
   query.deadline_ms = wire.deadline_ms;
   query.idempotency_key = wire.idempotency_key;
-  Encryptor enc(keys.pub);
+  std::optional<Encryptor> own_enc;
+  const Encryptor& enc =
+      encryptor != nullptr ? *encryptor : own_enc.emplace(keys.pub);
   if (variant == Variant::kPpgnnOpt) {
     query.is_opt = true;
     PoiCodec codec(params.key_bits);

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bigint/bigint.h"
+#include "bigint/fixedbase.h"
 #include "bigint/modular.h"
 #include "bigint/multiexp.h"
 #include "bigint/prime.h"
@@ -132,6 +133,34 @@ TEST(GmpDiffTest, MultiExp) {
     }
     EXPECT_EQ(MultiExp(bases, exps, ctx).value().ToHex(), acc.ToHex())
         << "iter " << iter << " t=" << t;
+  }
+}
+
+TEST(GmpDiffTest, FixedBasePow) {
+  // Fixed-base windowed tables vs mpz_powm, across digit widths and
+  // exponent sizes straddling the table capacity (the over-capacity
+  // fallback must agree too).
+  Rng rng(13);
+  for (int iter = 0; iter < 12; ++iter) {
+    BigInt mod = BigInt::Random(768 + static_cast<int>(rng.NextBelow(512)), rng);
+    if (!mod.IsOdd()) mod = mod + BigInt(1);
+    BigInt base = BigInt::RandomBelow(mod, rng);
+    if (base.IsZero()) base = BigInt(2);
+    const int window = 1 + static_cast<int>(rng.NextBelow(6));
+    const int capacity = 64 + static_cast<int>(rng.NextBelow(1024));
+    auto engine = FixedBaseEngine::Create(base, mod, capacity, window).value();
+    GmpInt gb(base), gm(mod);
+    for (int i = 0; i < 4; ++i) {
+      BigInt e = BigInt::Random(
+          1 + static_cast<int>(rng.NextBelow(
+                  static_cast<uint64_t>(capacity) + 256)),
+          rng);
+      GmpInt ge(e), out;
+      mpz_powm(out.v_, gb.v_, ge.v_, gm.v_);
+      EXPECT_EQ(engine.Pow(e).value().ToHex(), out.ToHex())
+          << "iter " << iter << " window " << window << " bits "
+          << e.BitLength() << "/" << capacity;
+    }
   }
 }
 

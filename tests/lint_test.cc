@@ -248,6 +248,39 @@ TEST(Determinism, ExemptPathsClean) {
   EXPECT_EQ(LintOne("src/service/backoff.cc", body).size(), 0u);
 }
 
+TEST(Determinism, ServiceExemptionDoesNotCoverFixedBaseCode) {
+  // The comb tables are derived from key material: a service file that
+  // touches the FixedBase machinery loses the service/ timing exemption
+  // and must not consume ambient entropy.
+  auto by_include =
+      LintOne("src/service/warmup.cc",
+              "#include \"bigint/fixedbase.h\"\n"
+              "#include <random>\n"
+              "unsigned Seed() {\n"
+              "  std::random_device rd;\n"
+              "  return rd();\n"
+              "}\n");
+  ASSERT_EQ(CountRule(by_include, "determinism"), 1u);
+  EXPECT_EQ(by_include[0].line, 4);
+
+  auto by_ident = LintOne("src/service/warmup.cc",
+                          "unsigned Seed(const FixedBaseEngine& engine) {\n"
+                          "  (void)engine;\n"
+                          "  return static_cast<unsigned>(time(nullptr));\n"
+                          "}\n");
+  EXPECT_EQ(CountRule(by_ident, "determinism"), 1u);
+}
+
+TEST(Determinism, ServiceTimingCodeStaysExemptWithoutFixedBase) {
+  // The classic service exemption is untouched for files that never go
+  // near the fixed-base tables.
+  auto findings = LintOne("src/service/backoff2.cc",
+                          "double Jitter() {\n"
+                          "  return static_cast<double>(time(nullptr));\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
 TEST(Determinism, TimeAsPlainIdentifierClean) {
   // `time` and `clock` are banned only as calls; variables keep the name.
   auto findings = LintOne("src/core/fixture.cc",

@@ -20,6 +20,7 @@
 #include "core/protocol.h"
 #include "core/wire.h"
 #include "crypto/poi_codec.h"
+#include "service/blinding_refiller.h"
 #include "service/lsp_service.h"
 #include "service/workload.h"
 #include "spatial/dataset.h"
@@ -684,6 +685,84 @@ TEST_F(ServiceTest, WireIdempotencyKeyPropagatesFromQueryTrailer) {
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.served, 1u);
   EXPECT_EQ(stats.dedup_replays, 1u);
+}
+
+TEST_F(ServiceTest, PooledEncryptorSharedAcrossClientsAndRefiller) {
+  // The Encryptor thread-safety contract under real contention (TSan
+  // tier): one pooled Encryptor shared by concurrent client threads
+  // building requests against the service worker pool, while a
+  // BlindingRefiller thread refills the same pools and Stats() snapshots
+  // the blinding counters mid-flight.
+  auto pooled = std::make_shared<const Encryptor>(*keys_);
+
+  ServiceConfig config;
+  config.workers = 3;
+  config.queue_capacity = 16;
+  config.sanitize = false;
+  config.observed_encryptor = pooled;
+  LspService service(*db_, config);
+
+  BlindingRefillerOptions refill;
+  refill.levels = {1};
+  refill.low_watermark = 8;
+  refill.target = 32;
+  refill.poll_interval_seconds = 0.0005;
+  BlindingRefiller refiller(pooled, refill);
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<int> answers{0}, errors{0}, transport_garbage{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(7000 + c);
+      Decryptor dec(keys_->pub, keys_->sec);
+      ProtocolParams params = GroupParams();
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        std::vector<Point> group;
+        for (int u = 0; u < params.n; ++u) {
+          group.push_back({rng.NextDouble(), rng.NextDouble()});
+        }
+        ServiceRequest request =
+            BuildServiceRequest(Variant::kPpgnn, params, group, *keys_, rng,
+                                {}, pooled.get())
+                .value();
+        std::vector<uint8_t> frame = service.Call(std::move(request));
+        auto reply = ParseServedReply(frame, *keys_, dec, /*layered=*/false);
+        if (!reply.ok()) {
+          transport_garbage.fetch_add(1);
+        } else if (reply->ok) {
+          answers.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+        // Snapshot stats concurrently with the refiller and the other
+        // clients — the read side of the contract.
+        (void)service.Stats();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  refiller.Stop();
+  service.Shutdown();
+
+  EXPECT_EQ(transport_garbage.load(), 0);
+  EXPECT_EQ(answers.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(errors.load(), 0);
+
+  const Encryptor::BlindingStats blinding = pooled->blinding_stats();
+  // Every ciphertext either hit the pool or blinded online; nothing fell
+  // back to the generic ladder (the fixed-base engine covers all paths).
+  EXPECT_GT(blinding.pool_hits + blinding.pool_misses, 0u);
+  EXPECT_EQ(blinding.generic_evals, 0u);
+  EXPECT_GT(refiller.stats().passes, 0u);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.blinding_pool_hits, blinding.pool_hits);
+  EXPECT_EQ(stats.blinding_pool_misses, blinding.pool_misses);
+  EXPECT_GT(stats.fixed_base_engines, 0u);
+  EXPECT_GT(stats.fixed_base_table_bytes, 0u);
 }
 
 }  // namespace

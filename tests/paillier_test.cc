@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "bigint/modular.h"
 
 namespace ppgnn {
@@ -283,7 +287,7 @@ TEST_F(PaillierTest, CrtAndDirectDecryptionAgree) {
 TEST_F(PaillierTest, BlindingPoolPreservesCorrectnessAndDrains) {
   Encryptor enc(keys_->pub);
   Decryptor dec(keys_->pub, keys_->sec);
-  ASSERT_TRUE(enc.PrecomputeBlinding(3, *rng_, 1).ok());
+  ASSERT_TRUE(enc.RefillBlindingPool(1, 3, *rng_).ok());
   EXPECT_EQ(enc.PooledBlindingCount(1), 3u);
   for (int i = 0; i < 5; ++i) {  // 3 pooled + 2 fresh
     Ciphertext ct = enc.Encrypt(BigInt(1000 + i), *rng_, 1).value();
@@ -294,7 +298,7 @@ TEST_F(PaillierTest, BlindingPoolPreservesCorrectnessAndDrains) {
 
 TEST_F(PaillierTest, PooledCiphertextsStillProbabilistic) {
   Encryptor enc(keys_->pub);
-  ASSERT_TRUE(enc.PrecomputeBlinding(2, *rng_, 1).ok());
+  ASSERT_TRUE(enc.RefillBlindingPool(1, 2, *rng_).ok());
   Ciphertext a = enc.Encrypt(BigInt(5), *rng_, 1).value();
   Ciphertext b = enc.Encrypt(BigInt(5), *rng_, 1).value();
   EXPECT_NE(a.value, b.value);
@@ -302,14 +306,99 @@ TEST_F(PaillierTest, PooledCiphertextsStillProbabilistic) {
 
 TEST_F(PaillierTest, BlindingPoolLevelsAreIndependent) {
   Encryptor enc(keys_->pub);
-  ASSERT_TRUE(enc.PrecomputeBlinding(2, *rng_, 2).ok());
+  ASSERT_TRUE(enc.RefillBlindingPool(2, 2, *rng_).ok());
   EXPECT_EQ(enc.PooledBlindingCount(1), 0u);
   EXPECT_EQ(enc.PooledBlindingCount(2), 2u);
   Decryptor dec(keys_->pub, keys_->sec);
   Ciphertext ct = enc.Encrypt(BigInt(77), *rng_, 2).value();
   EXPECT_EQ(dec.Decrypt(ct).value(), BigInt(77));
   EXPECT_EQ(enc.PooledBlindingCount(2), 1u);
-  EXPECT_FALSE(enc.PrecomputeBlinding(1, *rng_, 0).ok());
+  EXPECT_FALSE(enc.RefillBlindingPool(0, 1, *rng_).ok());
+}
+
+TEST_F(PaillierTest, BlindingPathsAreBitIdenticalOnSameRngStream) {
+  // The chaos/dedup/replay machinery depends on deterministic frames, so
+  // every blinding configuration must produce byte-identical ciphertexts
+  // from the same RNG stream: generic ladder, fixed-base tables (several
+  // widths), and the secret-key CRT split, with and without CRT tables.
+  EncryptorOptions naive;
+  naive.use_fixed_base = false;
+  naive.use_crt = false;
+  // Encryptor is non-movable (it owns mutexes and atomics), so hold the
+  // configurations through unique_ptr.
+  std::vector<std::pair<const char*, std::unique_ptr<Encryptor>>> configs;
+  configs.emplace_back("naive", std::make_unique<Encryptor>(keys_->pub, naive));
+  configs.emplace_back("fixed-base", std::make_unique<Encryptor>(keys_->pub));
+  EncryptorOptions narrow;
+  narrow.fixed_base_window = 2;
+  configs.emplace_back("fixed-base-w2",
+                       std::make_unique<Encryptor>(keys_->pub, narrow));
+  configs.emplace_back("crt", std::make_unique<Encryptor>(*keys_));
+  EncryptorOptions crt_ladder;
+  crt_ladder.use_fixed_base = false;
+  configs.emplace_back("crt-ladder",
+                       std::make_unique<Encryptor>(*keys_, crt_ladder));
+  for (int level : {1, 2}) {
+    for (int i = 0; i < 3; ++i) {
+      const BigInt m = BigInt::RandomBelow(keys_->pub.NPow(level), *rng_);
+      Rng reference_rng(9000 + i);
+      const Ciphertext reference =
+          configs[0].second->Encrypt(m, reference_rng, level).value();
+      for (auto& [name, enc] : configs) {
+        Rng rng(9000 + i);
+        Ciphertext ct = enc->Encrypt(m, rng, level).value();
+        EXPECT_EQ(ct.value, reference.value)
+            << name << " level " << level << " diverged";
+      }
+    }
+  }
+}
+
+TEST_F(PaillierTest, PoolExhaustionFallsBackEquivalently) {
+  // A pool-warmed Encryptor whose pool has drained must consume the RNG
+  // exactly like a never-pooled one: pooled Encrypts draw nothing, so
+  // post-exhaustion ciphertexts are byte-identical across the two.
+  Encryptor pooled(keys_->pub);
+  Encryptor fresh(keys_->pub);
+  Rng pool_rng(41);
+  ASSERT_TRUE(pooled.RefillBlindingPool(1, 2, pool_rng).ok());
+  Rng rng_a(42);
+  Rng rng_b(42);
+  // Drain the pool (no randomness consumed from rng_a)...
+  ASSERT_TRUE(pooled.Encrypt(BigInt(1), rng_a, 1).ok());
+  ASSERT_TRUE(pooled.Encrypt(BigInt(2), rng_a, 1).ok());
+  EXPECT_EQ(pooled.PooledBlindingCount(1), 0u);
+  // ...then the exhausted and never-pooled paths must coincide.
+  for (int i = 0; i < 3; ++i) {
+    Ciphertext a = pooled.Encrypt(BigInt(100 + i), rng_a, 1).value();
+    Ciphertext b = fresh.Encrypt(BigInt(100 + i), rng_b, 1).value();
+    EXPECT_EQ(a.value, b.value) << "post-exhaustion encrypt " << i;
+  }
+  // And the exhausted path ran on the fixed-base engine, not the ladder.
+  Encryptor::BlindingStats stats = pooled.blinding_stats();
+  EXPECT_EQ(stats.pool_hits, 2u);
+  EXPECT_EQ(stats.pool_misses, 3u);
+  EXPECT_EQ(stats.refilled, 2u);
+  EXPECT_GE(stats.fixed_base_evals, 3u);
+  EXPECT_EQ(stats.generic_evals, 0u);
+  EXPECT_GT(stats.table_bytes, 0u);
+}
+
+TEST_F(PaillierTest, CrtEncryptorDecryptsAndPools) {
+  // The secret-key (CRT) encrypt path must interoperate with everything
+  // else: decryption, the pool, and level 2.
+  Encryptor enc(*keys_);
+  Decryptor dec(keys_->pub, keys_->sec);
+  Rng rng(77);
+  ASSERT_TRUE(enc.RefillBlindingPool(2, 2, rng).ok());
+  for (int level : {1, 2}) {
+    for (int i = 0; i < 4; ++i) {
+      BigInt m = BigInt::RandomBelow(keys_->pub.NPow(level), rng);
+      Ciphertext ct = enc.Encrypt(m, rng, level).value();
+      EXPECT_EQ(dec.Decrypt(ct).value(), m) << "level " << level;
+    }
+  }
+  EXPECT_EQ(enc.PooledBlindingCount(2), 0u);
 }
 
 TEST(PaillierSoakTest, ManyRandomRoundTrips) {

@@ -406,10 +406,31 @@ void CheckSecretFlow(const FileContext& ctx, std::vector<Finding>* out) {
 
 void CheckDeterminism(const FileContext& ctx, std::vector<Finding>* out) {
   const std::string& path = ctx.file->path;
-  // common/random wraps the one sanctioned seed source; service/ owns
-  // wall-clock deadlines and backoff timing by design.
-  if (StartsWith(path, "src/common/random") || StartsWith(path, "src/service/"))
-    return;
+  // common/random wraps the one sanctioned seed source.
+  if (StartsWith(path, "src/common/random")) return;
+  // service/ owns wall-clock deadlines and backoff timing by design —
+  // but that exemption does not extend to service code touching the
+  // fixed-base machinery: the comb tables are derived from key material
+  // and the blinding pools must replay bit-identically from seeded Rngs,
+  // so neither may consume ambient entropy. A service file that includes
+  // bigint/fixedbase.h or names a FixedBase entity is scanned like any
+  // other crypto-adjacent file.
+  if (StartsWith(path, "src/service/")) {
+    bool touches_fixed_base = false;
+    for (const Token& t : ctx.tokens) {
+      if (t.kind == TokKind::kIdent &&
+          t.text.find("FixedBase") != std::string::npos) {
+        touches_fixed_base = true;
+        break;
+      }
+      if (t.kind == TokKind::kString &&
+          t.text.find("bigint/fixedbase.h") != std::string::npos) {
+        touches_fixed_base = true;
+        break;
+      }
+    }
+    if (!touches_fixed_base) return;
+  }
 
   // Banned outright: ambient entropy and wall-clock sources.
   static const std::set<std::string> kBannedAlways = {
