@@ -19,6 +19,16 @@
 //   PPGNN_BENCH_WORKERS            service workers in overload mode (4)
 //   PPGNN_BENCH_DEADLINE_MS        per-request deadline (500)
 //   PPGNN_BENCH_OVERLOAD_SECONDS   seconds per offered-load phase (3)
+//
+// Cluster mode (`bench_service_throughput --cluster`): the scatter-gather
+// story. For S in {1, 2, 4, 8} shards it measures closed-loop capacity,
+// then offers 1x / 2x / 4x that rate open-loop and reports goodput and
+// the degraded-merge counter. A final phase kills one shard link (via
+// the shard.link.<j> failpoint) at 1x offered load and checks the
+// cluster's acceptance invariants: zero failed queries (every reply is
+// an answer or a structured overload/deadline error — the dead shard
+// only degrades merges) and degraded_shards > 0. Shares the overload
+// knobs above.
 
 #include <atomic>
 #include <condition_variable>
@@ -318,12 +328,246 @@ int RunOverloadMode() {
   return abandoned_total == 0 ? 0 : 1;
 }
 
+// --- cluster mode ---
+
+struct ClusterPhase {
+  double offered_qps = 0;
+  double goodput_qps = 0;
+  uint64_t offered = 0;
+  uint64_t answers = 0;
+  uint64_t overloaded = 0;
+  uint64_t expired = 0;
+  uint64_t failed = 0;  // kInternal / undecodable — real failures
+  uint64_t degraded = 0;  // degraded_shards delta over the phase
+};
+
+/// Offers `rate_qps` open-loop against the cluster front for `seconds`.
+ClusterPhase DriveClusterPhase(ShardedLspService& cluster,
+                               const std::vector<ServiceRequest>& pool,
+                               double rate_qps, double seconds,
+                               uint64_t deadline_ms) {
+  const uint64_t offered =
+      static_cast<uint64_t>(rate_qps * seconds) > 0
+          ? static_cast<uint64_t>(rate_qps * seconds)
+          : 1;
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / rate_qps));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t replied = 0;
+  ClusterPhase phase;
+  phase.offered = offered;
+  const uint64_t degraded_before = cluster.Stats().degraded_shards;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto next_send = start;
+  for (uint64_t i = 0; i < offered; ++i) {
+    std::this_thread::sleep_until(next_send);
+    next_send += interval;
+    ServiceRequest request = pool[i % pool.size()];
+    request.deadline_seconds = static_cast<double>(deadline_ms) / 1e3;
+    (void)cluster.Submit(std::move(request), [&](std::vector<uint8_t> frame) {
+      auto decoded = ResponseFrame::Decode(frame);
+      std::lock_guard<std::mutex> lock(mu);
+      if (!decoded.ok()) {
+        ++phase.failed;
+      } else if (!decoded->is_error) {
+        ++phase.answers;
+      } else if (decoded->error.code == WireError::kOverloaded) {
+        ++phase.overloaded;
+      } else if (decoded->error.code == WireError::kDeadlineExceeded) {
+        ++phase.expired;
+      } else {
+        ++phase.failed;
+      }
+      ++replied;
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return replied == offered; });
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  phase.offered_qps = elapsed > 0 ? static_cast<double>(offered) / elapsed : 0;
+  phase.goodput_qps =
+      elapsed > 0 ? static_cast<double>(phase.answers) / elapsed : 0;
+  phase.degraded = cluster.Stats().degraded_shards - degraded_before;
+  return phase;
+}
+
+/// Closed-loop sustainable rate of the cluster front (also a warm-up).
+double ClusterCapacity(ShardedLspService& cluster,
+                       const std::vector<ServiceRequest>& pool, int clients,
+                       int requests_per_client) {
+  std::atomic<uint64_t> served{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        ServiceRequest request =
+            pool[static_cast<size_t>(c * requests_per_client + i) %
+                 pool.size()];
+        std::vector<uint8_t> frame = cluster.Call(std::move(request));
+        auto decoded = ResponseFrame::Decode(frame);
+        if (decoded.ok() && !decoded->is_error) served.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return elapsed > 0 ? static_cast<double>(served.load()) / elapsed : 0;
+}
+
+int RunClusterMode() {
+  BenchConfig config;
+  config.key_bits = EnvInt("PPGNN_BENCH_KEYBITS", 256);
+  config.db_size = static_cast<size_t>(EnvInt("PPGNN_BENCH_DB", 10000));
+  const int workers = EnvInt("PPGNN_BENCH_WORKERS", 4);
+  const uint64_t deadline_ms =
+      static_cast<uint64_t>(EnvInt("PPGNN_BENCH_DEADLINE_MS", 500));
+  const double phase_seconds =
+      static_cast<double>(EnvInt("PPGNN_BENCH_OVERLOAD_SECONDS", 3));
+
+  std::printf("==== Sharded cluster goodput sweep ====\n");
+  std::printf(
+      "(|D|=%zu, key_bits=%d, %d front workers, deadline=%llums, %.0fs "
+      "per phase)\n",
+      config.db_size, config.key_bits, workers,
+      static_cast<unsigned long long>(deadline_ms), phase_seconds);
+
+  std::vector<Poi> pois = GenerateSequoiaLike(config.db_size, config.seed);
+  Rng key_rng(config.seed + 1);
+  KeyPair keys = ValueOrDie(GenerateKeyPair(config.key_bits, key_rng));
+
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 4;
+  params.delta = 8;
+  params.k = 3;
+  params.key_bits = config.key_bits;
+  params.sanitize = false;
+
+  std::vector<ServiceRequest> pool;
+  {
+    Rng rng(config.seed + 77);
+    for (int i = 0; i < 32; ++i) {
+      auto group = bench::RandomGroup(params.n, rng);
+      pool.push_back(ValueOrDie(
+          BuildServiceRequest(Variant::kPpgnn, params, group, keys, rng)));
+    }
+  }
+
+  auto make_cluster = [&](int shards) {
+    ShardClusterConfig cluster_config;
+    cluster_config.shards = shards;
+    cluster_config.front.workers = workers;
+    cluster_config.front.queue_capacity = 64;
+    cluster_config.front.sanitize = false;
+    cluster_config.shard.workers = workers;
+    cluster_config.link_policy.seed = config.seed ^ 0x5a4dull;
+    return std::make_unique<ShardedLspService>(pois,
+                                               std::move(cluster_config));
+  };
+
+  std::printf("%-7s %-6s %-12s %-12s %-8s %-10s %-8s %-7s %-9s\n", "shards",
+              "load", "offered_qps", "goodput_qps", "answers", "overloaded",
+              "expired", "failed", "degraded");
+  uint64_t failed_total = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    auto cluster = make_cluster(shards);
+    const double capacity =
+        ClusterCapacity(*cluster, pool, workers, 8);
+    if (capacity <= 0) {
+      std::fprintf(stderr, "capacity measurement failed at S=%d\n", shards);
+      return 1;
+    }
+    for (double factor : {1.0, 2.0, 4.0}) {
+      ClusterPhase phase = DriveClusterPhase(
+          *cluster, pool, factor * capacity, phase_seconds, deadline_ms);
+      failed_total += phase.failed;
+      std::printf(
+          "%-7d %-6.1f %-12.2f %-12.2f %-8llu %-10llu %-8llu %-7llu "
+          "%-9llu\n",
+          shards, factor, phase.offered_qps, phase.goodput_qps,
+          static_cast<unsigned long long>(phase.answers),
+          static_cast<unsigned long long>(phase.overloaded),
+          static_cast<unsigned long long>(phase.expired),
+          static_cast<unsigned long long>(phase.failed),
+          static_cast<unsigned long long>(phase.degraded));
+      if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+        if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+          std::fprintf(f, "cluster_goodput,%d,%.1f,%.3f,%.3f,%llu,%llu\n",
+                       shards, factor, phase.offered_qps, phase.goodput_qps,
+                       static_cast<unsigned long long>(phase.answers),
+                       static_cast<unsigned long long>(phase.degraded));
+          std::fclose(f);
+        }
+      }
+    }
+    cluster->Shutdown();
+  }
+
+  // Killed-shard phase: S=4, one link hard down, 1x offered load. The
+  // invariant is resilience, not throughput: zero failed queries and a
+  // nonzero degraded-merge count.
+  uint64_t killed_failed = 0, killed_degraded = 0;
+  {
+    auto cluster = make_cluster(4);
+    const double capacity = ClusterCapacity(*cluster, pool, workers, 8);
+    Status armed = FailpointSetFromSpec("shard.link.3=error");
+    if (!armed.ok()) {
+      std::fprintf(stderr, "arming shard.link.3: %s\n",
+                   armed.ToString().c_str());
+      return 1;
+    }
+    ClusterPhase phase = DriveClusterPhase(*cluster, pool, capacity,
+                                           phase_seconds, deadline_ms);
+    FailpointClearAll();
+    killed_failed = phase.failed;
+    killed_degraded = phase.degraded;
+    std::printf(
+        "%-7s %-6.1f %-12.2f %-12.2f %-8llu %-10llu %-8llu %-7llu "
+        "%-9llu\n",
+        "4-kill", 1.0, phase.offered_qps, phase.goodput_qps,
+        static_cast<unsigned long long>(phase.answers),
+        static_cast<unsigned long long>(phase.overloaded),
+        static_cast<unsigned long long>(phase.expired),
+        static_cast<unsigned long long>(phase.failed),
+        static_cast<unsigned long long>(phase.degraded));
+    cluster->Shutdown();
+  }
+
+  std::printf("killed-shard failures: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(killed_failed),
+              killed_failed == 0 ? "PASS" : "FAIL");
+  std::printf("killed-shard degraded merges: %llu (acceptance: > 0) %s\n",
+              static_cast<unsigned long long>(killed_degraded),
+              killed_degraded > 0 ? "PASS" : "FAIL");
+  std::printf("healthy-phase failures: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(failed_total),
+              failed_total == 0 ? "PASS" : "FAIL");
+  return (killed_failed == 0 && killed_degraded > 0 && failed_total == 0)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--overload") == 0) return RunOverloadMode();
-    std::fprintf(stderr, "unknown flag: %s (try --overload)\n", argv[i]);
+    if (std::strcmp(argv[i], "--cluster") == 0) return RunClusterMode();
+    std::fprintf(stderr, "unknown flag: %s (try --overload or --cluster)\n",
+                 argv[i]);
     return 2;
   }
   BenchConfig config;

@@ -31,21 +31,11 @@ LspDatabase::LspDatabase(std::vector<Poi> pois)
     : tree_(RTree::Build(std::move(pois))),
       solver_(std::make_unique<MbmGnnSolver>(&tree_)) {}
 
-namespace {
-
-/// Round-trips a point through the 8-byte wire format (the paper
-/// transmits 8 bytes per location/POI). The plaintext reference applies
-/// the same quantization so results compare bit-exactly with the
-/// protocol, whose locations genuinely travel through the wire codecs.
-Point QuantizePoint(const Point& p) {
-  return {DequantizeCoord(QuantizeCoord(p.x)),
-          DequantizeCoord(QuantizeCoord(p.y))};
-}
-
-/// Deterministic per-candidate seed for the sanitation Monte-Carlo, so a
-/// candidate's sanitized answer does not depend on the order in which LSP
-/// processes candidates (and the plaintext reference can reproduce it).
-uint64_t SanitizeSeed(const std::vector<Point>& locations, int k) {
+/// FNV mix over (k, quantized coords): order-dependent within one
+/// candidate's location list but independent of candidate *processing*
+/// order, so the sanitized answer is the same whichever worker — or
+/// whichever node of the sharded cluster — handles the candidate.
+uint64_t LspSanitizeSeed(const std::vector<Point>& locations, int k) {
   uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(k);
   auto mix = [&h](uint64_t v) {
     h ^= v;
@@ -56,6 +46,17 @@ uint64_t SanitizeSeed(const std::vector<Point>& locations, int k) {
     mix(QuantizeCoord(p.y));
   }
   return h;
+}
+
+namespace {
+
+/// Round-trips a point through the 8-byte wire format (the paper
+/// transmits 8 bytes per location/POI). The plaintext reference applies
+/// the same quantization so results compare bit-exactly with the
+/// protocol, whose locations genuinely travel through the wire codecs.
+Point QuantizePoint(const Point& p) {
+  return {DequantizeCoord(QuantizeCoord(p.x)),
+          DequantizeCoord(QuantizeCoord(p.y))};
 }
 
 struct Plan {
@@ -155,7 +156,7 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
           lsp.solver().Query(candidate, query.k, query.aggregate);
       if (sanitizer_ptr != nullptr) {
         double t0 = ThreadCpuSeconds();
-        Rng candidate_rng(SanitizeSeed(candidate, query.k));
+        Rng candidate_rng(LspSanitizeSeed(candidate, query.k));
         answer = sanitizer_ptr->Sanitize(answer, candidate, query.aggregate,
                                          candidate_rng, &worker_stats[worker],
                                          lsp.distance_oracle());
@@ -255,6 +256,39 @@ Result<std::vector<uint8_t>> LspHandleQuery(
   return answer.Encode(query.pk);
 }
 
+Result<std::vector<uint8_t>> LspHandleShardQuery(
+    const LspDatabase& lsp, const std::vector<uint8_t>& query_bytes,
+    QueryInstrumentation* info, const std::atomic<bool>* cancel) {
+  QueryInstrumentation local_info;
+  if (info == nullptr) info = &local_info;
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.process"));
+  PPGNN_ASSIGN_OR_RETURN(ShardQueryMessage query,
+                         ShardQueryMessage::Decode(query_bytes));
+  info->delta_prime = query.candidates.size();
+  ShardAnswerMessage answer;
+  answer.candidates.reserve(query.candidates.size());
+  for (const ShardQueryMessage::Candidate& candidate : query.candidates) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("lsp: shard query abandoned");
+    }
+    PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.candidate"));
+    std::vector<RankedPoi> ranked =
+        lsp.solver().Query(candidate.locations, query.k, query.aggregate);
+    ShardAnswerMessage::CandidateResult result;
+    result.index = candidate.index;
+    result.results.reserve(ranked.size());
+    for (const RankedPoi& rp : ranked) {
+      ShardAnswerMessage::Ranked out;
+      out.poi_id = rp.poi.id;
+      out.location = rp.poi.location;
+      out.cost = rp.cost;
+      result.results.push_back(out);
+    }
+    answer.candidates.push_back(std::move(result));
+  }
+  return answer.Encode();
+}
+
 std::vector<RankedPoi> ReferenceAnswer(const ProtocolParams& params,
                                        const std::vector<Point>& real_locations,
                                        const LspDatabase& lsp, Rng&) {
@@ -266,7 +300,7 @@ std::vector<RankedPoi> ReferenceAnswer(const ProtocolParams& params,
   if (params.sanitize && params.n > 1) {
     auto sanitizer = AnswerSanitizer::Create(params.theta0, params.test);
     if (sanitizer.ok()) {
-      Rng rng(SanitizeSeed(quantized, params.k));
+      Rng rng(LspSanitizeSeed(quantized, params.k));
       answer = sanitizer->Sanitize(answer, quantized, params.aggregate, rng,
                                    nullptr, lsp.distance_oracle());
     }

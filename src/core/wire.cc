@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "common/failpoint.h"
 #include "crypto/poi_codec.h"
@@ -11,6 +12,12 @@ namespace {
 
 constexpr uint8_t kIndicatorPlain = 0;
 constexpr uint8_t kIndicatorOpt = 1;
+
+/// Leading byte of shard-link messages. A QueryMessage's first varint is
+/// k >= 1 and an AnswerMessage's first varint is its count >= 1, so 0x00
+/// is unreachable as the first byte of either — one endpoint can carry
+/// both the encrypted protocol and the plaintext shard fan-out.
+constexpr uint8_t kShardMagic = 0x00;
 
 constexpr uint8_t kFrameAnswer = 0;
 constexpr uint8_t kFrameError = 1;
@@ -138,6 +145,14 @@ Result<std::vector<uint8_t>> QueryMessage::Encode() const {
   for (int nb : plan.n_bar) w.PutVarint(static_cast<uint64_t>(nb));
   w.PutVarint(static_cast<uint64_t>(plan.beta()));
   for (int db : plan.d_bar) w.PutVarint(static_cast<uint64_t>(db));
+  // key_bits travels explicitly: reconstructing it from the modulus byte
+  // count over-reports by up to 7 bits whenever key_bits is not a multiple
+  // of 8, which desynchronizes CostModel bucketing across shard hops.
+  if (static_cast<uint64_t>(pk.key_bits) < kMinWireKeyBits ||
+      static_cast<uint64_t>(pk.key_bits) > kMaxWireKeyBits) {
+    return Status::InvalidArgument("wire: key_bits out of range");
+  }
+  w.PutVarint(static_cast<uint64_t>(pk.key_bits));
   PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> pk_bytes,
                          pk.n.ToBytesPadded(pk.ByteSize()));
   w.PutBytes(pk_bytes);
@@ -204,11 +219,14 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
   PPGNN_ASSIGN_OR_RETURN(msg.plan.delta_prime,
                          CheckedPlanDeltaPrime(msg.plan));
 
+  PPGNN_ASSIGN_OR_RETURN(uint64_t key_bits, r.GetVarint());
+  if (key_bits < kMinWireKeyBits || key_bits > kMaxWireKeyBits)
+    return Status::InvalidArgument("wire: key_bits out of range");
   PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> pk_bytes, r.GetBytes());
-  if (pk_bytes.empty() || pk_bytes.size() % 8 != 0)
+  if (pk_bytes.size() != (key_bits + 7) / 8)
     return Status::InvalidArgument("wire: bad public key width");
   msg.pk.n = BigInt::FromBytes(pk_bytes);
-  msg.pk.key_bits = static_cast<int>(pk_bytes.size() * 8);
+  msg.pk.key_bits = static_cast<int>(key_bits);
   if (msg.pk.n.BitLength() != msg.pk.key_bits)
     return Status::InvalidArgument("wire: public key not full-width");
 
@@ -254,6 +272,35 @@ Result<QueryMessage> QueryMessage::Decode(const std::vector<uint8_t>& bytes) {
 Result<QueryWireHeader> PeekQueryHeader(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   QueryWireHeader header;
+  if (IsShardQuery(bytes)) {
+    // Plaintext shard fan-out: expose k and the shipped candidate count so
+    // queueing/dedup still work, but leave key material zeroed — the
+    // crypto-calibrated cost model must not price this request.
+    header.is_shard = true;
+    PPGNN_RETURN_IF_ERROR(r.GetU8().status());  // magic
+    PPGNN_ASSIGN_OR_RETURN(uint64_t sk64, r.GetVarint());
+    if (sk64 < 1 || sk64 > kMaxWireK)
+      return Status::InvalidArgument("wire: k out of range");
+    header.k = static_cast<int>(sk64);
+    PPGNN_ASSIGN_OR_RETURN(uint8_t agg, r.GetU8());
+    if (agg > static_cast<uint8_t>(AggregateKind::kMin))
+      return Status::InvalidArgument("wire: bad aggregate kind");
+    PPGNN_ASSIGN_OR_RETURN(header.delta_prime, r.GetVarint());
+    if (header.delta_prime < 1 || header.delta_prime > kMaxWireDeltaPrime)
+      return Status::InvalidArgument("wire: candidate count out of range");
+    for (uint64_t i = 0; i < header.delta_prime; ++i) {
+      PPGNN_RETURN_IF_ERROR(r.GetVarint().status());  // global index
+      PPGNN_ASSIGN_OR_RETURN(uint64_t pts, r.GetVarint());
+      if (pts < 1 || pts > kMaxWireSubgroupSize)
+        return Status::InvalidArgument("wire: candidate size out of range");
+      for (uint64_t j = 0; j < 2 * pts; ++j) {
+        PPGNN_RETURN_IF_ERROR(r.GetDouble().status());
+      }
+    }
+    PPGNN_RETURN_IF_ERROR(
+        ReadQueryTrailer(r, &header.deadline_ms, &header.idempotency_key));
+    return header;
+  }
   PPGNN_ASSIGN_OR_RETURN(uint64_t k64, r.GetVarint());
   if (k64 < 1 || k64 > kMaxWireK)
     return Status::InvalidArgument("wire: k out of range");
@@ -281,10 +328,13 @@ Result<QueryWireHeader> PeekQueryHeader(const std::vector<uint8_t>& bytes) {
   }
   PPGNN_ASSIGN_OR_RETURN(header.delta_prime, CheckedPlanDeltaPrime(plan));
 
+  PPGNN_ASSIGN_OR_RETURN(uint64_t key_bits, r.GetVarint());
+  if (key_bits < kMinWireKeyBits || key_bits > kMaxWireKeyBits)
+    return Status::InvalidArgument("wire: key_bits out of range");
   PPGNN_ASSIGN_OR_RETURN(uint64_t pk_len, r.SkipBytes());
-  if (pk_len == 0 || pk_len % 8 != 0)
+  if (pk_len != (key_bits + 7) / 8)
     return Status::InvalidArgument("wire: bad public key width");
-  header.key_bits = static_cast<int>(pk_len * 8);
+  header.key_bits = static_cast<int>(key_bits);
 
   PPGNN_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
   uint64_t body_count = 0;
@@ -313,6 +363,154 @@ Result<QueryWireHeader> PeekQueryHeader(const std::vector<uint8_t>& bytes) {
   PPGNN_RETURN_IF_ERROR(
       ReadQueryTrailer(r, &header.deadline_ms, &header.idempotency_key));
   return header;
+}
+
+bool IsShardQuery(const std::vector<uint8_t>& bytes) {
+  return !bytes.empty() && bytes[0] == kShardMagic;
+}
+
+Result<std::vector<uint8_t>> ShardQueryMessage::Encode() const {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.shard.encode"));
+  if (k < 1 || static_cast<uint64_t>(k) > kMaxWireK)
+    return Status::InvalidArgument("wire: k out of range");
+  if (candidates.empty() || candidates.size() > kMaxWireDeltaPrime)
+    return Status::InvalidArgument("wire: candidate count out of range");
+  ByteWriter w;
+  w.PutU8(kShardMagic);
+  w.PutVarint(static_cast<uint64_t>(k));
+  w.PutU8(static_cast<uint8_t>(aggregate));
+  w.PutVarint(candidates.size());
+  for (const Candidate& c : candidates) {
+    if (c.index > kMaxWireDeltaPrime)
+      return Status::InvalidArgument("wire: candidate index out of range");
+    if (c.locations.empty() || c.locations.size() > kMaxWireSubgroupSize)
+      return Status::InvalidArgument("wire: candidate size out of range");
+    w.PutVarint(c.index);
+    w.PutVarint(c.locations.size());
+    // Raw IEEE doubles, not the 8-byte quantization: the shard's solver
+    // must see the exact values the coordinator's own solver would.
+    for (const Point& p : c.locations) {
+      w.PutDouble(p.x);
+      w.PutDouble(p.y);
+    }
+  }
+  if (deadline_ms != 0 || idempotency_key != 0) {
+    if (deadline_ms > kMaxWireMillis)
+      return Status::InvalidArgument("wire: deadline_ms out of range");
+    w.PutU8(kQueryTrailerTag);
+    w.PutVarint(deadline_ms);
+    w.PutU64(idempotency_key);
+  }
+  return w.Release();
+}
+
+Result<ShardQueryMessage> ShardQueryMessage::Decode(
+    const std::vector<uint8_t>& bytes) {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.shard.decode"));
+  ByteReader r(bytes);
+  ShardQueryMessage msg;
+  PPGNN_ASSIGN_OR_RETURN(uint8_t magic, r.GetU8());
+  if (magic != kShardMagic)
+    return Status::InvalidArgument("wire: missing shard magic");
+  PPGNN_ASSIGN_OR_RETURN(uint64_t k64, r.GetVarint());
+  if (k64 < 1 || k64 > kMaxWireK)
+    return Status::InvalidArgument("wire: k out of range");
+  msg.k = static_cast<int>(k64);
+  PPGNN_ASSIGN_OR_RETURN(uint8_t agg, r.GetU8());
+  if (agg > static_cast<uint8_t>(AggregateKind::kMin))
+    return Status::InvalidArgument("wire: bad aggregate kind");
+  msg.aggregate = static_cast<AggregateKind>(agg);
+  PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count < 1 || count > kMaxWireDeltaPrime)
+    return Status::InvalidArgument("wire: candidate count out of range");
+  msg.candidates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Candidate c;
+    PPGNN_ASSIGN_OR_RETURN(c.index, r.GetVarint());
+    if (c.index > kMaxWireDeltaPrime)
+      return Status::InvalidArgument("wire: candidate index out of range");
+    PPGNN_ASSIGN_OR_RETURN(uint64_t pts, r.GetVarint());
+    if (pts < 1 || pts > kMaxWireSubgroupSize)
+      return Status::InvalidArgument("wire: candidate size out of range");
+    c.locations.reserve(pts);
+    for (uint64_t j = 0; j < pts; ++j) {
+      Point p;
+      PPGNN_ASSIGN_OR_RETURN(p.x, r.GetDouble());
+      PPGNN_ASSIGN_OR_RETURN(p.y, r.GetDouble());
+      if (!std::isfinite(p.x) || !std::isfinite(p.y))
+        return Status::InvalidArgument("wire: non-finite candidate location");
+      c.locations.push_back(p);
+    }
+    msg.candidates.push_back(std::move(c));
+  }
+  PPGNN_RETURN_IF_ERROR(
+      ReadQueryTrailer(r, &msg.deadline_ms, &msg.idempotency_key));
+  return msg;
+}
+
+Result<std::vector<uint8_t>> ShardAnswerMessage::Encode() const {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.shard.encode"));
+  if (candidates.empty() || candidates.size() > kMaxWireDeltaPrime)
+    return Status::InvalidArgument("wire: candidate count out of range");
+  ByteWriter w;
+  w.PutU8(kShardMagic);
+  w.PutVarint(candidates.size());
+  for (const CandidateResult& c : candidates) {
+    if (c.index > kMaxWireDeltaPrime)
+      return Status::InvalidArgument("wire: candidate index out of range");
+    if (c.results.size() > kMaxWireK)
+      return Status::InvalidArgument("wire: result count out of range");
+    w.PutVarint(c.index);
+    w.PutVarint(c.results.size());
+    for (const Ranked& rk : c.results) {
+      w.PutU32(rk.poi_id);
+      w.PutDouble(rk.location.x);
+      w.PutDouble(rk.location.y);
+      w.PutDouble(rk.cost);
+    }
+  }
+  return w.Release();
+}
+
+Result<ShardAnswerMessage> ShardAnswerMessage::Decode(
+    const std::vector<uint8_t>& bytes) {
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("wire.shard.decode"));
+  ByteReader r(bytes);
+  ShardAnswerMessage msg;
+  PPGNN_ASSIGN_OR_RETURN(uint8_t magic, r.GetU8());
+  if (magic != kShardMagic)
+    return Status::InvalidArgument("wire: missing shard magic");
+  PPGNN_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count < 1 || count > kMaxWireDeltaPrime)
+    return Status::InvalidArgument("wire: candidate count out of range");
+  msg.candidates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CandidateResult c;
+    PPGNN_ASSIGN_OR_RETURN(c.index, r.GetVarint());
+    if (c.index > kMaxWireDeltaPrime)
+      return Status::InvalidArgument("wire: candidate index out of range");
+    PPGNN_ASSIGN_OR_RETURN(uint64_t results, r.GetVarint());
+    if (results > kMaxWireK)
+      return Status::InvalidArgument("wire: result count out of range");
+    c.results.reserve(results);
+    for (uint64_t j = 0; j < results; ++j) {
+      Ranked rk;
+      PPGNN_ASSIGN_OR_RETURN(rk.poi_id, r.GetU32());
+      PPGNN_ASSIGN_OR_RETURN(rk.location.x, r.GetDouble());
+      PPGNN_ASSIGN_OR_RETURN(rk.location.y, r.GetDouble());
+      PPGNN_ASSIGN_OR_RETURN(rk.cost, r.GetDouble());
+      // A NaN cost would break the strict-weak-ordering contract of the
+      // coordinator's merge sort; reject it at the trust boundary.
+      if (!std::isfinite(rk.location.x) || !std::isfinite(rk.location.y) ||
+          !std::isfinite(rk.cost)) {
+        return Status::InvalidArgument("wire: non-finite shard result");
+      }
+      c.results.push_back(rk);
+    }
+    msg.candidates.push_back(std::move(c));
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("wire: trailing bytes");
+  return msg;
 }
 
 std::vector<uint8_t> LocationSetMessage::Encode() const {

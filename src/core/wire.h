@@ -58,6 +58,11 @@ inline constexpr uint64_t kMaxWireErrorDetail = 1 << 10;    // bytes
 /// milliseconds) — far beyond any sane budget, small enough that seconds
 /// conversions cannot overflow a double's integer range.
 inline constexpr uint64_t kMaxWireMillis = 1ull << 30;
+/// Bounds on the explicit key_bits field: keys below the GenerateKeyPair
+/// floor or beyond any deployed size are rejected before the modulus bytes
+/// are even looked at.
+inline constexpr uint64_t kMinWireKeyBits = 64;
+inline constexpr uint64_t kMaxWireKeyBits = 1 << 16;
 
 /// The coordinator -> LSP query message (Algorithm 1, line 11).
 struct QueryMessage {
@@ -100,6 +105,12 @@ struct QueryWireHeader {
   uint64_t omega = 0;       ///< OPT block count (0 for plain)
   uint64_t deadline_ms = 0;
   uint64_t idempotency_key = 0;
+  /// True when the bytes are a ShardQueryMessage (plaintext candidate
+  /// evaluation) rather than a full encrypted QueryMessage. Shard queries
+  /// carry no key material, so key_bits/omega stay zero and the crypto
+  /// cost model must not be applied to them; delta_prime is the candidate
+  /// count shipped to this shard.
+  bool is_shard = false;
 };
 
 /// Bounds-checked header peek over QueryMessage bytes. Validation depth
@@ -108,6 +119,60 @@ struct QueryWireHeader {
 /// ciphertext body), which surfaces later as kMalformed.
 [[nodiscard]] Result<QueryWireHeader> PeekQueryHeader(
     const std::vector<uint8_t>& bytes);
+
+/// Coordinator -> shard candidate-evaluation request. The sharded cluster
+/// keeps all crypto at the coordinator: shards only run the plaintext kGNN
+/// over their POI slice, so this message ships raw (unquantized) candidate
+/// locations — the exact doubles the coordinator would have fed its own
+/// solver — keeping the S=1 cluster bit-identical to the single-node path.
+/// The leading 0x00 magic byte is unreachable as a QueryMessage (whose
+/// first varint is k >= 1), so one wire endpoint can serve both shapes.
+struct ShardQueryMessage {
+  struct Candidate {
+    /// Global candidate index within the subgroup/segment enumeration, so
+    /// a partial (degraded) gather still merges into the right
+    /// answer-matrix columns.
+    uint64_t index = 0;
+    std::vector<Point> locations;
+  };
+
+  int k = 0;
+  AggregateKind aggregate = AggregateKind::kSum;
+  std::vector<Candidate> candidates;
+  /// Same optional wire-v2 trailer as QueryMessage: the coordinator
+  /// propagates its remaining budget and a per-shard-derived idempotency
+  /// key through the fan-out so retried/hedged shard legs coalesce.
+  uint64_t deadline_ms = 0;
+  uint64_t idempotency_key = 0;
+
+  [[nodiscard]] Result<std::vector<uint8_t>> Encode() const;
+  [[nodiscard]] static Result<ShardQueryMessage> Decode(
+      const std::vector<uint8_t>& bytes);
+};
+
+/// Shard -> coordinator per-candidate top-k answer. Raw doubles again: the
+/// merge sorts on exactly the costs the shard's solver computed.
+struct ShardAnswerMessage {
+  struct Ranked {
+    uint32_t poi_id = 0;
+    Point location;
+    double cost = 0.0;
+  };
+  struct CandidateResult {
+    uint64_t index = 0;
+    std::vector<Ranked> results;
+  };
+
+  std::vector<CandidateResult> candidates;
+
+  [[nodiscard]] Result<std::vector<uint8_t>> Encode() const;
+  [[nodiscard]] static Result<ShardAnswerMessage> Decode(
+      const std::vector<uint8_t>& bytes);
+};
+
+/// True when the bytes carry the shard-query magic (leading 0x00). A
+/// QueryMessage can never start with 0x00 (its first varint is k >= 1).
+[[nodiscard]] bool IsShardQuery(const std::vector<uint8_t>& bytes);
 
 /// One user's (i, L_i) upload (Algorithm 1, line 15).
 struct LocationSetMessage {

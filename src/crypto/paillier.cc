@@ -1,5 +1,6 @@
 #include "crypto/paillier.h"
 
+#include <algorithm>
 #include <array>
 
 #include "bigint/modular.h"
@@ -251,25 +252,48 @@ Result<BigInt> Encryptor::MakeBlinding(int level, Rng& rng) const {
   return ModExp(b->h, t, lc.modulus);
 }
 
-Status Encryptor::RefillBlindingPool(int level, size_t count,
-                                     Rng& rng) const {
+Status Encryptor::RefillBlindingPool(int level, size_t count, Rng& rng,
+                                     size_t target,
+                                     size_t* refilled) const {
+  if (refilled != nullptr) *refilled = 0;
   if (level < 1) return Status::InvalidArgument("ciphertext level must be >= 1");
+  const size_t idx = static_cast<size_t>(level);
+  // Claim the quota under the lock *before* exponentiating. Without the
+  // claim, two refillers can both observe a low watermark, both compute
+  // a full batch outside the lock, and jointly over-fill the pool past
+  // target — work and memory the pool will never drain.
+  size_t claimed = count;
+  if (target != 0) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (pools_.size() <= idx) pools_.resize(idx + 1);
+    if (pending_refills_.size() <= idx) pending_refills_.resize(idx + 1);
+    const size_t committed = pools_[idx].size() + pending_refills_[idx];
+    claimed = committed >= target ? 0 : std::min(count, target - committed);
+    pending_refills_[idx] += claimed;
+  }
+  if (claimed == 0) return Status::OK();
   // The expensive exponentiations run outside the pool lock so request
   // threads encrypting concurrently never block on the offline batch.
   std::vector<BigInt> fresh;
-  fresh.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    PPGNN_ASSIGN_OR_RETURN(BigInt blind, MakeBlinding(level, rng));
-    fresh.push_back(std::move(blind));
+  fresh.reserve(claimed);
+  Status status = Status::OK();
+  for (size_t i = 0; i < claimed; ++i) {
+    Result<BigInt> blind = MakeBlinding(level, rng);
+    if (!blind.ok()) {
+      status = blind.status();
+      break;
+    }
+    fresh.push_back(std::move(blind).value());
   }
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pools_.size() <= static_cast<size_t>(level)) {
-    pools_.resize(static_cast<size_t>(level) + 1);
-  }
-  auto& pool = pools_[static_cast<size_t>(level)];
+  if (pools_.size() <= idx) pools_.resize(idx + 1);
+  auto& pool = pools_[idx];
+  const size_t produced = fresh.size();
   for (BigInt& blind : fresh) pool.push_back(std::move(blind));
-  refilled_.fetch_add(count, std::memory_order_relaxed);
-  return Status::OK();
+  if (target != 0) pending_refills_[idx] -= claimed;
+  refilled_.fetch_add(produced, std::memory_order_relaxed);
+  if (refilled != nullptr) *refilled = produced;
+  return status;
 }
 
 size_t Encryptor::PooledBlindingCount(int level) const {

@@ -72,12 +72,16 @@ struct PublicKey {
   /// copies of the key.
   BigInt NPow(int s) const;
 
-  /// Wire size in bytes of a level-s ciphertext: (s+1) * key_bits / 8.
+  /// Wire size in bytes of a level-s ciphertext: ceil((s+1)*key_bits / 8).
+  /// Ceiling, not truncation: a modulus whose bit length is not a multiple
+  /// of 8 still needs its partial top byte on the wire.
   size_t CiphertextBytes(int level) const {
-    return static_cast<size_t>(level + 1) * static_cast<size_t>(key_bits) / 8;
+    return (static_cast<size_t>(level + 1) * static_cast<size_t>(key_bits) +
+            7) /
+           8;
   }
-  /// Byte size of the serialized public key.
-  size_t ByteSize() const { return static_cast<size_t>(key_bits) / 8; }
+  /// Byte size of the serialized public key (ceiling of key_bits / 8).
+  size_t ByteSize() const { return (static_cast<size_t>(key_bits) + 7) / 8; }
 
  private:
   struct NPowCache;
@@ -226,7 +230,17 @@ class Encryptor {
   /// embedding plus one modular multiplication. The exponentiations run
   /// outside the pool lock — safe to call from a dedicated background
   /// thread (service/blinding_refiller.h) while other threads encrypt.
-  Status RefillBlindingPool(int level, size_t count, Rng& rng) const;
+  ///
+  /// When `target` is nonzero the refill is quota-claimed: the batch size
+  /// is clamped under the pool lock so pooled + in-flight refills never
+  /// exceed `target`, even when several refillers (per-shard encryptors,
+  /// a background refiller racing manual top-ups) observe the same low
+  /// watermark concurrently. `target == 0` keeps the old unconditional
+  /// append. `refilled`, when non-null, receives the number of factors
+  /// this call actually produced (<= count under a quota).
+  Status RefillBlindingPool(int level, size_t count, Rng& rng,
+                            size_t target = 0,
+                            size_t* refilled = nullptr) const;
 
   /// Blinding factors currently pooled for `level`.
   size_t PooledBlindingCount(int level) const;
@@ -302,6 +316,11 @@ class Encryptor {
   // by pool_mu_ (see the class comment's thread-safety contract).
   mutable std::mutex pool_mu_;
   mutable std::vector<std::vector<BigInt>> pools_;
+  // pending_refills_[level]: factors claimed by in-flight quota-bounded
+  // RefillBlindingPool calls that have not landed in pools_ yet. Also
+  // guarded by pool_mu_; the quota check counts pool.size() + pending so
+  // concurrent refillers cannot jointly overshoot a target.
+  mutable std::vector<size_t> pending_refills_;
   // Blinding pipeline counters (see BlindingStats).
   mutable std::atomic<uint64_t> pool_hits_{0};
   mutable std::atomic<uint64_t> pool_misses_{0};

@@ -45,6 +45,7 @@
 #include "service/lsp_service.h"  // IWYU pragma: export
 #include "service/reply_cache.h"  // IWYU pragma: export
 #include "service/resilient_client.h"  // IWYU pragma: export
+#include "service/shard_coordinator.h"  // IWYU pragma: export
 #include "service/workload.h"   // IWYU pragma: export
 #include "spatial/dataset.h"    // IWYU pragma: export
 #include "spatial/gnn.h"        // IWYU pragma: export

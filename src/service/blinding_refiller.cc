@@ -24,10 +24,16 @@ Status BlindingRefiller::TopUpOnce() {
     const size_t have = encryptor_->PooledBlindingCount(level);
     if (have >= options_.low_watermark) continue;
     const size_t want = options_.target > have ? options_.target - have : 1;
-    Status status = encryptor_->RefillBlindingPool(level, want, rng_);
-    if (status.ok()) {
-      refilled_.fetch_add(want, std::memory_order_relaxed);
-    } else {
+    // Quota-claimed refill: the encryptor clamps the batch under its pool
+    // lock, so two refillers (or a refiller racing manual RefillBlindingPool
+    // callers) that both saw the same low watermark cannot jointly push the
+    // pool past target. Stats count what actually landed, not what was
+    // asked for.
+    size_t produced = 0;
+    Status status = encryptor_->RefillBlindingPool(level, want, rng_,
+                                                   options_.target, &produced);
+    refilled_.fetch_add(produced, std::memory_order_relaxed);
+    if (!status.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       if (first_error.ok()) first_error = status;
     }

@@ -44,6 +44,7 @@ ReplyCache::Options CacheOptions(const ServiceConfig& config) {
   ReplyCache::Options options;
   options.capacity = config.reply_cache_capacity;
   options.ttl_seconds = config.reply_cache_ttl_seconds;
+  options.in_flight_grace_seconds = config.reply_cache_in_flight_grace_seconds;
   return options;
 }
 
@@ -55,8 +56,9 @@ std::string ServiceStats::ToString() const {
       buf, sizeof(buf),
       "accepted=%llu rejected=%llu (shed=%llu) served=%llu failed=%llu "
       "deadline_expired=%llu (queue=%llu exec=%llu) queued=%zu limit=%d "
-      "aimd[+%llu/-%llu] dedup[join=%llu replay=%llu] retries=%llu "
-      "hedges=%llu degraded=%llu errors[malformed=%llu overloaded=%llu "
+      "aimd[+%llu/-%llu] dedup[join=%llu replay=%llu purged=%llu] "
+      "retries=%llu hedges=%llu degraded=%llu degraded_shards=%llu "
+      "errors[malformed=%llu overloaded=%llu "
       "deadline=%llu internal=%llu]",
       static_cast<unsigned long long>(accepted),
       static_cast<unsigned long long>(rejected),
@@ -70,9 +72,11 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(aimd_decreases),
       static_cast<unsigned long long>(dedup_joins),
       static_cast<unsigned long long>(dedup_replays),
+      static_cast<unsigned long long>(dedup_purged),
       static_cast<unsigned long long>(retries),
       static_cast<unsigned long long>(hedges),
       static_cast<unsigned long long>(degraded_queries),
+      static_cast<unsigned long long>(degraded_shards),
       static_cast<unsigned long long>(error_replies[0]),
       static_cast<unsigned long long>(error_replies[1]),
       static_cast<unsigned long long>(error_replies[2]),
@@ -92,8 +96,8 @@ std::string ServiceStats::ToString() const {
          " | wait " + queue_wait.ToString() + " | exec " + execute.ToString();
 }
 
-LspService::LspService(const LspDatabase& db, ServiceConfig config)
-    : db_(db),
+LspService::LspService(Handler handler, ServiceConfig config)
+    : handler_(std::move(handler)),
       config_(std::move(config)),
       cost_model_(config_.cost_model != nullptr
                       ? config_.cost_model
@@ -106,6 +110,25 @@ LspService::LspService(const LspDatabase& db, ServiceConfig config)
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+LspService::LspService(const LspDatabase& db, ServiceConfig config)
+    : LspService(Handler{}, std::move(config)) {
+  // Assigned after delegation (the workers only read handler_ once a
+  // request has passed through Submit's lock, so this is race-free): the
+  // default handler dispatches on the wire shape — plaintext shard
+  // queries skip the crypto pipeline entirely.
+  const LspDatabase* database = &db;
+  handler_ = [this, database](const ServiceRequest& request,
+                              const HandlerContext& ctx) {
+    if (IsShardQuery(request.query)) {
+      return LspHandleShardQuery(*database, request.query, ctx.info,
+                                 ctx.cancel);
+    }
+    return LspHandleQuery(*database, request.query, request.uploads,
+                          config_.test_config, config_.sanitize,
+                          config_.lsp_threads, ctx.info, ctx.cancel);
+  };
 }
 
 LspService::~LspService() { Shutdown(); }
@@ -137,8 +160,13 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
   // reply (and admission simply runs without cost information).
   if (Result<QueryWireHeader> header = PeekQueryHeader(request.query);
       header.ok()) {
-    pending.features = CostFeatures::FromHeader(header.value());
-    pending.has_features = true;
+    // Shard queries are plaintext: the crypto-calibrated cost model would
+    // wildly over-price them, so they ride through without features. The
+    // deadline/idempotency trailer still applies.
+    if (!header.value().is_shard) {
+      pending.features = CostFeatures::FromHeader(header.value());
+      pending.has_features = true;
+    }
     if (dedup_key == 0) dedup_key = header.value().idempotency_key;
     if (header.value().deadline_ms > 0) {
       const double wire_budget =
@@ -156,8 +184,22 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
   // cached answer costs (nearly) nothing, so it happens even when a
   // fresh request would be shed.
   if (config_.enable_dedup && dedup_key != 0) {
-    ReplyCache::AdmitResult routed =
-        reply_cache_.AdmitOrAttach(dedup_key, MakeLeg(now, done));
+    ReplyCache::AdmitResult routed = reply_cache_.AdmitOrAttach(
+        dedup_key, MakeLeg(now, done), pending.deadline);
+    if (!routed.expired_waiters.empty()) {
+      // Waiters of abandoned primaries (deadline + grace long past with
+      // no Complete/Abort) purged during this admission: each is owed a
+      // terminal deadline reply — without the purge they would hang as
+      // "joined" to an execution that will never finish.
+      dedup_purged_.fetch_add(routed.expired_waiters.size(),
+                              std::memory_order_relaxed);
+      std::vector<uint8_t> expired_frame =
+          MakeErrorFrame(WireError::kDeadlineExceeded,
+                         "lsp service: joined primary abandoned");
+      for (ReplyCache::Waiter& waiter : routed.expired_waiters) {
+        waiter(expired_frame);
+      }
+    }
     if (routed.admission == ReplyCache::Admission::kReplayed) {
       dedup_replays_.fetch_add(1, std::memory_order_relaxed);
       MakeLeg(now, std::move(done))(std::move(routed.frame));
@@ -168,6 +210,7 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
       return true;
     }
     pending.cache_key = dedup_key;
+    pending.cache_generation = routed.generation;
   }
 
   // "service.admit" simulates admission-control pressure: a fired drop
@@ -188,7 +231,9 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
           WireError::kOverloaded,
           "lsp service: predicted cost exceeds request budget",
           RetryAfterHintMs(predicted - budget));
-      if (pending.cache_key != 0) AbortPrimary(pending.cache_key, frame);
+      if (pending.cache_key != 0) {
+        AbortPrimary(pending.cache_key, pending.cache_generation, frame);
+      }
       latency_.Record(Seconds(Clock::now() - now));
       done(std::move(frame));
       return false;
@@ -210,7 +255,9 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
   std::vector<uint8_t> frame =
       MakeErrorFrame(WireError::kOverloaded, "lsp service: request queue full",
                      RetryAfterHintMs(0.0));
-  if (pending.cache_key != 0) AbortPrimary(pending.cache_key, frame);
+  if (pending.cache_key != 0) {
+    AbortPrimary(pending.cache_key, pending.cache_generation, frame);
+  }
   latency_.Record(Seconds(Clock::now() - now));
   done(std::move(frame));
   return false;
@@ -240,16 +287,17 @@ void LspService::Finish(PendingRequest& req, std::vector<uint8_t> frame,
   if (req.cache_key != 0) {
     // The cache keeps (and the joined legs receive) the pre-corruption
     // frame: transport faults are per-leg, never cached.
-    std::vector<ReplyCache::Waiter> waiters =
-        reply_cache_.Complete(req.cache_key, frame, cache_for_replay);
+    std::vector<ReplyCache::Waiter> waiters = reply_cache_.Complete(
+        req.cache_key, req.cache_generation, frame, cache_for_replay);
     for (ReplyCache::Waiter& waiter : waiters) waiter(frame);
   }
   Reply(req, std::move(frame));
 }
 
-void LspService::AbortPrimary(uint64_t cache_key,
+void LspService::AbortPrimary(uint64_t cache_key, uint64_t cache_generation,
                               const std::vector<uint8_t>& frame) {
-  std::vector<ReplyCache::Waiter> waiters = reply_cache_.Abort(cache_key);
+  std::vector<ReplyCache::Waiter> waiters =
+      reply_cache_.Abort(cache_key, cache_generation);
   for (ReplyCache::Waiter& waiter : waiters) waiter(frame);
 }
 
@@ -367,13 +415,13 @@ void LspService::ProcessRequest(PendingRequest& req) {
   const Clock::time_point execute_start = Clock::now();
   const Status injected = FailpointCheck("service.execute");
   const bool executed = injected.ok();
+  HandlerContext ctx;
+  ctx.deadline = req.deadline;
+  ctx.cancel = flight != nullptr ? flight->cancel.get() : nullptr;
+  ctx.info = &info;
   Result<std::vector<uint8_t>> answer =
-      executed
-          ? LspHandleQuery(db_, req.request.query, req.request.uploads,
-                           config_.test_config, config_.sanitize,
-                           config_.lsp_threads, &info,
-                           flight != nullptr ? flight->cancel.get() : nullptr)
-          : Result<std::vector<uint8_t>>(injected);
+      executed ? handler_(req.request, ctx)
+               : Result<std::vector<uint8_t>>(injected);
   const double execute_seconds = Seconds(Clock::now() - execute_start);
 
   if (flight != nullptr) {
@@ -452,6 +500,7 @@ ServiceStats LspService::Stats() const {
       abandoned_executing_.load(std::memory_order_relaxed);
   stats.dedup_joins = dedup_joins_.load(std::memory_order_relaxed);
   stats.dedup_replays = dedup_replays_.load(std::memory_order_relaxed);
+  stats.dedup_purged = dedup_purged_.load(std::memory_order_relaxed);
   stats.concurrency_limit = limiter_.limit();
   stats.aimd_increases = limiter_.increases();
   stats.aimd_decreases = limiter_.decreases();

@@ -86,6 +86,10 @@ struct ServiceConfig {
   int aimd_window = 32;
   size_t reply_cache_capacity = 1024;
   double reply_cache_ttl_seconds = 30.0;
+  /// How long past its deadline an in-flight dedup entry may linger before
+  /// it is presumed abandoned: the key is released to the next retry and
+  /// any joined waiters are errored out (kDeadlineExceeded).
+  double reply_cache_in_flight_grace_seconds = 1.0;
   /// Test override for the kOverloaded retry_after_ms hint; 0 = computed
   /// from the backlog and the observed mean execute time.
   uint64_t retry_after_hint_ms = 0;
@@ -141,6 +145,13 @@ struct ServiceStats {
   /// Idempotency-key coalescing.
   uint64_t dedup_joins = 0;
   uint64_t dedup_replays = 0;
+  /// Joined waiters errored out because their primary was presumed dead
+  /// (in-flight entry purged past deadline + grace).
+  uint64_t dedup_purged = 0;
+  /// Scatter-gather fan-outs that completed with at least one shard
+  /// missing (merged degraded instead of failing the query). Zero on a
+  /// plain single-node service; ShardedLspService fills it in.
+  uint64_t degraded_shards = 0;
   /// Adaptive concurrency.
   int concurrency_limit = 0;
   uint64_t aimd_increases = 0;
@@ -174,14 +185,41 @@ struct ServiceStats {
 
 class LspService {
  public:
+  using Clock = std::chrono::steady_clock;
+
   /// Invoked exactly once per submitted request with the encoded
   /// ResponseFrame. May run on a worker thread, or inline in Submit for
   /// rejected/replayed requests. Must not re-enter the service.
   using Callback = std::function<void(std::vector<uint8_t>)>;
 
-  /// Starts the worker pool and deadline monitor. The database must
-  /// outlive the service.
+  /// Execution context handed to a Handler on the worker thread.
+  struct HandlerContext {
+    /// Absolute deadline (time_point::max() = none) — a handler that fans
+    /// out further (the shard coordinator) derives downstream budgets
+    /// from it.
+    Clock::time_point deadline = Clock::time_point::max();
+    /// Cooperative cancel flag flipped by the deadline monitor; null when
+    /// the request carries no deadline.
+    const std::atomic<bool>* cancel = nullptr;
+    /// Per-query instrumentation sink; never null.
+    QueryInstrumentation* info = nullptr;
+  };
+
+  /// The execution strategy behind the admission/queue/deadline front-end:
+  /// maps a request to raw AnswerMessage (or ShardAnswerMessage) bytes.
+  /// The default handler dispatches on the wire shape — ShardQueryMessage
+  /// bytes run the plaintext shard path, everything else the full
+  /// LspHandleQuery pipeline. The shard coordinator installs its own
+  /// handler that scatter-gathers over a cluster instead.
+  using Handler = std::function<Result<std::vector<uint8_t>>(
+      const ServiceRequest&, const HandlerContext&)>;
+
+  /// Starts the worker pool and deadline monitor over the default
+  /// database handler. The database must outlive the service.
   LspService(const LspDatabase& db, ServiceConfig config);
+  /// Same front-end over a custom execution handler (must be non-null;
+  /// anything it references must outlive the service).
+  LspService(Handler handler, ServiceConfig config);
   ~LspService();
 
   LspService(const LspService&) = delete;
@@ -209,8 +247,6 @@ class LspService {
   void Shutdown();
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct PendingRequest {
     ServiceRequest request;
     Callback done;
@@ -219,6 +255,9 @@ class LspService {
     CostFeatures features;
     bool has_features = false;
     uint64_t cache_key = 0;  // nonzero = this request is a dedup primary
+    // In-flight generation returned at admission; Complete/Abort must
+    // echo it so a purged-and-readmitted key ignores this stale primary.
+    uint64_t cache_generation = 0;
   };
 
   /// A request currently executing on some worker, visible to the
@@ -253,9 +292,10 @@ class LspService {
   uint64_t RetryAfterHintMs(double extra_seconds);
   /// Rejects a registered dedup primary: aborts the cache entry and
   /// errors out any waiters that joined in the meantime.
-  void AbortPrimary(uint64_t cache_key, const std::vector<uint8_t>& frame);
+  void AbortPrimary(uint64_t cache_key, uint64_t cache_generation,
+                    const std::vector<uint8_t>& frame);
 
-  const LspDatabase& db_;
+  Handler handler_;
   const ServiceConfig config_;
   std::shared_ptr<CostModel> cost_model_;
   AimdLimiter limiter_;
@@ -285,6 +325,7 @@ class LspService {
   std::atomic<uint64_t> abandoned_executing_{0};
   std::atomic<uint64_t> dedup_joins_{0};
   std::atomic<uint64_t> dedup_replays_{0};
+  std::atomic<uint64_t> dedup_purged_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> hedges_{0};
   std::atomic<uint64_t> degraded_queries_{0};

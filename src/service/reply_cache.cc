@@ -7,14 +7,42 @@ namespace ppgnn {
 
 ReplyCache::ReplyCache(const Options& options) : options_(options) {}
 
-ReplyCache::AdmitResult ReplyCache::AdmitOrAttach(uint64_t key,
-                                                  Waiter waiter) {
+bool ReplyCache::InFlightExpiredLocked(const Entry& entry,
+                                       Clock::time_point now) const {
+  if (entry.completed) return false;
+  if (entry.deadline == Clock::time_point::max()) return false;
+  const auto grace = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          std::max(options_.in_flight_grace_seconds, 0.0)));
+  return now - entry.deadline > grace;
+}
+
+ReplyCache::AdmitResult ReplyCache::AdmitOrAttach(uint64_t key, Waiter waiter,
+                                                  Clock::time_point deadline) {
   AdmitResult result;
   std::lock_guard<std::mutex> lock(mu_);
-  EvictLocked(Clock::now());
+  const Clock::time_point now = Clock::now();
+  EvictLocked(now, &result.expired_waiters);
   auto it = entries_.find(key);
+  if (it != entries_.end() && InFlightExpiredLocked(it->second, now)) {
+    // The primary for this key is presumed dead (deadline + grace long
+    // gone without Complete/Abort). Its joiners get errored out by the
+    // caller and the newcomer takes over as a fresh primary — without
+    // this, an abandoned query pins its idempotency key forever and
+    // every retry "joins" an execution that will never finish.
+    for (Waiter& w : it->second.waiters) {
+      if (w) result.expired_waiters.push_back(std::move(w));
+    }
+    entries_.erase(it);
+    it = entries_.end();
+  }
   if (it == entries_.end()) {
-    entries_.emplace(key, Entry{});
+    Entry entry;
+    entry.deadline = deadline;
+    entry.generation = next_generation_++;
+    result.generation = entry.generation;
+    in_flight_order_.emplace_back(key, entry.generation);
+    entries_.emplace(key, std::move(entry));
     result.admission = Admission::kPrimary;
     return result;
   }
@@ -29,11 +57,15 @@ ReplyCache::AdmitResult ReplyCache::AdmitOrAttach(uint64_t key,
 }
 
 std::vector<ReplyCache::Waiter> ReplyCache::Complete(
-    uint64_t key, const std::vector<uint8_t>& frame, bool cache_for_replay) {
+    uint64_t key, uint64_t generation, const std::vector<uint8_t>& frame,
+    bool cache_for_replay) {
   std::vector<Waiter> waiters;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.completed) return waiters;
+  if (it == entries_.end() || it->second.completed ||
+      it->second.generation != generation) {
+    return waiters;
+  }
   waiters = std::move(it->second.waiters);
   if (cache_for_replay) {
     it->second.completed = true;
@@ -41,18 +73,22 @@ std::vector<ReplyCache::Waiter> ReplyCache::Complete(
     it->second.waiters.clear();
     it->second.completed_at = Clock::now();
     completed_order_.push_back(key);
-    EvictLocked(it->second.completed_at);
+    EvictLocked(it->second.completed_at, nullptr);
   } else {
     entries_.erase(it);
   }
   return waiters;
 }
 
-std::vector<ReplyCache::Waiter> ReplyCache::Abort(uint64_t key) {
+std::vector<ReplyCache::Waiter> ReplyCache::Abort(uint64_t key,
+                                                  uint64_t generation) {
   std::vector<Waiter> waiters;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.completed) return waiters;
+  if (it == entries_.end() || it->second.completed ||
+      it->second.generation != generation) {
+    return waiters;
+  }
   waiters = std::move(it->second.waiters);
   entries_.erase(it);
   return waiters;
@@ -63,7 +99,18 @@ size_t ReplyCache::CompletedEntries() const {
   return completed_order_.size();
 }
 
-void ReplyCache::EvictLocked(Clock::time_point now) {
+size_t ReplyCache::InFlightEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (!entry.completed) ++n;
+  }
+  return n;
+}
+
+void ReplyCache::EvictLocked(Clock::time_point now,
+                             std::vector<Waiter>* expired_waiters) {
   const auto ttl = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(std::max(options_.ttl_seconds, 0.0)));
   while (!completed_order_.empty()) {
@@ -78,6 +125,29 @@ void ReplyCache::EvictLocked(Clock::time_point now) {
     if (!stale && !over_capacity && !expired) break;
     if (!stale) entries_.erase(it);
     completed_order_.pop_front();
+  }
+  if (expired_waiters == nullptr) return;
+  // Sweep dead in-flight entries from the admission-order front. Entries
+  // whose slot is stale (completed, erased, or superseded by a newer
+  // generation of the same key) are just dropped from the queue; a live
+  // not-yet-expired entry stops the sweep — deadlines are approximately
+  // admission-ordered, and the same-key purge in AdmitOrAttach catches
+  // any straggler exactly when its key is next touched.
+  while (!in_flight_order_.empty()) {
+    const auto [key, generation] = in_flight_order_.front();
+    auto it = entries_.find(key);
+    const bool stale = it == entries_.end() || it->second.completed ||
+                       it->second.generation != generation;
+    if (stale) {
+      in_flight_order_.pop_front();
+      continue;
+    }
+    if (!InFlightExpiredLocked(it->second, now)) break;
+    for (Waiter& w : it->second.waiters) {
+      if (w) expired_waiters->push_back(std::move(w));
+    }
+    entries_.erase(it);
+    in_flight_order_.pop_front();
   }
 }
 

@@ -14,8 +14,15 @@
 //     same key runs fresh rather than replaying a stale failure.
 //   * The cached frame is the pre-transport one: corruption injected on
 //     one delivery leg must not poison the cache.
-//   * Completed entries are evicted by TTL and by capacity (FIFO);
-//     in-flight entries are never evicted.
+//   * Completed entries are evicted by TTL and by capacity (FIFO).
+//   * An in-flight entry lives until its primary Completes/Aborts it —
+//     or until its deadline (plus a grace window) passes, at which point
+//     it is presumed abandoned (worker cancelled at the deadline, shard
+//     link died mid-fan-out) and purged, so the key does not replay as
+//     an "in-flight join" to every future retry forever. Each in-flight
+//     incarnation carries a generation token; a stale primary that
+//     resurfaces after its entry was purged and re-admitted cannot
+//     complete (or abort) the successor's entry.
 //
 // Thread-safe. Callbacks are never invoked under the internal lock —
 // mutating calls return the waiters due and the caller delivers them.
@@ -36,6 +43,7 @@ namespace ppgnn {
 class ReplyCache {
  public:
   using Waiter = std::function<void(std::vector<uint8_t>)>;
+  using Clock = std::chrono::steady_clock;
 
   enum class Admission {
     kPrimary,   ///< first sighting: caller must execute and later Complete
@@ -46,52 +54,85 @@ class ReplyCache {
   struct Options {
     size_t capacity = 1024;     ///< completed entries kept for replay
     double ttl_seconds = 30.0;  ///< completed-entry lifetime
+    /// How long past its deadline an in-flight entry is still presumed
+    /// alive (covers a worker that is just finishing up as the monitor
+    /// cancels it). Beyond deadline + grace the entry counts as
+    /// abandoned and is purged on the next admission that sees it.
+    double in_flight_grace_seconds = 1.0;
   };
 
   struct AdmitResult {
     Admission admission = Admission::kPrimary;
     std::vector<uint8_t> frame;  ///< set iff kReplayed
+    /// In-flight incarnation token, set iff kPrimary. The primary must
+    /// pass it back to Complete/Abort; after a purge-and-readmit the key
+    /// maps to a newer generation and the stale primary's calls no-op.
+    uint64_t generation = 0;
+    /// Waiters of *dead* in-flight entries purged during this admission
+    /// (the successor's own key, or expired strangers swept in passing).
+    /// The caller owes each a deadline-exceeded reply.
+    std::vector<Waiter> expired_waiters;
   };
 
   explicit ReplyCache(const Options& options);
 
   /// Routes one request. kPrimary leaves `waiter` with the caller (the
   /// primary replies through its normal path); kJoined keeps it until the
-  /// primary's Complete/Abort.
-  AdmitResult AdmitOrAttach(uint64_t key, Waiter waiter);
+  /// primary's Complete/Abort. `deadline` bounds the in-flight lifetime:
+  /// past deadline + grace the entry is purgeable. The default (no
+  /// deadline) keeps the entry alive until Complete/Abort, as before.
+  AdmitResult AdmitOrAttach(
+      uint64_t key, Waiter waiter,
+      Clock::time_point deadline = Clock::time_point::max());
 
-  /// Finishes the in-flight entry for `key`. Returns the joined waiters;
-  /// the caller invokes each with its own copy of `frame`. When
-  /// `cache_for_replay` is true (answers) the frame is kept for later
-  /// kReplayed hits; otherwise (errors) the entry is dropped entirely.
-  [[nodiscard]] std::vector<Waiter> Complete(uint64_t key,
+  /// Finishes the in-flight entry for `key`, provided `generation` still
+  /// matches (a mismatch means the entry was purged as abandoned and the
+  /// key re-admitted — the dead execution's frame must not reach the
+  /// successor's waiters). Returns the joined waiters; the caller invokes
+  /// each with its own copy of `frame`. When `cache_for_replay` is true
+  /// (answers) the frame is kept for later kReplayed hits; otherwise
+  /// (errors) the entry is dropped entirely.
+  [[nodiscard]] std::vector<Waiter> Complete(uint64_t key, uint64_t generation,
                                              const std::vector<uint8_t>& frame,
                                              bool cache_for_replay);
 
   /// Drops an in-flight entry whose primary never executed (e.g. it lost
-  /// the queue-capacity race after registration). Returns any waiters
-  /// that joined in the meantime so the caller can error them out.
-  [[nodiscard]] std::vector<Waiter> Abort(uint64_t key);
+  /// the queue-capacity race after registration). Generation-checked like
+  /// Complete. Returns any waiters that joined in the meantime so the
+  /// caller can error them out.
+  [[nodiscard]] std::vector<Waiter> Abort(uint64_t key, uint64_t generation);
 
   size_t CompletedEntries() const;
+  size_t InFlightEntries() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct Entry {
     bool completed = false;
     std::vector<uint8_t> frame;       // valid when completed
     std::vector<Waiter> waiters;      // valid while in flight
     Clock::time_point completed_at{};
+    Clock::time_point deadline = Clock::time_point::max();
+    uint64_t generation = 0;
   };
 
-  /// Drops expired / over-capacity completed entries. Requires mu_ held.
-  void EvictLocked(Clock::time_point now);
+  bool InFlightExpiredLocked(const Entry& entry, Clock::time_point now) const;
+
+  /// Drops expired / over-capacity completed entries; when
+  /// `expired_waiters` is non-null, also sweeps dead in-flight entries
+  /// from the front of the admission-order queue, appending their
+  /// waiters. Requires mu_ held.
+  void EvictLocked(Clock::time_point now,
+                   std::vector<Waiter>* expired_waiters);
 
   const Options options_;
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, Entry> entries_;
   std::deque<uint64_t> completed_order_;  // FIFO eviction of completed keys
+  // In-flight keys in admission order, tagged with the generation they
+  // were admitted under so a purged-and-readmitted key is not swept by
+  // its predecessor's queue position.
+  std::deque<std::pair<uint64_t, uint64_t>> in_flight_order_;
+  uint64_t next_generation_ = 1;
 };
 
 }  // namespace ppgnn

@@ -1,0 +1,303 @@
+#include "service/shard_coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "core/candidate.h"
+#include "core/sanitize.h"
+#include "core/selection.h"
+#include "core/wire.h"
+#include "crypto/poi_codec.h"
+#include "geo/aggregate.h"
+
+namespace ppgnn {
+namespace {
+
+/// splitmix64 — derives the per-shard idempotency key from the parent
+/// request's key so every retry/hedge of the same fan-out leg coalesces
+/// at the shard, while different shards (and different parents) never
+/// collide in practice.
+uint64_t MixKey(uint64_t key, uint64_t shard) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct ShardReply {
+  bool responded = false;
+  ShardAnswerMessage answer;
+};
+
+}  // namespace
+
+std::vector<std::vector<Poi>> PartitionPoisForShards(std::vector<Poi> pois,
+                                                     int shards) {
+  const size_t s = static_cast<size_t>(std::max(shards, 1));
+  std::sort(pois.begin(), pois.end(), [](const Poi& a, const Poi& b) {
+    if (a.location.x != b.location.x) return a.location.x < b.location.x;
+    if (a.location.y != b.location.y) return a.location.y < b.location.y;
+    return a.id < b.id;
+  });
+  std::vector<std::vector<Poi>> slices(s);
+  const size_t total = pois.size();
+  size_t begin = 0;
+  for (size_t j = 0; j < s; ++j) {
+    // Slice sizes differ by at most one: ceil for the first total % s.
+    const size_t end = begin + total / s + (j < total % s ? 1 : 0);
+    slices[j].assign(pois.begin() + static_cast<ptrdiff_t>(begin),
+                     pois.begin() + static_cast<ptrdiff_t>(end));
+    begin = end;
+  }
+  return slices;
+}
+
+ShardedLspService::ShardedLspService(std::vector<Poi> pois,
+                                     ShardClusterConfig config)
+    : config_(std::move(config)) {
+  std::vector<std::vector<Poi>> slices =
+      PartitionPoisForShards(std::move(pois), config_.shards);
+  shard_dbs_.reserve(slices.size());
+  shard_services_.reserve(slices.size());
+  links_.reserve(slices.size());
+  shard_mbrs_.reserve(slices.size());
+  shard_sizes_.reserve(slices.size());
+  for (size_t j = 0; j < slices.size(); ++j) {
+    Rect mbr = Rect::Empty();
+    for (const Poi& poi : slices[j]) mbr.ExpandToInclude(poi.location);
+    shard_mbrs_.push_back(mbr);
+    shard_sizes_.push_back(slices[j].size());
+    shard_dbs_.push_back(std::make_unique<LspDatabase>(std::move(slices[j])));
+    shard_services_.push_back(
+        std::make_unique<LspService>(*shard_dbs_.back(), config_.shard));
+    RetryPolicy policy = config_.link_policy;
+    policy.seed += j;
+    links_.push_back(
+        std::make_unique<ResilientClient>(*shard_services_.back(), policy));
+  }
+  front_ = std::make_unique<LspService>(
+      LspService::Handler([this](const ServiceRequest& request,
+                                 const LspService::HandlerContext& ctx) {
+        return HandleQuery(request, ctx);
+      }),
+      config_.front);
+}
+
+ShardedLspService::~ShardedLspService() { Shutdown(); }
+
+bool ShardedLspService::Submit(ServiceRequest request,
+                               LspService::Callback done) {
+  return front_->Submit(std::move(request), std::move(done));
+}
+
+std::vector<uint8_t> ShardedLspService::Call(ServiceRequest request) {
+  return front_->Call(std::move(request));
+}
+
+ServiceStats ShardedLspService::Stats() const {
+  ServiceStats stats = front_->Stats();
+  stats.degraded_shards = degraded_shards_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ShardedLspService::Shutdown() {
+  if (front_ != nullptr) front_->Shutdown();
+  for (auto& service : shard_services_) service->Shutdown();
+}
+
+Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
+    const ServiceRequest& request, const LspService::HandlerContext& ctx) {
+  QueryInstrumentation local_info;
+  QueryInstrumentation* info = ctx.info != nullptr ? ctx.info : &local_info;
+  PPGNN_ASSIGN_OR_RETURN(QueryMessage query,
+                         QueryMessage::Decode(request.query));
+  info->delta_prime = query.plan.delta_prime;
+  std::vector<LocationSet> sets(request.uploads.size());
+  for (const auto& bytes : request.uploads) {
+    PPGNN_ASSIGN_OR_RETURN(LocationSetMessage msg,
+                           LocationSetMessage::Decode(bytes));
+    if (msg.user_id >= sets.size())
+      return Status::ProtocolError("upload from unknown user id");
+    sets[msg.user_id] = std::move(msg.locations);
+  }
+  PPGNN_ASSIGN_OR_RETURN(
+      std::vector<std::vector<Point>> candidates,
+      GenerateCandidateQueries(query.plan, sets, ctx.cancel));
+
+  const size_t shard_count = shard_services_.size();
+  // Route: a shard holding >= k POIs bounds the global k-th cost by its
+  // aggregate max-distance; a shard whose aggregate min-distance exceeds
+  // the tightest such bound holds only strictly-worse POIs and is pruned
+  // without affecting the merged answer (even under cost ties).
+  std::vector<ShardQueryMessage> shard_queries(shard_count);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::vector<Point>& candidate = candidates[i];
+    double bound = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < shard_count; ++j) {
+      if (shard_sizes_[j] < static_cast<size_t>(query.k)) continue;
+      bound = std::min(bound, AggregateMaxDistance(query.aggregate,
+                                                   shard_mbrs_[j], candidate));
+    }
+    for (size_t j = 0; j < shard_count; ++j) {
+      if (shard_sizes_[j] == 0) continue;
+      if (AggregateMinDistance(query.aggregate, shard_mbrs_[j], candidate) >
+          bound) {
+        continue;
+      }
+      ShardQueryMessage::Candidate routed;
+      routed.index = i;
+      routed.locations = candidate;
+      shard_queries[j].candidates.push_back(std::move(routed));
+    }
+  }
+
+  // Remaining budget for the fan-out, propagated on every shard leg both
+  // as the link's client-side budget and in the wire-v2 trailer.
+  double remaining_seconds = 0.0;
+  uint64_t remaining_ms = 0;
+  if (ctx.deadline != LspService::Clock::time_point::max()) {
+    remaining_seconds = std::chrono::duration<double>(
+                            ctx.deadline - LspService::Clock::now())
+                            .count();
+    if (remaining_seconds <= 0.0) {
+      return Status::DeadlineExceeded("shard cluster: budget exhausted");
+    }
+    remaining_ms = std::max<uint64_t>(
+        1, static_cast<uint64_t>(remaining_seconds * 1000.0));
+  }
+  const uint64_t parent_key = request.idempotency_key != 0
+                                  ? request.idempotency_key
+                                  : query.idempotency_key;
+
+  std::vector<ShardReply> replies(shard_count);
+  std::vector<std::thread> scatter;
+  size_t routed_shards = 0;
+  for (size_t j = 0; j < shard_count; ++j) {
+    if (shard_queries[j].candidates.empty()) continue;
+    ++routed_shards;
+    ShardQueryMessage& sq = shard_queries[j];
+    sq.k = query.k;
+    sq.aggregate = query.aggregate;
+    sq.deadline_ms = remaining_ms;
+    sq.idempotency_key = parent_key != 0 ? MixKey(parent_key, j) : 0;
+    scatter.emplace_back([this, j, &sq, &replies, remaining_seconds]() {
+      const std::string point = "shard.link." + std::to_string(j);
+      if (!FailpointCheck(point.c_str()).ok()) return;
+      Result<std::vector<uint8_t>> encoded = sq.Encode();
+      if (!encoded.ok()) return;
+      ServiceRequest sr;
+      sr.query = std::move(encoded).value();
+      sr.deadline_seconds = remaining_seconds;
+      sr.idempotency_key = sq.idempotency_key;
+      ClientCallOutcome outcome = links_[j]->Call(std::move(sr));
+      if (!outcome.answered) return;
+      Result<ResponseFrame> frame = ResponseFrame::Decode(outcome.frame);
+      if (!frame.ok() || frame.value().is_error) return;
+      Result<ShardAnswerMessage> answer =
+          ShardAnswerMessage::Decode(frame.value().answer);
+      if (!answer.ok()) return;
+      replies[j].answer = std::move(answer).value();
+      replies[j].responded = true;
+    });
+  }
+  for (std::thread& t : scatter) t.join();
+
+  size_t responded = 0;
+  for (const ShardReply& reply : replies) responded += reply.responded ? 1 : 0;
+  if (routed_shards > 0 && responded == 0) {
+    return Status::Internal("shard cluster: all routed shards unavailable");
+  }
+  if (responded < routed_shards) {
+    degraded_shards_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Merge: concatenate per-candidate shard lists, order by (cost, poi id)
+  // — the exact total order the single-node MBM emits — and truncate to k.
+  std::vector<std::vector<RankedPoi>> merged(candidates.size());
+  for (const ShardReply& reply : replies) {
+    if (!reply.responded) continue;
+    for (const ShardAnswerMessage::CandidateResult& result :
+         reply.answer.candidates) {
+      if (result.index >= merged.size())
+        return Status::ProtocolError("shard answer for unknown candidate");
+      for (const ShardAnswerMessage::Ranked& ranked : result.results) {
+        merged[result.index].push_back(
+            RankedPoi{Poi{ranked.poi_id, ranked.location}, ranked.cost});
+      }
+    }
+  }
+  for (std::vector<RankedPoi>& list : merged) {
+    std::sort(list.begin(), list.end(),
+              [](const RankedPoi& a, const RankedPoi& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.poi.id < b.poi.id;
+              });
+    if (list.size() > static_cast<size_t>(query.k)) {
+      list.resize(static_cast<size_t>(query.k));
+    }
+  }
+
+  // From here the pipeline is the single-node tail of Algorithm 2 over
+  // the merged answers: sanitize (same per-candidate seed), pack, select.
+  const bool effective_sanitize =
+      config_.front.sanitize && request.uploads.size() > 1;
+  AnswerSanitizer* sanitizer_ptr = nullptr;
+  Result<AnswerSanitizer> sanitizer =
+      Status::FailedPrecondition("sanitizer unused");
+  if (effective_sanitize) {
+    sanitizer = AnswerSanitizer::Create(query.theta0, config_.front.test_config);
+    PPGNN_RETURN_IF_ERROR(sanitizer.status());
+    sanitizer_ptr = &sanitizer.value();
+  }
+
+  Encryptor enc(query.pk);
+  PoiCodec codec(query.pk.key_bits);
+  const size_t m = codec.IntsNeeded(static_cast<size_t>(query.k));
+  AnswerMatrix matrix;
+  matrix.columns.resize(candidates.size());
+  SanitizeStats sanitize_stats;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (ctx.cancel != nullptr &&
+        ctx.cancel->load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("shard cluster: merge abandoned");
+    }
+    std::vector<RankedPoi> answer = std::move(merged[i]);
+    if (sanitizer_ptr != nullptr) {
+      Rng candidate_rng(LspSanitizeSeed(candidates[i], query.k));
+      answer = sanitizer_ptr->Sanitize(answer, candidates[i], query.aggregate,
+                                       candidate_rng, &sanitize_stats,
+                                       nullptr);
+    }
+    std::vector<Point> points;
+    points.reserve(answer.size());
+    for (const RankedPoi& rp : answer) points.push_back(rp.poi.location);
+    PPGNN_ASSIGN_OR_RETURN(matrix.columns[i], codec.Encode(points, m));
+  }
+  info->sanitize_samples += sanitize_stats.samples_drawn;
+  info->sanitize_tests += sanitize_stats.tests_run;
+
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("shard cluster: abandoned before selection");
+  }
+  PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.select"));
+  AnswerMessage out;
+  if (query.is_opt) {
+    PPGNN_ASSIGN_OR_RETURN(
+        out.ciphertexts,
+        PrivateSelectTwoPhase(enc, matrix, query.opt_indicator,
+                              config_.front.lsp_threads, nullptr, ctx.cancel));
+  } else {
+    PPGNN_ASSIGN_OR_RETURN(
+        out.ciphertexts,
+        PrivateSelect(enc, matrix, query.indicator, config_.front.lsp_threads,
+                      nullptr, ctx.cancel));
+  }
+  return out.Encode(query.pk);
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,125 @@
+// ShardedLspService: a scatter-gather cluster of LSP shards behind the
+// standard LspService front-end.
+//
+// The POI space is split into S contiguous slices (sorted by (x, y, id)
+// and cut into equal runs, so shard MBRs overlap only at slice
+// boundaries); each slice gets its own LspDatabase + LspService. The
+// front-end is a plain LspService whose execution handler, instead of
+// running the kGNN locally, for every candidate query:
+//
+//   * routes it to the shards whose MBR could contribute to the global
+//     top-k (MBM-style bound: any shard holding >= k POIs caps the k-th
+//     cost at its aggregate max-distance; shards whose aggregate
+//     min-distance exceeds the tightest such cap are pruned — exactly,
+//     since every POI they hold is then strictly worse than the cap);
+//   * scatters per-shard ShardQueryMessages over one ResilientClient per
+//     shard link (retries/hedging/deadline budgeting per leg), carrying
+//     the request's remaining deadline and a per-shard-derived
+//     idempotency key in the wire-v2 trailer;
+//   * gathers the per-shard top-k lists and merges them per candidate by
+//     (cost, poi id) — the same total order the single-node MBM solver
+//     emits, so an S=1 cluster is bit-identical to a plain LspService.
+//
+// Crypto never leaves the coordinator: sanitation (seeded by
+// LspSanitizeSeed, identical to the single-node path), answer packing,
+// and private selection all run over the *merged* matrix, so the
+// encrypted answer shape (Privacy II) cannot reveal the shard layout.
+//
+// Degraded merges: a shard that is down or too slow (its link exhausts
+// retries within the remaining budget, or the shard.link.<j> failpoint
+// injects a failure) is simply missing from the merge. The query still
+// completes — possibly with fewer than k POIs for candidates that
+// depended on the dead shard — and the fan-out is counted in
+// ServiceStats::degraded_shards. Only when *every* routed shard fails
+// does the query error (kInternal).
+
+#ifndef PPGNN_SERVICE_SHARD_COORDINATOR_H_
+#define PPGNN_SERVICE_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "geo/rect.h"
+#include "service/lsp_service.h"
+#include "service/resilient_client.h"
+
+namespace ppgnn {
+
+struct ShardClusterConfig {
+  /// Number of POI shards (>= 1). 1 is a degenerate cluster whose answers
+  /// are bit-identical to a plain LspService over the same POIs.
+  int shards = 1;
+  /// The coordinator front-end (admission, queue, deadlines, dedup). Its
+  /// sanitize/test_config/lsp_threads govern the merged-answer pipeline.
+  ServiceConfig front;
+  /// Per-shard service config (plaintext kGNN only — keep workers modest).
+  ServiceConfig shard;
+  /// Retry/hedge/budget policy for each coordinator -> shard link. The
+  /// seed is perturbed per shard so link jitter streams are independent.
+  RetryPolicy link_policy;
+};
+
+/// Splits `pois` into `shards` contiguous slices of near-equal size,
+/// sorted by (x, y, id). Every POI lands in exactly one slice; slices are
+/// returned in x order and may be empty only when shards > |pois|.
+std::vector<std::vector<Poi>> PartitionPoisForShards(std::vector<Poi> pois,
+                                                     int shards);
+
+class ShardedLspService {
+ public:
+  /// Builds the shard databases/services/links and starts the front-end.
+  ShardedLspService(std::vector<Poi> pois, ShardClusterConfig config);
+  ~ShardedLspService();
+
+  ShardedLspService(const ShardedLspService&) = delete;
+  ShardedLspService& operator=(const ShardedLspService&) = delete;
+
+  /// Same contract as LspService::Submit / Call, on the front-end.
+  [[nodiscard]] bool Submit(ServiceRequest request, LspService::Callback done);
+  std::vector<uint8_t> Call(ServiceRequest request);
+
+  /// Front-end stats with degraded_shards filled in from the gather path.
+  ServiceStats Stats() const;
+
+  /// Stops the front-end first (drains coordinator queries, which still
+  /// need the shards), then the shards. Idempotent.
+  void Shutdown();
+
+  int shards() const { return static_cast<int>(shard_services_.size()); }
+  const Rect& shard_mbr(int shard) const {
+    return shard_mbrs_[static_cast<size_t>(shard)];
+  }
+  size_t shard_size(int shard) const {
+    return shard_sizes_[static_cast<size_t>(shard)];
+  }
+  /// Test/bench access to the layers.
+  LspService& front() { return *front_; }
+  LspService& shard_service(int shard) {
+    return *shard_services_[static_cast<size_t>(shard)];
+  }
+  const ResilientClient& link(int shard) const {
+    return *links_[static_cast<size_t>(shard)];
+  }
+
+ private:
+  /// The front-end execution handler: decode, candidate expansion,
+  /// route/scatter/gather/merge, sanitize, pack, private selection.
+  Result<std::vector<uint8_t>> HandleQuery(const ServiceRequest& request,
+                                           const LspService::HandlerContext& ctx);
+
+  ShardClusterConfig config_;
+  std::vector<std::unique_ptr<LspDatabase>> shard_dbs_;
+  std::vector<std::unique_ptr<LspService>> shard_services_;
+  std::vector<std::unique_ptr<ResilientClient>> links_;
+  std::vector<Rect> shard_mbrs_;
+  std::vector<size_t> shard_sizes_;
+  std::atomic<uint64_t> degraded_shards_{0};
+  /// Declared last: destroyed (and shut down) first, while the shard
+  /// services its in-flight handlers scatter to are still alive.
+  std::unique_ptr<LspService> front_;
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_SHARD_COORDINATOR_H_

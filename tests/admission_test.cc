@@ -267,7 +267,8 @@ TEST(ReplyCacheTest, PrimaryJoinReplayLifecycle) {
       7, [&](std::vector<uint8_t> f) { joined_frame = std::move(f); });
   EXPECT_EQ(second.admission, ReplyCache::Admission::kJoined);
 
-  auto waiters = cache.Complete(7, frame, /*cache_for_replay=*/true);
+  auto waiters = cache.Complete(7, first.generation, frame,
+                                /*cache_for_replay=*/true);
   ASSERT_EQ(waiters.size(), 1u);
   waiters[0](frame);
   EXPECT_EQ(joined_frame, frame);
@@ -280,12 +281,13 @@ TEST(ReplyCacheTest, PrimaryJoinReplayLifecycle) {
 
 TEST(ReplyCacheTest, ErrorCompletionIsDeliveredButNeverReplayed) {
   ReplyCache cache(CacheOptions(16, 30.0));
-  ASSERT_EQ(cache.AdmitOrAttach(9, nullptr).admission,
-            ReplyCache::Admission::kPrimary);
+  auto primary = cache.AdmitOrAttach(9, nullptr);
+  ASSERT_EQ(primary.admission, ReplyCache::Admission::kPrimary);
   int joiner_calls = 0;
   (void)cache.AdmitOrAttach(9,
                             [&](std::vector<uint8_t>) { ++joiner_calls; });
-  auto waiters = cache.Complete(9, {0xEE}, /*cache_for_replay=*/false);
+  auto waiters =
+      cache.Complete(9, primary.generation, {0xEE}, /*cache_for_replay=*/false);
   ASSERT_EQ(waiters.size(), 1u);
   waiters[0]({0xEE});
   EXPECT_EQ(joiner_calls, 1);
@@ -297,12 +299,12 @@ TEST(ReplyCacheTest, ErrorCompletionIsDeliveredButNeverReplayed) {
 
 TEST(ReplyCacheTest, AbortReturnsJoinedWaiters) {
   ReplyCache cache(CacheOptions(16, 30.0));
-  ASSERT_EQ(cache.AdmitOrAttach(5, nullptr).admission,
-            ReplyCache::Admission::kPrimary);
+  auto primary = cache.AdmitOrAttach(5, nullptr);
+  ASSERT_EQ(primary.admission, ReplyCache::Admission::kPrimary);
   int joiner_calls = 0;
   (void)cache.AdmitOrAttach(5,
                             [&](std::vector<uint8_t>) { ++joiner_calls; });
-  auto waiters = cache.Abort(5);
+  auto waiters = cache.Abort(5, primary.generation);
   ASSERT_EQ(waiters.size(), 1u);
   waiters[0]({});
   EXPECT_EQ(joiner_calls, 1);
@@ -313,9 +315,10 @@ TEST(ReplyCacheTest, AbortReturnsJoinedWaiters) {
 TEST(ReplyCacheTest, CapacityEvictsOldestCompleted) {
   ReplyCache cache(CacheOptions(2, 30.0));
   for (uint64_t key = 1; key <= 3; ++key) {
-    ASSERT_EQ(cache.AdmitOrAttach(key, nullptr).admission,
-              ReplyCache::Admission::kPrimary);
-    (void)cache.Complete(key, {static_cast<uint8_t>(key)},
+    auto primary = cache.AdmitOrAttach(key, nullptr);
+    ASSERT_EQ(primary.admission, ReplyCache::Admission::kPrimary);
+    (void)cache.Complete(key, primary.generation,
+                         {static_cast<uint8_t>(key)},
                          /*cache_for_replay=*/true);
   }
   EXPECT_EQ(cache.CompletedEntries(), 2u);
@@ -330,9 +333,10 @@ TEST(ReplyCacheTest, CapacityEvictsOldestCompleted) {
 
 TEST(ReplyCacheTest, TtlEvictsCompletedEntries) {
   ReplyCache cache(CacheOptions(16, 0.02));
-  ASSERT_EQ(cache.AdmitOrAttach(11, nullptr).admission,
-            ReplyCache::Admission::kPrimary);
-  (void)cache.Complete(11, {0x11}, /*cache_for_replay=*/true);
+  auto primary = cache.AdmitOrAttach(11, nullptr);
+  ASSERT_EQ(primary.admission, ReplyCache::Admission::kPrimary);
+  (void)cache.Complete(11, primary.generation, {0x11},
+                       /*cache_for_replay=*/true);
   EXPECT_EQ(cache.AdmitOrAttach(11, nullptr).admission,
             ReplyCache::Admission::kReplayed);
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -342,32 +346,135 @@ TEST(ReplyCacheTest, TtlEvictsCompletedEntries) {
 
 TEST(ReplyCacheTest, InFlightEntriesSurviveEvictionPressure) {
   ReplyCache cache(CacheOptions(1, 30.0));
-  ASSERT_EQ(cache.AdmitOrAttach(100, nullptr).admission,
-            ReplyCache::Admission::kPrimary);
+  auto hundred = cache.AdmitOrAttach(100, nullptr);
+  ASSERT_EQ(hundred.admission, ReplyCache::Admission::kPrimary);
   // Churn completed entries past capacity while 100 stays in flight.
   for (uint64_t key = 1; key <= 4; ++key) {
-    ASSERT_EQ(cache.AdmitOrAttach(key, nullptr).admission,
-              ReplyCache::Admission::kPrimary);
-    (void)cache.Complete(key, {0x01}, /*cache_for_replay=*/true);
+    auto primary = cache.AdmitOrAttach(key, nullptr);
+    ASSERT_EQ(primary.admission, ReplyCache::Admission::kPrimary);
+    (void)cache.Complete(key, primary.generation, {0x01},
+                         /*cache_for_replay=*/true);
   }
   // The in-flight entry still coalesces duplicates.
   EXPECT_EQ(cache.AdmitOrAttach(100, [](std::vector<uint8_t>) {}).admission,
             ReplyCache::Admission::kJoined);
-  auto waiters = cache.Complete(100, {0x64}, /*cache_for_replay=*/true);
+  auto waiters = cache.Complete(100, hundred.generation, {0x64},
+                                /*cache_for_replay=*/true);
   EXPECT_EQ(waiters.size(), 1u);
 }
 
 TEST(ReplyCacheTest, DoubleCompleteIsIgnored) {
   ReplyCache cache(CacheOptions(16, 30.0));
-  ASSERT_EQ(cache.AdmitOrAttach(3, nullptr).admission,
-            ReplyCache::Admission::kPrimary);
-  (void)cache.Complete(3, {0xAA}, /*cache_for_replay=*/true);
-  auto again = cache.Complete(3, {0xBB}, /*cache_for_replay=*/true);
+  auto primary = cache.AdmitOrAttach(3, nullptr);
+  ASSERT_EQ(primary.admission, ReplyCache::Admission::kPrimary);
+  (void)cache.Complete(3, primary.generation, {0xAA},
+                       /*cache_for_replay=*/true);
+  auto again = cache.Complete(3, primary.generation, {0xBB},
+                              /*cache_for_replay=*/true);
   EXPECT_TRUE(again.empty());
   // The first frame wins.
   auto replay = cache.AdmitOrAttach(3, nullptr);
   ASSERT_EQ(replay.admission, ReplyCache::Admission::kReplayed);
   EXPECT_EQ(replay.frame, std::vector<uint8_t>{0xAA});
+}
+
+// Regression (pre-fix failing): an in-flight entry whose primary died
+// without Complete/Abort pinned its key forever — every retry "joined" an
+// execution that would never finish. Past deadline + grace the retry must
+// take over as a fresh primary and the stranded joiners must be returned
+// for erroring out.
+TEST(ReplyCacheTest, RetryTakesOverAbandonedPrimaryPastDeadline) {
+  ReplyCache::Options o = CacheOptions(16, 30.0);
+  o.in_flight_grace_seconds = 0.0;
+  ReplyCache cache(o);
+  // Admit with a deadline slightly in the future so the joiner can attach
+  // while the entry is still live, then let the deadline lapse.
+  const auto deadline =
+      ReplyCache::Clock::now() + std::chrono::milliseconds(40);
+  auto dead = cache.AdmitOrAttach(42, nullptr, deadline);
+  ASSERT_EQ(dead.admission, ReplyCache::Admission::kPrimary);
+  int joiner_calls = 0;
+  ASSERT_EQ(cache
+                .AdmitOrAttach(42,
+                               [&](std::vector<uint8_t>) { ++joiner_calls; })
+                .admission,
+            ReplyCache::Admission::kJoined);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  auto retry = cache.AdmitOrAttach(
+      42, nullptr, ReplyCache::Clock::now() + std::chrono::seconds(5));
+  EXPECT_EQ(retry.admission, ReplyCache::Admission::kPrimary);
+  ASSERT_EQ(retry.expired_waiters.size(), 1u);
+  retry.expired_waiters[0]({});
+  EXPECT_EQ(joiner_calls, 1);
+
+  // The dead primary's late Complete carries a stale generation: it must
+  // not hijack (or cache a frame for) the readmitted execution.
+  auto stale = cache.Complete(42, dead.generation, {0xDE},
+                              /*cache_for_replay=*/true);
+  EXPECT_TRUE(stale.empty());
+  EXPECT_EQ(cache.CompletedEntries(), 0u);
+  (void)cache.Complete(42, retry.generation, {0xAD},
+                       /*cache_for_replay=*/true);
+  auto replay = cache.AdmitOrAttach(42, nullptr);
+  ASSERT_EQ(replay.admission, ReplyCache::Admission::kReplayed);
+  EXPECT_EQ(replay.frame, std::vector<uint8_t>{0xAD});
+}
+
+TEST(ReplyCacheTest, DeadlinelessInFlightEntriesAreNeverPurged) {
+  ReplyCache::Options o = CacheOptions(16, 30.0);
+  o.in_flight_grace_seconds = 0.0;
+  ReplyCache cache(o);
+  ASSERT_EQ(cache.AdmitOrAttach(8, nullptr).admission,
+            ReplyCache::Admission::kPrimary);
+  // No deadline was attached, so the entry cannot expire.
+  EXPECT_EQ(cache.AdmitOrAttach(8, [](std::vector<uint8_t>) {}).admission,
+            ReplyCache::Admission::kJoined);
+  EXPECT_EQ(cache.InFlightEntries(), 1u);
+}
+
+// Abandoned entries are also swept when *other* keys are admitted, so a
+// dead key's waiters do not wait for someone to retry that exact key.
+TEST(ReplyCacheTest, AdmissionSweepPurgesAbandonedOtherKeys) {
+  ReplyCache::Options o = CacheOptions(16, 30.0);
+  o.in_flight_grace_seconds = 0.0;
+  ReplyCache cache(o);
+  const auto deadline =
+      ReplyCache::Clock::now() + std::chrono::milliseconds(40);
+  ASSERT_EQ(cache.AdmitOrAttach(1, nullptr, deadline).admission,
+            ReplyCache::Admission::kPrimary);
+  int joiner_calls = 0;
+  ASSERT_EQ(cache
+                .AdmitOrAttach(1,
+                               [&](std::vector<uint8_t>) { ++joiner_calls; })
+                .admission,
+            ReplyCache::Admission::kJoined);
+  EXPECT_EQ(cache.InFlightEntries(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  auto other = cache.AdmitOrAttach(2, nullptr);
+  EXPECT_EQ(other.admission, ReplyCache::Admission::kPrimary);
+  ASSERT_EQ(other.expired_waiters.size(), 1u);
+  other.expired_waiters[0]({});
+  EXPECT_EQ(joiner_calls, 1);
+  EXPECT_EQ(cache.InFlightEntries(), 1u);  // only key 2 remains
+}
+
+TEST(ReplyCacheTest, StaleGenerationAbortIsIgnored) {
+  ReplyCache::Options o = CacheOptions(16, 30.0);
+  o.in_flight_grace_seconds = 0.0;
+  ReplyCache cache(o);
+  const auto expired_deadline =
+      ReplyCache::Clock::now() - std::chrono::milliseconds(10);
+  auto dead = cache.AdmitOrAttach(6, nullptr, expired_deadline);
+  ASSERT_EQ(dead.admission, ReplyCache::Admission::kPrimary);
+  auto retry = cache.AdmitOrAttach(
+      6, nullptr, ReplyCache::Clock::now() + std::chrono::seconds(5));
+  ASSERT_EQ(retry.admission, ReplyCache::Admission::kPrimary);
+  // The stale Abort must not tear down the readmitted entry.
+  EXPECT_TRUE(cache.Abort(6, dead.generation).empty());
+  EXPECT_EQ(cache.AdmitOrAttach(6, [](std::vector<uint8_t>) {}).admission,
+            ReplyCache::Admission::kJoined);
 }
 
 // --- service-level admission behavior ---
@@ -571,6 +678,95 @@ TEST_F(AdmissionServiceTest, DedupDisabledRunsEveryCopy) {
   EXPECT_EQ(stats.served, 2u);
   EXPECT_EQ(stats.dedup_joins, 0u);
   EXPECT_EQ(stats.dedup_replays, 0u);
+}
+
+// Regression (pre-fix hanging): a primary stuck in execution past its
+// deadline pinned the idempotency key, so joined waiters were stranded and
+// retries kept "joining" forever. Now a retry purges the abandoned entry:
+// stranded waiters get kDeadlineExceeded and the retry runs as a fresh
+// primary.
+TEST_F(AdmissionServiceTest, RetryPurgesAbandonedDedupPrimary) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.reply_cache_in_flight_grace_seconds = 0.0;
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  bool entered = false;
+  bool block_next = true;
+  config.test_execute_hook = [&] {
+    std::unique_lock<std::mutex> lock(m);
+    if (!block_next) return;  // only the doomed primary is held
+    block_next = false;
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  LspService service(*db_, config);
+
+  Rng rng(15);
+  Request req = MakeRequest(rng);
+  auto submit = [&](double deadline, LspService::Callback done) {
+    ServiceRequest sreq;
+    sreq.query = req.query;
+    sreq.uploads = req.uploads;
+    sreq.idempotency_key = 0xDEADull;
+    sreq.deadline_seconds = deadline;
+    ASSERT_TRUE(service.Submit(std::move(sreq), std::move(done)));
+  };
+
+  std::vector<uint8_t> primary_frame;
+  submit(0.2, [&](std::vector<uint8_t> f) { primary_frame = std::move(f); });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return entered; });
+  }
+  std::mutex frames_mu;
+  std::condition_variable frames_cv;
+  std::vector<uint8_t> joiner_frame;
+  submit(0.2, [&](std::vector<uint8_t> f) {
+    std::lock_guard<std::mutex> lock(frames_mu);
+    joiner_frame = std::move(f);
+    frames_cv.notify_all();
+  });
+  EXPECT_EQ(service.Stats().dedup_joins, 1u);
+
+  // Let the primary's deadline (and the zero grace) elapse while it is
+  // still stuck executing, then retry the same key.
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  std::vector<uint8_t> retry_frame;
+  submit(30.0, [&](std::vector<uint8_t> f) {
+    std::lock_guard<std::mutex> lock(frames_mu);
+    retry_frame = std::move(f);
+    frames_cv.notify_all();
+  });
+  {
+    // The stranded joiner is errored out at the retry's admission, before
+    // the stuck primary ever finishes.
+    std::unique_lock<std::mutex> lock(frames_mu);
+    frames_cv.wait(lock, [&] { return !joiner_frame.empty(); });
+  }
+  ResponseFrame joined = ResponseFrame::Decode(joiner_frame).value();
+  ASSERT_TRUE(joined.is_error);
+  EXPECT_EQ(joined.error.code, WireError::kDeadlineExceeded);
+  EXPECT_EQ(service.Stats().dedup_purged, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+    cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(frames_mu);
+    frames_cv.wait(lock, [&] { return !retry_frame.empty(); });
+  }
+  // The retry ran as a fresh primary and got a real answer; the stale
+  // primary's late completion could not hijack the readmitted key.
+  EXPECT_FALSE(ResponseFrame::Decode(retry_frame).value().is_error);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.dedup_purged, 1u);
+  service.Shutdown();
 }
 
 TEST_F(AdmissionServiceTest, RetryAfterHintOverrideIsHonored) {

@@ -29,6 +29,7 @@
 #include "core/wire.h"
 #include "service/lsp_service.h"
 #include "service/resilient_client.h"
+#include "service/shard_coordinator.h"
 #include "service/workload.h"
 #include "spatial/dataset.h"
 
@@ -755,6 +756,52 @@ TEST_F(ChaosTest, CircuitBreakerOpensFastFailsAndRecovers) {
   EXPECT_EQ(cs.breaker_fast_fails, 1u);
   EXPECT_EQ(cs.answers, 2u);
   service.Shutdown();
+}
+
+// A shard cluster with one link both failing and slow: every query must
+// still complete with an answer frame (a degraded merge, never an error
+// or a hang), the degradation must be counted, and no query may be
+// abandoned after its crypto ran.
+TEST_F(ChaosTest, SickShardLinkDegradesMergesWithoutFailingQueries) {
+  ShardClusterConfig config;
+  config.shards = 4;
+  config.front.workers = 2;
+  config.front.sanitize = false;
+  config.shard.workers = 2;
+  config.link_policy.max_attempts = 2;
+  config.link_policy.total_budget_seconds = 0.5;
+  ShardedLspService cluster(GenerateSequoiaLike(3000, 777), config);
+
+  const uint64_t seed = ChaosSeed();
+  // Link 2 errors on most legs and is slow on the rest — the retry layer
+  // sees a shard that is simultaneously flaky and missing its SLO.
+  ASSERT_TRUE(FailpointSetFromSpec("shard.link.2=error,p=0.8,seed=" +
+                                   std::to_string(seed))
+                  .ok());
+  ASSERT_TRUE(
+      FailpointSetFromSpec("service.execute=delay:20,p=0.3,seed=" +
+                           std::to_string(seed + 1))
+          .ok());
+
+  Rng rng(seed * 1000 + 70);
+  constexpr int kQueries = 8;
+  for (int i = 0; i < kQueries; ++i) {
+    std::vector<Point> real;
+    ServiceRequest request = WorkloadRequest(rng, &real);
+    request.deadline_seconds = 10.0;
+    std::vector<uint8_t> frame = cluster.Call(std::move(request));
+    Decryptor dec(keys_->pub, keys_->sec);
+    ServedReply reply =
+        ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+    ASSERT_TRUE(reply.ok) << "query " << i << ": " << reply.error.detail;
+  }
+
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.served, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.degraded_shards, 1u);
+  EXPECT_EQ(stats.abandoned_executing, 0u);
+  cluster.Shutdown();
 }
 
 }  // namespace

@@ -765,5 +765,32 @@ TEST_F(ServiceTest, PooledEncryptorSharedAcrossClientsAndRefiller) {
   EXPECT_GT(stats.fixed_base_table_bytes, 0u);
 }
 
+// Regression (pre-fix failing): two refillers racing TopUpOnce against
+// the same drained pool each saw "below watermark, need target - size"
+// before either appended, so the pool landed at up to 2x target. The
+// refill quota is now claimed under the pool lock, so concurrent passes
+// split the deficit instead of duplicating it.
+TEST_F(ServiceTest, RacingRefillersNeverOverfillPastTarget) {
+  auto pooled = std::make_shared<const Encryptor>(*keys_);
+  BlindingRefillerOptions options;
+  options.levels = {1};
+  options.low_watermark = 16;
+  options.target = 16;
+  options.start_thread = false;  // driven manually from racing threads
+  BlindingRefiller a(pooled, options);
+  options.seed = 0xfeedbee5;
+  BlindingRefiller b(pooled, options);
+
+  for (int round = 0; round < 3; ++round) {
+    std::thread ta([&] { EXPECT_TRUE(a.TopUpOnce().ok()); });
+    std::thread tb([&] { EXPECT_TRUE(b.TopUpOnce().ok()); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(pooled->PooledBlindingCount(1), options.target);
+  }
+  // Both refillers together produced exactly one deficit's worth.
+  EXPECT_EQ(a.stats().refilled + b.stats().refilled, options.target);
+}
+
 }  // namespace
 }  // namespace ppgnn

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -294,6 +296,48 @@ TEST_F(PaillierTest, BlindingPoolPreservesCorrectnessAndDrains) {
     EXPECT_EQ(dec.Decrypt(ct).value(), BigInt(1000 + i));
   }
   EXPECT_EQ(enc.PooledBlindingCount(1), 0u);
+}
+
+// Regression (pre-fix failing): racing refillers each compared the pool
+// size against the target *before* exponentiating, so N concurrent top-ups
+// to the same target could overshoot it N-fold. The quota is now claimed
+// under the pool lock before any exponentiation runs.
+TEST_F(PaillierTest, TargetedRefillNeverOverfillsThePool) {
+  Encryptor enc(keys_->pub);
+  constexpr size_t kTarget = 8;
+  // Serial: a second targeted refill on a full pool is a no-op.
+  size_t produced = 0;
+  ASSERT_TRUE(
+      enc.RefillBlindingPool(1, kTarget, *rng_, kTarget, &produced).ok());
+  EXPECT_EQ(produced, kTarget);
+  ASSERT_TRUE(
+      enc.RefillBlindingPool(1, kTarget, *rng_, kTarget, &produced).ok());
+  EXPECT_EQ(produced, 0u);
+  EXPECT_EQ(enc.PooledBlindingCount(1), kTarget);
+
+  // Concurrent: racing refillers split the remaining quota, never sum it.
+  Encryptor racy(keys_->pub);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::array<Status, kThreads> status;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(9000 + static_cast<uint64_t>(t));
+      status[t] = racy.RefillBlindingPool(1, kTarget, rng, kTarget);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const Status& s : status) EXPECT_TRUE(s.ok());
+  EXPECT_EQ(racy.PooledBlindingCount(1), kTarget);
+}
+
+TEST_F(PaillierTest, UntargetedRefillKeepsUnconditionalSemantics) {
+  // target = 0 is the per-query warmup path (RunQuery): the caller asked
+  // for exactly `count` factors and must get them even onto a full pool.
+  Encryptor enc(keys_->pub);
+  ASSERT_TRUE(enc.RefillBlindingPool(1, 3, *rng_).ok());
+  ASSERT_TRUE(enc.RefillBlindingPool(1, 3, *rng_).ok());
+  EXPECT_EQ(enc.PooledBlindingCount(1), 6u);
 }
 
 TEST_F(PaillierTest, PooledCiphertextsStillProbabilistic) {

@@ -1,0 +1,308 @@
+// Tests for the sharded scatter-gather cluster (ShardedLspService).
+//
+// The load-bearing property is exactness: partitioning the POI space and
+// merging per-shard top-k lists must not change a single bit of the
+// served answer. The S=1 suite checks frames (and decrypted POIs) are
+// byte-identical to a plain LspService over the same POIs, across
+// aggregates and both protocol variants; the S=4 suite checks a real
+// multi-shard merge still reproduces the S=1 frames. The failure-path
+// suite drives shard links through failpoints: a dead shard degrades the
+// merge (query still answered, degraded_shards counted), while an
+// all-shards outage is the only way a query errors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/protocol.h"
+#include "core/wire.h"
+#include "service/shard_coordinator.h"
+#include "service/workload.h"
+#include "spatial/dataset.h"
+
+namespace ppgnn {
+namespace {
+
+class ShardTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pois_ = new std::vector<Poi>(GenerateSequoiaLike(2000, 901));
+    Rng rng(902);
+    keys_ = new KeyPair(GenerateKeyPair(256, rng).value());
+  }
+  static void TearDownTestSuite() {
+    delete pois_;
+    delete keys_;
+  }
+  void TearDown() override { FailpointClearAll(); }
+
+  static ProtocolParams GroupParams(AggregateKind aggregate,
+                                    bool sanitize = true) {
+    ProtocolParams params;
+    params.n = 3;
+    params.d = 4;
+    params.delta = 8;
+    params.k = 3;
+    params.key_bits = keys_->pub.key_bits;
+    params.aggregate = aggregate;
+    params.sanitize = sanitize;
+    return params;
+  }
+
+  static ServiceRequest MakeRequest(Variant variant, AggregateKind aggregate,
+                                    uint64_t seed, bool sanitize = true,
+                                    std::vector<Point>* real = nullptr,
+                                    const RequestWireOptions& wire = {}) {
+    Rng rng(seed);
+    ProtocolParams params = GroupParams(aggregate, sanitize);
+    std::vector<Point> group;
+    for (int i = 0; i < params.n; ++i) {
+      group.push_back({rng.NextDouble(), rng.NextDouble()});
+    }
+    if (real != nullptr) *real = group;
+    return BuildServiceRequest(variant, params, group, *keys_, rng, wire)
+        .value();
+  }
+
+  static ServiceConfig FrontConfig(bool sanitize = true) {
+    ServiceConfig config;
+    config.workers = 2;
+    config.sanitize = sanitize;
+    return config;
+  }
+
+  static ShardClusterConfig ClusterConfig(int shards, bool sanitize = true) {
+    ShardClusterConfig config;
+    config.shards = shards;
+    config.front = FrontConfig(sanitize);
+    config.shard.workers = 2;
+    config.link_policy.max_attempts = 2;
+    return config;
+  }
+
+  static std::vector<uint8_t> FrameOf(ShardedLspService& cluster,
+                                      const ServiceRequest& request) {
+    return cluster.Call(request);
+  }
+
+  static std::vector<Poi>* pois_;
+  static KeyPair* keys_;
+};
+std::vector<Poi>* ShardTest::pois_ = nullptr;
+KeyPair* ShardTest::keys_ = nullptr;
+
+// --- partitioning ---
+
+TEST_F(ShardTest, PartitionCoversEveryPoiExactlyOnce) {
+  std::vector<Poi> pois(pois_->begin(), pois_->begin() + 101);
+  for (int shards : {1, 2, 3, 5}) {
+    auto slices = PartitionPoisForShards(pois, shards);
+    ASSERT_EQ(slices.size(), static_cast<size_t>(shards));
+    std::multiset<uint32_t> seen;
+    size_t min_size = pois.size(), max_size = 0;
+    for (const auto& slice : slices) {
+      min_size = std::min(min_size, slice.size());
+      max_size = std::max(max_size, slice.size());
+      for (const Poi& poi : slice) seen.insert(poi.id);
+    }
+    // Near-equal slices; every POI in exactly one slice.
+    EXPECT_LE(max_size - min_size, 1u) << "shards=" << shards;
+    ASSERT_EQ(seen.size(), pois.size()) << "shards=" << shards;
+    for (const Poi& poi : pois) EXPECT_EQ(seen.count(poi.id), 1u);
+    // Slices are contiguous in x: a later slice never starts left of an
+    // earlier slice's end.
+    for (size_t j = 1; j < slices.size(); ++j) {
+      if (slices[j].empty() || slices[j - 1].empty()) continue;
+      EXPECT_GE(slices[j].front().location.x,
+                slices[j - 1].back().location.x);
+    }
+  }
+}
+
+TEST_F(ShardTest, PartitionWithMoreShardsThanPoisLeavesEmptySlices) {
+  std::vector<Poi> pois(pois_->begin(), pois_->begin() + 3);
+  auto slices = PartitionPoisForShards(pois, 5);
+  ASSERT_EQ(slices.size(), 5u);
+  EXPECT_EQ(slices[0].size(), 1u);
+  EXPECT_EQ(slices[1].size(), 1u);
+  EXPECT_EQ(slices[2].size(), 1u);
+  EXPECT_TRUE(slices[3].empty());
+  EXPECT_TRUE(slices[4].empty());
+}
+
+// --- S=1 bit-identity against the plain single-node service ---
+
+TEST_F(ShardTest, SingleShardClusterIsBitIdenticalToPlainService) {
+  LspDatabase db(*pois_);
+  uint64_t seed = 40;
+  for (AggregateKind aggregate :
+       {AggregateKind::kSum, AggregateKind::kMax, AggregateKind::kMin}) {
+    ServiceRequest request =
+        MakeRequest(Variant::kPpgnn, aggregate, seed++);
+
+    LspService plain(db, FrontConfig());
+    std::vector<uint8_t> plain_frame = plain.Call(request);
+
+    ShardedLspService cluster(*pois_, ClusterConfig(1));
+    std::vector<uint8_t> cluster_frame = FrameOf(cluster, request);
+
+    // Frames — ciphertext bytes included — must match bit for bit: same
+    // merge order, same sanitize seed and draws, same packing, same
+    // deterministic homomorphic selection.
+    ASSERT_EQ(cluster_frame, plain_frame)
+        << "aggregate=" << static_cast<int>(aggregate);
+
+    Decryptor dec(keys_->pub, keys_->sec);
+    ServedReply plain_reply =
+        ParseServedReply(plain_frame, *keys_, dec, /*layered=*/false).value();
+    ServedReply cluster_reply =
+        ParseServedReply(cluster_frame, *keys_, dec, /*layered=*/false)
+            .value();
+    ASSERT_TRUE(plain_reply.ok) << plain_reply.error.detail;
+    ASSERT_TRUE(cluster_reply.ok) << cluster_reply.error.detail;
+    ASSERT_EQ(cluster_reply.pois.size(), plain_reply.pois.size());
+    for (size_t i = 0; i < cluster_reply.pois.size(); ++i) {
+      EXPECT_EQ(cluster_reply.pois[i].x, plain_reply.pois[i].x);
+      EXPECT_EQ(cluster_reply.pois[i].y, plain_reply.pois[i].y);
+    }
+    EXPECT_EQ(cluster.Stats().degraded_shards, 0u);
+  }
+}
+
+TEST_F(ShardTest, SingleShardClusterIsBitIdenticalUnderOpt) {
+  LspDatabase db(*pois_);
+  ServiceRequest request =
+      MakeRequest(Variant::kPpgnnOpt, AggregateKind::kSum, 50);
+
+  LspService plain(db, FrontConfig());
+  std::vector<uint8_t> plain_frame = plain.Call(request);
+
+  ShardedLspService cluster(*pois_, ClusterConfig(1));
+  std::vector<uint8_t> cluster_frame = FrameOf(cluster, request);
+  ASSERT_EQ(cluster_frame, plain_frame);
+
+  Decryptor dec(keys_->pub, keys_->sec);
+  ServedReply reply =
+      ParseServedReply(cluster_frame, *keys_, dec, /*layered=*/true).value();
+  ASSERT_TRUE(reply.ok) << reply.error.detail;
+  EXPECT_FALSE(reply.pois.empty());
+}
+
+// --- multi-shard merge exactness ---
+
+TEST_F(ShardTest, FourShardClusterReproducesSingleShardFrames) {
+  uint64_t seed = 60;
+  for (AggregateKind aggregate :
+       {AggregateKind::kSum, AggregateKind::kMin}) {
+    ServiceRequest request =
+        MakeRequest(Variant::kPpgnn, aggregate, seed++);
+    ShardedLspService one(*pois_, ClusterConfig(1));
+    ShardedLspService four(*pois_, ClusterConfig(4));
+    std::vector<uint8_t> one_frame = FrameOf(one, request);
+    std::vector<uint8_t> four_frame = FrameOf(four, request);
+    EXPECT_EQ(four_frame, one_frame)
+        << "aggregate=" << static_cast<int>(aggregate);
+    EXPECT_EQ(four.Stats().degraded_shards, 0u);
+  }
+}
+
+TEST_F(ShardTest, ClusterAnswerMatchesPlainSolverTopK) {
+  std::vector<Point> real;
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       70, /*sanitize=*/false, &real);
+  ShardedLspService cluster(*pois_, ClusterConfig(4, /*sanitize=*/false));
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+
+  Decryptor dec(keys_->pub, keys_->sec);
+  ServedReply reply =
+      ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+  ASSERT_TRUE(reply.ok) << reply.error.detail;
+
+  LspDatabase db(*pois_);
+  auto expected = db.solver().Query(real, 3, AggregateKind::kSum);
+  ASSERT_EQ(reply.pois.size(), expected.size());
+  for (size_t i = 0; i < reply.pois.size(); ++i) {
+    EXPECT_NEAR(reply.pois[i].x, expected[i].poi.location.x, 1e-8);
+    EXPECT_NEAR(reply.pois[i].y, expected[i].poi.location.y, 1e-8);
+  }
+}
+
+TEST_F(ShardTest, EmptyShardsAreNeverRouted) {
+  std::vector<Poi> few(pois_->begin(), pois_->begin() + 6);
+  ShardedLspService cluster(few, ClusterConfig(8, /*sanitize=*/false));
+  ASSERT_EQ(cluster.shards(), 8);
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       80, /*sanitize=*/false);
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  EXPECT_FALSE(decoded.is_error) << decoded.error.detail;
+  for (int j = 0; j < cluster.shards(); ++j) {
+    if (cluster.shard_size(j) == 0) {
+      EXPECT_EQ(cluster.shard_service(j).Stats().accepted, 0u)
+          << "empty shard " << j << " was routed";
+    }
+  }
+}
+
+// --- degraded merges and idempotent fan-out ---
+
+TEST_F(ShardTest, DeadShardDegradesTheMergeButStillServes) {
+  ShardedLspService cluster(*pois_, ClusterConfig(4, /*sanitize=*/false));
+  // Shard link 1 is hard down: every scatter to it fails before the wire.
+  ASSERT_TRUE(FailpointSetFromSpec("shard.link.1=error").ok());
+
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       90, /*sanitize=*/false);
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  Decryptor dec(keys_->pub, keys_->sec);
+  ServedReply reply =
+      ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+  // The query completes with an answer (possibly missing the dead
+  // shard's POIs) — never an error frame.
+  ASSERT_TRUE(reply.ok) << reply.error.detail;
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.degraded_shards, 1u);
+}
+
+TEST_F(ShardTest, AllShardLinksDownFailsTheQuery) {
+  ShardedLspService cluster(*pois_, ClusterConfig(2, /*sanitize=*/false));
+  ASSERT_TRUE(FailpointSetFromSpec("shard.link.0=error").ok());
+  ASSERT_TRUE(FailpointSetFromSpec("shard.link.1=error").ok());
+
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       91, /*sanitize=*/false);
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  ASSERT_TRUE(decoded.is_error);
+  EXPECT_EQ(decoded.error.code, WireError::kInternal);
+}
+
+TEST_F(ShardTest, ParentIdempotencyKeyCoalescesShardLegs) {
+  // Front dedup off so the handler really runs twice; the derived
+  // per-shard keys must then coalesce the second fan-out at the shards.
+  ShardClusterConfig config = ClusterConfig(2, /*sanitize=*/false);
+  config.front.enable_dedup = false;
+  ShardedLspService cluster(*pois_, config);
+
+  RequestWireOptions wire;
+  wire.idempotency_key = 0xC0FFEE;
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       92, /*sanitize=*/false, nullptr, wire);
+  std::vector<uint8_t> first = FrameOf(cluster, request);
+  std::vector<uint8_t> second = FrameOf(cluster, request);
+  EXPECT_EQ(first, second);
+
+  uint64_t replays = 0;
+  for (int j = 0; j < cluster.shards(); ++j) {
+    replays += cluster.shard_service(j).Stats().dedup_replays;
+  }
+  EXPECT_GE(replays, 1u);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "crypto/poi_codec.h"
 
 namespace ppgnn {
@@ -47,6 +49,7 @@ class WireTest : public ::testing::Test {
     for (uint64_t nb : n_bar) w.PutVarint(nb);
     w.PutVarint(d_bar.size());
     for (uint64_t db : d_bar) w.PutVarint(db);
+    w.PutVarint(static_cast<uint64_t>(keys_->pub.key_bits));
     w.PutBytes(keys_->pub.n.ToBytesPadded(keys_->pub.ByteSize()).value());
     return w;
   }
@@ -664,6 +667,218 @@ TEST_F(WireTest, ErrorMessageWithHintEveryTruncationFailsCleanly) {
     }
   }
   EXPECT_TRUE(ErrorMessage::Decode(bytes).ok());
+}
+
+// --- explicit key_bits on the wire ---
+
+// Regression (pre-fix failing): key_bits used to be reconstructed as
+// pk_bytes.size() * 8, which over-reports by up to 7 bits for any key
+// size that is not a multiple of 8 — a 252-bit key round-tripped as 256
+// bits, desynchronizing PoiCodec widths and CostModel buckets across the
+// wire.
+TEST_F(WireTest, QueryMessageRoundTripNonByteAlignedKeyBits) {
+  Rng rng(2718);
+  KeyPair keys = GenerateKeyPair(252, rng).value();
+  QueryMessage msg;
+  msg.k = 4;
+  msg.theta0 = 0.05;
+  msg.aggregate = AggregateKind::kSum;
+  msg.plan.alpha = 1;
+  msg.plan.n_bar = {2};
+  msg.plan.d_bar = {2, 2};
+  msg.plan.delta_prime = 4;
+  msg.pk = keys.pub;
+  Encryptor enc(keys.pub);
+  msg.indicator = EncryptIndicator(enc, 2, 4, rng).value();
+  auto bytes = msg.Encode().value();
+  QueryMessage decoded = QueryMessage::Decode(bytes).value();
+  EXPECT_EQ(decoded.pk.key_bits, 252);
+  EXPECT_EQ(decoded.pk.n, keys.pub.n);
+  QueryWireHeader header = PeekQueryHeader(bytes).value();
+  EXPECT_EQ(header.key_bits, 252);
+  EXPECT_FALSE(header.is_shard);
+}
+
+TEST_F(WireTest, QueryDecodeRejectsKeyBitsModulusMismatch) {
+  QueryMessage msg = PlainQuery();
+  auto bytes = msg.Encode().value();
+  QueryMessage decoded = QueryMessage::Decode(bytes).value();
+  ASSERT_EQ(decoded.pk.key_bits, 256);
+  // Patch the declared key_bits on the wire from 256 to 250. The pk field
+  // is still 32 bytes so the width check passes, but the modulus is
+  // genuinely 256 bits wide — decode must catch the declared-width /
+  // modulus mismatch. Walk the header fields to find the varint's offset.
+  ByteReader r(bytes);
+  ASSERT_TRUE(r.GetVarint().ok());  // k
+  ASSERT_TRUE(r.GetDouble().ok());  // theta0
+  ASSERT_TRUE(r.GetU8().ok());      // aggregate
+  uint64_t alpha = r.GetVarint().value();
+  for (uint64_t j = 0; j < alpha; ++j) ASSERT_TRUE(r.GetVarint().ok());
+  uint64_t beta = r.GetVarint().value();
+  for (uint64_t i = 0; i < beta; ++i) ASSERT_TRUE(r.GetVarint().ok());
+  size_t off = bytes.size() - r.remaining();
+  ASSERT_EQ(bytes[off], 0x80);      // varint(256) low byte
+  ASSERT_EQ(bytes[off + 1], 0x02);  // varint(256) high byte
+  bytes[off] = 0xFA;                // varint(250), same 2-byte width
+  bytes[off + 1] = 0x01;
+  EXPECT_FALSE(QueryMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, QueryEncodeRejectsOutOfRangeKeyBits) {
+  QueryMessage msg = PlainQuery();
+  msg.pk.key_bits = 32;  // below kMinWireKeyBits
+  EXPECT_FALSE(msg.Encode().ok());
+  msg = PlainQuery();
+  msg.pk.key_bits = (1 << 16) + 8;  // above kMaxWireKeyBits
+  EXPECT_FALSE(msg.Encode().ok());
+}
+
+// --- shard scatter-gather messages ---
+
+TEST_F(WireTest, ShardQueryMessageRoundTrip) {
+  ShardQueryMessage msg;
+  msg.k = 5;
+  msg.aggregate = AggregateKind::kMin;
+  // Raw doubles, deliberately off the quantization grid.
+  msg.candidates.push_back({3, {{0.123456789012345, 0.98765432109876}}});
+  msg.candidates.push_back({17, {{0.5, 0.25}, {0.750000000001, 0.1}}});
+  auto bytes = msg.Encode().value();
+  EXPECT_TRUE(IsShardQuery(bytes));
+  ShardQueryMessage decoded = ShardQueryMessage::Decode(bytes).value();
+  EXPECT_EQ(decoded.k, 5);
+  EXPECT_EQ(decoded.aggregate, AggregateKind::kMin);
+  ASSERT_EQ(decoded.candidates.size(), 2u);
+  EXPECT_EQ(decoded.candidates[0].index, 3u);
+  EXPECT_EQ(decoded.candidates[1].index, 17u);
+  // Bit-exact: no quantization on the shard path.
+  EXPECT_EQ(decoded.candidates[0].locations[0].x, 0.123456789012345);
+  EXPECT_EQ(decoded.candidates[1].locations[0].y, 0.25);
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+  EXPECT_EQ(decoded.idempotency_key, 0u);
+}
+
+TEST_F(WireTest, ShardQueryMessageTrailerRoundTrip) {
+  ShardQueryMessage msg;
+  msg.k = 1;
+  msg.candidates.push_back({0, {{0.1, 0.2}}});
+  msg.deadline_ms = 1500;
+  msg.idempotency_key = 0xFEEDFACEull;
+  ShardQueryMessage decoded =
+      ShardQueryMessage::Decode(msg.Encode().value()).value();
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_EQ(decoded.idempotency_key, 0xFEEDFACEull);
+}
+
+TEST_F(WireTest, ShardQueryIsNeverMistakenForQueryMessage) {
+  // A QueryMessage's first byte is the varint k >= 1, never 0x00.
+  QueryMessage query = PlainQuery();
+  auto query_bytes = query.Encode().value();
+  EXPECT_FALSE(IsShardQuery(query_bytes));
+  QueryWireHeader header = PeekQueryHeader(query_bytes).value();
+  EXPECT_FALSE(header.is_shard);
+
+  ShardQueryMessage shard;
+  shard.k = 2;
+  shard.candidates.push_back({0, {{0.3, 0.4}}});
+  shard.deadline_ms = 250;
+  shard.idempotency_key = 99;
+  auto shard_bytes = shard.Encode().value();
+  EXPECT_TRUE(IsShardQuery(shard_bytes));
+  EXPECT_FALSE(QueryMessage::Decode(shard_bytes).ok());
+  // The peek understands both shapes at one endpoint.
+  QueryWireHeader peeked = PeekQueryHeader(shard_bytes).value();
+  EXPECT_TRUE(peeked.is_shard);
+  EXPECT_EQ(peeked.k, 2);
+  EXPECT_EQ(peeked.delta_prime, 1u);
+  EXPECT_EQ(peeked.key_bits, 0);
+  EXPECT_EQ(peeked.deadline_ms, 250u);
+  EXPECT_EQ(peeked.idempotency_key, 99u);
+}
+
+TEST_F(WireTest, ShardQueryEveryTruncationFailsCleanly) {
+  ShardQueryMessage msg;
+  msg.k = 3;
+  msg.candidates.push_back({1, {{0.1, 0.2}, {0.3, 0.4}}});
+  msg.deadline_ms = 777;
+  msg.idempotency_key = 42;
+  const auto bytes = msg.Encode().value();
+  ShardQueryMessage v1 = msg;
+  v1.deadline_ms = 0;
+  v1.idempotency_key = 0;
+  const size_t v1_len = v1.Encode().value().size();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    auto decoded = ShardQueryMessage::Decode(prefix);
+    if (cut == v1_len) {
+      ASSERT_TRUE(decoded.ok());  // valid trailer-less message
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+    }
+  }
+  EXPECT_TRUE(ShardQueryMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, ShardQueryRejectsNonFiniteLocations) {
+  ShardQueryMessage msg;
+  msg.k = 1;
+  msg.candidates.push_back(
+      {0, {{std::numeric_limits<double>::quiet_NaN(), 0.5}}});
+  auto bytes = msg.Encode().value();  // encode does not inspect values
+  EXPECT_FALSE(ShardQueryMessage::Decode(bytes).ok());
+}
+
+TEST_F(WireTest, ShardAnswerMessageRoundTrip) {
+  ShardAnswerMessage msg;
+  ShardAnswerMessage::CandidateResult c0;
+  c0.index = 2;
+  c0.results.push_back({7, {0.111111111111, 0.22222222222}, 0.0333333});
+  c0.results.push_back({9, {0.4, 0.5}, 0.0666666});
+  ShardAnswerMessage::CandidateResult c1;
+  c1.index = 5;  // empty result list (shard held no nearby POIs)
+  msg.candidates.push_back(c0);
+  msg.candidates.push_back(c1);
+  auto bytes = msg.Encode().value();
+  ShardAnswerMessage decoded = ShardAnswerMessage::Decode(bytes).value();
+  ASSERT_EQ(decoded.candidates.size(), 2u);
+  EXPECT_EQ(decoded.candidates[0].index, 2u);
+  ASSERT_EQ(decoded.candidates[0].results.size(), 2u);
+  EXPECT_EQ(decoded.candidates[0].results[0].poi_id, 7u);
+  EXPECT_EQ(decoded.candidates[0].results[0].location.x, 0.111111111111);
+  EXPECT_EQ(decoded.candidates[0].results[0].cost, 0.0333333);
+  EXPECT_TRUE(decoded.candidates[1].results.empty());
+}
+
+TEST_F(WireTest, ShardAnswerEveryTruncationFailsCleanly) {
+  ShardAnswerMessage msg;
+  ShardAnswerMessage::CandidateResult c;
+  c.index = 0;
+  c.results.push_back({1, {0.1, 0.2}, 0.3});
+  msg.candidates.push_back(c);
+  const auto bytes = msg.Encode().value();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(ShardAnswerMessage::Decode(prefix).ok()) << "cut=" << cut;
+  }
+  std::vector<uint8_t> extended = bytes;
+  extended.push_back(0x00);
+  EXPECT_FALSE(ShardAnswerMessage::Decode(extended).ok());
+  EXPECT_TRUE(ShardAnswerMessage::Decode(bytes).ok());
+}
+
+// A NaN cost would violate the strict weak ordering of the coordinator's
+// merge sort (undefined behavior in std::sort) — rejected at decode.
+TEST_F(WireTest, ShardAnswerRejectsNonFiniteCost) {
+  ShardAnswerMessage msg;
+  ShardAnswerMessage::CandidateResult c;
+  c.index = 0;
+  c.results.push_back(
+      {1, {0.1, 0.2}, std::numeric_limits<double>::quiet_NaN()});
+  msg.candidates.push_back(c);
+  auto bytes = msg.Encode().value();
+  EXPECT_FALSE(ShardAnswerMessage::Decode(bytes).ok());
+  c.results[0].cost = std::numeric_limits<double>::infinity();
+  msg.candidates[0] = c;
+  EXPECT_FALSE(ShardAnswerMessage::Decode(msg.Encode().value()).ok());
 }
 
 }  // namespace

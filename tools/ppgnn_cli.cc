@@ -18,12 +18,20 @@
 //     --seed N
 //
 // Serve mode (in-process LspService + closed-loop load generators):
-//   ppgnn_cli --serve [--workers N] [--clients N] [--requests N]
-//             [--queue N] [--deadline SECONDS] [plus the options above]
+//   ppgnn_cli --serve [--shards N] [--workers N] [--clients N]
+//             [--requests N] [--queue N] [--deadline SECONDS]
+//             [plus the options above]
 //   Stands up the concurrent LspService front-end and drives it with
 //   `--clients` closed-loop client threads issuing `--requests` queries
 //   each, then prints throughput, the latency histogram summary, and the
 //   service counters.
+//
+//   --shards N           partition the POI space into N shards behind a
+//                        scatter-gather coordinator (ShardedLspService).
+//                        Answers are bit-identical to --shards 1; a dead
+//                        shard degrades merges instead of failing
+//                        queries (arm shard.link.<j> via --fail to see
+//                        it). 1 = plain single-node service.
 //
 //   --blinding-pool N    share one pooled Encryptor across the client
 //                        threads and keep N blinding factors per
@@ -62,6 +70,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,6 +96,7 @@ struct CliOptions {
   bool no_sanitize = false;
   // Serve mode.
   bool serve = false;
+  int shards = 1;
   int workers = 4;
   int clients = 4;
   int requests_per_client = 8;
@@ -112,7 +122,7 @@ void PrintUsageAndExit(const char* argv0) {
                "          [--dummies uniform|poi-density|nearby]\n"
                "          [--keys PATH] [--gen-keys PATH]\n"
                "          [--no-sanitize] [--seed N]\n"
-               "          [--serve] [--workers N] [--clients N]\n"
+               "          [--serve] [--shards N] [--workers N] [--clients N]\n"
                "          [--requests N] [--queue N] [--deadline SECONDS]\n"
                "          [--blinding-pool N]\n"
                "          [--fail POINT=POLICY]... [--retry-budget-ms X]\n"
@@ -186,6 +196,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.no_sanitize = true;
     } else if (flag == "--serve") {
       opts.serve = true;
+    } else if (flag == "--shards") {
+      opts.shards = std::atoi(next());
+      if (opts.shards < 1)
+        return Status::InvalidArgument("--shards must be >= 1");
     } else if (flag == "--workers") {
       opts.workers = std::atoi(next());
     } else if (flag == "--clients") {
@@ -225,8 +239,9 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
 // Stands up an LspService over `lsp` and drives it with closed-loop
 // client threads, each reproducing the coordinator side of Algorithm 1
 // via BuildServiceRequest. Returns a process exit code.
-int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
-                 Variant variant, const KeyPair& keys) {
+int RunServeMode(const CliOptions& opts, const std::vector<Poi>& pois,
+                 const LspDatabase& lsp, Variant variant,
+                 const KeyPair& keys) {
   ServiceConfig config;
   config.workers = opts.workers;
   config.queue_capacity = opts.queue_capacity;
@@ -268,7 +283,29 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
                                                 EncryptPath::kNaive),
         opts.params.key_bits);
   }
-  LspService service(lsp, config);
+  // --shards N > 1 swaps the single-node service for a scatter-gather
+  // cluster; the client loop only ever talks to the front-end, which has
+  // the same Submit/Call surface either way.
+  std::unique_ptr<LspService> single;
+  std::unique_ptr<ShardedLspService> cluster;
+  if (opts.shards > 1) {
+    ShardClusterConfig cluster_config;
+    cluster_config.shards = opts.shards;
+    cluster_config.front = config;
+    cluster_config.shard.workers = opts.workers;
+    cluster_config.link_policy.seed = opts.seed ^ 0x5a4dull;
+    cluster =
+        std::make_unique<ShardedLspService>(pois, std::move(cluster_config));
+    std::printf("Cluster: %d shards over %zu POIs (", opts.shards,
+                pois.size());
+    for (int j = 0; j < cluster->shards(); ++j) {
+      std::printf("%s%zu", j > 0 ? ", " : "", cluster->shard_size(j));
+    }
+    std::printf(" per shard)\n");
+  } else {
+    single = std::make_unique<LspService>(lsp, config);
+  }
+  LspService& service = cluster != nullptr ? cluster->front() : *single;
 
   for (const std::string& spec : opts.fail_specs) {
     Status armed = FailpointSetFromSpec(spec);
@@ -348,7 +385,11 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  service.Shutdown();
+  if (cluster != nullptr) {
+    cluster->Shutdown();
+  } else {
+    single->Shutdown();
+  }
 
   const uint64_t total = answers.load() + service_errors.load();
   std::printf("\n%llu replies in %.2f s => %.2f queries/s\n",
@@ -358,7 +399,9 @@ int RunServeMode(const CliOptions& opts, const LspDatabase& lsp,
               static_cast<unsigned long long>(answers.load()),
               static_cast<unsigned long long>(service_errors.load()),
               static_cast<unsigned long long>(client_errors.load()));
-  std::printf("%s\n", service.Stats().ToString().c_str());
+  std::printf("%s\n", (cluster != nullptr ? cluster->Stats() : single->Stats())
+                          .ToString()
+                          .c_str());
   if (use_resilient) {
     std::printf("%s\n", resilient.Stats().ToString().c_str());
   }
@@ -420,7 +463,9 @@ int main(int argc, char** argv) {
     std::printf("Synthesized %zu Sequoia-like POIs (seed %llu)\n",
                 pois.size(), static_cast<unsigned long long>(opts.seed));
   }
-  LspDatabase lsp(std::move(pois));
+  // Serve mode may need the raw POI list again (sharded clusters build
+  // one database per slice), so the database takes a copy.
+  LspDatabase lsp(pois);
 
   // --- group ---
   Rng rng(opts.seed + 1);
@@ -508,7 +553,7 @@ int main(int argc, char** argv) {
       loaded_keys = std::move(keys).value();
       fixed_keys = &loaded_keys;
     }
-    return RunServeMode(opts, lsp, variant, *fixed_keys);
+    return RunServeMode(opts, pois, lsp, variant, *fixed_keys);
   }
 
   auto outcome = RunQuery(variant, opts.params, group, lsp, rng, fixed_keys);
