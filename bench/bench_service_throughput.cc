@@ -23,12 +23,16 @@
 // Cluster mode (`bench_service_throughput --cluster`): the scatter-gather
 // story. For S in {1, 2, 4, 8} shards it measures closed-loop capacity,
 // then offers 1x / 2x / 4x that rate open-loop and reports goodput and
-// the degraded-merge counter. A final phase kills one shard link (via
-// the shard.link.<j> failpoint) at 1x offered load and checks the
-// cluster's acceptance invariants: zero failed queries (every reply is
-// an answer or a structured overload/deadline error — the dead shard
-// only degrades merges) and degraded_shards > 0. Shares the overload
-// knobs above.
+// the degraded-merge counter. Two kill phases follow at 1x offered load:
+//   * kill-link (R=1): one whole shard link hard down via shard.link.3.
+//     Acceptance: zero failed queries and degraded_shards > 0 — the PR 7
+//     degraded-merge behaviour.
+//   * kill-primary (S=4, R=PPGNN_BENCH_REPLICAS, default 2): only replica
+//     0 of shard 3 dies, via shard.replica.3.0. Acceptance: zero failed
+//     queries AND zero degraded merges — health-driven failover keeps
+//     every answer exact.
+// Extra knob: PPGNN_BENCH_REPLICAS  replication factor for the
+// kill-primary phase (default 2). Shares the overload knobs above.
 
 #include <atomic>
 #include <condition_variable>
@@ -466,14 +470,18 @@ int RunClusterMode() {
     }
   }
 
-  auto make_cluster = [&](int shards) {
+  auto make_cluster = [&](int shards, int replicas) {
     ShardClusterConfig cluster_config;
     cluster_config.shards = shards;
+    cluster_config.replicas = replicas;
     cluster_config.front.workers = workers;
     cluster_config.front.queue_capacity = 64;
     cluster_config.front.sanitize = false;
     cluster_config.shard.workers = workers;
     cluster_config.link_policy.seed = config.seed ^ 0x5a4dull;
+    // Long-running phases want the half-open prober so a downed replica
+    // can rejoin; deterministic tests drive ProbeOnce by hand instead.
+    cluster_config.background_prober = replicas > 1;
     return std::make_unique<ShardedLspService>(pois,
                                                std::move(cluster_config));
   };
@@ -483,7 +491,7 @@ int RunClusterMode() {
               "expired", "failed", "degraded");
   uint64_t failed_total = 0;
   for (int shards : {1, 2, 4, 8}) {
-    auto cluster = make_cluster(shards);
+    auto cluster = make_cluster(shards, /*replicas=*/1);
     const double capacity =
         ClusterCapacity(*cluster, pool, workers, 8);
     if (capacity <= 0) {
@@ -521,7 +529,7 @@ int RunClusterMode() {
   // nonzero degraded-merge count.
   uint64_t killed_failed = 0, killed_degraded = 0;
   {
-    auto cluster = make_cluster(4);
+    auto cluster = make_cluster(4, /*replicas=*/1);
     const double capacity = ClusterCapacity(*cluster, pool, workers, 8);
     Status armed = FailpointSetFromSpec("shard.link.3=error");
     if (!armed.ok()) {
@@ -546,16 +554,82 @@ int RunClusterMode() {
     cluster->Shutdown();
   }
 
+  // Kill-primary phase: same dead node, but the shard is replicated —
+  // replica 0 of shard 3 errors on every leg while replica 1+ hold the
+  // identical slice. The ladder must absorb the loss completely: zero
+  // failed queries *and* zero degraded merges.
+  const int replicas = EnvInt("PPGNN_BENCH_REPLICAS", 2);
+  uint64_t primary_failed = 0, primary_degraded = 0;
+  uint64_t primary_failovers = 0, primary_hedge_wins = 0;
+  {
+    auto cluster = make_cluster(4, replicas);
+    const double capacity = ClusterCapacity(*cluster, pool, workers, 8);
+    Status armed = FailpointSetFromSpec("shard.replica.3.0=error");
+    if (!armed.ok()) {
+      std::fprintf(stderr, "arming shard.replica.3.0: %s\n",
+                   armed.ToString().c_str());
+      return 1;
+    }
+    ClusterPhase phase = DriveClusterPhase(*cluster, pool, capacity,
+                                           phase_seconds, deadline_ms);
+    FailpointClearAll();
+    primary_failed = phase.failed;
+    primary_degraded = phase.degraded;
+    ServiceStats stats = cluster->Stats();
+    primary_failovers = stats.replica_failovers;
+    primary_hedge_wins = stats.replica_hedge_wins;
+    std::printf(
+        "%-7s %-6.1f %-12.2f %-12.2f %-8llu %-10llu %-8llu %-7llu "
+        "%-9llu\n",
+        "4xR-kill", 1.0, phase.offered_qps, phase.goodput_qps,
+        static_cast<unsigned long long>(phase.answers),
+        static_cast<unsigned long long>(phase.overloaded),
+        static_cast<unsigned long long>(phase.expired),
+        static_cast<unsigned long long>(phase.failed),
+        static_cast<unsigned long long>(phase.degraded));
+    std::printf(
+        "kill-primary ladder (R=%d): failovers=%llu hedge_wins=%llu "
+        "exact_despite_failures=%llu transitions=%llu\n",
+        replicas, static_cast<unsigned long long>(stats.replica_failovers),
+        static_cast<unsigned long long>(stats.replica_hedge_wins),
+        static_cast<unsigned long long>(stats.exact_despite_failures),
+        static_cast<unsigned long long>(stats.health_transitions));
+    if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+      if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+        std::fprintf(f, "cluster_kill_primary,%d,%llu,%llu,%llu,%llu\n",
+                     replicas,
+                     static_cast<unsigned long long>(phase.answers),
+                     static_cast<unsigned long long>(phase.failed),
+                     static_cast<unsigned long long>(phase.degraded),
+                     static_cast<unsigned long long>(stats.replica_failovers));
+        std::fclose(f);
+      }
+    }
+    cluster->Shutdown();
+  }
+
   std::printf("killed-shard failures: %llu (acceptance: 0) %s\n",
               static_cast<unsigned long long>(killed_failed),
               killed_failed == 0 ? "PASS" : "FAIL");
   std::printf("killed-shard degraded merges: %llu (acceptance: > 0) %s\n",
               static_cast<unsigned long long>(killed_degraded),
               killed_degraded > 0 ? "PASS" : "FAIL");
+  std::printf("kill-primary failures: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(primary_failed),
+              primary_failed == 0 ? "PASS" : "FAIL");
+  std::printf("kill-primary degraded merges: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(primary_degraded),
+              primary_degraded == 0 ? "PASS" : "FAIL");
+  std::printf("kill-primary ladder engaged: %llu (acceptance: > 0) %s\n",
+              static_cast<unsigned long long>(primary_failovers +
+                                              primary_hedge_wins),
+              primary_failovers + primary_hedge_wins > 0 ? "PASS" : "FAIL");
   std::printf("healthy-phase failures: %llu (acceptance: 0) %s\n",
               static_cast<unsigned long long>(failed_total),
               failed_total == 0 ? "PASS" : "FAIL");
-  return (killed_failed == 0 && killed_degraded > 0 && failed_total == 0)
+  return (killed_failed == 0 && killed_degraded > 0 && primary_failed == 0 &&
+          primary_degraded == 0 && primary_failovers + primary_hedge_wins > 0 &&
+          failed_total == 0)
              ? 0
              : 1;
 }

@@ -16,11 +16,18 @@ std::atomic<int> g_armed{0};
 
 namespace {
 
-struct PointState {
+/// One armed policy slot. A point may carry several (stacked via
+/// FailpointAdd), each with its own independent hit/fire schedule and
+/// RNG stream.
+struct SlotState {
   FailpointPolicy policy;
   uint64_t hits = 0;
   uint64_t fires = 0;
   Rng rng{0};
+};
+
+struct PointState {
+  std::vector<SlotState> slots;
 };
 
 std::mutex& RegistryMu() {
@@ -33,21 +40,16 @@ std::unordered_map<std::string, PointState>& Registry() {
   return *registry;
 }
 
-/// One evaluated firing. `fire_index` numbers fires per point (0-based)
+/// One evaluated firing. `fire_index` numbers fires per slot (0-based)
 /// so corruption draws differ deterministically between fires.
 struct Fired {
   FailpointPolicy policy;
   uint64_t fire_index = 0;
 };
 
-/// Counts the hit and decides whether the point fires, under the registry
-/// lock. All decisions are pure functions of (policy, hit count, seeded
-/// RNG stream), so schedules replay exactly.
-bool Evaluate(const char* point, Fired* out) {
-  std::lock_guard<std::mutex> lock(RegistryMu());
-  auto it = Registry().find(point);
-  if (it == Registry().end()) return false;
-  PointState& state = it->second;
+/// Decides whether one slot fires for this hit. Pure function of
+/// (policy, hit count, seeded RNG stream), so schedules replay exactly.
+bool EvaluateSlot(SlotState& state, Fired* out) {
   state.hits++;
   if (state.hits <= state.policy.skip) return false;
   const uint64_t eligible = state.hits - state.policy.skip - 1;
@@ -65,6 +67,20 @@ bool Evaluate(const char* point, Fired* out) {
   return true;
 }
 
+/// Counts the hit on every slot of the point and collects the slots
+/// that fire, in arming order, under the registry lock.
+std::vector<Fired> Evaluate(const char* point) {
+  std::vector<Fired> fired;
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(point);
+  if (it == Registry().end()) return fired;
+  for (SlotState& slot : it->second.slots) {
+    Fired f;
+    if (EvaluateSlot(slot, &f)) fired.push_back(f);
+  }
+  return fired;
+}
+
 Status InjectedError(const char* point, StatusCode code) {
   std::string msg = std::string("failpoint ") + point + ": injected " +
                     StatusCodeToString(code);
@@ -74,43 +90,43 @@ Status InjectedError(const char* point, StatusCode code) {
 }  // namespace
 
 Status CheckSlow(const char* point) {
-  Fired fired;
-  if (!Evaluate(point, &fired)) return Status::OK();
-  switch (fired.policy.action) {
-    case FailAction::kError:
-      return InjectedError(point, fired.policy.error_code);
-    case FailAction::kDelay:
-      if (fired.policy.delay_seconds > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(fired.policy.delay_seconds));
-      }
-      return Status::OK();
-    case FailAction::kDrop:
-    case FailAction::kCorrupt:
-      // Action not supported at a Status call site: ignore.
-      return Status::OK();
+  const std::vector<Fired> fired = Evaluate(point);
+  // Stacked semantics: every fired delay sleeps (a slow *and* failing
+  // replica is one point with two policies), then the first fired error
+  // wins. Drop/corrupt slots are ignored at a Status call site.
+  for (const Fired& f : fired) {
+    if (f.policy.action == FailAction::kDelay && f.policy.delay_seconds > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(f.policy.delay_seconds));
+    }
+  }
+  for (const Fired& f : fired) {
+    if (f.policy.action == FailAction::kError) {
+      return InjectedError(point, f.policy.error_code);
+    }
   }
   return Status::OK();
 }
 
 bool DropSlow(const char* point) {
-  Fired fired;
-  if (!Evaluate(point, &fired)) return false;
-  return fired.policy.action == FailAction::kDrop;
+  for (const Fired& f : Evaluate(point)) {
+    if (f.policy.action == FailAction::kDrop) return true;
+  }
+  return false;
 }
 
 void CorruptSlow(const char* point, std::vector<uint8_t>& bytes) {
-  Fired fired;
-  if (!Evaluate(point, &fired)) return;
-  if (fired.policy.action != FailAction::kCorrupt || bytes.empty()) return;
-  // Deterministic per fire: seed mixed with the fire index.
-  Rng rng(fired.policy.seed ^ (fired.fire_index * 0x9e3779b97f4a7c15ULL));
-  const uint32_t flips = fired.policy.corrupt_bytes == 0
-                             ? 1
-                             : fired.policy.corrupt_bytes;
-  for (uint32_t i = 0; i < flips; ++i) {
-    const size_t pos = static_cast<size_t>(rng.NextBelow(bytes.size()));
-    bytes[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+  for (const Fired& fired : Evaluate(point)) {
+    if (fired.policy.action != FailAction::kCorrupt || bytes.empty()) continue;
+    // Deterministic per fire: seed mixed with the fire index.
+    Rng rng(fired.policy.seed ^ (fired.fire_index * 0x9e3779b97f4a7c15ULL));
+    const uint32_t flips = fired.policy.corrupt_bytes == 0
+                               ? 1
+                               : fired.policy.corrupt_bytes;
+    for (uint32_t i = 0; i < flips; ++i) {
+      const size_t pos = static_cast<size_t>(rng.NextBelow(bytes.size()));
+      bytes[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    }
   }
 }
 
@@ -242,12 +258,40 @@ Status FailpointSetFromSpec(const std::string& spec) {
   return Status::OK();
 }
 
+Status FailpointAddFromSpec(const std::string& spec) {
+  const size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0)
+    return Status::InvalidArgument(
+        "failpoint: spec must look like point=policy");
+  PPGNN_ASSIGN_OR_RETURN(FailpointPolicy policy,
+                         ParseFailpointPolicy(spec.substr(eq + 1)));
+  FailpointAdd(spec.substr(0, eq), policy);
+  return Status::OK();
+}
+
+namespace {
+
+failpoint_internal::SlotState MakeSlot(const FailpointPolicy& policy) {
+  failpoint_internal::SlotState slot;
+  slot.policy = policy;
+  slot.rng = Rng(policy.seed);
+  return slot;
+}
+
+}  // namespace
+
 void FailpointSet(const std::string& point, FailpointPolicy policy) {
   std::lock_guard<std::mutex> lock(RegistryMu());
   failpoint_internal::PointState state;
-  state.policy = policy;
-  state.rng = Rng(policy.seed);
+  state.slots.push_back(MakeSlot(policy));
   Registry()[point] = std::move(state);
+  failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
+                                    std::memory_order_relaxed);
+}
+
+void FailpointAdd(const std::string& point, FailpointPolicy policy) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  Registry()[point].slots.push_back(MakeSlot(policy));
   failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
                                     std::memory_order_relaxed);
 }
@@ -268,13 +312,19 @@ void FailpointClearAll() {
 uint64_t FailpointHits(const std::string& point) {
   std::lock_guard<std::mutex> lock(RegistryMu());
   auto it = Registry().find(point);
-  return it == Registry().end() ? 0 : it->second.hits;
+  // Every traversal hits every slot, so slot 0 carries the hit count.
+  return it == Registry().end() || it->second.slots.empty()
+             ? 0
+             : it->second.slots.front().hits;
 }
 
 uint64_t FailpointFires(const std::string& point) {
   std::lock_guard<std::mutex> lock(RegistryMu());
   auto it = Registry().find(point);
-  return it == Registry().end() ? 0 : it->second.fires;
+  if (it == Registry().end()) return 0;
+  uint64_t fires = 0;
+  for (const auto& slot : it->second.slots) fires += slot.fires;
+  return fires;
 }
 
 }  // namespace ppgnn

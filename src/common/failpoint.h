@@ -73,11 +73,24 @@ struct FailpointPolicy {
 /// Parses the policy half of a spec ("drop,p=0.5,seed=3").
 [[nodiscard]] Result<FailpointPolicy> ParseFailpointPolicy(const std::string& spec);
 
-/// Parses and installs a full "point=policy" spec.
+/// Parses and installs a full "point=policy" spec, replacing any
+/// policies already armed on that point.
 [[nodiscard]] Status FailpointSetFromSpec(const std::string& spec);
+
+/// Parses and *stacks* a full "point=policy" spec: repeated specs for
+/// the same point accumulate (e.g. a delay plus an error on one point),
+/// each with its own independent schedule. Used by `ppgnn_cli --fail`
+/// so repeated flags compose instead of last-one-wins.
+[[nodiscard]] Status FailpointAddFromSpec(const std::string& spec);
 
 /// Installs (or replaces) the policy for a point and resets its counters.
 void FailpointSet(const std::string& point, FailpointPolicy policy);
+
+/// Stacks an additional policy on a point, keeping any existing ones.
+/// Every armed policy evaluates independently per hit: all fired delays
+/// sleep, the first fired error wins, drop/corrupt fire if any matching
+/// slot fires.
+void FailpointAdd(const std::string& point, FailpointPolicy policy);
 
 /// Removes one point / all points. Disarming restores the zero-cost path.
 void FailpointClear(const std::string& point);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/failpoint.h"
 #include "crypto/poi_codec.h"
@@ -493,6 +494,7 @@ Result<ShardAnswerMessage> ShardAnswerMessage::Decode(
     if (results > kMaxWireK)
       return Status::InvalidArgument("wire: result count out of range");
     c.results.reserve(results);
+    std::unordered_set<uint32_t> seen_ids;
     for (uint64_t j = 0; j < results; ++j) {
       Ranked rk;
       PPGNN_ASSIGN_OR_RETURN(rk.poi_id, r.GetU32());
@@ -505,6 +507,22 @@ Result<ShardAnswerMessage> ShardAnswerMessage::Decode(
           !std::isfinite(rk.cost)) {
         return Status::InvalidArgument("wire: non-finite shard result");
       }
+      // The solver emits each candidate's list strictly ascending by
+      // (cost, poi id) with distinct ids; a replica violating either is
+      // buggy or corrupted, and letting it through would let one bad
+      // replica poison the exact cross-shard merge. Strict (cost, id)
+      // ascent is checked pairwise; id uniqueness needs its own pass
+      // because a duplicate id may legally ascend by cost.
+      if (!c.results.empty()) {
+        const Ranked& prev = c.results.back();
+        if (rk.cost < prev.cost ||
+            (rk.cost == prev.cost && rk.poi_id <= prev.poi_id)) {
+          return Status::InvalidArgument(
+              "wire: shard results out of (cost, id) order");
+        }
+      }
+      if (!seen_ids.insert(rk.poi_id).second)
+        return Status::InvalidArgument("wire: duplicate shard result id");
       c.results.push_back(rk);
     }
     msg.candidates.push_back(std::move(c));
@@ -609,6 +627,8 @@ const char* WireErrorToString(WireError code) {
       return "DeadlineExceeded";
     case WireError::kInternal:
       return "Internal";
+    case WireError::kShuttingDown:
+      return "ShuttingDown";
   }
   return "Unknown";
 }
@@ -647,7 +667,7 @@ Result<ErrorMessage> ErrorMessage::Decode(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
   ErrorMessage msg;
   PPGNN_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
-  if (code > static_cast<uint8_t>(WireError::kInternal))
+  if (code > static_cast<uint8_t>(WireError::kShuttingDown))
     return Status::InvalidArgument("wire: unknown error code");
   msg.code = static_cast<WireError>(code);
   PPGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> detail, r.GetBytes());

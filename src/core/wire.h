@@ -211,7 +211,15 @@ enum class WireError : uint8_t {
   kOverloaded = 1,        ///< admission control rejected the request
   kDeadlineExceeded = 2,  ///< the request's time budget ran out
   kInternal = 3,          ///< anything else that went wrong server-side
+  /// The service is draining for shutdown: the request was never
+  /// admitted and a resend to a live instance (or after restart — see
+  /// retry_after_ms) will succeed. Retryable, unlike kInternal.
+  kShuttingDown = 4,
 };
+
+/// Number of WireError codes (for per-code counter arrays).
+inline constexpr size_t kWireErrorCount =
+    static_cast<size_t>(WireError::kShuttingDown) + 1;
 
 const char* WireErrorToString(WireError code);
 

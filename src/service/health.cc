@@ -1,0 +1,160 @@
+#include "service/health.h"
+
+#include <algorithm>
+
+namespace ppgnn {
+
+const char* ReplicaHealthToString(ReplicaHealth state) {
+  switch (state) {
+    case ReplicaHealth::kHealthy:
+      return "healthy";
+    case ReplicaHealth::kSuspect:
+      return "suspect";
+    case ReplicaHealth::kProbing:
+      return "probing";
+    case ReplicaHealth::kDown:
+      return "down";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(int replicas, HealthConfig config)
+    : replica_count_(static_cast<size_t>(std::max(replicas, 1))),
+      config_(std::move(config)),
+      states_(replica_count_) {}
+
+HealthMonitor::Clock::time_point HealthMonitor::Now() const {
+  return config_.clock ? config_.clock() : Clock::now();
+}
+
+ReplicaHealth HealthMonitor::state(int replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[static_cast<size_t>(replica)].health;
+}
+
+double HealthMonitor::ewma_latency_seconds(int replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[static_cast<size_t>(replica)].ewma_latency_seconds;
+}
+
+uint64_t HealthMonitor::transitions(int replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[static_cast<size_t>(replica)].transitions;
+}
+
+uint64_t HealthMonitor::total_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const ReplicaState& state : states_) total += state.transitions;
+  return total;
+}
+
+void HealthMonitor::set_on_transition(std::function<void(Transition)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_transition_ = std::move(fn);
+}
+
+void HealthMonitor::TransitionLocked(int replica, ReplicaHealth to) {
+  ReplicaState& state = states_[static_cast<size_t>(replica)];
+  if (state.health == to) return;
+  const Transition transition{replica, state.health, to};
+  state.health = to;
+  state.transitions++;
+  if (to == ReplicaHealth::kDown) state.down_since = Now();
+  if (on_transition_) on_transition_(transition);
+}
+
+void HealthMonitor::ReportSuccess(int replica, double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = states_[static_cast<size_t>(replica)];
+  state.consecutive_failures = 0;
+  state.consecutive_successes++;
+  if (latency_seconds >= 0.0) {
+    state.ewma_latency_seconds =
+        state.has_latency
+            ? config_.ewma_alpha * latency_seconds +
+                  (1.0 - config_.ewma_alpha) * state.ewma_latency_seconds
+            : latency_seconds;
+    state.has_latency = true;
+  }
+  switch (state.health) {
+    case ReplicaHealth::kHealthy:
+      // A healthy replica whose smoothed latency has drifted past the
+      // threshold is demoted (still routable) before it fails outright.
+      if (config_.latency_suspect_seconds > 0.0 &&
+          state.ewma_latency_seconds > config_.latency_suspect_seconds) {
+        state.consecutive_successes = 0;
+        TransitionLocked(replica, ReplicaHealth::kSuspect);
+      }
+      break;
+    case ReplicaHealth::kSuspect:
+      if (state.consecutive_successes >= config_.recover_after) {
+        TransitionLocked(replica, ReplicaHealth::kHealthy);
+      }
+      break;
+    case ReplicaHealth::kProbing:
+      // Half-open probe succeeded: re-admit as suspect — the replica
+      // still owes recover_after further successes to be healthy.
+      state.consecutive_successes = 1;
+      TransitionLocked(replica, ReplicaHealth::kSuspect);
+      break;
+    case ReplicaHealth::kDown:
+      // A stale success from a leg abandoned before the demotion; the
+      // streak reset above is enough — never resurrect without a probe.
+      break;
+  }
+}
+
+void HealthMonitor::ReportFailure(int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = states_[static_cast<size_t>(replica)];
+  state.consecutive_successes = 0;
+  state.consecutive_failures++;
+  switch (state.health) {
+    case ReplicaHealth::kHealthy:
+      if (state.consecutive_failures >= config_.down_after) {
+        TransitionLocked(replica, ReplicaHealth::kDown);
+      } else if (state.consecutive_failures >= config_.suspect_after) {
+        TransitionLocked(replica, ReplicaHealth::kSuspect);
+      }
+      break;
+    case ReplicaHealth::kSuspect:
+      if (state.consecutive_failures >= config_.down_after) {
+        TransitionLocked(replica, ReplicaHealth::kDown);
+      }
+      break;
+    case ReplicaHealth::kProbing:
+      // Half-open probe failed: back to down with the cooldown re-armed
+      // (TransitionLocked re-stamps down_since).
+      TransitionLocked(replica, ReplicaHealth::kDown);
+      break;
+    case ReplicaHealth::kDown:
+      break;
+  }
+}
+
+bool HealthMonitor::TryAdmitProbe(int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaState& state = states_[static_cast<size_t>(replica)];
+  if (state.health != ReplicaHealth::kDown) return false;
+  const auto cooldown = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.down_cooldown_seconds));
+  if (Now() - state.down_since < cooldown) return false;
+  TransitionLocked(replica, ReplicaHealth::kProbing);
+  return true;
+}
+
+std::vector<int> HealthMonitor::PreferenceOrder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> order;
+  order.reserve(replica_count_);
+  for (size_t r = 0; r < replica_count_; ++r) {
+    if (states_[r].health == ReplicaHealth::kHealthy ||
+        states_[r].health == ReplicaHealth::kSuspect) {
+      order.push_back(static_cast<int>(r));
+    }
+  }
+  return order;
+}
+
+}  // namespace ppgnn

@@ -1,0 +1,149 @@
+// HealthMonitor: the deterministic per-replica health state machine
+// behind the replica-set failover layer.
+//
+// Every replica in a set is tracked through four states:
+//
+//         consecutive failures           cooldown elapsed
+//   healthy ----------------> suspect --------.
+//      ^                        |             | (more failures)
+//      | recover_after          v             v
+//      | consecutive         [still        down <------ probe failed
+//      | successes            routable]      |
+//      |                                     | TryAdmitProbe (half-open,
+//      '------- suspect <-- probe ok --- probing   exactly one owner)
+//
+//   * healthy -> suspect after `suspect_after` consecutive failures, or
+//     when the EWMA probe/leg latency crosses `latency_suspect_seconds`
+//     (0 disables the latency trigger). A suspect replica is still
+//     routed to in its original preference position — flap suppression:
+//     one blip must not reshuffle traffic — it is just one step closer
+//     to `down`.
+//   * suspect -> down after `down_after` total consecutive failures;
+//     suspect -> healthy after `recover_after` consecutive successes.
+//   * down replicas receive no traffic. Once `down_cooldown_seconds`
+//     has elapsed, TryAdmitProbe admits exactly one half-open probe
+//     (state `probing`); every other caller keeps seeing the replica as
+//     unroutable until the probe resolves.
+//   * probing: a probe success re-admits the replica as `suspect` (it
+//     must still earn `recover_after` successes to be `healthy` again);
+//     a probe failure returns it to `down` and re-arms the cooldown.
+//
+// All transitions are pure functions of the reported outcome sequence
+// and the injected clock, so a seeded probe schedule replays exactly —
+// the two-run determinism tests in health_test.cc rely on this. The
+// monitor itself performs no I/O: callers (ReplicaSet, tests) run the
+// probes — through the `shard.replica.<shard>.<replica>` failpoint —
+// and report outcomes here.
+
+#ifndef PPGNN_SERVICE_HEALTH_H_
+#define PPGNN_SERVICE_HEALTH_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppgnn {
+
+enum class ReplicaHealth : uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,  ///< degraded but still routable (flap suppression)
+  kProbing = 2,  ///< down, with one half-open probe in flight
+  kDown = 3,     ///< unroutable until cooldown + successful probe
+};
+
+const char* ReplicaHealthToString(ReplicaHealth state);
+
+struct HealthConfig {
+  using Clock = std::chrono::steady_clock;
+
+  /// Consecutive failures that demote healthy -> suspect (>= 1).
+  int suspect_after = 1;
+  /// Consecutive failures that demote (healthy or suspect) -> down.
+  int down_after = 3;
+  /// Consecutive successes that promote suspect -> healthy.
+  int recover_after = 2;
+  /// EWMA smoothing for observed probe/leg latency, in (0, 1].
+  double ewma_alpha = 0.3;
+  /// EWMA latency above which a healthy replica turns suspect;
+  /// 0 = latency never drives a transition.
+  double latency_suspect_seconds = 0.0;
+  /// How long a down replica stays unprobed before the half-open gate
+  /// opens.
+  double down_cooldown_seconds = 0.2;
+  /// Cadence of the background prober (ShardedLspService); the monitor
+  /// itself is probe-driven and does not read this.
+  double probe_interval_seconds = 0.05;
+  /// Injectable time source so tests can script cooldown expiry
+  /// deterministically. Null = steady_clock::now.
+  std::function<Clock::time_point()> clock;
+};
+
+class HealthMonitor {
+ public:
+  using Clock = HealthConfig::Clock;
+
+  struct Transition {
+    int replica = 0;
+    ReplicaHealth from = ReplicaHealth::kHealthy;
+    ReplicaHealth to = ReplicaHealth::kHealthy;
+  };
+
+  HealthMonitor(int replicas, HealthConfig config);
+
+  int replicas() const { return static_cast<int>(replica_count_); }
+  ReplicaHealth state(int replica) const;
+  double ewma_latency_seconds(int replica) const;
+  /// Transitions this replica has undergone since construction.
+  uint64_t transitions(int replica) const;
+  uint64_t total_transitions() const;
+
+  /// Reports one query-leg or probe outcome. Success latency feeds the
+  /// EWMA; a probing replica's outcome resolves the half-open probe.
+  void ReportSuccess(int replica, double latency_seconds);
+  void ReportFailure(int replica);
+
+  /// Half-open gate: true exactly once per cooldown expiry, for the
+  /// caller that owns the single probe (replica moves to kProbing).
+  /// False for non-down replicas, unexpired cooldowns, and every caller
+  /// racing the winner.
+  [[nodiscard]] bool TryAdmitProbe(int replica);
+
+  /// Routable replicas in preference order: healthy and suspect ones in
+  /// index order (the primary-first order is stable under flapping —
+  /// a suspect primary keeps its slot). kProbing and kDown replicas are
+  /// excluded; probe traffic goes through TryAdmitProbe instead.
+  std::vector<int> PreferenceOrder() const;
+
+  /// Observer invoked (under the monitor lock) on every transition.
+  /// Set before traffic starts; used by determinism tests.
+  void set_on_transition(std::function<void(Transition)> fn);
+
+ private:
+  struct ReplicaState {
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+    double ewma_latency_seconds = 0.0;
+    bool has_latency = false;
+    Clock::time_point down_since{};
+    uint64_t transitions = 0;
+  };
+
+  Clock::time_point Now() const;
+  /// Moves `replica` to `to` under mu_, bumping counters and notifying
+  /// the observer.
+  void TransitionLocked(int replica, ReplicaHealth to);
+
+  const size_t replica_count_;
+  const HealthConfig config_;
+  mutable std::mutex mu_;
+  std::vector<ReplicaState> states_;
+  std::function<void(Transition)> on_transition_;
+};
+
+}  // namespace ppgnn
+
+#endif  // PPGNN_SERVICE_HEALTH_H_

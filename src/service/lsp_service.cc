@@ -51,15 +51,17 @@ ReplyCache::Options CacheOptions(const ServiceConfig& config) {
 }  // namespace
 
 std::string ServiceStats::ToString() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "accepted=%llu rejected=%llu (shed=%llu) served=%llu failed=%llu "
       "deadline_expired=%llu (queue=%llu exec=%llu) queued=%zu limit=%d "
       "aimd[+%llu/-%llu] dedup[join=%llu replay=%llu purged=%llu] "
       "retries=%llu hedges=%llu degraded=%llu degraded_shards=%llu "
+      "ladder[exact=%llu failover=%llu hedge_won=%llu transitions=%llu] "
+      "drain_flushed=%llu "
       "errors[malformed=%llu overloaded=%llu "
-      "deadline=%llu internal=%llu]",
+      "deadline=%llu internal=%llu shutting_down=%llu]",
       static_cast<unsigned long long>(accepted),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(shed),
@@ -77,10 +79,16 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(hedges),
       static_cast<unsigned long long>(degraded_queries),
       static_cast<unsigned long long>(degraded_shards),
+      static_cast<unsigned long long>(exact_despite_failures),
+      static_cast<unsigned long long>(replica_failovers),
+      static_cast<unsigned long long>(replica_hedge_wins),
+      static_cast<unsigned long long>(health_transitions),
+      static_cast<unsigned long long>(drain_flushed),
       static_cast<unsigned long long>(error_replies[0]),
       static_cast<unsigned long long>(error_replies[1]),
       static_cast<unsigned long long>(error_replies[2]),
-      static_cast<unsigned long long>(error_replies[3]));
+      static_cast<unsigned long long>(error_replies[3]),
+      static_cast<unsigned long long>(error_replies[4]));
   char blinding[192];
   std::snprintf(
       blinding, sizeof(blinding),
@@ -240,6 +248,7 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
     }
   }
 
+  bool shutting_down = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!inject_reject && !stopping_ &&
@@ -250,11 +259,20 @@ bool LspService::Submit(ServiceRequest request, Callback done) {
       queue_cv_.notify_one();
       return true;
     }
+    shutting_down = stopping_;
   }
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  // A draining service is not "overloaded": the structured kShuttingDown
+  // reply tells the client a resend elsewhere (or after the hint) can
+  // win, where kOverloaded would mean "this instance, later".
   std::vector<uint8_t> frame =
-      MakeErrorFrame(WireError::kOverloaded, "lsp service: request queue full",
-                     RetryAfterHintMs(0.0));
+      shutting_down && !inject_reject
+          ? MakeErrorFrame(WireError::kShuttingDown,
+                           "lsp service: shutting down",
+                           RetryAfterHintMs(0.0))
+          : MakeErrorFrame(WireError::kOverloaded,
+                           "lsp service: request queue full",
+                           RetryAfterHintMs(0.0));
   if (pending.cache_key != 0) {
     AbortPrimary(pending.cache_key, pending.cache_generation, frame);
   }
@@ -508,6 +526,7 @@ ServiceStats LspService::Stats() const {
   stats.retries = retries_.load(std::memory_order_relaxed);
   stats.hedges = hedges_.load(std::memory_order_relaxed);
   stats.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  stats.drain_flushed = drain_flushed_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < error_replies_.size(); ++i) {
     stats.error_replies[i] = error_replies_[i].load(std::memory_order_relaxed);
   }
@@ -536,13 +555,46 @@ ServiceStats LspService::Stats() const {
   return stats;
 }
 
-void LspService::Shutdown() {
+void LspService::Shutdown(double drain_deadline_seconds) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  if (drain_deadline_seconds > 0.0) {
+    // Bounded drain: give the workers until the deadline to empty the
+    // queue, then flush whatever is left with kShuttingDown frames —
+    // every accepted request still gets exactly one reply, just without
+    // executing. Executing requests always run to completion (their own
+    // deadlines bound them via the monitor).
+    std::vector<PendingRequest> flushed;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const Clock::time_point drain_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 drain_deadline_seconds));
+      queue_cv_.wait_until(lock, drain_deadline, [this] {
+        return queue_.empty() && executing_ == 0;
+      });
+      while (!queue_.empty()) {
+        flushed.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    for (PendingRequest& req : flushed) {
+      drain_flushed_.fetch_add(1, std::memory_order_relaxed);
+      Finish(req,
+             MakeErrorFrame(WireError::kShuttingDown,
+                            "lsp service: drain deadline reached",
+                            static_cast<uint64_t>(
+                                drain_deadline_seconds * 1000.0) +
+                                1),
+             /*cache_for_replay=*/false);
+    }
+    if (!flushed.empty()) queue_cv_.notify_all();
+  }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }

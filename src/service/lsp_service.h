@@ -173,8 +173,31 @@ struct ServiceStats {
   /// reported regardless of observed_encryptor.
   uint64_t fixed_base_engines = 0;
   uint64_t fixed_base_table_bytes = 0;
-  /// Error replies sent, indexed by WireError (kMalformed..kInternal).
-  std::array<uint64_t, 4> error_replies{};
+  /// Resilience ladder of the replicated cluster (zero on plain
+  /// services; ShardedLspService fills these in).
+  /// Fan-outs where at least one replica leg failed over, hedged, or
+  /// retried and the merged answer still covered every routed shard —
+  /// the exact-despite-failures counterpart of `degraded_shards`.
+  uint64_t exact_despite_failures = 0;
+  uint64_t replica_failovers = 0;   ///< answers served by a failover leg
+  uint64_t replica_hedge_wins = 0;  ///< answers served by a hedge leg
+  uint64_t health_transitions = 0;  ///< replica health-state transitions
+  /// Queued requests flushed with kShuttingDown when a bounded drain
+  /// (Shutdown with a deadline) ran out of time.
+  uint64_t drain_flushed = 0;
+  /// Per-replica ladder counters (replicated cluster only).
+  struct ReplicaRow {
+    int shard = 0;
+    int replica = 0;
+    int health = 0;  ///< ReplicaHealth, as int to keep this header light
+    uint64_t served = 0;
+    uint64_t failed_over = 0;
+    uint64_t hedge_won = 0;
+    uint64_t transitions = 0;
+  };
+  std::vector<ReplicaRow> replicas;
+  /// Error replies sent, indexed by WireError (kMalformed..kShuttingDown).
+  std::array<uint64_t, kWireErrorCount> error_replies{};
   LatencySummary latency;      ///< admission -> reply, all outcomes
   LatencySummary queue_wait;   ///< admission -> dequeue, executed or expired
   LatencySummary execute;      ///< dequeue -> finish, executed requests only
@@ -242,9 +265,16 @@ class LspService {
   void RecordClientRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
   void RecordClientHedge() { hedges_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Stops admission, drains the queue, joins all threads. Idempotent;
-  /// the destructor calls it.
-  void Shutdown();
+  /// Stops admission (new submissions get a structured kShuttingDown
+  /// frame with a retry_after_ms hint), drains queued and executing
+  /// requests, then joins all threads. With a positive
+  /// `drain_deadline_seconds` the drain is bounded: requests still
+  /// queued when it elapses are flushed with kShuttingDown frames
+  /// instead of executing, so every accepted request is still answered
+  /// exactly once (accepted + rejected == submitted, across the drain).
+  /// 0 = unbounded drain (execute everything queued). Idempotent; the
+  /// destructor calls it.
+  void Shutdown(double drain_deadline_seconds = 0.0);
 
  private:
   struct PendingRequest {
@@ -329,7 +359,8 @@ class LspService {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> hedges_{0};
   std::atomic<uint64_t> degraded_queries_{0};
-  std::array<std::atomic<uint64_t>, 4> error_replies_{};
+  std::atomic<uint64_t> drain_flushed_{0};
+  std::array<std::atomic<uint64_t>, kWireErrorCount> error_replies_{};
   LatencyHistogram latency_;
   LatencyHistogram queue_wait_;
   LatencyHistogram execute_;

@@ -71,7 +71,11 @@ ResilientClient::ResilientClient(LspService& service, RetryPolicy policy)
     : service_(service), policy_(std::move(policy)), rng_(policy_.seed) {}
 
 bool ResilientClient::IsRetryable(WireError code) {
-  return code == WireError::kOverloaded || code == WireError::kDeadlineExceeded;
+  // kShuttingDown is a clean pre-admission rejection: a resend (to a
+  // replacement replica, or after the drain's retry_after_ms) can win.
+  return code == WireError::kOverloaded ||
+         code == WireError::kDeadlineExceeded ||
+         code == WireError::kShuttingDown;
 }
 
 double ResilientClient::HedgeDelaySeconds() const {

@@ -31,6 +31,9 @@ uint64_t MixKey(uint64_t key, uint64_t shard) {
 
 struct ShardReply {
   bool responded = false;
+  /// The set's ladder had to work (failover, hedge, or extra legs) but
+  /// the shard still answered exactly.
+  bool recovered = false;
   ShardAnswerMessage answer;
 };
 
@@ -62,9 +65,7 @@ ShardedLspService::ShardedLspService(std::vector<Poi> pois,
     : config_(std::move(config)) {
   std::vector<std::vector<Poi>> slices =
       PartitionPoisForShards(std::move(pois), config_.shards);
-  shard_dbs_.reserve(slices.size());
-  shard_services_.reserve(slices.size());
-  links_.reserve(slices.size());
+  sets_.reserve(slices.size());
   shard_mbrs_.reserve(slices.size());
   shard_sizes_.reserve(slices.size());
   for (size_t j = 0; j < slices.size(); ++j) {
@@ -72,13 +73,19 @@ ShardedLspService::ShardedLspService(std::vector<Poi> pois,
     for (const Poi& poi : slices[j]) mbr.ExpandToInclude(poi.location);
     shard_mbrs_.push_back(mbr);
     shard_sizes_.push_back(slices[j].size());
-    shard_dbs_.push_back(std::make_unique<LspDatabase>(std::move(slices[j])));
-    shard_services_.push_back(
-        std::make_unique<LspService>(*shard_dbs_.back(), config_.shard));
-    RetryPolicy policy = config_.link_policy;
-    policy.seed += j;
-    links_.push_back(
-        std::make_unique<ResilientClient>(*shard_services_.back(), policy));
+    ReplicaSetConfig set_config;
+    set_config.replicas = std::max(config_.replicas, 1);
+    set_config.service = config_.shard;
+    set_config.link_policy = config_.link_policy;
+    set_config.health = config_.health;
+    set_config.hedge = config_.hedge;
+    set_config.hedge_delay_seconds = config_.hedge_delay_seconds;
+    sets_.push_back(std::make_unique<ReplicaSet>(
+        static_cast<int>(j), std::move(slices[j]), std::move(set_config)));
+  }
+  if (config_.background_prober &&
+      config_.health.probe_interval_seconds > 0.0) {
+    prober_ = std::thread([this] { ProberLoop(); });
   }
   front_ = std::make_unique<LspService>(
       LspService::Handler([this](const ServiceRequest& request,
@@ -89,6 +96,20 @@ ShardedLspService::ShardedLspService(std::vector<Poi> pois,
 }
 
 ShardedLspService::~ShardedLspService() { Shutdown(); }
+
+void ShardedLspService::ProberLoop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      config_.health.probe_interval_seconds));
+  std::unique_lock<std::mutex> lock(prober_mu_);
+  for (;;) {
+    if (prober_cv_.wait_for(lock, interval, [this] { return prober_stop_; }))
+      return;
+    lock.unlock();
+    for (auto& set : sets_) set->ProbeOnce();
+    lock.lock();
+  }
+}
 
 bool ShardedLspService::Submit(ServiceRequest request,
                                LspService::Callback done) {
@@ -102,12 +123,41 @@ std::vector<uint8_t> ShardedLspService::Call(ServiceRequest request) {
 ServiceStats ShardedLspService::Stats() const {
   ServiceStats stats = front_->Stats();
   stats.degraded_shards = degraded_shards_.load(std::memory_order_relaxed);
+  stats.exact_despite_failures =
+      exact_despite_failures_.load(std::memory_order_relaxed);
+  stats.replica_failovers = replica_failovers_.load(std::memory_order_relaxed);
+  stats.replica_hedge_wins =
+      replica_hedge_wins_.load(std::memory_order_relaxed);
+  for (size_t j = 0; j < sets_.size(); ++j) {
+    const ReplicaSetStats set_stats = sets_[j]->Stats();
+    for (size_t r = 0; r < set_stats.replicas.size(); ++r) {
+      const ReplicaSetStats::Replica& in = set_stats.replicas[r];
+      ServiceStats::ReplicaRow row;
+      row.shard = static_cast<int>(j);
+      row.replica = static_cast<int>(r);
+      row.health = static_cast<int>(in.health);
+      row.served = in.served;
+      row.failed_over = in.failed_over;
+      row.hedge_won = in.hedge_won;
+      row.transitions = in.transitions;
+      stats.health_transitions += in.transitions;
+      stats.replicas.push_back(row);
+    }
+  }
   return stats;
 }
 
 void ShardedLspService::Shutdown() {
+  if (prober_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(prober_mu_);
+      prober_stop_ = true;
+    }
+    prober_cv_.notify_all();
+    prober_.join();
+  }
   if (front_ != nullptr) front_->Shutdown();
-  for (auto& service : shard_services_) service->Shutdown();
+  for (auto& set : sets_) set->Shutdown();
 }
 
 Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
@@ -129,7 +179,7 @@ Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
       std::vector<std::vector<Point>> candidates,
       GenerateCandidateQueries(query.plan, sets, ctx.cancel));
 
-  const size_t shard_count = shard_services_.size();
+  const size_t shard_count = sets_.size();
   // Route: a shard holding >= k POIs bounds the global k-th cost by its
   // aggregate max-distance; a shard whose aggregate min-distance exceeds
   // the tightest such bound holds only strictly-worse POIs and is pruned
@@ -186,6 +236,9 @@ Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
     sq.deadline_ms = remaining_ms;
     sq.idempotency_key = parent_key != 0 ? MixKey(parent_key, j) : 0;
     scatter.emplace_back([this, j, &sq, &replies, remaining_seconds]() {
+      // The set-wide failpoint models losing the whole slice (every
+      // replica at once) — the PR 7 dead-link scenario, and the only
+      // way to reach the degraded-merge tier when R > 1.
       const std::string point = "shard.link." + std::to_string(j);
       if (!FailpointCheck(point.c_str()).ok()) return;
       Result<std::vector<uint8_t>> encoded = sq.Encode();
@@ -194,7 +247,11 @@ Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
       sr.query = std::move(encoded).value();
       sr.deadline_seconds = remaining_seconds;
       sr.idempotency_key = sq.idempotency_key;
-      ClientCallOutcome outcome = links_[j]->Call(std::move(sr));
+      ReplicaCallOutcome outcome = sets_[j]->Call(sr, remaining_seconds);
+      if (outcome.failed_over)
+        replica_failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.hedge_won)
+        replica_hedge_wins_.fetch_add(1, std::memory_order_relaxed);
       if (!outcome.answered) return;
       Result<ResponseFrame> frame = ResponseFrame::Decode(outcome.frame);
       if (!frame.ok() || frame.value().is_error) return;
@@ -203,17 +260,29 @@ Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
       if (!answer.ok()) return;
       replies[j].answer = std::move(answer).value();
       replies[j].responded = true;
+      replies[j].recovered =
+          outcome.failed_over || outcome.hedge_won || outcome.legs > 1;
     });
   }
   for (std::thread& t : scatter) t.join();
 
   size_t responded = 0;
-  for (const ShardReply& reply : replies) responded += reply.responded ? 1 : 0;
+  bool recovered = false;
+  for (const ShardReply& reply : replies) {
+    responded += reply.responded ? 1 : 0;
+    recovered = recovered || reply.recovered;
+  }
   if (routed_shards > 0 && responded == 0) {
     return Status::Internal("shard cluster: all routed shards unavailable");
   }
   if (responded < routed_shards) {
+    // Last ladder tier: an entire replica set was unreachable, so this
+    // merge is missing its slice.
     degraded_shards_.fetch_add(1, std::memory_order_relaxed);
+  } else if (recovered) {
+    // The ladder worked somewhere (failover, hedge, or extra legs) and
+    // the merge still covers every routed shard: exact, despite failures.
+    exact_despite_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Merge: concatenate per-candidate shard lists, order by (cost, poi id)

@@ -1,47 +1,61 @@
-// ShardedLspService: a scatter-gather cluster of LSP shards behind the
-// standard LspService front-end.
+// ShardedLspService: a scatter-gather cluster of replicated LSP shards
+// behind the standard LspService front-end.
 //
 // The POI space is split into S contiguous slices (sorted by (x, y, id)
 // and cut into equal runs, so shard MBRs overlap only at slice
-// boundaries); each slice gets its own LspDatabase + LspService. The
-// front-end is a plain LspService whose execution handler, instead of
-// running the kGNN locally, for every candidate query:
+// boundaries); each slice backs a *replica set* of R independent
+// LspService instances over identical copies of the slice data
+// (service/replica_set.h), fronted by a health monitor
+// (service/health.h). The front-end is a plain LspService whose
+// execution handler, instead of running the kGNN locally, for every
+// candidate query:
 //
 //   * routes it to the shards whose MBR could contribute to the global
 //     top-k (MBM-style bound: any shard holding >= k POIs caps the k-th
 //     cost at its aggregate max-distance; shards whose aggregate
 //     min-distance exceeds the tightest such cap are pruned — exactly,
 //     since every POI they hold is then strictly worse than the cap);
-//   * scatters per-shard ShardQueryMessages over one ResilientClient per
-//     shard link (retries/hedging/deadline budgeting per leg), carrying
+//   * scatters per-shard ShardQueryMessages, each through its replica
+//     set's resilience ladder: health-ordered replica preference,
+//     budget-bounded failover, p99-derived cross-replica hedging, and
+//     a half-open probe when the whole set looks down — all carrying
 //     the request's remaining deadline and a per-shard-derived
 //     idempotency key in the wire-v2 trailer;
 //   * gathers the per-shard top-k lists and merges them per candidate by
 //     (cost, poi id) — the same total order the single-node MBM solver
 //     emits, so an S=1 cluster is bit-identical to a plain LspService.
+//     Because replicas hold identical data and the shard wire is
+//     deterministic, a failover or hedge-win changes *zero* answer
+//     bits: the merged frame is byte-identical to the no-failure run.
 //
 // Crypto never leaves the coordinator: sanitation (seeded by
 // LspSanitizeSeed, identical to the single-node path), answer packing,
 // and private selection all run over the *merged* matrix, so the
-// encrypted answer shape (Privacy II) cannot reveal the shard layout.
+// encrypted answer shape (Privacy II) cannot reveal the shard layout —
+// or which replica served (the Hashem et al. invariant).
 //
-// Degraded merges: a shard that is down or too slow (its link exhausts
-// retries within the remaining budget, or the shard.link.<j> failpoint
-// injects a failure) is simply missing from the merge. The query still
-// completes — possibly with fewer than k POIs for candidates that
-// depended on the dead shard — and the fan-out is counted in
-// ServiceStats::degraded_shards. Only when *every* routed shard fails
-// does the query error (kInternal).
+// Degraded merges are the resilience ladder's *last* tier: only when
+// every replica in a routed set is unavailable (the set-wide
+// shard.link.<j> failpoint, or every shard.replica.<j>.<r> leg dead) is
+// the slice missing from the merge; the fan-out is then counted in
+// ServiceStats::degraded_shards. Fan-outs that needed the ladder but
+// still merged every routed shard count as exact_despite_failures.
+// Only when *every* routed shard fails does the query error (kInternal).
 
 #ifndef PPGNN_SERVICE_SHARD_COORDINATOR_H_
 #define PPGNN_SERVICE_SHARD_COORDINATOR_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "geo/rect.h"
+#include "service/health.h"
 #include "service/lsp_service.h"
+#include "service/replica_set.h"
 #include "service/resilient_client.h"
 
 namespace ppgnn {
@@ -50,14 +64,30 @@ struct ShardClusterConfig {
   /// Number of POI shards (>= 1). 1 is a degenerate cluster whose answers
   /// are bit-identical to a plain LspService over the same POIs.
   int shards = 1;
+  /// Replication factor per shard (>= 1). 1 reproduces the PR 7 layout:
+  /// one link per slice, a dead link degrades the merge.
+  int replicas = 1;
   /// The coordinator front-end (admission, queue, deadlines, dedup). Its
   /// sanitize/test_config/lsp_threads govern the merged-answer pipeline.
   ServiceConfig front;
-  /// Per-shard service config (plaintext kGNN only — keep workers modest).
+  /// Per-replica service config (plaintext kGNN only — keep workers
+  /// modest).
   ServiceConfig shard;
-  /// Retry/hedge/budget policy for each coordinator -> shard link. The
-  /// seed is perturbed per shard so link jitter streams are independent.
+  /// Retry/hedge/budget policy for each coordinator -> replica link. The
+  /// seed is perturbed per (shard, replica) so link jitter streams are
+  /// independent.
   RetryPolicy link_policy;
+  /// Replica health state machine (thresholds, cooldown, probe cadence,
+  /// injectable clock).
+  HealthConfig health;
+  /// Cross-replica hedging inside each set (needs replicas >= 2).
+  bool hedge = true;
+  /// Fixed cross-replica hedge delay; 0 = derive from observed leg p99.
+  double hedge_delay_seconds = 0.0;
+  /// Run the background prober thread (health.probe_interval_seconds
+  /// cadence). Off by default so deterministic tests drive probes
+  /// manually; the CLI and benches turn it on.
+  bool background_prober = false;
 };
 
 /// Splits `pois` into `shards` contiguous slices of near-equal size,
@@ -68,7 +98,8 @@ std::vector<std::vector<Poi>> PartitionPoisForShards(std::vector<Poi> pois,
 
 class ShardedLspService {
  public:
-  /// Builds the shard databases/services/links and starts the front-end.
+  /// Builds the replica sets and starts the front-end (and the prober,
+  /// when configured).
   ShardedLspService(std::vector<Poi> pois, ShardClusterConfig config);
   ~ShardedLspService();
 
@@ -79,14 +110,18 @@ class ShardedLspService {
   [[nodiscard]] bool Submit(ServiceRequest request, LspService::Callback done);
   std::vector<uint8_t> Call(ServiceRequest request);
 
-  /// Front-end stats with degraded_shards filled in from the gather path.
+  /// Front-end stats with the resilience ladder filled in from the
+  /// gather path: degraded_shards, exact_despite_failures, failover /
+  /// hedge-win counts, health transitions, and per-replica rows.
   ServiceStats Stats() const;
 
-  /// Stops the front-end first (drains coordinator queries, which still
-  /// need the shards), then the shards. Idempotent.
+  /// Stops the prober and the front-end first (drains coordinator
+  /// queries, which still need the shards), then the replica sets.
+  /// Idempotent.
   void Shutdown();
 
-  int shards() const { return static_cast<int>(shard_services_.size()); }
+  int shards() const { return static_cast<int>(sets_.size()); }
+  int replicas() const { return config_.replicas; }
   const Rect& shard_mbr(int shard) const {
     return shard_mbrs_[static_cast<size_t>(shard)];
   }
@@ -95,11 +130,15 @@ class ShardedLspService {
   }
   /// Test/bench access to the layers.
   LspService& front() { return *front_; }
+  ReplicaSet& replica_set(int shard) {
+    return *sets_[static_cast<size_t>(shard)];
+  }
+  /// Replica 0 of the shard — the PR 7 single-replica accessors.
   LspService& shard_service(int shard) {
-    return *shard_services_[static_cast<size_t>(shard)];
+    return sets_[static_cast<size_t>(shard)]->replica_service(0);
   }
   const ResilientClient& link(int shard) const {
-    return *links_[static_cast<size_t>(shard)];
+    return sets_[static_cast<size_t>(shard)]->link(0);
   }
 
  private:
@@ -107,16 +146,24 @@ class ShardedLspService {
   /// route/scatter/gather/merge, sanitize, pack, private selection.
   Result<std::vector<uint8_t>> HandleQuery(const ServiceRequest& request,
                                            const LspService::HandlerContext& ctx);
+  void ProberLoop();
 
   ShardClusterConfig config_;
-  std::vector<std::unique_ptr<LspDatabase>> shard_dbs_;
-  std::vector<std::unique_ptr<LspService>> shard_services_;
-  std::vector<std::unique_ptr<ResilientClient>> links_;
+  std::vector<std::unique_ptr<ReplicaSet>> sets_;
   std::vector<Rect> shard_mbrs_;
   std::vector<size_t> shard_sizes_;
   std::atomic<uint64_t> degraded_shards_{0};
-  /// Declared last: destroyed (and shut down) first, while the shard
-  /// services its in-flight handlers scatter to are still alive.
+  std::atomic<uint64_t> exact_despite_failures_{0};
+  std::atomic<uint64_t> replica_failovers_{0};
+  std::atomic<uint64_t> replica_hedge_wins_{0};
+
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+
+  /// Declared last: destroyed (and shut down) first, while the replica
+  /// sets its in-flight handlers scatter to are still alive.
   std::unique_ptr<LspService> front_;
 };
 

@@ -804,5 +804,61 @@ TEST_F(ChaosTest, SickShardLinkDegradesMergesWithoutFailingQueries) {
   cluster.Shutdown();
 }
 
+// Replicated kill-storm: S=4, R=2, one primary hard down and the other
+// primaries flaky or slow — while replica 1 of every set stays clean.
+// Unlike the single-replica storm above, the acceptance bar is *zero*
+// degraded merges: the ladder absorbs every primary loss and each query
+// ends in an exact answer.
+TEST_F(ChaosTest, ReplicatedKillStormServesExactAnswersWithZeroDegraded) {
+  ShardClusterConfig config;
+  config.shards = 4;
+  config.replicas = 2;
+  config.front.workers = 2;
+  config.front.sanitize = false;
+  config.shard.workers = 2;
+  config.link_policy.max_attempts = 2;
+  config.link_policy.total_budget_seconds = 0.5;
+  config.hedge_delay_seconds = 0.01;
+  ShardedLspService cluster(GenerateSequoiaLike(3000, 777), config);
+
+  const uint64_t seed = ChaosSeed();
+  // Shard 2's primary is dead outright; shard 0's is slow AND flaky via
+  // two stacked policies on one point (the composed --fail semantics);
+  // shards 1 and 3 get probabilistic errors and delays.
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.2.0=error").ok());
+  ASSERT_TRUE(FailpointAddFromSpec("shard.replica.0.0=delay:10,p=0.5,seed=" +
+                                   std::to_string(seed))
+                  .ok());
+  ASSERT_TRUE(FailpointAddFromSpec("shard.replica.0.0=error,p=0.3,seed=" +
+                                   std::to_string(seed + 1))
+                  .ok());
+  ASSERT_TRUE(FailpointAddFromSpec("shard.replica.1.0=error,p=0.5,seed=" +
+                                   std::to_string(seed + 2))
+                  .ok());
+  ASSERT_TRUE(FailpointAddFromSpec("shard.replica.3.0=delay:15,p=0.4,seed=" +
+                                   std::to_string(seed + 3))
+                  .ok());
+
+  Rng rng(seed * 1000 + 80);
+  constexpr int kQueries = 8;
+  for (int i = 0; i < kQueries; ++i) {
+    std::vector<Point> real;
+    ServiceRequest request = WorkloadRequest(rng, &real);
+    request.deadline_seconds = 10.0;
+    std::vector<uint8_t> frame = cluster.Call(std::move(request));
+    // Exact — not merely answered: a lost primary must not cost a POI.
+    ExpectExactAnswer(frame, real);
+  }
+
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.served, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.degraded_shards, 0u);
+  EXPECT_GE(stats.exact_despite_failures, 1u);
+  EXPECT_GE(stats.replica_failovers + stats.replica_hedge_wins, 1u);
+  EXPECT_GE(stats.health_transitions, 1u);
+  cluster.Shutdown();
+}
+
 }  // namespace
 }  // namespace ppgnn

@@ -145,6 +145,67 @@ TEST_F(FailpointTest, ClearRestoresZeroCostPath) {
   EXPECT_FALSE(FailpointDrop("b"));
 }
 
+// Stacked slots on one point: a replica can be slow AND failing at once.
+// Every fired delay sleeps, then the first fired error wins.
+TEST_F(FailpointTest, AddStacksDelayAndErrorOnOnePoint) {
+  ASSERT_TRUE(FailpointAddFromSpec("pt=delay:20").ok());
+  ASSERT_TRUE(FailpointAddFromSpec("pt=error:overloaded").ok());
+  const auto start = std::chrono::steady_clock::now();
+  Status s = FailpointCheck("pt");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(elapsed, 0.015);  // the delay slot fired too
+  // Every traversal hits every slot once; both slots fired.
+  EXPECT_EQ(FailpointHits("pt"), 1u);
+  EXPECT_EQ(FailpointFires("pt"), 2u);
+}
+
+// Each stacked slot keeps its own schedule and RNG stream: a times=1
+// error rides on an every-other delay without perturbing it.
+TEST_F(FailpointTest, StackedSlotsScheduleIndependently) {
+  ASSERT_TRUE(FailpointAddFromSpec("pt=error:deadline,every=2").ok());
+  ASSERT_TRUE(FailpointAddFromSpec("pt=error:overloaded,skip=1,times=1").ok());
+  // Hit 1: slot A fires (eligible 0), slot B skipped.
+  Status s = FailpointCheck("pt");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  // Hit 2: slot A idle (eligible 1), slot B fires its single time.
+  s = FailpointCheck("pt");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Hit 3: slot A fires again; slot B is exhausted.
+  s = FailpointCheck("pt");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  // Hit 4: nothing fires.
+  EXPECT_TRUE(FailpointCheck("pt").ok());
+  EXPECT_EQ(FailpointHits("pt"), 4u);
+  EXPECT_EQ(FailpointFires("pt"), 3u);
+}
+
+// Set still *replaces* — the one-shot semantics tests above rely on it —
+// while Add composes; Clear removes the whole stack.
+TEST_F(FailpointTest, SetReplacesTheWholeStack) {
+  ASSERT_TRUE(FailpointAddFromSpec("pt=delay:20").ok());
+  ASSERT_TRUE(FailpointAddFromSpec("pt=error").ok());
+  ASSERT_TRUE(FailpointSetFromSpec("pt=drop").ok());
+  EXPECT_TRUE(FailpointCheck("pt").ok());  // no delay, no error left
+  EXPECT_TRUE(FailpointDrop("pt"));
+  FailpointClear("pt");
+  EXPECT_FALSE(FailpointDrop("pt"));
+  EXPECT_EQ(FailpointHits("pt"), 0u);
+}
+
+TEST_F(FailpointTest, AddFromSpecRejectsBadInput) {
+  EXPECT_FALSE(FailpointAddFromSpec("no-equals-sign").ok());
+  EXPECT_FALSE(FailpointAddFromSpec("=drop").ok());
+  EXPECT_FALSE(FailpointAddFromSpec("pt=explode").ok());
+  EXPECT_FALSE(FailpointsArmed());
+}
+
 TEST_F(FailpointTest, DelayPolicySleepsAndContinues) {
   ASSERT_TRUE(FailpointSetFromSpec("pt=delay:20,times=1").ok());
   const auto start = std::chrono::steady_clock::now();

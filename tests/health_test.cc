@@ -1,0 +1,239 @@
+// Unit tests for the HealthMonitor state machine: the demotion ladder
+// (healthy -> suspect -> down), flap suppression (a suspect replica
+// keeps its preference slot), half-open probe admission (exactly one
+// owner per cooldown expiry), the EWMA latency trigger, and two-run
+// determinism under the injectable clock. The end-to-end behavior —
+// health driving failover inside a replica set — lives in shard_test.cc
+// and chaos_test.cc.
+
+#include "service/health.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace ppgnn {
+namespace {
+
+using Clock = HealthConfig::Clock;
+
+/// A scriptable time source: tests advance it explicitly, so cooldown
+/// expiry is a deterministic event, not a sleep.
+struct FakeClock {
+  Clock::time_point now{};
+  void Advance(double seconds) {
+    now += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+  std::function<Clock::time_point()> Fn() {
+    return [this] { return now; };
+  }
+};
+
+HealthConfig TestConfig(FakeClock& clock) {
+  HealthConfig config;
+  config.suspect_after = 1;
+  config.down_after = 3;
+  config.recover_after = 2;
+  config.down_cooldown_seconds = 0.2;
+  config.clock = clock.Fn();
+  return config;
+}
+
+TEST(HealthMonitorTest, StartsHealthyAndInIndexOrder) {
+  FakeClock clock;
+  HealthMonitor monitor(3, TestConfig(clock));
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(monitor.state(r), ReplicaHealth::kHealthy);
+    EXPECT_EQ(monitor.transitions(r), 0u);
+  }
+  EXPECT_EQ(monitor.PreferenceOrder(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(monitor.total_transitions(), 0u);
+}
+
+TEST(HealthMonitorTest, DemotionLadderHealthySuspectDown) {
+  FakeClock clock;
+  HealthMonitor monitor(2, TestConfig(clock));
+  monitor.ReportFailure(0);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kSuspect);
+  monitor.ReportFailure(0);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kSuspect);
+  monitor.ReportFailure(0);  // third consecutive failure: down_after = 3
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kDown);
+  EXPECT_EQ(monitor.transitions(0), 2u);
+  // The other replica never moved.
+  EXPECT_EQ(monitor.state(1), ReplicaHealth::kHealthy);
+  EXPECT_EQ(monitor.PreferenceOrder(), (std::vector<int>{1}));
+}
+
+// Flap suppression: one failed leg demotes the primary to suspect, but a
+// suspect replica is still routable *in its original slot* — the
+// preference order must not reshuffle traffic onto the secondary.
+TEST(HealthMonitorTest, SuspectDoesNotImmediatelyReroute) {
+  FakeClock clock;
+  HealthMonitor monitor(3, TestConfig(clock));
+  monitor.ReportFailure(0);
+  ASSERT_EQ(monitor.state(0), ReplicaHealth::kSuspect);
+  EXPECT_EQ(monitor.PreferenceOrder(), (std::vector<int>{0, 1, 2}));
+
+  // A success streak heals the flap without any transition churn beyond
+  // suspect -> healthy.
+  monitor.ReportSuccess(0, 0.001);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kSuspect);  // recover_after = 2
+  monitor.ReportSuccess(0, 0.001);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kHealthy);
+  EXPECT_EQ(monitor.transitions(0), 2u);
+}
+
+TEST(HealthMonitorTest, DownReplicaLeavesPreferenceOrder) {
+  FakeClock clock;
+  HealthMonitor monitor(3, TestConfig(clock));
+  for (int i = 0; i < 3; ++i) monitor.ReportFailure(1);
+  ASSERT_EQ(monitor.state(1), ReplicaHealth::kDown);
+  EXPECT_EQ(monitor.PreferenceOrder(), (std::vector<int>{0, 2}));
+  // Success reports against a down replica are ignored: only a probe may
+  // resurrect it, so a late straggler reply cannot skip the half-open
+  // gate.
+  monitor.ReportSuccess(1, 0.001);
+  EXPECT_EQ(monitor.state(1), ReplicaHealth::kDown);
+}
+
+TEST(HealthMonitorTest, HalfOpenAdmitsExactlyOneProbePerCooldown) {
+  FakeClock clock;
+  HealthMonitor monitor(2, TestConfig(clock));
+  for (int i = 0; i < 3; ++i) monitor.ReportFailure(0);
+  ASSERT_EQ(monitor.state(0), ReplicaHealth::kDown);
+
+  // Not admitted: a healthy replica, or a down one before the cooldown.
+  EXPECT_FALSE(monitor.TryAdmitProbe(1));
+  EXPECT_FALSE(monitor.TryAdmitProbe(0));
+  clock.Advance(0.1);
+  EXPECT_FALSE(monitor.TryAdmitProbe(0));
+
+  clock.Advance(0.15);  // past down_cooldown_seconds = 0.2
+  EXPECT_TRUE(monitor.TryAdmitProbe(0));
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kProbing);
+  // Exactly one owner: every racing caller is refused while the probe is
+  // in flight, and a probing replica takes no regular traffic.
+  EXPECT_FALSE(monitor.TryAdmitProbe(0));
+  EXPECT_EQ(monitor.PreferenceOrder(), (std::vector<int>{1}));
+}
+
+TEST(HealthMonitorTest, ProbeSuccessReadmitsAsSuspect) {
+  FakeClock clock;
+  HealthMonitor monitor(2, TestConfig(clock));
+  for (int i = 0; i < 3; ++i) monitor.ReportFailure(0);
+  clock.Advance(0.25);
+  ASSERT_TRUE(monitor.TryAdmitProbe(0));
+
+  monitor.ReportSuccess(0, 0.002);
+  // Half-open success does not jump straight to healthy: the replica
+  // must still earn recover_after consecutive successes.
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kSuspect);
+  EXPECT_EQ(monitor.PreferenceOrder(), (std::vector<int>{0, 1}));
+  monitor.ReportSuccess(0, 0.002);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kHealthy);
+}
+
+TEST(HealthMonitorTest, ProbeFailureReturnsToDownAndReArmsCooldown) {
+  FakeClock clock;
+  HealthMonitor monitor(2, TestConfig(clock));
+  for (int i = 0; i < 3; ++i) monitor.ReportFailure(0);
+  clock.Advance(0.25);
+  ASSERT_TRUE(monitor.TryAdmitProbe(0));
+
+  monitor.ReportFailure(0);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kDown);
+  // The cooldown re-armed at the failure: no immediate re-probe.
+  EXPECT_FALSE(monitor.TryAdmitProbe(0));
+  clock.Advance(0.25);
+  EXPECT_TRUE(monitor.TryAdmitProbe(0));
+}
+
+TEST(HealthMonitorTest, EwmaLatencyCrossingTurnsHealthySuspect) {
+  FakeClock clock;
+  HealthConfig config = TestConfig(clock);
+  config.ewma_alpha = 0.5;
+  config.latency_suspect_seconds = 0.010;
+  HealthMonitor monitor(1, config);
+
+  // First observation seeds the EWMA directly.
+  monitor.ReportSuccess(0, 0.004);
+  EXPECT_DOUBLE_EQ(monitor.ewma_latency_seconds(0), 0.004);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kHealthy);
+
+  // 0.5 * 0.004 + 0.5 * 0.020 = 0.012 > 0.010: latency alone demotes.
+  monitor.ReportSuccess(0, 0.020);
+  EXPECT_DOUBLE_EQ(monitor.ewma_latency_seconds(0), 0.012);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kSuspect);
+
+  // Fast successes pull the EWMA back down and the success streak heals
+  // the replica.
+  monitor.ReportSuccess(0, 0.001);
+  monitor.ReportSuccess(0, 0.001);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kHealthy);
+}
+
+TEST(HealthMonitorTest, LatencyTriggerDisabledByDefault) {
+  FakeClock clock;
+  HealthMonitor monitor(1, TestConfig(clock));  // latency_suspect_seconds = 0
+  monitor.ReportSuccess(0, 10.0);
+  monitor.ReportSuccess(0, 10.0);
+  EXPECT_EQ(monitor.state(0), ReplicaHealth::kHealthy);
+}
+
+/// Runs a fixed outcome script against a fresh monitor and returns the
+/// transition log.
+std::vector<std::string> RunScript() {
+  FakeClock clock;
+  HealthMonitor monitor(2, TestConfig(clock));
+  std::vector<std::string> log;
+  monitor.set_on_transition([&](HealthMonitor::Transition t) {
+    log.push_back(std::to_string(t.replica) + ":" +
+                  ReplicaHealthToString(t.from) + "->" +
+                  ReplicaHealthToString(t.to));
+  });
+
+  monitor.ReportFailure(0);
+  monitor.ReportFailure(0);
+  monitor.ReportSuccess(1, 0.003);
+  monitor.ReportFailure(0);  // down
+  clock.Advance(0.25);
+  if (monitor.TryAdmitProbe(0)) monitor.ReportFailure(0);  // probe fails
+  clock.Advance(0.25);
+  if (monitor.TryAdmitProbe(0)) monitor.ReportSuccess(0, 0.002);
+  monitor.ReportSuccess(0, 0.002);  // heals
+  return log;
+}
+
+// Two-run determinism: the transition sequence is a pure function of the
+// outcome script and the injected clock — byte-identical across runs.
+TEST(HealthMonitorTest, TransitionSequenceIsDeterministic) {
+  const std::vector<std::string> first = RunScript();
+  const std::vector<std::string> second = RunScript();
+  EXPECT_EQ(first, second);
+  const std::vector<std::string> expected = {
+      "0:healthy->suspect", "0:suspect->down",    "0:down->probing",
+      "0:probing->down",    "0:down->probing",    "0:probing->suspect",
+      "0:suspect->healthy",
+  };
+  EXPECT_EQ(first, expected);
+}
+
+TEST(HealthMonitorTest, TotalTransitionsSumsAcrossReplicas) {
+  FakeClock clock;
+  HealthMonitor monitor(3, TestConfig(clock));
+  monitor.ReportFailure(0);  // 0: healthy -> suspect
+  monitor.ReportFailure(2);  // 2: healthy -> suspect
+  monitor.ReportFailure(2);
+  monitor.ReportFailure(2);  // 2: suspect -> down
+  EXPECT_EQ(monitor.transitions(0), 1u);
+  EXPECT_EQ(monitor.transitions(1), 0u);
+  EXPECT_EQ(monitor.transitions(2), 2u);
+  EXPECT_EQ(monitor.total_transitions(), 3u);
+}
+
+}  // namespace
+}  // namespace ppgnn

@@ -343,6 +343,166 @@ TEST_F(ServiceTest, RejectsOnFullQueueWithOverloadedFrame) {
   EXPECT_EQ(stats.queue_depth, 0u);
 }
 
+// Graceful drain: once Shutdown(deadline) begins, new submissions bounce
+// with a structured kShuttingDown frame (not kOverloaded — the queue has
+// room) while everything already accepted is served. Every submitted
+// request gets exactly one reply: accepted + rejected == submitted.
+TEST_F(ServiceTest, GracefulDrainAnswersAcceptedAndRejectsNewWork) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;  // rejections below can only mean "draining"
+  config.sanitize = false;
+  config.test_execute_hook = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  LspService service(*db_, config);
+
+  std::mutex reply_mu;
+  std::condition_variable reply_cv;
+  std::vector<std::vector<uint8_t>> frames;
+  auto collect = [&](std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(reply_mu);
+    frames.push_back(std::move(frame));
+    reply_cv.notify_all();
+  };
+
+  Rng rng(25);
+  uint64_t submitted = 0, accepted = 0;
+  auto submit = [&] {
+    ++submitted;
+    if (service.Submit(WorkloadRequest(rng), collect)) {
+      ++accepted;
+      return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(submit());
+  while (entered.load() < 1) std::this_thread::yield();
+  ASSERT_TRUE(submit());
+  ASSERT_TRUE(submit());
+
+  // Drain in the background: Shutdown(deadline) blocks until the worker
+  // (parked on the gate) empties the queue.
+  std::thread drainer([&] { service.Shutdown(/*drain_deadline_seconds=*/10.0); });
+  // Submissions racing the stopping flag may still be accepted — they
+  // joined the drain and will be served. The first rejection is the
+  // structured shutting-down frame.
+  while (submit()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  drainer.join();
+  {
+    std::unique_lock<std::mutex> lock(reply_mu);
+    reply_cv.wait(lock, [&] { return frames.size() == submitted; });
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, accepted);
+  EXPECT_EQ(stats.rejected, submitted - accepted);
+  EXPECT_EQ(stats.accepted + stats.rejected, submitted);
+  EXPECT_EQ(stats.served, accepted);  // drained, not dropped
+  EXPECT_EQ(stats.drain_flushed, 0u);
+
+  int answers = 0, shutting_down = 0;
+  for (const auto& frame : frames) {
+    ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+    if (!decoded.is_error) {
+      ++answers;
+      continue;
+    }
+    EXPECT_EQ(decoded.error.code, WireError::kShuttingDown);
+    EXPECT_GT(decoded.error.retry_after_ms, 0u);  // actionable hint
+    ++shutting_down;
+  }
+  EXPECT_EQ(answers, static_cast<int>(accepted));
+  EXPECT_EQ(shutting_down, static_cast<int>(submitted - accepted));
+  EXPECT_GE(shutting_down, 1);
+}
+
+// A drain that cannot finish by the deadline flushes the still-queued
+// requests with kShuttingDown frames (retry hint included) instead of
+// leaving their callbacks to dangle; executing work still completes.
+TEST_F(ServiceTest, DrainDeadlineFlushesQueuedRequests) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.sanitize = false;
+  config.test_execute_hook = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  LspService service(*db_, config);
+
+  std::mutex reply_mu;
+  std::condition_variable reply_cv;
+  std::vector<std::vector<uint8_t>> frames;
+  auto collect = [&](std::vector<uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(reply_mu);
+    frames.push_back(std::move(frame));
+    reply_cv.notify_all();
+  };
+
+  Rng rng(26);
+  ASSERT_TRUE(service.Submit(WorkloadRequest(rng), collect));
+  while (entered.load() < 1) std::this_thread::yield();
+  ASSERT_TRUE(service.Submit(WorkloadRequest(rng), collect));
+  ASSERT_TRUE(service.Submit(WorkloadRequest(rng), collect));
+
+  // The worker is parked, so the 50 ms drain deadline must expire and
+  // flush the two queued requests.
+  std::thread drainer([&] { service.Shutdown(/*drain_deadline_seconds=*/0.05); });
+  {
+    std::unique_lock<std::mutex> lock(reply_mu);
+    reply_cv.wait(lock, [&] { return frames.size() == 2u; });
+    for (const auto& frame : frames) {
+      ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+      ASSERT_TRUE(decoded.is_error);
+      EXPECT_EQ(decoded.error.code, WireError::kShuttingDown);
+      EXPECT_GT(decoded.error.retry_after_ms, 0u);
+    }
+  }
+
+  // The executing request was never abandoned: release it and it serves.
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  drainer.join();
+  {
+    std::unique_lock<std::mutex> lock(reply_mu);
+    reply_cv.wait(lock, [&] { return frames.size() == 3u; });
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.drain_flushed, 2u);
+  // accepted == served + flushed: exactly one reply per accepted request.
+  EXPECT_EQ(stats.accepted, stats.served + stats.drain_flushed);
+  EXPECT_EQ(stats.abandoned_executing, 0u);
+}
+
 TEST_F(ServiceTest, DeadlineExpiresInQueueWithoutExecution) {
   std::mutex gate_mu;
   std::condition_variable gate_cv;

@@ -83,6 +83,13 @@ class ShardTest : public ::testing::Test {
     return config;
   }
 
+  static ShardClusterConfig ReplicatedConfig(int shards, int replicas,
+                                             bool sanitize = true) {
+    ShardClusterConfig config = ClusterConfig(shards, sanitize);
+    config.replicas = replicas;
+    return config;
+  }
+
   static std::vector<uint8_t> FrameOf(ShardedLspService& cluster,
                                       const ServiceRequest& request) {
     return cluster.Call(request);
@@ -280,6 +287,161 @@ TEST_F(ShardTest, AllShardLinksDownFailsTheQuery) {
   ResponseFrame decoded = ResponseFrame::Decode(frame).value();
   ASSERT_TRUE(decoded.is_error);
   EXPECT_EQ(decoded.error.code, WireError::kInternal);
+}
+
+// --- replicated shard groups: exact answers under replica loss ---
+
+// The tentpole invariant: replicas hold identical slice data and the
+// shard wire is deterministic, so a failover changes *zero* answer bits.
+TEST_F(ShardTest, ReplicaFailoverKeepsFramesByteIdentical) {
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       100, /*sanitize=*/false);
+  ShardedLspService healthy(*pois_, ReplicatedConfig(2, 2, /*sanitize=*/false));
+  std::vector<uint8_t> expected = FrameOf(healthy, request);
+
+  // Replica 0 of *every* shard is hard down, so whichever shards the
+  // query routes to must fail over to replica 1.
+  ShardedLspService cluster(*pois_, ReplicatedConfig(2, 2, /*sanitize=*/false));
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.0.0=error").ok());
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.1.0=error").ok());
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  EXPECT_EQ(frame, expected);
+
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.degraded_shards, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.replica_failovers, 1u);
+  EXPECT_GE(stats.exact_despite_failures, 1u);
+  EXPECT_GE(stats.health_transitions, 1u);
+}
+
+// A slow (not dead) primary: the hedge leg to the secondary wins, and
+// the winning frame is still byte-identical to the no-failure run.
+TEST_F(ShardTest, HedgeWinKeepsFramesByteIdentical) {
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       101, /*sanitize=*/false);
+  ShardedLspService healthy(*pois_, ReplicatedConfig(2, 2, /*sanitize=*/false));
+  std::vector<uint8_t> expected = FrameOf(healthy, request);
+
+  ShardClusterConfig config = ReplicatedConfig(2, 2, /*sanitize=*/false);
+  config.hedge_delay_seconds = 0.005;
+  ShardedLspService cluster(*pois_, config);
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.0.0=delay:200").ok());
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.1.0=delay:200").ok());
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  EXPECT_EQ(frame, expected);
+
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.degraded_shards, 0u);
+  EXPECT_GE(stats.replica_hedge_wins, 1u);
+  EXPECT_GE(stats.exact_despite_failures, 1u);
+}
+
+// Degraded merge is the last tier: it engages (and is counted) only when
+// *every* replica of a routed set is down.
+TEST_F(ShardTest, WholeReplicaSetDownDegradesTheMerge) {
+  ShardedLspService cluster(*pois_, ReplicatedConfig(4, 2, /*sanitize=*/false));
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.1.0=error").ok());
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.1.1=error").ok());
+
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       90, /*sanitize=*/false);
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  Decryptor dec(keys_->pub, keys_->sec);
+  ServedReply reply =
+      ParseServedReply(frame, *keys_, dec, /*layered=*/false).value();
+  ASSERT_TRUE(reply.ok) << reply.error.detail;
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.degraded_shards, 1u);
+}
+
+// The set-wide shard.link.<j> failpoint still means "the whole set is
+// unreachable" under replication — the designated degraded-merge path.
+TEST_F(ShardTest, SetWideLinkFailureDegradesReplicatedMerge) {
+  ShardedLspService cluster(*pois_, ReplicatedConfig(4, 2, /*sanitize=*/false));
+  ASSERT_TRUE(FailpointSetFromSpec("shard.link.1=error").ok());
+
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       90, /*sanitize=*/false);
+  std::vector<uint8_t> frame = FrameOf(cluster, request);
+  ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+  EXPECT_FALSE(decoded.is_error) << decoded.error.detail;
+  EXPECT_GE(cluster.Stats().degraded_shards, 1u);
+}
+
+// The issue's acceptance scenario: S=4, R=2, the primary replica of one
+// shard killed. Every answer is served, zero merges degrade, and every
+// frame is byte-identical to the no-failure cluster's.
+TEST_F(ShardTest, KillPrimaryAcceptanceServesExactAnswers) {
+  ShardedLspService healthy(*pois_, ReplicatedConfig(4, 2, /*sanitize=*/false));
+  ShardedLspService cluster(*pois_, ReplicatedConfig(4, 2, /*sanitize=*/false));
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.3.0=error").ok());
+
+  for (uint64_t seed = 110; seed < 115; ++seed) {
+    ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                         seed, /*sanitize=*/false);
+    std::vector<uint8_t> expected = FrameOf(healthy, request);
+    std::vector<uint8_t> frame = FrameOf(cluster, request);
+    EXPECT_EQ(frame, expected) << "seed=" << seed;
+    ResponseFrame decoded = ResponseFrame::Decode(frame).value();
+    EXPECT_FALSE(decoded.is_error) << decoded.error.detail;
+  }
+
+  ServiceStats stats = cluster.Stats();
+  EXPECT_EQ(stats.served, 5u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.degraded_shards, 0u);
+  EXPECT_GE(stats.exact_despite_failures, 1u);
+  EXPECT_GE(stats.replica_failovers, 1u);
+
+  // The ladder surfaced per replica: (3,0) was demoted and never served
+  // a winning leg; (3,1) carried the shard.
+  bool saw_dead = false, saw_backup = false;
+  for (const ServiceStats::ReplicaRow& row : stats.replicas) {
+    if (row.shard == 3 && row.replica == 0) {
+      saw_dead = true;
+      EXPECT_NE(row.health, 0);  // not healthy
+      EXPECT_EQ(row.served, 0u);
+      EXPECT_GE(row.transitions, 1u);
+    }
+    if (row.shard == 3 && row.replica == 1) {
+      saw_backup = true;
+      EXPECT_GE(row.served, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+  EXPECT_TRUE(saw_backup);
+}
+
+// Half-open recovery end to end: kill the primary, drive it down, lift
+// the failpoint, probe — the replica rejoins and serves again.
+TEST_F(ShardTest, ProbeRecoversAKilledReplica) {
+  ShardClusterConfig config = ReplicatedConfig(1, 2, /*sanitize=*/false);
+  config.health.down_after = 1;
+  config.health.down_cooldown_seconds = 0.0;
+  ShardedLspService cluster(*pois_, config);
+  ASSERT_TRUE(FailpointSetFromSpec("shard.replica.0.0=error").ok());
+
+  ServiceRequest request = MakeRequest(Variant::kPpgnn, AggregateKind::kSum,
+                                       120, /*sanitize=*/false);
+  std::vector<uint8_t> first = FrameOf(cluster, request);
+  ResponseFrame decoded = ResponseFrame::Decode(first).value();
+  ASSERT_FALSE(decoded.is_error) << decoded.error.detail;
+  ReplicaSet& set = cluster.replica_set(0);
+  ASSERT_EQ(set.health().state(0), ReplicaHealth::kDown);
+
+  FailpointClearAll();
+  set.ProbeOnce();  // half-open probe succeeds: down -> suspect
+  EXPECT_EQ(set.health().state(0), ReplicaHealth::kSuspect);
+  set.ProbeOnce();  // second success: suspect -> healthy
+  EXPECT_EQ(set.health().state(0), ReplicaHealth::kHealthy);
+
+  const uint64_t served_before = set.Stats().replicas[0].served;
+  std::vector<uint8_t> second = FrameOf(cluster, request);
+  EXPECT_EQ(second, first);  // recovery changes no bits either
+  EXPECT_GE(set.Stats().replicas[0].served, served_before + 1);
 }
 
 TEST_F(ShardTest, ParentIdempotencyKeyCoalescesShardLegs) {

@@ -363,7 +363,8 @@ TEST_F(WireTest, AnswerMessageRejectsBadLevelOrWidth) {
 TEST_F(WireTest, ErrorMessageRoundTripAllCodes) {
   for (WireError code :
        {WireError::kMalformed, WireError::kOverloaded,
-        WireError::kDeadlineExceeded, WireError::kInternal}) {
+        WireError::kDeadlineExceeded, WireError::kInternal,
+        WireError::kShuttingDown}) {
     ErrorMessage msg;
     msg.code = code;
     msg.detail = std::string("details for ") + WireErrorToString(code);
@@ -384,6 +385,8 @@ TEST_F(WireTest, ErrorMessageClipsOversizedDetail) {
 TEST_F(WireTest, ErrorMessageRejectsGarbage) {
   EXPECT_FALSE(ErrorMessage::Decode({}).ok());
   EXPECT_FALSE(ErrorMessage::Decode({0x07, 0x00}).ok());  // unknown code
+  // The first code past the taxonomy (kShuttingDown + 1) is rejected too.
+  EXPECT_FALSE(ErrorMessage::Decode({0x05, 0x00}).ok());
   ErrorMessage msg;
   msg.code = WireError::kOverloaded;
   msg.detail = "queue full";
@@ -879,6 +882,77 @@ TEST_F(WireTest, ShardAnswerRejectsNonFiniteCost) {
   c.results[0].cost = std::numeric_limits<double>::infinity();
   msg.candidates[0] = c;
   EXPECT_FALSE(ShardAnswerMessage::Decode(msg.Encode().value()).ok());
+}
+
+// A compromised or buggy replica repeating a POI id could double-count
+// it in the merged top-k. The decode — the trust boundary between the
+// coordinator and the shard wire — rejects the frame outright. The
+// duplicate is introduced by byte-patching a valid frame, so the test
+// pins the wire layout, not the encoder's cooperation.
+TEST_F(WireTest, ShardAnswerRejectsDuplicatePoiIdByBytePatch) {
+  ShardAnswerMessage msg;
+  ShardAnswerMessage::CandidateResult c;
+  c.index = 0;
+  c.results.push_back({1, {0.1, 0.2}, 0.25});
+  c.results.push_back({2, {0.3, 0.4}, 0.50});
+  msg.candidates.push_back(c);
+  auto bytes = msg.Encode().value();
+  ASSERT_TRUE(ShardAnswerMessage::Decode(bytes).ok());
+
+  // Layout: magic, candidate count, index, result count (1 byte each
+  // here), then 28-byte results (u32 id + 3 doubles). Overwrite the
+  // second result's id with the first's.
+  const size_t first_id = 4, second_id = 4 + 28;
+  ASSERT_GE(bytes.size(), second_id + 4);
+  std::vector<uint8_t> patched = bytes;
+  for (size_t b = 0; b < 4; ++b) {
+    patched[second_id + b] = bytes[first_id + b];
+  }
+  auto decoded = ShardAnswerMessage::Decode(patched);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("duplicate"), std::string::npos);
+}
+
+// Results must arrive in strictly increasing (cost, id) order — the
+// order the merge relies on. Out-of-order costs and equal-cost id ties
+// are both rejected.
+TEST_F(WireTest, ShardAnswerRejectsOutOfOrderResults) {
+  ShardAnswerMessage msg;
+  ShardAnswerMessage::CandidateResult c;
+  c.index = 0;
+  c.results.push_back({1, {0.1, 0.2}, 0.50});
+  c.results.push_back({2, {0.3, 0.4}, 0.25});  // cost decreases
+  msg.candidates.push_back(c);
+  auto decoded = ShardAnswerMessage::Decode(msg.Encode().value());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("order"), std::string::npos);
+
+  // Equal costs must still be ordered by id; a tie (or inversion) in the
+  // id tiebreak is the same malformed frame.
+  c.results[0] = {5, {0.1, 0.2}, 0.25};
+  c.results[1] = {3, {0.3, 0.4}, 0.25};
+  msg.candidates[0] = c;
+  EXPECT_FALSE(ShardAnswerMessage::Decode(msg.Encode().value()).ok());
+
+  // The well-ordered version of the same rows decodes fine.
+  c.results[0] = {3, {0.3, 0.4}, 0.25};
+  c.results[1] = {5, {0.1, 0.2}, 0.25};
+  msg.candidates[0] = c;
+  EXPECT_TRUE(ShardAnswerMessage::Decode(msg.Encode().value()).ok());
+}
+
+// Duplicate ids are scoped per candidate: two candidates may (and do)
+// legitimately rank the same POI.
+TEST_F(WireTest, ShardAnswerAllowsSamePoiAcrossCandidates) {
+  ShardAnswerMessage msg;
+  ShardAnswerMessage::CandidateResult c0, c1;
+  c0.index = 0;
+  c0.results.push_back({7, {0.1, 0.2}, 0.25});
+  c1.index = 1;
+  c1.results.push_back({7, {0.1, 0.2}, 0.30});
+  msg.candidates.push_back(c0);
+  msg.candidates.push_back(c1);
+  EXPECT_TRUE(ShardAnswerMessage::Decode(msg.Encode().value()).ok());
 }
 
 }  // namespace

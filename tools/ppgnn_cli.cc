@@ -33,6 +33,15 @@
 //                        queries (arm shard.link.<j> via --fail to see
 //                        it). 1 = plain single-node service.
 //
+//   --replicas R         replicate every shard R-fold behind a health-
+//                        monitored replica set (DESIGN.md section 14):
+//                        failover + hedging keep answers exact when a
+//                        single replica dies (arm
+//                        shard.replica.<j>.<r>=error via --fail), and
+//                        degraded merges only happen when a whole set
+//                        is down. 1 = the unreplicated PR 7 layout.
+//                        Applies to the --shards cluster (any N > 1).
+//
 //   --blinding-pool N    share one pooled Encryptor across the client
 //                        threads and keep N blinding factors per
 //                        ciphertext level warm from a background
@@ -53,7 +62,11 @@
 //                        propagation instead of the local budget)
 //
 // Chaos knobs (serve mode):
-//   --fail POINT=POLICY  arm a failpoint before serving; repeatable.
+//   --fail POINT=POLICY  arm a failpoint before serving; repeatable, and
+//                        repeated specs *stack* — including on the same
+//                        point, so one replica can be slow AND flaky:
+//                        --fail shard.replica.0.0=delay:20
+//                        --fail shard.replica.0.0=error,p=0.5,seed=3
 //                        POLICY is <action>[:<arg>][,p=|seed=|skip=|
 //                        every=|times=], e.g.
 //                        --fail service.admit=drop,p=0.2,seed=7
@@ -97,6 +110,7 @@ struct CliOptions {
   // Serve mode.
   bool serve = false;
   int shards = 1;
+  int replicas = 1;
   int workers = 4;
   int clients = 4;
   int requests_per_client = 8;
@@ -122,7 +136,8 @@ void PrintUsageAndExit(const char* argv0) {
                "          [--dummies uniform|poi-density|nearby]\n"
                "          [--keys PATH] [--gen-keys PATH]\n"
                "          [--no-sanitize] [--seed N]\n"
-               "          [--serve] [--shards N] [--workers N] [--clients N]\n"
+               "          [--serve] [--shards N] [--replicas R]\n"
+               "          [--workers N] [--clients N]\n"
                "          [--requests N] [--queue N] [--deadline SECONDS]\n"
                "          [--blinding-pool N]\n"
                "          [--fail POINT=POLICY]... [--retry-budget-ms X]\n"
@@ -200,6 +215,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.shards = std::atoi(next());
       if (opts.shards < 1)
         return Status::InvalidArgument("--shards must be >= 1");
+    } else if (flag == "--replicas") {
+      opts.replicas = std::atoi(next());
+      if (opts.replicas < 1)
+        return Status::InvalidArgument("--replicas must be >= 1");
     } else if (flag == "--workers") {
       opts.workers = std::atoi(next());
     } else if (flag == "--clients") {
@@ -291,13 +310,15 @@ int RunServeMode(const CliOptions& opts, const std::vector<Poi>& pois,
   if (opts.shards > 1) {
     ShardClusterConfig cluster_config;
     cluster_config.shards = opts.shards;
+    cluster_config.replicas = opts.replicas;
     cluster_config.front = config;
     cluster_config.shard.workers = opts.workers;
     cluster_config.link_policy.seed = opts.seed ^ 0x5a4dull;
+    cluster_config.background_prober = opts.replicas > 1;
     cluster =
         std::make_unique<ShardedLspService>(pois, std::move(cluster_config));
-    std::printf("Cluster: %d shards over %zu POIs (", opts.shards,
-                pois.size());
+    std::printf("Cluster: %d shards x %d replicas over %zu POIs (",
+                opts.shards, opts.replicas, pois.size());
     for (int j = 0; j < cluster->shards(); ++j) {
       std::printf("%s%zu", j > 0 ? ", " : "", cluster->shard_size(j));
     }
@@ -308,7 +329,9 @@ int RunServeMode(const CliOptions& opts, const std::vector<Poi>& pois,
   LspService& service = cluster != nullptr ? cluster->front() : *single;
 
   for (const std::string& spec : opts.fail_specs) {
-    Status armed = FailpointSetFromSpec(spec);
+    // Stacking (not replacing) semantics: repeated --fail flags compose,
+    // even on the same point.
+    Status armed = FailpointAddFromSpec(spec);
     if (!armed.ok()) {
       std::fprintf(stderr, "--fail %s: %s\n", spec.c_str(),
                    armed.ToString().c_str());
