@@ -9,6 +9,7 @@ namespace ppgnn {
 
 namespace {
 
+// ppgnn: stat_counter(g_created)
 std::atomic<uint64_t> g_created{0};
 
 }  // namespace
@@ -124,8 +125,11 @@ std::vector<RegistryEntry>& Registry() {
   static std::vector<RegistryEntry>* r = new std::vector<RegistryEntry>();
   return *r;
 }
+// ppgnn: guarded_by(g_registry_hits, g_registry_mu)
 uint64_t g_registry_hits = 0;
+// ppgnn: guarded_by(g_registry_misses, g_registry_mu)
 uint64_t g_registry_misses = 0;
+// ppgnn: guarded_by(g_registry_evictions, g_registry_mu)
 uint64_t g_registry_evictions = 0;
 
 }  // namespace

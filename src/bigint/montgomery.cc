@@ -8,6 +8,7 @@ namespace {
 
 using u128 = unsigned __int128;
 
+// ppgnn: stat_counter(g_contexts_created)
 std::atomic<uint64_t> g_contexts_created{0};
 
 // x >= y over fixed-length little-endian limb vectors.

@@ -21,7 +21,9 @@ namespace {
 /// RNG stream.
 struct SlotState {
   FailpointPolicy policy;
+  // ppgnn: guarded_by(hits, RegistryMu)
   uint64_t hits = 0;
+  // ppgnn: guarded_by(fires, RegistryMu)
   uint64_t fires = 0;
   Rng rng{0};
 };
@@ -49,6 +51,7 @@ struct Fired {
 
 /// Decides whether one slot fires for this hit. Pure function of
 /// (policy, hit count, seeded RNG stream), so schedules replay exactly.
+// ppgnn: requires(RegistryMu)
 bool EvaluateSlot(SlotState& state, Fired* out) {
   state.hits++;
   if (state.hits <= state.policy.skip) return false;
@@ -286,27 +289,27 @@ void FailpointSet(const std::string& point, FailpointPolicy policy) {
   state.slots.push_back(MakeSlot(policy));
   Registry()[point] = std::move(state);
   failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
-                                    std::memory_order_relaxed);
+                                    std::memory_order_release);
 }
 
 void FailpointAdd(const std::string& point, FailpointPolicy policy) {
   std::lock_guard<std::mutex> lock(RegistryMu());
   Registry()[point].slots.push_back(MakeSlot(policy));
   failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
-                                    std::memory_order_relaxed);
+                                    std::memory_order_release);
 }
 
 void FailpointClear(const std::string& point) {
   std::lock_guard<std::mutex> lock(RegistryMu());
   Registry().erase(point);
   failpoint_internal::g_armed.store(static_cast<int>(Registry().size()),
-                                    std::memory_order_relaxed);
+                                    std::memory_order_release);
 }
 
 void FailpointClearAll() {
   std::lock_guard<std::mutex> lock(RegistryMu());
   Registry().clear();
-  failpoint_internal::g_armed.store(0, std::memory_order_relaxed);
+  failpoint_internal::g_armed.store(0, std::memory_order_release);
 }
 
 uint64_t FailpointHits(const std::string& point) {

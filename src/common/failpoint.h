@@ -113,6 +113,10 @@ void CorruptSlow(const char* point, std::vector<uint8_t>& bytes);
 }  // namespace failpoint_internal
 
 inline bool FailpointsArmed() {
+  // Deliberately relaxed: the zero-armed fast path must cost one plain
+  // load, and an armed reader re-reads everything under RegistryMu in
+  // the Slow path, so no ordering is needed here.
+  // ppgnn-lint: allow(atomics-discipline): intentional racy fast-path gate; slow path re-checks under RegistryMu
   return failpoint_internal::g_armed.load(std::memory_order_relaxed) != 0;
 }
 

@@ -67,7 +67,7 @@ Result<std::vector<std::vector<Point>>> GenerateCandidateQueries(
       // Poll coarsely: an atomic load per 64 candidates is invisible next
       // to the per-candidate vector construction.
       if ((out.size() & 63) == 0 && cancel != nullptr &&
-          cancel->load(std::memory_order_relaxed)) {
+          cancel->load(std::memory_order_acquire)) {
         return Status::DeadlineExceeded(
             "candidate expansion abandoned past deadline");
       }

@@ -142,7 +142,7 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
     double start = ThreadCpuSeconds();
     for (size_t i = static_cast<size_t>(worker); i < candidates.size();
          i += static_cast<size_t>(workers)) {
-      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
         worker_status[worker] =
             Status::DeadlineExceeded("lsp: query abandoned past deadline");
         break;
@@ -194,7 +194,7 @@ Result<AnswerMessage> LspProcessQuery(const LspDatabase& lsp,
     if (w > 0) info->lsp_parallel_seconds += worker_cpu_seconds[w];
   }
 
-  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
     return Status::DeadlineExceeded("lsp: query abandoned before selection");
   }
   PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.select"));
@@ -268,7 +268,7 @@ Result<std::vector<uint8_t>> LspHandleShardQuery(
   ShardAnswerMessage answer;
   answer.candidates.reserve(query.candidates.size());
   for (const ShardQueryMessage::Candidate& candidate : query.candidates) {
-    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
       return Status::DeadlineExceeded("lsp: shard query abandoned");
     }
     PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.candidate"));

@@ -34,7 +34,7 @@ void FanOut(int workers, double* worker_seconds, Task&& task) {
 }
 
 bool Cancelled(const std::atomic<bool>* cancel) {
-  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  return cancel != nullptr && cancel->load(std::memory_order_acquire);
 }
 
 Status CancelledStatus() {

@@ -311,17 +311,22 @@ class Encryptor {
   std::unique_ptr<SecretKey> sk_;
   mutable std::atomic<uint64_t> op_count_{0};
   mutable std::mutex level_mu_;
+  // ppgnn: guarded_by(levels_, level_mu_)
   mutable std::vector<std::unique_ptr<LevelCache>> levels_;
   // pools_[level] holds ready-made h_s^t mod N^{level+1} values. Guarded
   // by pool_mu_ (see the class comment's thread-safety contract).
   mutable std::mutex pool_mu_;
+  // ppgnn: guarded_by(pools_, pool_mu_)
   mutable std::vector<std::vector<BigInt>> pools_;
   // pending_refills_[level]: factors claimed by in-flight quota-bounded
   // RefillBlindingPool calls that have not landed in pools_ yet. Also
   // guarded by pool_mu_; the quota check counts pool.size() + pending so
   // concurrent refillers cannot jointly overshoot a target.
+  // ppgnn: guarded_by(pending_refills_, pool_mu_)
   mutable std::vector<size_t> pending_refills_;
-  // Blinding pipeline counters (see BlindingStats).
+  // Blinding pipeline counters (see BlindingStats); relaxed by design.
+  // ppgnn: stat_counter(op_count_, pool_hits_, pool_misses_, refilled_)
+  // ppgnn: stat_counter(fixed_base_evals_, generic_evals_)
   mutable std::atomic<uint64_t> pool_hits_{0};
   mutable std::atomic<uint64_t> pool_misses_{0};
   mutable std::atomic<uint64_t> refilled_{0};
@@ -372,6 +377,7 @@ class Decryptor {
   SecretKey sk_;
   bool use_crt_;
   mutable std::mutex level_mu_;
+  // ppgnn: guarded_by(levels_, level_mu_)
   mutable std::vector<std::unique_ptr<LevelCache>> levels_;
 };
 

@@ -61,6 +61,9 @@ class LatencyHistogram {
   /// Inclusive upper bound (in ns) of the values mapped to `bucket`.
   static uint64_t BucketUpperNs(int bucket);
 
+  // Monotonic stats cells; Summarize() tolerates torn cross-counter
+  // snapshots by construction, so relaxed ordering is sanctioned.
+  // ppgnn: stat_counter(buckets_, count_, total_ns_, max_ns_)
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> total_ns_{0};

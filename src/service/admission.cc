@@ -13,7 +13,8 @@ AimdLimiter::AimdLimiter(const Options& options) : options_(options) {
   options_.decrease_factor = std::clamp(options_.decrease_factor, 0.1, 0.99);
   limit_.store(std::clamp(options_.initial_concurrency,
                           options_.min_concurrency, options_.max_concurrency),
-               std::memory_order_relaxed);
+               std::memory_order_release);
+  // ppgnn-lint: allow(guarded-by): constructor has exclusive access
   window_.reserve(static_cast<size_t>(options_.window));
 }
 
@@ -31,17 +32,17 @@ void AimdLimiter::OnComplete(double execute_seconds) {
   const double p99 = window_[nth];
   window_.clear();
 
-  const int cur = limit_.load(std::memory_order_relaxed);
+  const int cur = limit_.load(std::memory_order_acquire);
   if (p99 > options_.target_p99_seconds) {
     const int next = std::max(
         options_.min_concurrency,
         static_cast<int>(std::floor(cur * options_.decrease_factor)));
     if (next < cur) {
-      limit_.store(next, std::memory_order_relaxed);
+      limit_.store(next, std::memory_order_release);
       decreases_.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (cur < options_.max_concurrency) {
-    limit_.store(cur + 1, std::memory_order_relaxed);
+    limit_.store(cur + 1, std::memory_order_release);
     increases_.fetch_add(1, std::memory_order_relaxed);
   }
 }

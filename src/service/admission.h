@@ -37,7 +37,7 @@ class AimdLimiter {
 
   /// Current admission bound on concurrently executing queries. Lock-free;
   /// workers read this before dequeuing work.
-  int limit() const { return limit_.load(std::memory_order_relaxed); }
+  int limit() const { return limit_.load(std::memory_order_acquire); }
 
   /// Feeds one completed execution's wall seconds. Every `window`
   /// completions the window's p99 is compared against the target and the
@@ -45,16 +45,21 @@ class AimdLimiter {
   /// min), otherwise -> limit += 1 (capped at max).
   void OnComplete(double execute_seconds);
 
+  // ppgnn: stat_counter(increases_, decreases_)
   uint64_t increases() const { return increases_.load(std::memory_order_relaxed); }
   uint64_t decreases() const { return decreases_.load(std::memory_order_relaxed); }
 
  private:
   Options options_;
+  /// Admission decisions branch on this, so it is never relaxed:
+  /// acquire/release keeps the window state that justified a new limit
+  /// visible to the workers that act on it.
   std::atomic<int> limit_;
   std::atomic<uint64_t> increases_{0};
   std::atomic<uint64_t> decreases_{0};
   std::mutex mu_;
-  std::vector<double> window_;  // guarded by mu_
+  // ppgnn: guarded_by(window_, mu_)
+  std::vector<double> window_;
 };
 
 }  // namespace ppgnn

@@ -8,6 +8,7 @@ BlindingRefiller::BlindingRefiller(std::shared_ptr<const Encryptor> encryptor,
                                    BlindingRefillerOptions options)
     : encryptor_(std::move(encryptor)),
       options_(std::move(options)),
+      // ppgnn-lint: allow(guarded-by): constructor has exclusive access
       rng_(options_.seed) {
   if (options_.start_thread) {
     thread_ = std::thread([this] { Loop(); });
@@ -30,6 +31,10 @@ Status BlindingRefiller::TopUpOnce() {
     // pool past target. Stats count what actually landed, not what was
     // asked for.
     size_t produced = 0;
+    // work_mu_ is a pass-serialization mutex, not a data lock: nothing
+    // request-facing ever waits on it, and RefillBlindingPool runs its
+    // exponentiations outside the encryptor's own pool lock.
+    // ppgnn-lint: allow(blocking-under-lock): work_mu_ only serializes refill passes; no hot-path caller can block on it
     Status status = encryptor_->RefillBlindingPool(level, want, rng_,
                                                    options_.target, &produced);
     refilled_.fetch_add(produced, std::memory_order_relaxed);

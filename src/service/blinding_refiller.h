@@ -85,14 +85,17 @@ class BlindingRefiller {
   // Serializes refill passes (the thread and manual TopUpOnce callers);
   // also guards rng_.
   std::mutex work_mu_;
+  // ppgnn: guarded_by(rng_, work_mu_)
   Rng rng_;
 
+  // ppgnn: stat_counter(passes_, refilled_, errors_)
   std::atomic<uint64_t> passes_{0};
   std::atomic<uint64_t> refilled_{0};
   std::atomic<uint64_t> errors_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;
+  // ppgnn: guarded_by(stop_, mu_)
   bool stop_ = false;
   std::thread thread_;
 };

@@ -100,9 +100,13 @@ class CostModel {
   static int BucketIndex(const CostFeatures& f);
 
   mutable std::mutex mu_;
+  // ppgnn: guarded_by(bucket_ratio_, mu_)
   double bucket_ratio_[kDeltaBuckets * kKeyClasses * kKinds] = {};
+  // ppgnn: guarded_by(bucket_count_, mu_)
   uint64_t bucket_count_[kDeltaBuckets * kKeyClasses * kKinds] = {};
+  // ppgnn: guarded_by(global_ratio_, mu_)
   double global_ratio_ = 1.0;
+  // ppgnn: guarded_by(observations_, mu_)
   uint64_t observations_ = 0;
 };
 

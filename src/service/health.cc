@@ -21,6 +21,7 @@ const char* ReplicaHealthToString(ReplicaHealth state) {
 HealthMonitor::HealthMonitor(int replicas, HealthConfig config)
     : replica_count_(static_cast<size_t>(std::max(replicas, 1))),
       config_(std::move(config)),
+      // ppgnn-lint: allow(guarded-by): constructor has exclusive access
       states_(replica_count_) {}
 
 HealthMonitor::Clock::time_point HealthMonitor::Now() const {

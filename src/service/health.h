@@ -135,12 +135,15 @@ class HealthMonitor {
   Clock::time_point Now() const;
   /// Moves `replica` to `to` under mu_, bumping counters and notifying
   /// the observer.
+  // ppgnn: requires(mu_)
   void TransitionLocked(int replica, ReplicaHealth to);
 
   const size_t replica_count_;
   const HealthConfig config_;
   mutable std::mutex mu_;
+  // ppgnn: guarded_by(states_, mu_)
   std::vector<ReplicaState> states_;
+  // ppgnn: guarded_by(on_transition_, mu_)
   std::function<void(Transition)> on_transition_;
 };
 

@@ -492,7 +492,10 @@ void LspService::MonitorLoop() {
     const Clock::time_point now = Clock::now();
     for (const std::shared_ptr<InFlight>& flight : inflight_) {
       if (now >= flight->deadline) {
-        flight->cancel->store(true, std::memory_order_relaxed);
+        // Release pairs with the handler's acquire load: everything the
+        // monitor observed before cancelling is visible to the bail-out
+        // path, and the flag itself feeds control flow (never relaxed).
+        flight->cancel->store(true, std::memory_order_release);
       } else {
         next = std::min(next, flight->deadline);
       }

@@ -331,20 +331,32 @@ class LspService {
   AimdLimiter limiter_;
   ReplyCache reply_cache_;
 
-  mutable std::mutex mu_;  // guards queue_, executing_, and stopping_
+  mutable std::mutex mu_;
   std::condition_variable queue_cv_;
+  // ppgnn: guarded_by(queue_, mu_)
   std::deque<PendingRequest> queue_;
+  // ppgnn: guarded_by(executing_, mu_)
   int executing_ = 0;
+  // ppgnn: guarded_by(stopping_, mu_)
   bool stopping_ = false;
 
-  std::mutex inflight_mu_;  // guards inflight_ and monitor_stop_
+  std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
+  // ppgnn: guarded_by(inflight_, inflight_mu_)
   std::vector<std::shared_ptr<InFlight>> inflight_;
+  // ppgnn: guarded_by(monitor_stop_, inflight_mu_)
   bool monitor_stop_ = false;
 
   std::vector<std::thread> workers_;
   std::thread monitor_;
 
+  // Monotonic stats counters, read only by Stats(); relaxed ordering is
+  // deliberate and sanctioned here (and only here).
+  // ppgnn: stat_counter(accepted_, rejected_, served_, failed_)
+  // ppgnn: stat_counter(deadline_expired_, shed_, expired_in_queue_)
+  // ppgnn: stat_counter(abandoned_executing_, dedup_joins_, dedup_replays_)
+  // ppgnn: stat_counter(dedup_purged_, retries_, hedges_)
+  // ppgnn: stat_counter(degraded_queries_, drain_flushed_, error_replies_)
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> served_{0};
@@ -365,6 +377,7 @@ class LspService {
   LatencyHistogram queue_wait_;
   LatencyHistogram execute_;
   mutable std::mutex totals_mu_;
+  // ppgnn: guarded_by(totals_, totals_mu_)
   QueryInstrumentation totals_;
 };
 

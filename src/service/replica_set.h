@@ -126,6 +126,8 @@ class ReplicaSet {
  private:
   using Clock = std::chrono::steady_clock;
 
+  // ppgnn: stat_counter(served, failed_over, hedge_won, leg_failures)
+  // ppgnn: stat_counter(probes, hedges_launched_)
   struct LegCounters {
     std::atomic<uint64_t> served{0};
     std::atomic<uint64_t> failed_over{0};
@@ -155,7 +157,9 @@ class ReplicaSet {
   LatencyHistogram leg_latency_;
 
   mutable std::mutex stragglers_mu_;
+  // ppgnn: guarded_by(stragglers_, stragglers_mu_)
   std::vector<std::thread> stragglers_;
+  // ppgnn: guarded_by(shut_down_, stragglers_mu_)
   bool shut_down_ = false;
 };
 

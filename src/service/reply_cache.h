@@ -115,23 +115,29 @@ class ReplyCache {
     uint64_t generation = 0;
   };
 
+  // ppgnn: requires(mu_)
   bool InFlightExpiredLocked(const Entry& entry, Clock::time_point now) const;
 
   /// Drops expired / over-capacity completed entries; when
   /// `expired_waiters` is non-null, also sweeps dead in-flight entries
   /// from the front of the admission-order queue, appending their
   /// waiters. Requires mu_ held.
+  // ppgnn: requires(mu_)
   void EvictLocked(Clock::time_point now,
                    std::vector<Waiter>* expired_waiters);
 
   const Options options_;
   mutable std::mutex mu_;
+  // ppgnn: guarded_by(entries_, mu_)
   std::unordered_map<uint64_t, Entry> entries_;
+  // ppgnn: guarded_by(completed_order_, mu_)
   std::deque<uint64_t> completed_order_;  // FIFO eviction of completed keys
   // In-flight keys in admission order, tagged with the generation they
   // were admitted under so a purged-and-readmitted key is not swept by
   // its predecessor's queue position.
+  // ppgnn: guarded_by(in_flight_order_, mu_)
   std::deque<std::pair<uint64_t, uint64_t>> in_flight_order_;
+  // ppgnn: guarded_by(next_generation_, mu_)
   uint64_t next_generation_ = 1;
 };
 

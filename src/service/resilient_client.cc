@@ -32,7 +32,9 @@ struct RoundState {
     std::vector<uint8_t> frame;
     bool from_hedge = false;
   };
+  // ppgnn: guarded_by(replies, mu)
   std::vector<Reply> replies;
+  // ppgnn: guarded_by(outstanding, mu)
   int outstanding = 0;
 };
 
@@ -68,6 +70,7 @@ std::string ClientStats::ToString() const {
 }
 
 ResilientClient::ResilientClient(LspService& service, RetryPolicy policy)
+    // ppgnn-lint: allow(guarded-by): constructor has exclusive access
     : service_(service), policy_(std::move(policy)), rng_(policy_.seed) {}
 
 bool ResilientClient::IsRetryable(WireError code) {

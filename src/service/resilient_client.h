@@ -146,12 +146,18 @@ class ResilientClient {
   LspService& service_;
   const RetryPolicy policy_;
 
-  mutable std::mutex mu_;  // guards rng_, stats_, and breaker state
+  mutable std::mutex mu_;
+  // ppgnn: guarded_by(rng_, mu_)
   Rng rng_;
+  // ppgnn: guarded_by(stats_, mu_)
   ClientStats stats_;
+  // ppgnn: guarded_by(breaker_consecutive_failures_, mu_)
   int breaker_consecutive_failures_ = 0;
+  // ppgnn: guarded_by(breaker_open_, mu_)
   bool breaker_open_ = false;
+  // ppgnn: guarded_by(breaker_probe_in_flight_, mu_)
   bool breaker_probe_in_flight_ = false;
+  // ppgnn: guarded_by(breaker_open_until_, mu_)
   Clock::time_point breaker_open_until_{};
   LatencyHistogram attempt_latency_;  ///< per-attempt submit -> reply
 };

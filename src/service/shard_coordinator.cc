@@ -332,7 +332,7 @@ Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
   SanitizeStats sanitize_stats;
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (ctx.cancel != nullptr &&
-        ctx.cancel->load(std::memory_order_relaxed)) {
+        ctx.cancel->load(std::memory_order_acquire)) {
       return Status::DeadlineExceeded("shard cluster: merge abandoned");
     }
     std::vector<RankedPoi> answer = std::move(merged[i]);
@@ -350,7 +350,7 @@ Result<std::vector<uint8_t>> ShardedLspService::HandleQuery(
   info->sanitize_samples += sanitize_stats.samples_drawn;
   info->sanitize_tests += sanitize_stats.tests_run;
 
-  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed)) {
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_acquire)) {
     return Status::DeadlineExceeded("shard cluster: abandoned before selection");
   }
   PPGNN_RETURN_IF_ERROR(FailpointCheck("lsp.select"));

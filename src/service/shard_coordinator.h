@@ -152,6 +152,8 @@ class ShardedLspService {
   std::vector<std::unique_ptr<ReplicaSet>> sets_;
   std::vector<Rect> shard_mbrs_;
   std::vector<size_t> shard_sizes_;
+  // ppgnn: stat_counter(degraded_shards_, exact_despite_failures_)
+  // ppgnn: stat_counter(replica_failovers_, replica_hedge_wins_)
   std::atomic<uint64_t> degraded_shards_{0};
   std::atomic<uint64_t> exact_despite_failures_{0};
   std::atomic<uint64_t> replica_failovers_{0};
@@ -159,6 +161,7 @@ class ShardedLspService {
 
   std::mutex prober_mu_;
   std::condition_variable prober_cv_;
+  // ppgnn: guarded_by(prober_stop_, prober_mu_)
   bool prober_stop_ = false;
   std::thread prober_;
 

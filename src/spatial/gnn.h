@@ -47,6 +47,7 @@ class MbmGnnSolver : public GnnSolver {
 
   /// Nodes popped by the last Query (instrumentation for benchmarks;
   /// atomic so concurrent queries from a parallel LSP don't race).
+  // ppgnn: stat_counter(last_nodes_visited_)
   uint64_t last_nodes_visited() const {
     return last_nodes_visited_.load(std::memory_order_relaxed);
   }

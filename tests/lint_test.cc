@@ -36,17 +36,16 @@ size_t CountRule(const std::vector<Finding>& findings,
   return static_cast<size_t>(std::count(rules.begin(), rules.end(), rule));
 }
 
-TEST(LintMeta, FourRulesRegistered) {
+TEST(LintMeta, EightRulesRegistered) {
   const std::vector<std::string>& rules = RuleNames();
-  ASSERT_EQ(rules.size(), 4u);
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "unchecked-result"),
-            rules.end());
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "secret-flow"),
-            rules.end());
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "determinism"),
-            rules.end());
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "include-hygiene"),
-            rules.end());
+  ASSERT_EQ(rules.size(), 8u);
+  for (const char* name :
+       {"unchecked-result", "secret-flow", "determinism", "include-hygiene",
+        "guarded-by", "lock-order", "blocking-under-lock",
+        "atomics-discipline"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), name), rules.end())
+        << "missing rule: " << name;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +342,333 @@ TEST(IncludeHygiene, OwnHeaderFirstClean) {
 }
 
 // ---------------------------------------------------------------------------
+// guarded-by
+// ---------------------------------------------------------------------------
+
+TEST(GuardedBy, UnlockedAccessTrips) {
+  auto findings = LintOne("src/service/fixture.h",
+                          "// ppgnn: guarded_by(queue_, mu_)\n"
+                          "int queue_;\n"
+                          "std::mutex mu_;\n"
+                          "void F() {\n"
+                          "  queue_ = 1;\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "guarded-by"), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("`queue_`"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("without holding `mu_`"),
+            std::string::npos);
+}
+
+TEST(GuardedBy, RaiiScopedAccessClean) {
+  auto findings = LintOne("src/service/fixture.h",
+                          "// ppgnn: guarded_by(queue_, mu_)\n"
+                          "int queue_;\n"
+                          "std::mutex mu_;\n"
+                          "void F() {\n"
+                          "  std::lock_guard<std::mutex> lock(mu_);\n"
+                          "  queue_ = 1;\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(GuardedBy, RequiresTagGrantsTheLockInsideTheBody) {
+  auto findings = LintOne("src/service/fixture.h",
+                          "// ppgnn: guarded_by(queue_, mu_)\n"
+                          "int queue_;\n"
+                          "std::mutex mu_;\n"
+                          "// ppgnn: requires(mu_)\n"
+                          "void DrainLocked() {\n"
+                          "  queue_ = 1;\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(GuardedBy, RequiresCallWithoutLockTrips) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "// ppgnn: requires(mu_)\n"
+                          "void DrainLocked() {}\n"
+                          "void F() {\n"
+                          "  DrainLocked();\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "guarded-by"), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("requires(mu_)"), std::string::npos);
+}
+
+TEST(GuardedBy, ExcludesCallUnderTheLockTrips) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "// ppgnn: excludes(mu_)\n"
+                          "void Broadcast();\n"
+                          "std::mutex mu_;\n"
+                          "void F() {\n"
+                          "  std::lock_guard<std::mutex> lock(mu_);\n"
+                          "  Broadcast();\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "guarded-by"), 1u);
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("while holding `mu_`"),
+            std::string::npos);
+}
+
+TEST(GuardedBy, UnlockedAccessSuppressed) {
+  auto findings =
+      LintOne("src/service/fixture.h",
+              "// ppgnn: guarded_by(queue_, mu_)\n"
+              "int queue_;\n"
+              "void F() {\n"
+              "  // ppgnn-lint: allow(guarded-by): ctor has exclusive access\n"
+              "  queue_ = 1;\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(GuardedBy, CcInheritsOwnHeaderTags) {
+  // Tags written once at the declaration in the header govern the .cc.
+  std::vector<SourceFile> files = {
+      {"src/service/fixture.h",
+       "// ppgnn: guarded_by(queue_, mu_)\n"
+       "int queue_;\n"
+       "std::mutex mu_;\n"},
+      {"src/service/fixture.cc",
+       "#include \"service/fixture.h\"\n"
+       "void F() {\n"
+       "  queue_ = 1;\n"
+       "}\n"},
+  };
+  auto findings = RunLint(files);
+  ASSERT_EQ(CountRule(findings, "guarded-by"), 1u);
+  EXPECT_EQ(findings[0].file, "src/service/fixture.cc");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+TEST(LockOrder, TwoMutexCycleTrips) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "std::mutex mu2;\n"
+                          "void CycleA() {\n"
+                          "  std::lock_guard<std::mutex> a(mu);\n"
+                          "  std::lock_guard<std::mutex> b(mu2);\n"
+                          "}\n"
+                          "void CycleB() {\n"
+                          "  std::lock_guard<std::mutex> a(mu2);\n"
+                          "  std::lock_guard<std::mutex> b(mu);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "lock-order"), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[0].message,
+            "lock-order cycle: `mu` -> `mu2` (line 5) -> `mu` (line 9)");
+}
+
+TEST(LockOrder, ConsistentOrderClean) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "std::mutex mu2;\n"
+                          "void A() {\n"
+                          "  std::lock_guard<std::mutex> a(mu);\n"
+                          "  std::lock_guard<std::mutex> b(mu2);\n"
+                          "}\n"
+                          "void B() {\n"
+                          "  std::lock_guard<std::mutex> a(mu);\n"
+                          "  std::lock_guard<std::mutex> b(mu2);\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(LockOrder, CycleSuppressed) {
+  auto findings =
+      LintOne("src/service/fixture.cc",
+              "std::mutex mu;\n"
+              "std::mutex mu2;\n"
+              "void CycleA() {\n"
+              "  std::lock_guard<std::mutex> a(mu);\n"
+              "  // ppgnn-lint: allow(lock-order): both paths trylock-fenced\n"
+              "  std::lock_guard<std::mutex> b(mu2);\n"
+              "}\n"
+              "void CycleB() {\n"
+              "  std::lock_guard<std::mutex> a(mu2);\n"
+              "  std::lock_guard<std::mutex> b(mu);\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(LockOrder, DiagnosticIsDeterministicAcrossRuns) {
+  const std::vector<SourceFile> files = {
+      {"src/service/fixture.cc",
+       "std::mutex a;\nstd::mutex b;\nstd::mutex c;\n"
+       "void F() {\n"
+       "  std::lock_guard<std::mutex> l1(a);\n"
+       "  std::lock_guard<std::mutex> l2(b);\n"
+       "  std::lock_guard<std::mutex> l3(c);\n"
+       "}\n"
+       "void G() {\n"
+       "  std::lock_guard<std::mutex> l1(c);\n"
+       "  std::lock_guard<std::mutex> l2(a);\n"
+       "}\n"},
+  };
+  const std::string first = FormatReport(RunLint(files), files.size());
+  const std::string second = FormatReport(RunLint(files), files.size());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("lock-order cycle: `a`"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// blocking-under-lock
+// ---------------------------------------------------------------------------
+
+TEST(BlockingUnderLock, EncryptUnderLockTrips) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F() {\n"
+                          "  std::lock_guard<std::mutex> lock(mu);\n"
+                          "  auto c = Encrypt(5);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "blocking-under-lock"), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("`Encrypt`"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("holding `mu`"), std::string::npos);
+}
+
+TEST(BlockingUnderLock, EncryptOutsideTheCriticalSectionClean) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F() {\n"
+                          "  auto c = Encrypt(5);\n"
+                          "  std::lock_guard<std::mutex> lock(mu);\n"
+                          "  Store(c);\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(BlockingUnderLock, ManualUnlockEndsTheHeldScope) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F() {\n"
+                          "  std::unique_lock<std::mutex> lk(mu);\n"
+                          "  lk.unlock();\n"
+                          "  auto c = Encrypt(5);\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(BlockingUnderLock, CvWaitOnSoleHeldLockClean) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F() {\n"
+                          "  std::unique_lock<std::mutex> lk(mu);\n"
+                          "  cv.wait(lk);\n"
+                          "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(BlockingUnderLock, CvWaitWithSecondLockHeldTrips) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::mutex mu;\n"
+                          "std::mutex mu2;\n"
+                          "void F() {\n"
+                          "  std::lock_guard<std::mutex> g(mu2);\n"
+                          "  std::unique_lock<std::mutex> lk(mu);\n"
+                          "  cv.wait(lk);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "blocking-under-lock"), 1u);
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("condition-variable"),
+            std::string::npos);
+}
+
+TEST(BlockingUnderLock, EncryptUnderLockSuppressed) {
+  auto findings = LintOne(
+      "src/service/fixture.cc",
+      "std::mutex mu;\n"
+      "void F() {\n"
+      "  std::lock_guard<std::mutex> lock(mu);\n"
+      "  // ppgnn-lint: allow(blocking-under-lock): init path, no waiters\n"
+      "  auto c = Encrypt(5);\n"
+      "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// atomics-discipline
+// ---------------------------------------------------------------------------
+
+TEST(AtomicsDiscipline, UntaggedRelaxedTrips) {
+  auto findings = LintOne("src/service/fixture.cc",
+                          "std::atomic<bool> stop_;\n"
+                          "bool F() {\n"
+                          "  return stop_.load(std::memory_order_relaxed);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "atomics-discipline"), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("memory_order_relaxed"),
+            std::string::npos);
+}
+
+TEST(AtomicsDiscipline, TaggedStatCounterClean) {
+  auto findings =
+      LintOne("src/service/fixture.cc",
+              "// ppgnn: stat_counter(hits_)\n"
+              "std::atomic<uint64_t> hits_;\n"
+              "void F() {\n"
+              "  hits_.fetch_add(1, std::memory_order_relaxed);\n"
+              "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(AtomicsDiscipline, UntaggedRelaxedSuppressed) {
+  auto findings = LintOne(
+      "src/service/fixture.cc",
+      "std::atomic<bool> armed_;\n"
+      "bool F() {\n"
+      "  // ppgnn-lint: allow(atomics-discipline): racy gate, recheck locked\n"
+      "  return armed_.load(std::memory_order_relaxed);\n"
+      "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// rule filtering and stats
+// ---------------------------------------------------------------------------
+
+TEST(RuleFilter, EnabledSetRestrictsReportedRules) {
+  // One file tripping two different rules; filtering keeps exactly one.
+  std::vector<SourceFile> files = {
+      {"src/core/fixture.cc",
+       "std::atomic<int> x;\n"
+       "int F() {\n"
+       "  auto r = Parse();\n"
+       "  return r.value() + x.load(std::memory_order_relaxed);\n"
+       "}\n"},
+  };
+  ASSERT_EQ(RunLint(files).size(), 2u);
+  LintStats stats;
+  auto findings = RunLint(files, {"atomics-discipline"}, &stats);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "atomics-discipline");
+  EXPECT_EQ(stats.files_scanned, 1u);
+  EXPECT_EQ(stats.per_rule.at("atomics-discipline"), 1u);
+}
+
+TEST(RuleFilter, StatsCountSuppressions) {
+  std::vector<SourceFile> files = {
+      {"src/core/fixture.cc",
+       "int F() {\n"
+       "  auto r = Parse();\n"
+       "  // ppgnn-lint: allow(unchecked-result): fixture proven ok\n"
+       "  return r.value();\n"
+       "}\n"},
+  };
+  LintStats stats;
+  auto findings = RunLint(files, {}, &stats);
+  EXPECT_EQ(findings.size(), 0u);
+  EXPECT_EQ(stats.suppressions_used, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // suppression policy (meta rule)
 // ---------------------------------------------------------------------------
 
@@ -395,6 +721,53 @@ TEST(Report, ByteIdenticalAcrossRuns) {
   EXPECT_NE(first.find("unchecked-result"), std::string::npos);
   EXPECT_NE(first.find("determinism"), std::string::npos);
   EXPECT_NE(first.find("3 files scanned"), std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(Report, ConcurrencyDiagnosticsByteIdenticalAcrossRuns) {
+  // Same contract as ByteIdenticalAcrossRuns, but the fixture tree trips
+  // the four concurrency rules; the lock-order cycle diagnostic (a graph
+  // walk) is the one most at risk of nondeterminism.
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "ppgnn_lint_conc";
+  fs::remove_all(root);
+  ASSERT_TRUE(fs::create_directories(root));
+  {
+    std::ofstream(root / "cycle.cc")
+        << "std::mutex mu;\nstd::mutex mu2;\n"
+        << "void A() {\n"
+        << "  std::lock_guard<std::mutex> a(mu);\n"
+        << "  std::lock_guard<std::mutex> b(mu2);\n"
+        << "}\n"
+        << "void B() {\n"
+        << "  std::lock_guard<std::mutex> a(mu2);\n"
+        << "  std::lock_guard<std::mutex> b(mu);\n"
+        << "}\n";
+    std::ofstream(root / "guarded.h")
+        << "// ppgnn: guarded_by(queue_, mu_)\nint queue_;\n"
+        << "void F() { queue_ = 1; }\n";
+    std::ofstream(root / "blocking.cc")
+        << "std::mutex mu;\n"
+        << "void F() {\n"
+        << "  std::lock_guard<std::mutex> lock(mu);\n"
+        << "  auto c = Encrypt(5);\n"
+        << "  (void)c.load(std::memory_order_relaxed);\n"
+        << "}\n";
+  }
+
+  auto run = [&]() {
+    std::string error;
+    std::vector<SourceFile> files = LoadTree({root.string()}, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    return FormatReport(RunLint(files), files.size());
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("lock-order cycle: `mu` -> `mu2`"), std::string::npos);
+  EXPECT_NE(first.find("guarded-by"), std::string::npos);
+  EXPECT_NE(first.find("blocking-under-lock"), std::string::npos);
+  EXPECT_NE(first.find("atomics-discipline"), std::string::npos);
   fs::remove_all(root);
 }
 

@@ -108,11 +108,15 @@ std::vector<Suppression> ParseSuppressions(
     const std::vector<std::string>& known = RuleNames();
     for (const std::string& r : s.rules) {
       if (std::find(known.begin(), known.end(), r) == known.end()) {
+        std::string known_list;
+        for (const std::string& k : known) {
+          if (!known_list.empty()) known_list += ", ";
+          known_list += k;
+        }
         meta->push_back(Finding{
             file.path, t.line, "suppression",
             "suppression names unknown rule `" + r + "`",
-            "known rules: unchecked-result, secret-flow, determinism, "
-            "include-hygiene"});
+            "known rules: " + known_list});
       }
     }
     if (s.justification.empty()) {
@@ -178,7 +182,9 @@ void CollectStatusFunctions(const std::vector<Token>& toks,
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "unchecked-result", "secret-flow", "determinism", "include-hygiene"};
+      "unchecked-result", "secret-flow",         "determinism",
+      "include-hygiene",  "guarded-by",          "lock-order",
+      "blocking-under-lock", "atomics-discipline"};
   return kRules;
 }
 
@@ -186,13 +192,18 @@ ProjectIndex BuildIndex(const std::vector<SourceFile>& files) {
   ProjectIndex index;
   for (const SourceFile& f : files) {
     index.all_paths.insert(f.path);
-    CollectStatusFunctions(Lex(f.content), &index.status_functions);
+    std::vector<Token> toks = Lex(f.content);
+    CollectStatusFunctions(toks, &index.status_functions);
+    ConcurrencyTags tags = ParseConcurrencyTags(toks, SplitLines(f.content));
+    if (!tags.empty()) index.concurrency_tags[f.path] = std::move(tags);
   }
   return index;
 }
 
 std::vector<Finding> AnalyzeFile(const SourceFile& file,
-                                 const ProjectIndex& index) {
+                                 const ProjectIndex& index,
+                                 const std::set<std::string>& enabled,
+                                 LintStats* stats) {
   FileContext ctx;
   ctx.file = &file;
   ctx.index = &index;
@@ -208,9 +219,16 @@ std::vector<Finding> AnalyzeFile(const SourceFile& file,
   CheckSecretFlow(ctx, &raw);
   CheckDeterminism(ctx, &raw);
   CheckIncludeHygiene(ctx, &raw);
+  CheckGuardedBy(ctx, &raw);
+  CheckLockOrder(ctx, &raw);
+  CheckBlockingUnderLock(ctx, &raw);
+  CheckAtomicsDiscipline(ctx, &raw);
 
   std::vector<Finding> out = std::move(meta);  // never suppressible
   for (Finding& f : raw) {
+    // Rule filtering happens before suppression so --rules=... and --stats
+    // only report (and count allows for) the rules actually in play.
+    if (!enabled.empty() && enabled.count(f.rule) == 0) continue;
     bool suppressed = false;
     for (const Suppression& s : allows) {
       if (std::find(s.rules.begin(), s.rules.end(), f.rule) == s.rules.end())
@@ -220,22 +238,41 @@ std::vector<Finding> AnalyzeFile(const SourceFile& file,
         break;
       }
     }
-    if (!suppressed) out.push_back(std::move(f));
+    if (suppressed) {
+      if (stats != nullptr) ++stats->suppressions_used;
+    } else {
+      out.push_back(std::move(f));
+    }
+  }
+  if (stats != nullptr) {
+    for (const Finding& f : out) ++stats->per_rule[f.rule];
   }
   return out;
 }
 
-std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
+std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index) {
+  return AnalyzeFile(file, index, {}, nullptr);
+}
+
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
+                             const std::set<std::string>& enabled,
+                             LintStats* stats) {
   ProjectIndex index = BuildIndex(files);
   std::vector<Finding> findings;
   for (const SourceFile& f : files) {
-    std::vector<Finding> file_findings = AnalyzeFile(f, index);
+    std::vector<Finding> file_findings = AnalyzeFile(f, index, enabled, stats);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+  if (stats != nullptr) stats->files_scanned = files.size();
   std::sort(findings.begin(), findings.end());
   return findings;
+}
+
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files) {
+  return RunLint(files, {}, nullptr);
 }
 
 std::vector<SourceFile> LoadTree(const std::vector<std::string>& roots,

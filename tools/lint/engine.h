@@ -20,7 +20,30 @@
 //                     schedules replay bit-identically.
 //   include-hygiene   each src/**.cc includes its own header first, and no
 //                     layer includes a higher layer (bigint never sees
-//                     service/).
+//                     service/); inside src/service/ a second ranked table
+//                     orders the service files themselves.
+//   guarded-by        members tagged `// ppgnn: guarded_by(member, mu)` may
+//                     only be touched inside a recognized lock_guard /
+//                     unique_lock / scoped_lock scope over `mu`, or inside
+//                     a function tagged `// ppgnn: requires(mu)`; calling a
+//                     requires-tagged function without the mutex, or an
+//                     `excludes(mu)`-tagged function while holding it, is
+//                     also a violation.
+//   lock-order        the acquisition graph (nested RAII scopes plus
+//                     requires edges, nodes qualified per file) must be
+//                     acyclic; any cycle is reported with every witness
+//                     edge's line.
+//   blocking-under-lock  no Encrypt*/Pow*/Exp*/Refill* calls, sleeps,
+//                     stream/log sinks, or condition-variable waits (other
+//                     than on the single held lock's own RAII variable)
+//                     inside a held-lock scope.
+//   atomics-discipline  memory_order_relaxed only on identifiers tagged
+//                     `// ppgnn: stat_counter(...)` — never on
+//                     control-flow-feeding state such as cancel flags.
+//
+// A `.cc` file inherits the concurrency tags of its own header
+// (src/d/x.cc reads src/d/x.h), so members can be annotated once at
+// their declaration.
 //
 // Suppression: `// ppgnn-lint: allow(rule): justification` on the finding
 // line, or alone on the line directly above it. The justification is
@@ -29,6 +52,8 @@
 #ifndef PPGNN_TOOLS_LINT_ENGINE_H_
 #define PPGNN_TOOLS_LINT_ENGINE_H_
 
+#include <cstddef>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -63,6 +88,28 @@ struct SourceFile {
   std::string content;
 };
 
+/// The file-local concurrency annotations of one file, parsed from
+/// `// ppgnn: guarded_by(...)` / `requires(...)` / `excludes(...)` /
+/// `stat_counter(...)` tag comments (the tag must open the comment).
+struct ConcurrencyTags {
+  /// member identifier -> name of the mutex that must be held.
+  std::map<std::string, std::string> guarded;
+  /// Identifiers sanctioned for memory_order_relaxed (stats only).
+  std::set<std::string> stat_counters;
+  /// function name -> mutexes its body assumes held (callers must hold).
+  std::map<std::string, std::set<std::string>> requires_fns;
+  /// function name -> mutexes that must NOT be held across a call to it.
+  std::map<std::string, std::set<std::string>> excludes_fns;
+  /// Lines carrying a guarded_by tag (plus the next line when the tag
+  /// stands alone): the declaration site itself is exempt.
+  std::set<int> declaration_lines;
+
+  bool empty() const {
+    return guarded.empty() && stat_counters.empty() && requires_fns.empty() &&
+           excludes_fns.empty();
+  }
+};
+
 /// Cross-file facts gathered in a first pass over the whole file set.
 struct ProjectIndex {
   /// Names of functions declared to return Status or Result<T> anywhere
@@ -70,6 +117,19 @@ struct ProjectIndex {
   std::set<std::string> status_functions;
   /// Every path in the file set (for own-header existence checks).
   std::set<std::string> all_paths;
+  /// Per-path concurrency annotations; a `.cc` merges its own header's
+  /// entry on top of its own (declare once, enforce everywhere).
+  std::map<std::string, ConcurrencyTags> concurrency_tags;
+};
+
+/// Rule-level counters for the `--stats` report. Deterministic.
+struct LintStats {
+  std::size_t files_scanned = 0;
+  /// Findings silenced by a justified allow comment.
+  std::size_t suppressions_used = 0;
+  /// Unsuppressed findings per rule (includes the meta rule
+  /// "suppression" when it fired).
+  std::map<std::string, std::size_t> per_rule;
 };
 
 /// First pass: collect the project facts the per-file rules need.
@@ -80,9 +140,22 @@ ProjectIndex BuildIndex(const std::vector<SourceFile>& files);
 std::vector<Finding> AnalyzeFile(const SourceFile& file,
                                  const ProjectIndex& index);
 
+/// As above, restricted to the rules named in `enabled` (empty = all).
+/// The meta rule "suppression" is never filtered out. When `stats` is
+/// non-null, suppression usage is accumulated into it.
+std::vector<Finding> AnalyzeFile(const SourceFile& file,
+                                 const ProjectIndex& index,
+                                 const std::set<std::string>& enabled,
+                                 LintStats* stats);
+
 /// Index + analyze + sort over a whole file set. Deterministic: the same
 /// files yield the same findings in the same order, always.
 std::vector<Finding> RunLint(const std::vector<SourceFile>& files);
+
+/// As above with rule filtering (empty = all) and optional stats output.
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
+                             const std::set<std::string>& enabled,
+                             LintStats* stats);
 
 /// Reads every C++ source file (.h/.hh/.hpp/.cc/.cpp) under the given
 /// root directories, sorted by path. Paths are recorded as given + the

@@ -1,15 +1,22 @@
 // ppgnn_lint: the project-invariant static analyzer.
 //
-//   ppgnn_lint [--list-rules] [dir...]
+//   ppgnn_lint [--list-rules] [--rules=a,b,...] [--stats] [dir...]
 //
 // Walks the given directories (default: src tools bench, relative to the
 // working directory — the `lint` CMake target runs from the repo root),
-// analyzes every C++ source file, and prints findings. Exit status:
+// analyzes every C++ source file, and prints findings.
+//   --rules=a,b  run only the named rules (the meta rule "suppression"
+//                always runs); unknown names are a usage error.
+//   --stats      append per-rule finding counts, files scanned, and the
+//                number of justified suppressions used.
+// Exit status:
 //   0  clean
 //   1  unsuppressed findings
 //   2  usage or I/O error
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,6 +24,8 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::set<std::string> enabled;
+  bool want_stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -26,8 +35,37 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: ppgnn_lint [--list-rules] [dir...]\n");
+      std::printf(
+          "usage: ppgnn_lint [--list-rules] [--rules=a,b,...] [--stats] "
+          "[dir...]\n");
       return 0;
+    }
+    if (arg == "--stats") {
+      want_stats = true;
+      continue;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      const std::vector<std::string>& known = ppgnn::lint::RuleNames();
+      std::string name;
+      for (size_t c = 8; c <= arg.size(); ++c) {
+        if (c < arg.size() && arg[c] != ',') {
+          name.push_back(arg[c]);
+          continue;
+        }
+        if (name.empty()) continue;
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+          std::fprintf(stderr, "ppgnn_lint: unknown rule `%s`\n",
+                       name.c_str());
+          return 2;
+        }
+        enabled.insert(name);
+        name.clear();
+      }
+      if (enabled.empty()) {
+        std::fprintf(stderr, "ppgnn_lint: --rules= names no rule\n");
+        return 2;
+      }
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ppgnn_lint: unknown flag %s\n", arg.c_str());
@@ -45,8 +83,32 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<ppgnn::lint::Finding> findings = ppgnn::lint::RunLint(files);
+  ppgnn::lint::LintStats stats;
+  std::vector<ppgnn::lint::Finding> findings =
+      ppgnn::lint::RunLint(files, enabled, &stats);
   std::string report = ppgnn::lint::FormatReport(findings, files.size());
   std::fputs(report.c_str(), stdout);
+  if (want_stats) {
+    std::printf("rules run: %s\n",
+                enabled.empty() ? "all" : [&] {
+                  std::string s;
+                  for (const std::string& r : enabled) {
+                    if (!s.empty()) s += ",";
+                    s += r;
+                  }
+                  return s;
+                }().c_str());
+    for (const std::string& rule : ppgnn::lint::RuleNames()) {
+      if (!enabled.empty() && enabled.count(rule) == 0) continue;
+      auto it = stats.per_rule.find(rule);
+      std::printf("  %-22s %zu\n", rule.c_str(),
+                  it == stats.per_rule.end() ? size_t{0} : it->second);
+    }
+    auto meta = stats.per_rule.find("suppression");
+    if (meta != stats.per_rule.end()) {
+      std::printf("  %-22s %zu\n", "suppression", meta->second);
+    }
+    std::printf("suppressions used: %zu\n", stats.suppressions_used);
+  }
   return findings.empty() ? 0 : 1;
 }

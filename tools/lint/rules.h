@@ -5,6 +5,7 @@
 #ifndef PPGNN_TOOLS_LINT_RULES_H_
 #define PPGNN_TOOLS_LINT_RULES_H_
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,11 +29,25 @@ const std::string& ContextLine(const FileContext& ctx, int line);
 /// True if `line` contains `ident` delimited by non-identifier characters.
 bool LineContainsIdent(const std::string& line, const std::string& ident);
 
-// The four rules. Each appends to `out`.
+/// Parses the file's `// ppgnn: guarded_by/requires/excludes/stat_counter`
+/// tag comments. Called once per file by BuildIndex; the result lands in
+/// ProjectIndex::concurrency_tags so a .cc can inherit its header's tags.
+ConcurrencyTags ParseConcurrencyTags(const std::vector<Token>& tokens,
+                                     const std::vector<std::string>& lines);
+
+/// The file's effective tags: its own entry merged with its own header's
+/// (declaration_lines stay file-local — they exempt declaration sites).
+ConcurrencyTags EffectiveConcurrencyTags(const FileContext& ctx);
+
+// The rules. Each appends to `out`.
 void CheckUncheckedResult(const FileContext& ctx, std::vector<Finding>* out);
 void CheckSecretFlow(const FileContext& ctx, std::vector<Finding>* out);
 void CheckDeterminism(const FileContext& ctx, std::vector<Finding>* out);
 void CheckIncludeHygiene(const FileContext& ctx, std::vector<Finding>* out);
+void CheckGuardedBy(const FileContext& ctx, std::vector<Finding>* out);
+void CheckLockOrder(const FileContext& ctx, std::vector<Finding>* out);
+void CheckBlockingUnderLock(const FileContext& ctx, std::vector<Finding>* out);
+void CheckAtomicsDiscipline(const FileContext& ctx, std::vector<Finding>* out);
 
 }  // namespace lint
 }  // namespace ppgnn
