@@ -33,6 +33,19 @@
 //     every answer exact.
 // Extra knob: PPGNN_BENCH_REPLICAS  replication factor for the
 // kill-primary phase (default 2). Shares the overload knobs above.
+//
+// TCP smoke (`bench_service_throughput --transport=tcp`): the loopback
+// transport acceptance gate. An S=4, R=2 coordinator dials a
+// LoopbackShardFleet and serves the same queries as an all-in-process
+// cluster, healthy and then under a seeded ChaosProxy storm (replica 0
+// of every shard behind RST/truncation/split-write schedules). The
+// process exits nonzero on ANY answer that differs from the in-process
+// frame, on any error frame, or if the storm injected no faults; it
+// also reports the loopback-vs-in-process latency overhead that feeds
+// the EXPERIMENTS.md table. Extra knobs:
+//   PPGNN_BENCH_TCP_QUERIES  queries per phase (default 24)
+//   PPGNN_CHAOS_SEED         storm schedule seed (default 0x57011),
+//                            shared with chaos_test's seed matrix
 
 #include <atomic>
 #include <condition_variable>
@@ -634,13 +647,224 @@ int RunClusterMode() {
              : 1;
 }
 
+// --- TCP transport smoke ---
+
+struct TcpPhase {
+  uint64_t queries = 0;
+  uint64_t diffs = 0;    // TCP frame != in-process frame — the hard gate
+  uint64_t errors = 0;   // error frames (either side)
+  double mean_inproc_ms = 0;
+  double mean_tcp_ms = 0;
+};
+
+/// Serves the pool round-robin through both clusters, comparing frames
+/// byte for byte and timing each side.
+TcpPhase DriveTcpPhase(ShardedLspService& tcp_cluster,
+                       ShardedLspService& reference,
+                       const std::vector<ServiceRequest>& pool,
+                       uint64_t queries) {
+  TcpPhase phase;
+  phase.queries = queries;
+  double inproc_seconds = 0, tcp_seconds = 0;
+  for (uint64_t i = 0; i < queries; ++i) {
+    ServiceRequest for_reference = pool[i % pool.size()];
+    ServiceRequest for_tcp = pool[i % pool.size()];
+
+    auto t0 = std::chrono::steady_clock::now();
+    const std::vector<uint8_t> expected =
+        reference.Call(std::move(for_reference));
+    auto t1 = std::chrono::steady_clock::now();
+    const std::vector<uint8_t> got = tcp_cluster.Call(std::move(for_tcp));
+    auto t2 = std::chrono::steady_clock::now();
+    inproc_seconds += std::chrono::duration<double>(t1 - t0).count();
+    tcp_seconds += std::chrono::duration<double>(t2 - t1).count();
+
+    auto expected_frame = ResponseFrame::Decode(expected);
+    auto got_frame = ResponseFrame::Decode(got);
+    if (!expected_frame.ok() || expected_frame->is_error || !got_frame.ok() ||
+        got_frame->is_error) {
+      ++phase.errors;
+    }
+    if (got != expected) ++phase.diffs;
+  }
+  phase.mean_inproc_ms = 1e3 * inproc_seconds / static_cast<double>(queries);
+  phase.mean_tcp_ms = 1e3 * tcp_seconds / static_cast<double>(queries);
+  return phase;
+}
+
+int RunTcpMode() {
+  BenchConfig config;
+  config.key_bits = EnvInt("PPGNN_BENCH_KEYBITS", 256);
+  config.db_size = static_cast<size_t>(EnvInt("PPGNN_BENCH_DB", 10000));
+  const int workers = EnvInt("PPGNN_BENCH_WORKERS", 4);
+  const uint64_t queries =
+      static_cast<uint64_t>(EnvInt("PPGNN_BENCH_TCP_QUERIES", 24));
+  const uint64_t chaos_seed =
+      static_cast<uint64_t>(EnvInt("PPGNN_CHAOS_SEED", 0x57011));
+
+  std::printf("==== Loopback TCP transport smoke (S=4, R=2) ====\n");
+  std::printf("(|D|=%zu, key_bits=%d, %d workers, %llu queries per phase, "
+              "chaos seed %llu)\n",
+              config.db_size, config.key_bits, workers,
+              static_cast<unsigned long long>(queries),
+              static_cast<unsigned long long>(chaos_seed));
+
+  std::vector<Poi> pois = GenerateSequoiaLike(config.db_size, config.seed);
+  Rng key_rng(config.seed + 1);
+  KeyPair keys = ValueOrDie(GenerateKeyPair(config.key_bits, key_rng));
+
+  ProtocolParams params;
+  params.n = 3;
+  params.d = 4;
+  params.delta = 8;
+  params.k = 3;
+  params.key_bits = config.key_bits;
+  params.sanitize = false;
+
+  std::vector<ServiceRequest> pool;
+  {
+    Rng rng(config.seed + 77);
+    for (int i = 0; i < 16; ++i) {
+      auto group = bench::RandomGroup(params.n, rng);
+      pool.push_back(ValueOrDie(
+          BuildServiceRequest(Variant::kPpgnn, params, group, keys, rng)));
+    }
+  }
+
+  auto cluster_config = [&] {
+    ShardClusterConfig cc;
+    cc.shards = 4;
+    cc.replicas = 2;
+    cc.front.workers = workers;
+    cc.front.queue_capacity = 64;
+    cc.front.sanitize = false;
+    cc.shard.workers = workers;
+    cc.link_policy.seed = config.seed ^ 0x5a4dull;
+    return cc;
+  };
+
+  std::printf("%-8s %-8s %-6s %-7s %-14s %-10s %-9s\n", "phase", "queries",
+              "diffs", "errors", "inproc_ms", "tcp_ms", "overhead");
+  uint64_t total_diffs = 0, total_errors = 0, storm_faults = 0;
+
+  // Healthy phase: clean loopback sockets.
+  {
+    LoopbackFleetConfig fleet_config;
+    fleet_config.shards = 4;
+    fleet_config.replicas = 2;
+    fleet_config.shard_service.workers = workers;
+    LoopbackShardFleet fleet(pois, fleet_config);
+    Status started = fleet.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "fleet: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    ShardClusterConfig tcp_config = cluster_config();
+    tcp_config.link_factory = fleet.LinkFactory();
+    ShardedLspService tcp_cluster(pois, std::move(tcp_config));
+    ShardedLspService reference(pois, cluster_config());
+
+    TcpPhase phase = DriveTcpPhase(tcp_cluster, reference, pool, queries);
+    total_diffs += phase.diffs;
+    total_errors += phase.errors;
+    std::printf("%-8s %-8llu %-6llu %-7llu %-14.2f %-10.2f %.2fx\n",
+                "healthy", static_cast<unsigned long long>(phase.queries),
+                static_cast<unsigned long long>(phase.diffs),
+                static_cast<unsigned long long>(phase.errors),
+                phase.mean_inproc_ms, phase.mean_tcp_ms,
+                phase.mean_inproc_ms > 0
+                    ? phase.mean_tcp_ms / phase.mean_inproc_ms
+                    : 0.0);
+    if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+      if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+        std::fprintf(f, "tcp_smoke,healthy,%llu,%llu,%.3f,%.3f\n",
+                     static_cast<unsigned long long>(phase.diffs),
+                     static_cast<unsigned long long>(phase.errors),
+                     phase.mean_inproc_ms, phase.mean_tcp_ms);
+        std::fclose(f);
+      }
+    }
+    tcp_cluster.Shutdown();
+    reference.Shutdown();
+    fleet.Shutdown(5.0);
+  }
+
+  // Storm phase: replica 0 of every shard behind a seeded ChaosProxy.
+  {
+    LoopbackFleetConfig fleet_config;
+    fleet_config.shards = 4;
+    fleet_config.replicas = 2;
+    fleet_config.shard_service.workers = workers;
+    fleet_config.proxied = [](int, int replica) { return replica == 0; };
+    fleet_config.chaos_rules = {
+        ValueOrDie(ParseChaosRule("rst after=150 every=2")),
+        ValueOrDie(ParseChaosRule("drop after=60 every=3 skip=1")),
+        ValueOrDie(ParseChaosRule("split=7 every=1")),
+    };
+    fleet_config.chaos_seed = chaos_seed;
+    fleet_config.link.io_timeout_seconds = 2.0;
+    LoopbackShardFleet fleet(pois, fleet_config);
+    Status started = fleet.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "fleet: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    ShardClusterConfig tcp_config = cluster_config();
+    tcp_config.link_factory = fleet.LinkFactory();
+    ShardedLspService tcp_cluster(pois, std::move(tcp_config));
+    ShardedLspService reference(pois, cluster_config());
+
+    TcpPhase phase = DriveTcpPhase(tcp_cluster, reference, pool, queries);
+    total_diffs += phase.diffs;
+    total_errors += phase.errors;
+    for (int s = 0; s < fleet.shards(); ++s) {
+      const ChaosProxyStats stats = fleet.proxy(s, 0)->Stats();
+      storm_faults += stats.rsts + stats.drops + stats.splits;
+    }
+    std::printf("%-8s %-8llu %-6llu %-7llu %-14.2f %-10.2f %.2fx\n", "storm",
+                static_cast<unsigned long long>(phase.queries),
+                static_cast<unsigned long long>(phase.diffs),
+                static_cast<unsigned long long>(phase.errors),
+                phase.mean_inproc_ms, phase.mean_tcp_ms,
+                phase.mean_inproc_ms > 0
+                    ? phase.mean_tcp_ms / phase.mean_inproc_ms
+                    : 0.0);
+    if (const char* csv = std::getenv("PPGNN_BENCH_CSV"); csv != nullptr) {
+      if (std::FILE* f = std::fopen(csv, "a"); f != nullptr) {
+        std::fprintf(f, "tcp_smoke,storm,%llu,%llu,%.3f,%.3f\n",
+                     static_cast<unsigned long long>(phase.diffs),
+                     static_cast<unsigned long long>(phase.errors),
+                     phase.mean_inproc_ms, phase.mean_tcp_ms);
+        std::fclose(f);
+      }
+    }
+    tcp_cluster.Shutdown();
+    reference.Shutdown();
+    fleet.Shutdown(5.0);
+  }
+
+  std::printf("byte diffs: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(total_diffs),
+              total_diffs == 0 ? "PASS" : "FAIL");
+  std::printf("error frames: %llu (acceptance: 0) %s\n",
+              static_cast<unsigned long long>(total_errors),
+              total_errors == 0 ? "PASS" : "FAIL");
+  std::printf("storm faults injected: %llu (acceptance: > 0) %s\n",
+              static_cast<unsigned long long>(storm_faults),
+              storm_faults > 0 ? "PASS" : "FAIL");
+  return (total_diffs == 0 && total_errors == 0 && storm_faults > 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--overload") == 0) return RunOverloadMode();
     if (std::strcmp(argv[i], "--cluster") == 0) return RunClusterMode();
-    std::fprintf(stderr, "unknown flag: %s (try --overload or --cluster)\n",
+    if (std::strcmp(argv[i], "--transport=tcp") == 0) return RunTcpMode();
+    std::fprintf(stderr,
+                 "unknown flag: %s (try --overload, --cluster, or "
+                 "--transport=tcp)\n",
                  argv[i]);
     return 2;
   }

@@ -36,11 +36,20 @@ struct CostReport {
   uint64_t bytes_user_to_lsp = 0;
   uint64_t bytes_lsp_to_user = 0;
   uint64_t bytes_user_to_user = 0;
+  /// Actual on-the-socket byte counts (transport header included) for
+  /// traffic that crossed a real link. Zero for purely in-process runs —
+  /// the logical fields above are then the whole story. Framed >= the
+  /// logical bytes of the same sends, by construction.
+  uint64_t framed_bytes_user_to_lsp = 0;
+  uint64_t framed_bytes_lsp_to_user = 0;
   double user_seconds = 0.0;
   double lsp_seconds = 0.0;
 
   uint64_t TotalCommBytes() const {
     return bytes_user_to_lsp + bytes_lsp_to_user + bytes_user_to_user;
+  }
+  uint64_t TotalFramedBytes() const {
+    return framed_bytes_user_to_lsp + framed_bytes_lsp_to_user;
   }
 
   CostReport& operator+=(const CostReport& o);
@@ -53,6 +62,11 @@ struct CostReport {
 class CostTracker {
  public:
   void RecordSend(Link link, uint64_t bytes);
+  /// A send that crossed a real socket: `bytes` is the logical payload
+  /// (recorded exactly like RecordSend), `framed_bytes` what the wire
+  /// actually carried — payload plus transport framing. Keeps the
+  /// paper's Section 8.1 communication metric honest about overhead.
+  void RecordFramedSend(Link link, uint64_t bytes, uint64_t framed_bytes);
   void RecordCompute(Party party, double seconds);
 
   const CostReport& report() const { return report_; }

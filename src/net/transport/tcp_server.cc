@@ -1,0 +1,187 @@
+#include "net/transport/tcp_server.h"
+
+#include <sys/socket.h>
+
+#include <sstream>
+#include <utility>
+
+#include "core/wire.h"
+#include "net/transport/frame.h"
+
+namespace ppgnn {
+
+std::string TcpServerStats::ToString() const {
+  std::ostringstream os;
+  os << "tcp_server: accepted=" << connections_accepted
+     << " closed=" << connections_closed << " served=" << frames_served
+     << " malformed=" << malformed_envelopes
+     << " fatal_framing=" << fatal_framing
+     << " stalled=" << stalled_connections
+     << " resynced_bytes=" << resynced_bytes
+     << " send_failures=" << send_failures;
+  return os.str();
+}
+
+TcpShardServer::TcpShardServer(LspService& service, TcpServerConfig config)
+    : service_(service), config_(config) {}
+
+TcpShardServer::~TcpShardServer() { Shutdown(); }
+
+Status TcpShardServer::Start() {
+  PPGNN_ASSIGN_OR_RETURN(listen_fd_, TcpListen(config_.port));
+  PPGNN_ASSIGN_OR_RETURN(port_, ListenPort(listen_fd_.get()));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpShardServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<OwnedFd> conn_fd = TcpAccept(listen_fd_.get(), config_.tick_seconds);
+    if (!conn_fd.ok()) continue;  // tick (deadline) or transient accept error
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(conn_fd).value();
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;  // raced Shutdown; drop the connection
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void TcpShardServer::ServeConnection(Connection* conn) {
+  FrameReader reader;
+  std::vector<uint8_t> chunk(64 * 1024);
+  auto last_progress = SocketClock::now();
+  const auto stall_budget = std::chrono::duration_cast<SocketClock::duration>(
+      std::chrono::duration<double>(config_.read_timeout_seconds));
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    TransportFrame frame;
+    const auto pr = reader.Poll(&frame);
+    if (pr == FrameReader::PollResult::kFatal) {
+      fatal_framing_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (pr == FrameReader::PollResult::kFrame) {
+      if (frame.type == FrameType::kRequest) {
+        if (!HandleRequestFrame(conn, frame.payload)) break;
+      }
+      // A kResponse from a client is nonsense; drop it and read on.
+      last_progress = SocketClock::now();
+      continue;
+    }
+
+    // kNeedMore: read with a tick deadline so stop_ stays responsive.
+    const auto tick = SocketClock::now() +
+                      std::chrono::duration_cast<SocketClock::duration>(
+                          std::chrono::duration<double>(config_.tick_seconds));
+    Result<size_t> got =
+        RecvSome(conn->fd.get(), chunk.data(), chunk.size(), tick);
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kDeadlineExceeded) {
+        // Idle tick. Cut only a peer stalled *mid-frame* too long.
+        if (reader.buffered() > 0 &&
+            SocketClock::now() - last_progress > stall_budget) {
+          stalled_connections_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        continue;
+      }
+      break;  // reset or hard error
+    }
+    if (got.value() == 0) break;  // orderly EOF
+    reader.Feed(chunk.data(), got.value());
+    last_progress = SocketClock::now();
+  }
+
+  resynced_bytes_.fetch_add(reader.resynced_bytes(),
+                            std::memory_order_relaxed);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  // Half-close our side; the fd itself is reclaimed when Shutdown
+  // destroys the Connection after joining this thread.
+  (void)::shutdown(conn->fd.get(), SHUT_RDWR);
+}
+
+bool TcpShardServer::HandleRequestFrame(Connection* conn,
+                                        const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> reply;
+  Result<TransportRequest> envelope = TransportRequest::Decode(payload);
+  if (!envelope.ok()) {
+    malformed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+    ErrorMessage err;
+    err.code = WireError::kMalformed;
+    err.detail = "transport envelope: " + envelope.status().message();
+    reply = ResponseFrame::WrapError(err);
+  } else {
+    TransportRequest req = std::move(envelope).value();
+    ServiceRequest sr;
+    sr.query = std::move(req.query);
+    sr.uploads = std::move(req.uploads);
+    sr.deadline_seconds = static_cast<double>(req.deadline_ms) / 1000.0;
+    sr.idempotency_key = req.idempotency_key;
+    sr.degraded_users = req.degraded_users;
+    // Blocking: one request at a time per connection. The service's own
+    // worker pool + AIMD limiter govern actual execution concurrency.
+    reply = service_.Call(std::move(sr));
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<uint8_t> framed =
+      EncodeTransportFrame(FrameType::kResponse, reply);
+  const auto deadline =
+      SocketClock::now() +
+      std::chrono::duration_cast<SocketClock::duration>(
+          std::chrono::duration<double>(config_.write_timeout_seconds));
+  Status sent = SendAll(conn->fd.get(), framed.data(), framed.size(), deadline);
+  if (!sent.ok()) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+TcpServerStats TcpShardServer::Stats() const {
+  TcpServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  s.frames_served = frames_served_.load(std::memory_order_relaxed);
+  s.malformed_envelopes = malformed_envelopes_.load(std::memory_order_relaxed);
+  s.fatal_framing = fatal_framing_.load(std::memory_order_relaxed);
+  s.stalled_connections =
+      stalled_connections_.load(std::memory_order_relaxed);
+  s.resynced_bytes = resynced_bytes_.load(std::memory_order_relaxed);
+  s.send_failures = send_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TcpShardServer::Shutdown(double drain_deadline_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain the wrapped service first: in-flight Calls complete (or flush
+  // with kShuttingDown) and their replies still go out on live sockets.
+  service_.Shutdown(drain_deadline_seconds);
+
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    // Wake any reader blocked in poll; EOF ends its loop.
+    (void)::shutdown(conn->fd.get(), SHUT_RDWR);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  listen_fd_.Reset();
+}
+
+}  // namespace ppgnn

@@ -36,6 +36,12 @@
 #include "geo/point.h"          // IWYU pragma: export
 #include "geo/rect.h"           // IWYU pragma: export
 #include "net/latency.h"        // IWYU pragma: export
+#include "net/transport/chaos_proxy.h"  // IWYU pragma: export
+#include "net/transport/fleet.h"  // IWYU pragma: export
+#include "net/transport/frame.h"  // IWYU pragma: export
+#include "net/transport/socket.h"  // IWYU pragma: export
+#include "net/transport/tcp_link.h"  // IWYU pragma: export
+#include "net/transport/tcp_server.h"  // IWYU pragma: export
 #include "roadnet/dijkstra.h"   // IWYU pragma: export
 #include "roadnet/graph.h"      // IWYU pragma: export
 #include "roadnet/road_gnn.h"   // IWYU pragma: export

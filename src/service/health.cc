@@ -22,7 +22,9 @@ HealthMonitor::HealthMonitor(int replicas, HealthConfig config)
     : replica_count_(static_cast<size_t>(std::max(replicas, 1))),
       config_(std::move(config)),
       // ppgnn-lint: allow(guarded-by): constructor has exclusive access
-      states_(replica_count_) {}
+      states_(replica_count_),
+      // ppgnn-lint: allow(guarded-by): constructor has exclusive access
+      rng_(config_.cooldown_jitter_seed) {}
 
 HealthMonitor::Clock::time_point HealthMonitor::Now() const {
   return config_.clock ? config_.clock() : Clock::now();
@@ -36,6 +38,11 @@ ReplicaHealth HealthMonitor::state(int replica) const {
 double HealthMonitor::ewma_latency_seconds(int replica) const {
   std::lock_guard<std::mutex> lock(mu_);
   return states_[static_cast<size_t>(replica)].ewma_latency_seconds;
+}
+
+double HealthMonitor::last_cooldown_seconds(int replica) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_[static_cast<size_t>(replica)].cooldown_seconds;
 }
 
 uint64_t HealthMonitor::transitions(int replica) const {
@@ -61,7 +68,18 @@ void HealthMonitor::TransitionLocked(int replica, ReplicaHealth to) {
   const Transition transition{replica, state.health, to};
   state.health = to;
   state.transitions++;
-  if (to == ReplicaHealth::kDown) state.down_since = Now();
+  if (to == ReplicaHealth::kDown) {
+    state.down_since = Now();
+    // Draw this down-spell's half-open window. The draw happens here —
+    // not in TryAdmitProbe — so racing admit attempts all see one fixed
+    // window, and a fixed (seed, transition order) replays it exactly.
+    double window = config_.down_cooldown_seconds;
+    if (config_.cooldown_jitter_fraction > 0.0) {
+      window *= 1.0 + config_.cooldown_jitter_fraction *
+                          (2.0 * rng_.NextDouble() - 1.0);
+    }
+    state.cooldown_seconds = window;
+  }
   if (on_transition_) on_transition_(transition);
 }
 
@@ -139,7 +157,7 @@ bool HealthMonitor::TryAdmitProbe(int replica) {
   ReplicaState& state = states_[static_cast<size_t>(replica)];
   if (state.health != ReplicaHealth::kDown) return false;
   const auto cooldown = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(config_.down_cooldown_seconds));
+      std::chrono::duration<double>(state.cooldown_seconds));
   if (Now() - state.down_since < cooldown) return false;
   TransitionLocked(replica, ReplicaHealth::kProbing);
   return true;

@@ -45,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
+
 namespace ppgnn {
 
 enum class ReplicaHealth : uint8_t {
@@ -73,6 +75,17 @@ struct HealthConfig {
   /// How long a down replica stays unprobed before the half-open gate
   /// opens.
   double down_cooldown_seconds = 0.2;
+  /// Fractional jitter on each down-cooldown: every down transition
+  /// draws its own window from down_cooldown_seconds * (1 ± jitter),
+  /// using a seeded per-monitor stream. Replicas that died together (a
+  /// killed server, a severed proxy) then reopen their half-open gates
+  /// staggered instead of probing in lockstep — the thundering-herd fix
+  /// for the TCP transport, where a reopened gate costs a real dial.
+  /// 0 disables jitter (every window is exactly the configured value).
+  /// Draws are consumed in down-transition order under the monitor
+  /// lock, so a fixed (seed, outcome sequence) replays exact windows.
+  double cooldown_jitter_fraction = 0.0;
+  uint64_t cooldown_jitter_seed = 0x9e1d;
   /// Cadence of the background prober (ShardedLspService); the monitor
   /// itself is probe-driven and does not read this.
   double probe_interval_seconds = 0.05;
@@ -96,6 +109,10 @@ class HealthMonitor {
   int replicas() const { return static_cast<int>(replica_count_); }
   ReplicaHealth state(int replica) const;
   double ewma_latency_seconds(int replica) const;
+  /// The jittered cooldown window drawn at this replica's most recent
+  /// down transition, seconds (0 before any). Determinism tests compare
+  /// these across same-seed replays.
+  double last_cooldown_seconds(int replica) const;
   /// Transitions this replica has undergone since construction.
   uint64_t transitions(int replica) const;
   uint64_t total_transitions() const;
@@ -129,6 +146,8 @@ class HealthMonitor {
     double ewma_latency_seconds = 0.0;
     bool has_latency = false;
     Clock::time_point down_since{};
+    /// Drawn (jittered) at the down transition; what TryAdmitProbe waits.
+    double cooldown_seconds = 0.0;
     uint64_t transitions = 0;
   };
 
@@ -143,6 +162,8 @@ class HealthMonitor {
   mutable std::mutex mu_;
   // ppgnn: guarded_by(states_, mu_)
   std::vector<ReplicaState> states_;
+  // ppgnn: guarded_by(rng_, mu_)
+  Rng rng_;  ///< cooldown-jitter stream; consumed in transition order
   // ppgnn: guarded_by(on_transition_, mu_)
   std::function<void(Transition)> on_transition_;
 };

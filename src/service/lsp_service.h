@@ -53,6 +53,7 @@
 #include "net/latency.h"
 #include "service/admission.h"
 #include "service/cost_model.h"
+#include "service/link.h"
 #include "service/reply_cache.h"
 
 namespace ppgnn {
@@ -206,14 +207,14 @@ struct ServiceStats {
   std::string ToString() const;
 };
 
-class LspService {
+class LspService : public ServiceLink {
  public:
   using Clock = std::chrono::steady_clock;
 
   /// Invoked exactly once per submitted request with the encoded
   /// ResponseFrame. May run on a worker thread, or inline in Submit for
   /// rejected/replayed requests. Must not re-enter the service.
-  using Callback = std::function<void(std::vector<uint8_t>)>;
+  using Callback = ServiceLink::Callback;
 
   /// Execution context handed to a Handler on the worker thread.
   struct HandlerContext {
@@ -243,7 +244,7 @@ class LspService {
   /// Same front-end over a custom execution handler (must be non-null;
   /// anything it references must outlive the service).
   LspService(Handler handler, ServiceConfig config);
-  ~LspService();
+  ~LspService() override;
 
   LspService(const LspService&) = delete;
   LspService& operator=(const LspService&) = delete;
@@ -252,7 +253,7 @@ class LspService {
   /// joined an in-flight duplicate, or was answered from the reply
   /// cache; on false (queue full, shed, or shutting down) the callback
   /// has already been invoked inline with a kOverloaded error frame.
-  [[nodiscard]] bool Submit(ServiceRequest request, Callback done);
+  [[nodiscard]] bool Submit(ServiceRequest request, Callback done) override;
 
   /// Blocking convenience wrapper: submits and waits for the reply frame.
   std::vector<uint8_t> Call(ServiceRequest request);
@@ -262,8 +263,12 @@ class LspService {
   /// Resilience-event hooks: a retrying/hedging client calls these so its
   /// recovery activity shows up in the same Stats() snapshot as the
   /// server-side counters it caused.
-  void RecordClientRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordClientHedge() { hedges_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordClientRetry() override {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordClientHedge() override {
+    hedges_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Stops admission (new submissions get a structured kShuttingDown
   /// frame with a retry_after_ms hint), drains queued and executing

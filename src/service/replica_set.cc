@@ -36,6 +36,7 @@ ReplicaSet::ReplicaSet(int shard_index, std::vector<Poi> slice,
       config_(std::move(config)),
       counters_(static_cast<size_t>(std::max(config_.replicas, 1))) {
   const int replicas = std::max(config_.replicas, 1);
+  health_ = std::make_unique<HealthMonitor>(replicas, config_.health);
   failpoints_.reserve(static_cast<size_t>(replicas));
   dbs_.reserve(static_cast<size_t>(replicas));
   services_.reserve(static_cast<size_t>(replicas));
@@ -43,20 +44,32 @@ ReplicaSet::ReplicaSet(int shard_index, std::vector<Poi> slice,
   for (int r = 0; r < replicas; ++r) {
     failpoints_.push_back("shard.replica." + std::to_string(shard_index_) +
                           "." + std::to_string(r));
-    // Each replica owns a full copy of the slice: replicas share no
-    // state, so one replica's failure mode cannot leak into another.
-    dbs_.push_back(std::make_unique<LspDatabase>(slice));
-    services_.push_back(
-        std::make_unique<LspService>(*dbs_.back(), config_.service));
     RetryPolicy policy = config_.link_policy;
     // Replica 0's stream matches the PR 7 single-link layout (seed + j);
     // further replicas jump far enough that streams never collide.
     policy.seed += static_cast<uint64_t>(shard_index_) +
                    static_cast<uint64_t>(r) * 1000003ULL;
+    if (config_.link_factory) {
+      // Remote mode: the replica lives behind a caller-built link (a
+      // TcpLink dialing its TcpShardServer). Down-edges from the link's
+      // own exchanges demote the replica in the health monitor even when
+      // no Call() is in flight — a severed socket is a health signal.
+      remote_links_.push_back(config_.link_factory(shard_index_, r));
+      remote_links_.back()->SetConnectivityObserver([this, r](bool up) {
+        if (!up) health_->ReportFailure(r);
+      });
+      links_.push_back(
+          std::make_unique<ResilientClient>(*remote_links_.back(), policy));
+      continue;
+    }
+    // Each replica owns a full copy of the slice: replicas share no
+    // state, so one replica's failure mode cannot leak into another.
+    dbs_.push_back(std::make_unique<LspDatabase>(slice));
+    services_.push_back(
+        std::make_unique<LspService>(*dbs_.back(), config_.service));
     links_.push_back(
         std::make_unique<ResilientClient>(*services_.back(), policy));
   }
-  health_ = std::make_unique<HealthMonitor>(replicas, config_.health);
 }
 
 ReplicaSet::~ReplicaSet() { Shutdown(); }
@@ -68,8 +81,12 @@ void ReplicaSet::Shutdown() {
     shut_down_ = true;
   }
   // Stopping the services first unblocks any straggler leg still waiting
-  // on a reply; only then is joining them bounded.
+  // on a reply; only then is joining them bounded. Remote links are
+  // Close()d for the same reason — and because Close joins the link's
+  // worker threads, no connectivity observer can touch health_ after
+  // this point.
   for (auto& service : services_) service->Shutdown();
+  for (auto& link : remote_links_) link->Close();
   std::vector<std::thread> stragglers;
   {
     std::lock_guard<std::mutex> lock(stragglers_mu_);
@@ -312,8 +329,14 @@ void ReplicaSet::ProbeOnce() {
     counters_[static_cast<size_t>(r)].probes.fetch_add(
         1, std::memory_order_relaxed);
     const Clock::time_point start = Clock::now();
-    const Status status =
-        FailpointCheck(failpoints_[static_cast<size_t>(r)].c_str());
+    Status status = FailpointCheck(failpoints_[static_cast<size_t>(r)].c_str());
+    // Remote replicas get a real reachability check: the link reuses a
+    // pooled connection or dials. In-process replicas have no transport
+    // to probe — the failpoint verdict is the whole check.
+    if (status.ok() && !remote_links_.empty()) {
+      status = remote_links_[static_cast<size_t>(r)]->Probe(
+          config_.probe_timeout_seconds);
+    }
     const double latency = Seconds(Clock::now() - start);
     if (status.ok()) {
       health_->ReportSuccess(r, latency);

@@ -33,6 +33,7 @@
 #define PPGNN_SERVICE_REPLICA_SET_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -60,6 +61,17 @@ struct ReplicaSetConfig {
   double hedge_delay_seconds = 0.0;
   double min_hedge_delay_seconds = 0.001;
   double fallback_hedge_delay_seconds = 0.05;
+  /// Remote mode: when set, the factory builds the ServiceLink for
+  /// (shard, replica) — e.g. a TcpLink dialing a TcpShardServer — and
+  /// the set builds *no* local databases or services; `service` is
+  /// ignored. The ladder is otherwise identical: each remote link is
+  /// still wrapped in a ResilientClient, and the link's connectivity
+  /// observer feeds down-edges into the health monitor so a severed
+  /// socket demotes the replica even between queries.
+  std::function<std::unique_ptr<ServiceLink>(int shard, int replica)>
+      link_factory;
+  /// ProbeOnce dial budget per remote replica (remote mode only).
+  double probe_timeout_seconds = 0.25;
 };
 
 /// What one replicated call did, for the coordinator's ladder counters.
@@ -111,7 +123,11 @@ class ReplicaSet {
 
   ReplicaSetStats Stats() const;
   HealthMonitor& health() { return *health_; }
-  int replicas() const { return static_cast<int>(services_.size()); }
+  int replicas() const { return static_cast<int>(links_.size()); }
+  /// True when the set reaches its replicas over caller-built links
+  /// (link_factory) instead of in-process services.
+  bool remote() const { return !remote_links_.empty(); }
+  /// In-process mode only — remote replicas live behind their links.
   LspService& replica_service(int replica) {
     return *services_[static_cast<size_t>(replica)];
   }
@@ -150,6 +166,9 @@ class ReplicaSet {
   std::vector<std::string> failpoints_;  ///< shard.replica.<s>.<r>
   std::vector<std::unique_ptr<LspDatabase>> dbs_;
   std::vector<std::unique_ptr<LspService>> services_;
+  /// Remote mode: the factory-built links the ResilientClients wrap.
+  /// Closed in Shutdown *before* health_ could die under an observer.
+  std::vector<std::unique_ptr<ServiceLink>> remote_links_;
   std::vector<std::unique_ptr<ResilientClient>> links_;
   std::unique_ptr<HealthMonitor> health_;
   std::vector<LegCounters> counters_;

@@ -69,7 +69,7 @@ std::string ClientStats::ToString() const {
   return buf;
 }
 
-ResilientClient::ResilientClient(LspService& service, RetryPolicy policy)
+ResilientClient::ResilientClient(ServiceLink& service, RetryPolicy policy)
     // ppgnn-lint: allow(guarded-by): constructor has exclusive access
     : service_(service), policy_(std::move(policy)), rng_(policy_.seed) {}
 

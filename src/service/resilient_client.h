@@ -43,6 +43,7 @@
 
 #include "common/random.h"
 #include "net/latency.h"
+#include "service/link.h"
 #include "service/lsp_service.h"
 
 namespace ppgnn {
@@ -117,7 +118,10 @@ struct ClientStats {
 /// destroying the client.
 class ResilientClient {
  public:
-  ResilientClient(LspService& service, RetryPolicy policy);
+  /// The downstream may be an in-process LspService or any other
+  /// ServiceLink (e.g. a TcpLink to a remote replica); the ladder is
+  /// transport-agnostic.
+  ResilientClient(ServiceLink& service, RetryPolicy policy);
 
   /// Runs one request to completion under the policy. Blocking.
   ClientCallOutcome Call(ServiceRequest request);
@@ -143,7 +147,7 @@ class ResilientClient {
   /// so the breaker can probe again instead of fast-failing forever.
   void BreakerReleaseProbe();
 
-  LspService& service_;
+  ServiceLink& service_;
   const RetryPolicy policy_;
 
   mutable std::mutex mu_;

@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -88,6 +89,17 @@ struct ShardClusterConfig {
   /// cadence). Off by default so deterministic tests drive probes
   /// manually; the CLI and benches turn it on.
   bool background_prober = false;
+  /// Remote transport mode: when set, every (shard, replica) link comes
+  /// from this factory (e.g. net/transport TcpLinks dialing a
+  /// LoopbackShardFleet or --listen processes) and no local shard
+  /// databases/services are built; `shard` is ignored. POIs are still
+  /// partitioned locally — the coordinator needs the slice MBRs and
+  /// sizes for exact routing, and remote servers MUST hold the same
+  /// (x, y, id)-sorted slices for answers to stay byte-identical.
+  std::function<std::unique_ptr<ServiceLink>(int shard, int replica)>
+      link_factory;
+  /// ProbeOnce dial budget per remote replica (remote mode only).
+  double probe_timeout_seconds = 0.25;
 };
 
 /// Splits `pois` into `shards` contiguous slices of near-equal size,

@@ -20,6 +20,43 @@ TEST(CostTrackerTest, RecordsPerLinkBytes) {
   EXPECT_EQ(r.TotalCommBytes(), 187u);
 }
 
+TEST(CostTrackerTest, FramedSendCountsBothColumns) {
+  CostTracker tracker;
+  // 100 logical payload bytes cost 110 on the socket (10-byte transport
+  // header); the logical column must match a plain RecordSend exactly.
+  tracker.RecordFramedSend(Link::kUserToLsp, 100, 110);
+  tracker.RecordFramedSend(Link::kLspToUser, 40, 50);
+  const CostReport& r = tracker.report();
+  EXPECT_EQ(r.bytes_user_to_lsp, 100u);
+  EXPECT_EQ(r.bytes_lsp_to_user, 40u);
+  EXPECT_EQ(r.framed_bytes_user_to_lsp, 110u);
+  EXPECT_EQ(r.framed_bytes_lsp_to_user, 50u);
+  EXPECT_EQ(r.TotalCommBytes(), 140u);
+  EXPECT_EQ(r.TotalFramedBytes(), 160u);
+}
+
+// The wire can only add framing, never shed payload: for any mix of
+// framed sends, each framed column dominates its logical column.
+TEST(CostTrackerTest, FramedBytesDominateLogicalBytes) {
+  CostTracker tracker;
+  const uint64_t payloads[] = {0, 1, 9, 1024, 65536};
+  for (uint64_t p : payloads) {
+    tracker.RecordFramedSend(Link::kUserToLsp, p, p + 10);
+    tracker.RecordFramedSend(Link::kLspToUser, p, p + 10);
+  }
+  const CostReport& r = tracker.report();
+  EXPECT_GE(r.framed_bytes_user_to_lsp, r.bytes_user_to_lsp);
+  EXPECT_GE(r.framed_bytes_lsp_to_user, r.bytes_lsp_to_user);
+  EXPECT_GE(r.TotalFramedBytes(), r.TotalCommBytes() - r.bytes_user_to_user);
+}
+
+TEST(CostTrackerTest, InProcessRunsLeaveFramedColumnsZero) {
+  CostTracker tracker;
+  tracker.RecordSend(Link::kUserToLsp, 100);
+  tracker.RecordSend(Link::kLspToUser, 100);
+  EXPECT_EQ(tracker.report().TotalFramedBytes(), 0u);
+}
+
 TEST(CostTrackerTest, RecordsPerPartyTime) {
   CostTracker tracker;
   tracker.RecordCompute(Party::kUser, 0.25);

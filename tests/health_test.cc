@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -220,6 +221,76 @@ TEST(HealthMonitorTest, TransitionSequenceIsDeterministic) {
       "0:suspect->healthy",
   };
   EXPECT_EQ(first, expected);
+}
+
+/// Downs every replica in index order and returns the jittered cooldown
+/// window each one drew.
+std::vector<double> DrawCooldowns(uint64_t seed, int replicas) {
+  FakeClock clock;
+  HealthConfig config = TestConfig(clock);
+  config.cooldown_jitter_fraction = 0.5;
+  config.cooldown_jitter_seed = seed;
+  HealthMonitor monitor(replicas, config);
+  std::vector<double> windows;
+  for (int r = 0; r < replicas; ++r) {
+    monitor.ReportFailure(r);
+    monitor.ReportFailure(r);
+    monitor.ReportFailure(r);  // down; the jitter draw happens here
+    windows.push_back(monitor.last_cooldown_seconds(r));
+  }
+  return windows;
+}
+
+// The thundering-herd fix: replicas downed together draw different
+// half-open windows, so their probes reopen staggered — but the draws
+// replay exactly for a fixed (seed, transition order).
+TEST(HealthMonitorTest, CooldownJitterIsSeededAndDeterministic) {
+  const std::vector<double> first = DrawCooldowns(0x5eed, 4);
+  const std::vector<double> second = DrawCooldowns(0x5eed, 4);
+  EXPECT_EQ(first, second);  // exact replay, not approximate
+
+  // Windows stay inside cooldown * (1 ± fraction) and actually spread.
+  for (double w : first) {
+    EXPECT_GE(w, 0.2 * 0.5);
+    EXPECT_LE(w, 0.2 * 1.5);
+  }
+  std::set<double> distinct(first.begin(), first.end());
+  EXPECT_GT(distinct.size(), 1u) << "all replicas drew the same window";
+
+  // A different seed draws a different schedule.
+  const std::vector<double> other = DrawCooldowns(0xd1ff, 4);
+  EXPECT_NE(first, other);
+}
+
+// The drawn window — not the configured base — is what gates the
+// half-open probe admit.
+TEST(HealthMonitorTest, JitteredWindowGatesTryAdmitProbe) {
+  FakeClock clock;
+  HealthConfig config = TestConfig(clock);
+  config.cooldown_jitter_fraction = 0.5;
+  HealthMonitor monitor(1, config);
+  monitor.ReportFailure(0);
+  monitor.ReportFailure(0);
+  monitor.ReportFailure(0);  // down
+  const double window = monitor.last_cooldown_seconds(0);
+  ASSERT_GT(window, 0.0);
+  clock.Advance(window * 0.9);
+  EXPECT_FALSE(monitor.TryAdmitProbe(0));  // still inside the drawn window
+  clock.Advance(window * 0.2);
+  EXPECT_TRUE(monitor.TryAdmitProbe(0));  // past it
+}
+
+// Jitter off (the default) keeps the PR 8 behavior bit-for-bit: every
+// window is exactly the configured cooldown.
+TEST(HealthMonitorTest, ZeroJitterKeepsExactConfiguredCooldown) {
+  FakeClock clock;
+  HealthMonitor monitor(2, TestConfig(clock));
+  for (int r = 0; r < 2; ++r) {
+    monitor.ReportFailure(r);
+    monitor.ReportFailure(r);
+    monitor.ReportFailure(r);
+    EXPECT_EQ(monitor.last_cooldown_seconds(r), 0.2);
+  }
 }
 
 TEST(HealthMonitorTest, TotalTransitionsSumsAcrossReplicas) {

@@ -316,6 +316,30 @@ TEST(IncludeHygiene, DownwardIncludeClean) {
   EXPECT_EQ(findings.size(), 0u);
 }
 
+// The two-component "net/transport" layer sits *above* service by
+// longest-prefix match, so wrapping a service in a TCP server is legal…
+TEST(IncludeHygiene, TransportSublayerMayIncludeService) {
+  auto findings = LintOne("src/net/transport/fixture.h",
+                          "#include \"net/transport/frame.h\"\n"
+                          "#include \"service/lsp_service.h\"\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// …while the parent net layer still may not, and nothing below the
+// transport may reach up into it.
+TEST(IncludeHygiene, PlainNetIncludingServiceStillTrips) {
+  auto findings = LintOne("src/net/fixture.h",
+                          "#include \"service/lsp_service.h\"\n");
+  ASSERT_EQ(CountRule(findings, "include-hygiene"), 1u);
+}
+
+TEST(IncludeHygiene, ServiceIncludingTransportTrips) {
+  auto findings = LintOne("src/service/fixture.h",
+                          "#include \"net/transport/tcp_link.h\"\n");
+  ASSERT_EQ(CountRule(findings, "include-hygiene"), 1u);
+  EXPECT_NE(findings[0].message.find("net/transport"), std::string::npos);
+}
+
 TEST(IncludeHygiene, OwnHeaderFirstTrips) {
   std::vector<SourceFile> files = {
       {"src/geo/fixture.h", "int F();\n"},
@@ -589,6 +613,53 @@ TEST(BlockingUnderLock, EncryptUnderLockSuppressed) {
       "  // ppgnn-lint: allow(blocking-under-lock): init path, no waiters\n"
       "  auto c = Encrypt(5);\n"
       "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+// Socket syscalls block for as long as the peer feels like: a stalled
+// recv under a held lock parks every thread queued on that lock.
+TEST(BlockingUnderLock, SocketRecvUnderLockTrips) {
+  auto findings = LintOne("src/net/transport/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F(int fd, void* buf) {\n"
+                          "  std::lock_guard<std::mutex> lock(mu);\n"
+                          "  ssize_t n = recv(fd, buf, 16, 0);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "blocking-under-lock"), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("`recv`"), std::string::npos);
+}
+
+TEST(BlockingUnderLock, SocketConnectUnderLockTrips) {
+  auto findings = LintOne("src/net/transport/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F(int fd) {\n"
+                          "  std::lock_guard<std::mutex> lock(mu);\n"
+                          "  int rc = connect(fd, nullptr, 0);\n"
+                          "}\n");
+  ASSERT_EQ(CountRule(findings, "blocking-under-lock"), 1u);
+}
+
+TEST(BlockingUnderLock, SocketPollUnderLockSuppressed) {
+  auto findings = LintOne(
+      "src/net/transport/fixture.cc",
+      "std::mutex mu;\n"
+      "void F(struct pollfd* fds) {\n"
+      "  std::lock_guard<std::mutex> lock(mu);\n"
+      "  // ppgnn-lint: allow(blocking-under-lock): zero-timeout poll\n"
+      "  int rc = poll(fds, 1, 0);\n"
+      "}\n");
+  EXPECT_EQ(findings.size(), 0u);
+}
+
+TEST(BlockingUnderLock, SocketIoOutsideTheCriticalSectionClean) {
+  auto findings = LintOne("src/net/transport/fixture.cc",
+                          "std::mutex mu;\n"
+                          "void F(int fd, void* buf) {\n"
+                          "  ssize_t n = send(fd, buf, 16, 0);\n"
+                          "  std::lock_guard<std::mutex> lock(mu);\n"
+                          "  Record(n);\n"
+                          "}\n");
   EXPECT_EQ(findings.size(), 0u);
 }
 

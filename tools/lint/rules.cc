@@ -480,8 +480,28 @@ const std::map<std::string, int>& LayerRanks() {
       {"common", 0},  {"bigint", 1},  {"geo", 1},     {"net", 1},
       {"stats", 1},   {"spatial", 2}, {"crypto", 2},  {"roadnet", 3},
       {"core", 3},    {"baselines", 4}, {"service", 4},
+      // Two-component layers override their parent by longest-prefix
+      // match: the TCP transport *wraps* services (a TcpShardServer owns
+      // an LspService), so it sits above the service layer even though
+      // it lives under src/net/.
+      {"net/transport", 5},
   };
   return kRanks;
+}
+
+/// Longest-prefix layer lookup for a path relative to src/:
+/// "net/transport/frame.h" matches the two-component layer
+/// "net/transport" before falling back to "net". "" = no layer (no
+/// directory component).
+std::string LayerOf(const std::string& rel) {
+  size_t slash = rel.find('/');
+  if (slash == std::string::npos) return "";
+  size_t slash2 = rel.find('/', slash + 1);
+  if (slash2 != std::string::npos) {
+    const std::string two = rel.substr(0, slash2);
+    if (LayerRanks().count(two) > 0) return two;
+  }
+  return rel.substr(0, slash);
 }
 
 /// Second ranked table ordering the files inside src/service/ themselves:
@@ -535,11 +555,10 @@ std::vector<QuotedInclude> QuotedIncludes(const FileContext& ctx) {
 void CheckIncludeHygiene(const FileContext& ctx, std::vector<Finding>* out) {
   const std::string& path = ctx.file->path;
   if (!StartsWith(path, "src/")) return;
-  // First path component under src/ is the layer; files directly in src/
-  // (the ppgnn.h umbrella) are deliberately above the layering.
-  size_t dir_end = path.find('/', 4);
-  if (dir_end == std::string::npos) return;
-  const std::string self_dir = path.substr(4, dir_end - 4);
+  // Longest matching path prefix under src/ is the layer; files directly
+  // in src/ (the ppgnn.h umbrella) are deliberately above the layering.
+  const std::string self_dir = LayerOf(path.substr(4));
+  if (self_dir.empty()) return;
   auto self_rank = LayerRanks().find(self_dir);
 
   const std::vector<QuotedInclude> includes = QuotedIncludes(ctx);
@@ -562,9 +581,8 @@ void CheckIncludeHygiene(const FileContext& ctx, std::vector<Finding>* out) {
 
   if (self_rank == LayerRanks().end()) return;
   for (const QuotedInclude& inc : includes) {
-    size_t slash = inc.path.find('/');
-    if (slash == std::string::npos) continue;
-    const std::string target_dir = inc.path.substr(0, slash);
+    const std::string target_dir = LayerOf(inc.path);
+    if (target_dir.empty()) continue;
     auto target_rank = LayerRanks().find(target_dir);
     if (target_rank == LayerRanks().end()) continue;
     if (target_rank->second > self_rank->second) {
@@ -835,8 +853,12 @@ std::vector<TaggedBody> FindTaggedBodies(
 
 /// Calls of these names must never run inside a held-lock scope: the
 /// exponentiation/encryption family the PR 6 pool contract exists to keep
-/// out of critical sections, plus sleeps. `Exp` only counts when the next
-/// character is not lowercase, so `Expired`/`ExpandToInclude` stay legal.
+/// out of critical sections, plus sleeps, plus the blocking socket
+/// syscalls (a peer that stalls mid-read would park every thread queued
+/// on the lock — the TCP transport does all socket I/O outside its
+/// pool/backoff mutex, and this rule keeps it that way). `Exp` only
+/// counts when the next character is not lowercase, so
+/// `Expired`/`ExpandToInclude` stay legal.
 bool IsBannedBlockingCall(const std::string& name) {
   if (StartsWith(name, "Encrypt") || StartsWith(name, "Refill") ||
       StartsWith(name, "Pow")) {
@@ -844,6 +866,12 @@ bool IsBannedBlockingCall(const std::string& name) {
   }
   if (StartsWith(name, "Exp") &&
       (name.size() == 3 || !(name[3] >= 'a' && name[3] <= 'z'))) {
+    return true;
+  }
+  if (name == "connect" || name == "accept" || name == "poll" ||
+      name == "send" || name == "recv" || name == "sendmsg" ||
+      name == "recvmsg" || name == "sendto" || name == "recvfrom" ||
+      name == "select") {
     return true;
   }
   return name == "sleep_for" || name == "sleep_until" || name == "usleep" ||

@@ -61,6 +61,23 @@
 //                        trailer (exercises end-to-end deadline
 //                        propagation instead of the local budget)
 //
+// TCP transport (DESIGN.md section 16):
+//   ppgnn_cli --listen PORT [--shards N] [--shard-index J]
+//             [--workers N] [--db ... | --db-size N --seed S]
+//   Serves slice J of the N-way partition over TCP (PORT 0 picks an
+//   ephemeral port, printed on startup) until SIGINT/SIGTERM. Every
+//   replica of shard J runs this same command; byte-identical answers
+//   require every process to build the same database (same --db file or
+//   same --db-size/--seed).
+//
+//   ppgnn_cli --serve --shards N --replicas R \
+//             --connect-shard HOST:PORT ...
+//   Instead of in-process shard services, the coordinator dials one
+//   listed endpoint per (shard, replica), shard-major: the (j, r)
+//   endpoint is argument j*R + r. Requires exactly N*R --connect-shard
+//   flags. The resilience ladder (retries, hedging, failover, health)
+//   rides the sockets unchanged.
+//
 // Chaos knobs (serve mode):
 //   --fail POINT=POLICY  arm a failpoint before serving; repeatable, and
 //                        repeated specs *stack* — including on the same
@@ -80,12 +97,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "ppgnn.h"
@@ -117,6 +136,10 @@ struct CliOptions {
   size_t queue_capacity = 64;
   double deadline_seconds = 0.0;
   int blinding_pool = 0;
+  // TCP transport.
+  int listen_port = -1;  ///< < 0 = not listening; 0 = ephemeral
+  int shard_index = 0;
+  std::vector<std::string> connect_shards;
   std::vector<std::string> fail_specs;
   double retry_budget_ms = 0.0;
   // Overload-resilience knobs.
@@ -136,6 +159,8 @@ void PrintUsageAndExit(const char* argv0) {
                "          [--dummies uniform|poi-density|nearby]\n"
                "          [--keys PATH] [--gen-keys PATH]\n"
                "          [--no-sanitize] [--seed N]\n"
+               "          [--listen PORT] [--shard-index J]\n"
+               "          [--connect-shard HOST:PORT]...\n"
                "          [--serve] [--shards N] [--replicas R]\n"
                "          [--workers N] [--clients N]\n"
                "          [--requests N] [--queue N] [--deadline SECONDS]\n"
@@ -231,6 +256,16 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       opts.deadline_seconds = std::atof(next());
     } else if (flag == "--blinding-pool") {
       opts.blinding_pool = std::atoi(next());
+    } else if (flag == "--listen") {
+      opts.listen_port = std::atoi(next());
+      if (opts.listen_port < 0 || opts.listen_port > 65535)
+        return Status::InvalidArgument("--listen PORT must be in [0, 65535]");
+    } else if (flag == "--shard-index") {
+      opts.shard_index = std::atoi(next());
+      if (opts.shard_index < 0)
+        return Status::InvalidArgument("--shard-index must be >= 0");
+    } else if (flag == "--connect-shard") {
+      opts.connect_shards.push_back(next());
     } else if (flag == "--fail") {
       opts.fail_specs.push_back(next());
     } else if (flag == "--retry-budget-ms") {
@@ -253,6 +288,68 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+// "HOST:PORT" -> (host, port). IPv4 / hostname only — the transport's
+// TcpConnect resolves numeric IPv4 addresses.
+Result<std::pair<std::string, uint16_t>> ParseEndpoint(
+    const std::string& text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return Status::InvalidArgument("bad endpoint (want HOST:PORT): " + text);
+  }
+  const int port = std::atoi(text.substr(colon + 1).c_str());
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in endpoint: " + text);
+  }
+  return std::make_pair(text.substr(0, colon), static_cast<uint16_t>(port));
+}
+
+// --listen mode: serve slice `--shard-index` of the `--shards`-way
+// partition over TCP until SIGINT/SIGTERM. One process per replica.
+int RunListenMode(const CliOptions& opts, std::vector<Poi> pois) {
+  if (opts.shard_index >= opts.shards) {
+    std::fprintf(stderr, "--shard-index %d out of range for --shards %d\n",
+                 opts.shard_index, opts.shards);
+    return 2;
+  }
+  auto slices = PartitionPoisForShards(std::move(pois), opts.shards);
+  std::vector<Poi> slice =
+      std::move(slices[static_cast<size_t>(opts.shard_index)]);
+  std::printf("Shard %d/%d: %zu POIs\n", opts.shard_index, opts.shards,
+              slice.size());
+
+  LspDatabase db(std::move(slice));
+  ServiceConfig service_config;
+  service_config.workers = opts.workers;
+  service_config.queue_capacity = opts.queue_capacity;
+  service_config.lsp_threads = opts.params.lsp_threads;
+  LspService service(db, service_config);
+
+  TcpServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(opts.listen_port);
+  TcpShardServer server(service, server_config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("Listening on 127.0.0.1:%u (%d workers); Ctrl-C to stop\n",
+              server.port(), opts.workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("Stopping: %s\n", server.Stats().ToString().c_str());
+  server.Shutdown(/*drain_deadline_seconds=*/5.0);
+  service.Shutdown();
+  return 0;
 }
 
 // Stands up an LspService over `lsp` and drives it with closed-loop
@@ -307,7 +404,7 @@ int RunServeMode(const CliOptions& opts, const std::vector<Poi>& pois,
   // the same Submit/Call surface either way.
   std::unique_ptr<LspService> single;
   std::unique_ptr<ShardedLspService> cluster;
-  if (opts.shards > 1) {
+  if (opts.shards > 1 || !opts.connect_shards.empty()) {
     ShardClusterConfig cluster_config;
     cluster_config.shards = opts.shards;
     cluster_config.replicas = opts.replicas;
@@ -315,6 +412,46 @@ int RunServeMode(const CliOptions& opts, const std::vector<Poi>& pois,
     cluster_config.shard.workers = opts.workers;
     cluster_config.link_policy.seed = opts.seed ^ 0x5a4dull;
     cluster_config.background_prober = opts.replicas > 1;
+    if (!opts.connect_shards.empty()) {
+      // Remote shard tier: one endpoint per (shard, replica), shard-major.
+      const size_t want = static_cast<size_t>(opts.shards) *
+                          static_cast<size_t>(opts.replicas);
+      if (opts.connect_shards.size() != want) {
+        std::fprintf(stderr,
+                     "--connect-shard: got %zu endpoints, need %zu "
+                     "(--shards %d x --replicas %d, shard-major)\n",
+                     opts.connect_shards.size(), want, opts.shards,
+                     opts.replicas);
+        return 2;
+      }
+      auto endpoints = std::make_shared<
+          std::vector<std::pair<std::string, uint16_t>>>();
+      for (const std::string& spec : opts.connect_shards) {
+        auto parsed = ParseEndpoint(spec);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+          return 2;
+        }
+        endpoints->push_back(std::move(parsed).value());
+      }
+      const uint64_t link_seed = opts.seed ^ 0x7c91ull;
+      const int replicas = opts.replicas;
+      cluster_config.link_factory =
+          [endpoints, link_seed, replicas](int shard, int replica) {
+            const auto& endpoint = (*endpoints)[static_cast<size_t>(
+                shard * replicas + replica)];
+            TcpLinkConfig link;
+            link.host = endpoint.first;
+            link.port = endpoint.second;
+            link.seed = link_seed + static_cast<uint64_t>(shard) +
+                        static_cast<uint64_t>(replica) * 1000003ull;
+            return std::make_unique<TcpLink>(link);
+          };
+      std::printf(
+          "Dialing %zu remote shard servers (every server must hold the "
+          "matching slice of the same database)\n",
+          endpoints->size());
+    }
     cluster =
         std::make_unique<ShardedLspService>(pois, std::move(cluster_config));
     std::printf("Cluster: %d shards x %d replicas over %zu POIs (",
@@ -486,6 +623,11 @@ int main(int argc, char** argv) {
     std::printf("Synthesized %zu Sequoia-like POIs (seed %llu)\n",
                 pois.size(), static_cast<unsigned long long>(opts.seed));
   }
+  // --listen needs only the POI slice — no keys, no group, no query.
+  if (opts.listen_port >= 0) {
+    return RunListenMode(opts, std::move(pois));
+  }
+
   // Serve mode may need the raw POI list again (sharded clusters build
   // one database per slice), so the database takes a copy.
   LspDatabase lsp(pois);
